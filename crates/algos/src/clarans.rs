@@ -1,0 +1,198 @@
+//! CLARANS (Clustering Large Applications based on RANdomized Search,
+//! Ng & Han 2002).
+
+use prox_bounds::DistanceResolver;
+use prox_core::ObjectId;
+
+use crate::medoid::{assign, swap_delta};
+use crate::{Clustering, TinyRng};
+
+/// CLARANS configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct ClaransParams {
+    /// Number of medoids.
+    pub l: usize,
+    /// Number of restarts (`numlocal`).
+    pub numlocal: usize,
+    /// Consecutive non-improving neighbours before declaring a local
+    /// optimum (`maxneighbor`).
+    pub maxneighbor: usize,
+    /// RNG seed (restarts and neighbour sampling).
+    pub seed: u64,
+}
+
+impl Default for ClaransParams {
+    fn default() -> Self {
+        ClaransParams {
+            l: 10,
+            numlocal: 2,
+            maxneighbor: 100,
+            seed: 1,
+        }
+    }
+}
+
+/// Randomized medoid search: from a random solution, repeatedly sample a
+/// random single-medoid swap; accept it when the exact cost delta improves,
+/// reset the failure counter, and stop after `maxneighbor` consecutive
+/// failures. The best of `numlocal` restarts wins.
+///
+/// Every sampled swap triggers one swap-delta evaluation — a sweep of
+/// bound-checked comparisons — so CLARANS exercises the resolver exactly
+/// like PAM but on a randomized schedule. The RNG stream never depends on
+/// resolver verdicts, so vanilla and plugged runs take identical paths.
+pub fn clarans<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+    params: ClaransParams,
+) -> Clustering {
+    let n = resolver.n();
+    let l = params.l.clamp(1, n);
+    let mut rng = TinyRng::new(params.seed ^ 0xC1A_2A25);
+
+    let mut best: Option<Clustering> = None;
+
+    for _ in 0..params.numlocal.max(1) {
+        let mut medoids: Vec<ObjectId> = rng.distinct(l, n);
+        let (mut near, mut cost) = assign(resolver, &medoids);
+
+        let mut failures = 0usize;
+        while failures < params.maxneighbor {
+            if l == n {
+                break; // no non-medoid exists; solution is trivially optimal
+            }
+            let i = rng.below(l);
+            let h = loop {
+                let cand = rng.below(n) as ObjectId;
+                if !medoids.contains(&cand) {
+                    break cand;
+                }
+            };
+            let delta = swap_delta(resolver, &medoids, &near, i, h);
+            if delta < -1e-12 {
+                medoids[i] = h;
+                let (na, c) = assign(resolver, &medoids);
+                near = na;
+                cost = c;
+                failures = 0;
+            } else {
+                failures += 1;
+            }
+        }
+
+        let candidate = Clustering {
+            medoids: medoids.clone(),
+            assignment: near.iter().map(|r| r.n1).collect(),
+            cost,
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => candidate.cost < b.cost,
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+
+    best.expect("numlocal >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prox_bounds::{BoundResolver, TriScheme};
+    use prox_core::{FnMetric, Oracle};
+
+    fn blobs_oracle() -> Oracle<FnMetric<impl Fn(ObjectId, ObjectId) -> f64>> {
+        let xs: Vec<f64> = (0..8)
+            .map(|i| 0.05 + 0.01 * f64::from(i))
+            .chain((0..8).map(|i| 0.85 + 0.01 * f64::from(i)))
+            .collect();
+        Oracle::new(FnMetric::new(16, 1.0, move |a, b| {
+            (xs[a as usize] - xs[b as usize]).abs()
+        }))
+    }
+
+    #[test]
+    fn finds_the_two_blobs() {
+        let oracle = blobs_oracle();
+        let mut r = BoundResolver::vanilla(&oracle);
+        let c = clarans(
+            &mut r,
+            ClaransParams {
+                l: 2,
+                numlocal: 3,
+                maxneighbor: 60,
+                seed: 5,
+            },
+        );
+        let (a, b) = (c.medoids[0], c.medoids[1]);
+        assert!(
+            (a < 8) != (b < 8),
+            "medoids {a}, {b} should split the blobs"
+        );
+    }
+
+    #[test]
+    fn plugged_matches_vanilla_exactly() {
+        let params = ClaransParams {
+            l: 3,
+            numlocal: 2,
+            maxneighbor: 40,
+            seed: 11,
+        };
+        let o1 = blobs_oracle();
+        let mut vanilla = BoundResolver::vanilla(&o1);
+        let want = clarans(&mut vanilla, params);
+
+        let o2 = blobs_oracle();
+        let mut plugged = BoundResolver::new(&o2, TriScheme::new(16, 1.0));
+        let got = clarans(&mut plugged, params);
+
+        assert_eq!(got.medoids, want.medoids);
+        assert_eq!(got.assignment, want.assignment);
+        assert!((got.cost - want.cost).abs() < 1e-12);
+        assert!(o2.calls() <= o1.calls());
+    }
+
+    #[test]
+    fn l_equals_n_terminates() {
+        let oracle = blobs_oracle();
+        let mut r = BoundResolver::vanilla(&oracle);
+        let c = clarans(
+            &mut r,
+            ClaransParams {
+                l: 16,
+                numlocal: 1,
+                maxneighbor: 10,
+                seed: 2,
+            },
+        );
+        assert_eq!(c.cost, 0.0);
+    }
+
+    #[test]
+    fn more_restarts_never_worse() {
+        let oracle = blobs_oracle();
+        let mut r = BoundResolver::vanilla(&oracle);
+        let one = clarans(
+            &mut r,
+            ClaransParams {
+                l: 2,
+                numlocal: 1,
+                maxneighbor: 30,
+                seed: 7,
+            },
+        );
+        let mut r2 = BoundResolver::vanilla(&oracle);
+        let many = clarans(
+            &mut r2,
+            ClaransParams {
+                l: 2,
+                numlocal: 4,
+                maxneighbor: 30,
+                seed: 7,
+            },
+        );
+        assert!(many.cost <= one.cost + 1e-12);
+    }
+}

@@ -1,0 +1,91 @@
+//! Shared output types and a tiny deterministic RNG.
+
+use prox_core::{ObjectId, Pair};
+
+/// A minimum spanning tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mst {
+    /// Tree edges with their exact weights, in the order they were added.
+    pub edges: Vec<(Pair, f64)>,
+    /// Sum of edge weights.
+    pub total_weight: f64,
+}
+
+impl Mst {
+    /// Edge set as a sorted list of pair keys (order-independent identity,
+    /// used to compare plugged vs vanilla runs).
+    pub fn edge_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.edges.iter().map(|&(p, _)| p.key()).collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+/// An l-medoid clustering.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Clustering {
+    /// Medoid object ids, in slot order.
+    pub medoids: Vec<ObjectId>,
+    /// For each object, the slot index of its nearest medoid.
+    pub assignment: Vec<u32>,
+    /// Total deviation: sum over objects of the distance to their medoid.
+    pub cost: f64,
+}
+
+pub use prox_core::TinyRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_rng_deterministic() {
+        let mut a = TinyRng::new(7);
+        let mut b = TinyRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TinyRng::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn distinct_draws_are_distinct() {
+        let mut rng = TinyRng::new(3);
+        for _ in 0..20 {
+            let v = rng.distinct(5, 12);
+            let mut d = v.clone();
+            d.dedup();
+            assert_eq!(v.len(), 5);
+            assert_eq!(d.len(), 5);
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "ascending");
+            assert!(v.iter().all(|&x| x < 12));
+        }
+    }
+
+    #[test]
+    fn distinct_full_range() {
+        let mut rng = TinyRng::new(1);
+        let v = rng.distinct(6, 6);
+        assert_eq!(v, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut rng = TinyRng::new(11);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn mst_edge_keys_sorted() {
+        let mst = Mst {
+            edges: vec![(Pair::new(3, 1), 0.2), (Pair::new(0, 2), 0.1)],
+            total_weight: 0.3,
+        };
+        let keys = mst.edge_keys();
+        assert_eq!(keys.len(), 2);
+        assert!(keys[0] < keys[1]);
+    }
+}

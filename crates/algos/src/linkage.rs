@@ -1,0 +1,173 @@
+//! Single-linkage hierarchical clustering (dendrogram via the MST).
+//!
+//! The paper's motivating applications include hierarchical clustering of
+//! fMRI data and DNA sequences (its refs. 43 and 48). Single-linkage is the classic
+//! oracle-hungry case — and it is exactly the minimum spanning tree in
+//! disguise: processing MST edges in ascending order of weight reproduces
+//! the SLINK merge sequence. All distance savings therefore come from the
+//! bound-augmented [`crate::kruskal_mst`].
+
+use prox_bounds::DistanceResolver;
+use prox_core::ObjectId;
+use prox_graph::UnionFind;
+
+use crate::kruskal_mst;
+
+/// One agglomeration step: two clusters merged at a linkage height.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Merge {
+    /// Cluster id of the first operand (`0..n` are singletons; `n + i` is
+    /// the cluster created by merge `i`).
+    pub a: u32,
+    /// Cluster id of the second operand.
+    pub b: u32,
+    /// The single-linkage distance at which they merge.
+    pub height: f64,
+}
+
+/// A single-linkage dendrogram over `n` objects (`n − 1` merges).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dendrogram {
+    n: usize,
+    /// Merges in ascending height order.
+    pub merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Assembles a dendrogram from `n` leaves and a merge sequence (merge
+    /// `i` creates cluster id `n + i`). Used by both linkage variants.
+    pub fn from_merges(n: usize, merges: Vec<Merge>) -> Self {
+        debug_assert_eq!(merges.len(), n.saturating_sub(1));
+        Dendrogram { n, merges }
+    }
+
+    /// Number of leaf objects.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when there are no objects.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Flat clustering obtained by stopping after `n − k` merges — i.e.
+    /// cutting the dendrogram so `k` clusters remain. Returns, per object,
+    /// a dense cluster label in `0..k`.
+    pub fn cut(&self, k: usize) -> Vec<u32> {
+        let k = k.clamp(1, self.n.max(1));
+        let mut uf = UnionFind::new(self.n);
+        // Merge ids refer to cluster ids; map them back to any member leaf.
+        let mut leaf_of: Vec<ObjectId> = (0..self.n as ObjectId).collect();
+        for (i, m) in self.merges.iter().enumerate() {
+            if self.n - (i + 1) < k {
+                break;
+            }
+            let la = leaf_of[Self::member(m.a, self.n)];
+            let lb = leaf_of[Self::member(m.b, self.n)];
+            uf.union(la, lb);
+            leaf_of.push(la); // representative leaf of the new cluster
+        }
+        // Compact the union-find roots into dense labels.
+        let mut label_of_root = std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(self.n);
+        for v in 0..self.n as ObjectId {
+            let root = uf.find(v);
+            let next = label_of_root.len() as u32;
+            let label = *label_of_root.entry(root).or_insert(next);
+            labels.push(label);
+        }
+        labels
+    }
+
+    fn member(cluster: u32, _n: usize) -> usize {
+        cluster as usize
+    }
+}
+
+/// Builds the single-linkage dendrogram by running the bound-augmented
+/// Kruskal and replaying its ascending edges as merges.
+pub fn single_linkage<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Dendrogram {
+    let n = resolver.n();
+    let mst = kruskal_mst(resolver);
+    let mut uf = UnionFind::new(n);
+    // cluster id currently representing each union-find root
+    let mut cluster_of: Vec<u32> = (0..n as u32).collect();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    for (i, &(p, w)) in mst.edges.iter().enumerate() {
+        let (ra, rb) = (uf.find(p.lo()), uf.find(p.hi()));
+        let (ca, cb) = (cluster_of[ra as usize], cluster_of[rb as usize]);
+        uf.union(ra, rb);
+        let new_root = uf.find(ra);
+        let new_cluster = (n + i) as u32;
+        cluster_of[new_root as usize] = new_cluster;
+        merges.push(Merge {
+            a: ca.min(cb),
+            b: ca.max(cb),
+            height: w,
+        });
+    }
+    Dendrogram { n, merges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prox_bounds::{BoundResolver, TriScheme};
+    use prox_core::{FnMetric, Oracle};
+
+    fn blobs() -> Oracle<FnMetric<impl Fn(ObjectId, ObjectId) -> f64>> {
+        // Blob A: {0,1,2} near 0.1; blob B: {3,4,5} near 0.9.
+        let xs: [f64; 6] = [0.10, 0.11, 0.12, 0.90, 0.91, 0.92];
+        Oracle::new(FnMetric::new(6, 1.0, move |a, b| {
+            (xs[a as usize] - xs[b as usize]).abs()
+        }))
+    }
+
+    #[test]
+    fn merge_heights_ascend() {
+        let oracle = blobs();
+        let mut r = BoundResolver::vanilla(&oracle);
+        let d = single_linkage(&mut r);
+        assert_eq!(d.merges.len(), 5);
+        for w in d.merges.windows(2) {
+            assert!(w[0].height <= w[1].height + 1e-15);
+        }
+        // The final merge bridges the blobs at ~0.78.
+        let last = d.merges.last().expect("five merges");
+        assert!((last.height - 0.78).abs() < 1e-9, "got {}", last.height);
+    }
+
+    #[test]
+    fn cut_recovers_the_blobs() {
+        let oracle = blobs();
+        let mut r = BoundResolver::vanilla(&oracle);
+        let d = single_linkage(&mut r);
+        let labels = d.cut(2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+        // k = 1: everything together; k = n: all singletons.
+        assert!(d.cut(1).iter().all(|&l| l == 0));
+        let singles = d.cut(6);
+        let mut sorted = singles.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+
+    #[test]
+    fn plugged_matches_vanilla() {
+        let o1 = blobs();
+        let mut v = BoundResolver::vanilla(&o1);
+        let want = single_linkage(&mut v);
+
+        let o2 = blobs();
+        let mut p = BoundResolver::new(&o2, TriScheme::new(6, 1.0));
+        let got = single_linkage(&mut p);
+        assert_eq!(got, want);
+        assert!(o2.calls() <= o1.calls());
+    }
+}

@@ -1,0 +1,131 @@
+//! Range (ball) queries — the primitive behind similarity search in image
+//! and sequence databases (§1.1 of the paper).
+
+use prox_bounds::DistanceResolver;
+use prox_core::{ObjectId, Pair};
+
+/// Ids of all objects within the closed ball `dist(center, ·) <= radius`,
+/// ascending. **Membership only**: an object whose upper bound already
+/// clears the radius is admitted without resolving its distance, and one
+/// whose lower bound exceeds it is rejected the same way — the maximal
+/// pruning this query shape allows.
+pub fn range_members<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+    center: ObjectId,
+    radius: f64,
+) -> Vec<ObjectId> {
+    let n = resolver.n();
+    assert!((center as usize) < n);
+    let mut out = Vec::new();
+    for v in 0..n as ObjectId {
+        if v == center {
+            out.push(v);
+            continue;
+        }
+        let p = Pair::new(center, v);
+        let inside = match resolver.try_leq_value(p, radius) {
+            Some(b) => {
+                resolver.prune_stats_mut().decided_by_bounds += 1;
+                b
+            }
+            None => {
+                resolver.prune_stats_mut().fell_through += 1;
+                resolver.resolve(p) <= radius
+            }
+        };
+        if inside {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Like [`range_members`] but returns exact distances too (each member is
+/// therefore resolved; non-members can still be rejected by bounds alone).
+pub fn range_query<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+    center: ObjectId,
+    radius: f64,
+) -> Vec<(ObjectId, f64)> {
+    range_members(resolver, center, radius)
+        .into_iter()
+        .map(|v| {
+            if v == center {
+                (v, 0.0)
+            } else {
+                (v, resolver.resolve(Pair::new(center, v)))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prox_bounds::{BoundResolver, TriScheme};
+    use prox_core::{FnMetric, Oracle};
+
+    fn line_oracle(n: usize) -> Oracle<FnMetric<impl Fn(ObjectId, ObjectId) -> f64>> {
+        let scale = 1.0 / (n as f64 - 1.0);
+        Oracle::new(FnMetric::new(n, 1.0, move |a, b| {
+            (f64::from(a) - f64::from(b)).abs() * scale
+        }))
+    }
+
+    #[test]
+    fn closed_ball_on_a_line() {
+        let oracle = line_oracle(11); // spacing 0.1
+        let mut r = BoundResolver::vanilla(&oracle);
+        let hits = range_members(&mut r, 5, 0.2);
+        assert_eq!(hits, vec![3, 4, 5, 6, 7], "closed ball includes boundary");
+        let empty_ish = range_members(&mut r, 0, 0.05);
+        assert_eq!(empty_ish, vec![0]);
+    }
+
+    #[test]
+    fn query_returns_exact_distances() {
+        let oracle = line_oracle(11);
+        let mut r = BoundResolver::vanilla(&oracle);
+        let hits = range_query(&mut r, 5, 0.2);
+        for &(v, d) in &hits {
+            let want = (f64::from(v) - 5.0).abs() / 10.0;
+            assert!((d - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn membership_can_avoid_resolution() {
+        // Teach the scheme d(0,5)=0.5 and d(5,6)=0.1: then d(0,6) has
+        // ub = 0.6 <= 0.7 -> member for free; lb = 0.4 > 0.3 -> rejected
+        // for free.
+        let oracle = line_oracle(11);
+        let mut r = BoundResolver::new(&oracle, TriScheme::new(11, 1.0));
+        r.resolve(Pair::new(0, 5));
+        r.resolve(Pair::new(5, 6));
+        let calls = oracle.calls();
+        let members = range_members(&mut r, 0, 0.7);
+        assert!(members.contains(&6));
+        // (0,6) itself was never resolved.
+        assert!(r.known(Pair::new(0, 6)).is_none());
+        let rejected = range_members(&mut r, 0, 0.3);
+        assert!(!rejected.contains(&6));
+        // Other pairs had to be resolved, but (0,6) never.
+        assert!(oracle.calls() > calls, "other candidates still resolve");
+        assert!(r.known(Pair::new(0, 6)).is_none());
+    }
+
+    #[test]
+    fn plugged_matches_vanilla() {
+        let o1 = line_oracle(30);
+        let mut v = BoundResolver::vanilla(&o1);
+        let want = range_members(&mut v, 10, 0.25);
+
+        let o2 = line_oracle(30);
+        let mut p = BoundResolver::new(&o2, TriScheme::new(30, 1.0));
+        // Give the scheme some knowledge first (does not change the answer).
+        p.resolve(Pair::new(0, 29));
+        p.resolve(Pair::new(10, 20));
+        let got = range_members(&mut p, 10, 0.25);
+        assert_eq!(got, want);
+    }
+}

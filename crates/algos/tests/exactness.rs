@@ -1,0 +1,421 @@
+//! The paper's core guarantee (Characteristic 3): plugging any bound scheme
+//! into any proximity algorithm **does not change the output** — only the
+//! number of oracle calls. This suite runs every algorithm under every
+//! scheme (including DFT) against the vanilla run on real generator
+//! workloads and asserts bit-identical outputs.
+
+use prox_algos::{
+    average_linkage, average_linkage_cut, clarans, complete_linkage, k_center, knn_graph,
+    kruskal_mst, pam, prim_mst, range_members, single_linkage, tsp_2opt, ClaransParams, PamParams,
+};
+use prox_bounds::{
+    laesa_bootstrap, Adm, BoundResolver, DistanceResolver, Laesa, Splub, Tlaesa, TriScheme,
+};
+use prox_core::{Metric, Oracle};
+use prox_datasets::{ClusteredPlane, Dataset, RandomVectors, RoadNetwork};
+use prox_lp::DftResolver;
+
+const N: usize = 28;
+const SEED: u64 = 20210620; // SIGMOD '21 started June 20
+
+fn datasets() -> Vec<(&'static str, Box<dyn Metric + Send + Sync>)> {
+    vec![
+        ("sf", ClusteredPlane::default().metric(N, SEED)),
+        ("urbangb", RoadNetwork::default().metric(N, SEED)),
+        (
+            "flickr",
+            RandomVectors {
+                dim: 24,
+                clusters: 4,
+                spread: 0.08,
+                intrinsic: 4,
+            }
+            .metric(N, SEED),
+        ),
+    ]
+}
+
+/// Runs `algo` under every resolver configuration and checks the outputs
+/// against vanilla, returning (scheme name, algorithm-phase calls) per
+/// configuration — landmark schemes' bootstrap investment is excluded, since
+/// on call-cheap algorithms (range queries, k-center) the up-front landmark
+/// rows can legitimately exceed the whole vanilla budget.
+/// DFT is included only when `include_dft` (its dense-tableau LPs are meant
+/// for small instances; a dedicated small-n test covers it for every
+/// algorithm below).
+fn check_all<T, F>(
+    metric: &(dyn Metric + Send + Sync),
+    include_dft: bool,
+    mut algo: F,
+) -> Vec<(String, u64)>
+where
+    T: PartialEq + std::fmt::Debug,
+    F: FnMut(&mut dyn DistanceResolver) -> T,
+{
+    let n = metric.len();
+    let mut results = Vec::new();
+
+    let oracle = Oracle::new(metric);
+    let mut vanilla = BoundResolver::vanilla(&oracle);
+    let want = algo(&mut vanilla);
+    results.push(("vanilla".to_string(), oracle.calls()));
+
+    // Graph-theoretic schemes.
+    {
+        let oracle = Oracle::new(metric);
+        let mut r = BoundResolver::new(&oracle, TriScheme::new(n, 1.0));
+        let got = algo(&mut r);
+        assert_eq!(got, want, "Tri output differs");
+        results.push(("tri".into(), oracle.calls()));
+    }
+    {
+        let oracle = Oracle::new(metric);
+        let mut r = BoundResolver::new(&oracle, Splub::new(n, 1.0));
+        let got = algo(&mut r);
+        assert_eq!(got, want, "SPLUB output differs");
+        results.push(("splub".into(), oracle.calls()));
+    }
+    {
+        let oracle = Oracle::new(metric);
+        let mut r = BoundResolver::new(&oracle, Adm::new(n, 1.0));
+        let got = algo(&mut r);
+        assert_eq!(got, want, "ADM output differs");
+        results.push(("adm".into(), oracle.calls()));
+    }
+    // Landmark baselines (bootstrap excluded from the reported count).
+    {
+        let oracle = Oracle::new(metric);
+        let boot = laesa_bootstrap(&oracle, 4, SEED);
+        let boot_calls = oracle.calls();
+        let mut r = BoundResolver::new(&oracle, Laesa::new(1.0, &boot));
+        let got = algo(&mut r);
+        assert_eq!(got, want, "LAESA output differs");
+        results.push(("laesa".into(), oracle.calls() - boot_calls));
+    }
+    {
+        let oracle = Oracle::new(metric);
+        let scheme = Tlaesa::build(&oracle, 4, 6, SEED);
+        let boot_calls = oracle.calls();
+        let mut r = BoundResolver::new(&oracle, scheme);
+        let got = algo(&mut r);
+        assert_eq!(got, want, "TLAESA output differs");
+        results.push(("tlaesa".into(), oracle.calls() - boot_calls));
+    }
+    // Tri bootstrapped with LAESA landmarks (the tables' "Tri Scheme").
+    {
+        let oracle = Oracle::new(metric);
+        let boot = laesa_bootstrap(&oracle, 4, SEED);
+        let boot_calls = oracle.calls();
+        let mut scheme = TriScheme::new(n, 1.0);
+        boot.apply_to(&mut scheme);
+        let mut r = BoundResolver::new(&oracle, scheme);
+        let got = algo(&mut r);
+        assert_eq!(got, want, "Tri+bootstrap output differs");
+        results.push(("tri+boot".into(), oracle.calls() - boot_calls));
+    }
+    // DFT (LP-backed) — strongest verdicts; small instances only.
+    if include_dft {
+        let oracle = Oracle::new(metric);
+        let mut r = DftResolver::new(&oracle);
+        let got = algo(&mut r);
+        assert_eq!(got, want, "DFT output differs");
+        results.push(("dft".into(), oracle.calls()));
+    }
+    results
+}
+
+#[test]
+fn prim_identical_outputs_all_schemes() {
+    for (name, metric) in datasets() {
+        let results = check_all(&*metric, false, |r| {
+            let mst = prim_mst(r);
+            (mst.edge_keys(), format!("{:.12}", mst.total_weight))
+        });
+        let vanilla = results[0].1;
+        for (scheme, calls) in &results[1..] {
+            assert!(
+                *calls <= vanilla,
+                "{name}/{scheme}: {calls} calls > vanilla {vanilla}"
+            );
+        }
+    }
+}
+
+#[test]
+fn kruskal_identical_outputs_all_schemes() {
+    for (name, metric) in datasets() {
+        let results = check_all(&*metric, false, |r| {
+            let mst = kruskal_mst(r);
+            (mst.edge_keys(), format!("{:.12}", mst.total_weight))
+        });
+        let vanilla = results[0].1;
+        for (scheme, calls) in &results[1..] {
+            assert!(*calls <= vanilla, "{name}/{scheme}: {calls} > {vanilla}");
+        }
+    }
+}
+
+#[test]
+fn knng_identical_outputs_all_schemes() {
+    for (name, metric) in datasets() {
+        let results = check_all(&*metric, false, |r| {
+            let g = knn_graph(r, 4);
+            g.into_iter()
+                .map(|nb| nb.into_iter().map(|(id, _)| id).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        });
+        let vanilla = results[0].1;
+        for (scheme, calls) in &results[1..] {
+            assert!(*calls <= vanilla, "{name}/{scheme}: {calls} > {vanilla}");
+        }
+    }
+}
+
+#[test]
+fn pam_identical_outputs_all_schemes() {
+    for (name, metric) in datasets() {
+        let params = PamParams {
+            l: 4,
+            max_swaps: 30,
+            seed: 17,
+        };
+        let results = check_all(&*metric, false, |r| {
+            let c = pam(r, params);
+            (c.medoids, c.assignment, format!("{:.12}", c.cost))
+        });
+        let vanilla = results[0].1;
+        for (scheme, calls) in &results[1..] {
+            assert!(*calls <= vanilla, "{name}/{scheme}: {calls} > {vanilla}");
+        }
+    }
+}
+
+#[test]
+fn clarans_identical_outputs_all_schemes() {
+    for (name, metric) in datasets() {
+        let params = ClaransParams {
+            l: 4,
+            numlocal: 2,
+            maxneighbor: 25,
+            seed: 23,
+        };
+        let results = check_all(&*metric, false, |r| {
+            let c = clarans(r, params);
+            (c.medoids, c.assignment, format!("{:.12}", c.cost))
+        });
+        let vanilla = results[0].1;
+        for (scheme, calls) in &results[1..] {
+            assert!(*calls <= vanilla, "{name}/{scheme}: {calls} > {vanilla}");
+        }
+    }
+}
+
+#[test]
+fn splub_and_adm_make_identical_call_counts() {
+    // §5.2(2): SPLUB produces the exact bounds ADM does, so any algorithm
+    // plugged with either must solicit the identical number of calls.
+    for (name, metric) in datasets() {
+        let n = metric.len();
+        let o1 = Oracle::new(&*metric);
+        let mut r1 = BoundResolver::new(&o1, Splub::new(n, 1.0));
+        prim_mst(&mut r1);
+
+        let o2 = Oracle::new(&*metric);
+        let mut r2 = BoundResolver::new(&o2, Adm::new(n, 1.0));
+        prim_mst(&mut r2);
+
+        assert_eq!(o1.calls(), o2.calls(), "{name}: SPLUB vs ADM calls");
+    }
+}
+
+#[test]
+fn dft_identical_outputs_small_instances() {
+    // DFT's dense-tableau LPs are only meant for small graphs (§5.3); check
+    // its exactness and superior pruning there, for every algorithm.
+    let n = 12;
+    for (name, metric) in [
+        ("sf", ClusteredPlane::default().metric(n, SEED)),
+        ("urbangb", RoadNetwork::default().metric(n, SEED)),
+    ] {
+        let results = check_all(&*metric, true, |r| {
+            let mst = prim_mst(r);
+            (mst.edge_keys(), format!("{:.12}", mst.total_weight))
+        });
+        let vanilla = results[0].1;
+        let dft = results.last().expect("dft last").1;
+        let splub = results.iter().find(|(s, _)| s == "splub").expect("splub").1;
+        assert!(
+            dft <= splub,
+            "{name}: DFT ({dft}) must not exceed SPLUB ({splub})"
+        );
+        assert!(dft <= vanilla);
+
+        let results = check_all(&*metric, true, |r| {
+            let c = pam(
+                r,
+                PamParams {
+                    l: 3,
+                    max_swaps: 15,
+                    seed: 7,
+                },
+            );
+            (c.medoids, c.assignment, format!("{:.12}", c.cost))
+        });
+        let dft = results.last().expect("dft last").1;
+        assert!(dft <= results[0].1, "{name}: PAM under DFT saves calls");
+
+        let results = check_all(&*metric, true, |r| {
+            let g = knn_graph(r, 3);
+            g.into_iter()
+                .map(|nb| nb.into_iter().map(|(id, _)| id).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        });
+        let dft = results.last().expect("dft last").1;
+        assert!(
+            dft <= results[0].1,
+            "{name}: kNN graph under DFT saves calls"
+        );
+
+        // Average-linkage cut drives the N-ary sum probe
+        // (`try_sum_less_value`) — under DFT that is a joint feasibility
+        // test per contender, the sum-aggregate shape where LP is strictly
+        // stronger than interval arithmetic.
+        let results = check_all(&*metric, true, |r| average_linkage_cut(r, 3));
+        let dft = results.last().expect("dft last").1;
+        assert!(
+            dft <= results[0].1,
+            "{name}: average-linkage cut under DFT saves calls"
+        );
+    }
+}
+
+#[test]
+fn kcenter_identical_outputs_all_schemes() {
+    for (name, metric) in datasets() {
+        let results = check_all(&*metric, false, |r| {
+            let sol = k_center(r, 5, 3);
+            (sol.centers, sol.assignment, format!("{:.12}", sol.radius))
+        });
+        let vanilla = results[0].1;
+        for (scheme, calls) in &results[1..] {
+            assert!(*calls <= vanilla, "{name}/{scheme}: {calls} > {vanilla}");
+        }
+    }
+}
+
+#[test]
+fn tsp_identical_outputs_all_schemes() {
+    for (name, metric) in datasets() {
+        let results = check_all(&*metric, false, |r| {
+            let tour = tsp_2opt(r, 0, 20);
+            (tour.order, format!("{:.12}", tour.length))
+        });
+        let vanilla = results[0].1;
+        for (scheme, calls) in &results[1..] {
+            assert!(*calls <= vanilla, "{name}/{scheme}: {calls} > {vanilla}");
+        }
+    }
+}
+
+#[test]
+fn single_linkage_identical_outputs_all_schemes() {
+    for (name, metric) in datasets() {
+        let results = check_all(&*metric, false, |r| {
+            let d = single_linkage(r);
+            let heights: Vec<String> = d
+                .merges
+                .iter()
+                .map(|m| format!("{}-{}-{:.12}", m.a, m.b, m.height))
+                .collect();
+            (heights, d.cut(4))
+        });
+        let vanilla = results[0].1;
+        for (scheme, calls) in &results[1..] {
+            assert!(*calls <= vanilla, "{name}/{scheme}: {calls} > {vanilla}");
+        }
+    }
+}
+
+#[test]
+fn range_members_identical_outputs_all_schemes() {
+    for (name, metric) in datasets() {
+        for radius in [0.05, 0.2, 0.5] {
+            let results = check_all(&*metric, false, |r| range_members(r, 7, radius));
+            let vanilla = results[0].1;
+            for (scheme, calls) in &results[1..] {
+                assert!(
+                    *calls <= vanilla,
+                    "{name}/r={radius}/{scheme}: {calls} > {vanilla}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn complete_linkage_identical_outputs_all_schemes() {
+    for (name, metric) in datasets() {
+        let results = check_all(&*metric, false, |r| {
+            let d = complete_linkage(r);
+            let heights: Vec<String> = d
+                .merges
+                .iter()
+                .map(|m| format!("{}-{}-{:.12}", m.a, m.b, m.height))
+                .collect();
+            (heights, d.cut(4))
+        });
+        let vanilla = results[0].1;
+        for (scheme, calls) in &results[1..] {
+            assert!(*calls <= vanilla, "{name}/{scheme}: {calls} > {vanilla}");
+        }
+    }
+}
+
+#[test]
+fn average_linkage_identical_outputs_all_schemes() {
+    // Full UPGMA heights are a function of ALL pairwise distances, so every
+    // scheme must pay exactly the vanilla bill (see the module docs' no-
+    // savings theorem) — the point here is that the output stays
+    // bit-identical anyway.
+    for (name, metric) in datasets() {
+        let results = check_all(&*metric, false, |r| {
+            let d = average_linkage(r);
+            let heights: Vec<String> = d
+                .merges
+                .iter()
+                .map(|m| format!("{}-{}-{:.12}", m.a, m.b, m.height))
+                .collect();
+            (heights, d.cut(4))
+        });
+        let vanilla = results[0].1;
+        for (scheme, calls) in &results[1..] {
+            if matches!(scheme.as_str(), "tri" | "splub") {
+                assert_eq!(
+                    *calls, vanilla,
+                    "{name}/{scheme}: sum aggregates admit no savings on full dendrograms"
+                );
+            } else {
+                // Two legitimate exceptions to exact equality: landmark
+                // schemes prepay pairs in their bootstrap (excluded from
+                // the reported count), and ADM's fixpoint sweeps can
+                // *collapse* a bound interval to the exact distance —
+                // a determined value is as good as a resolution (on the
+                // L1 plane the collapse arithmetic is even float-exact).
+                assert!(*calls <= vanilla, "{name}/{scheme}: {calls} > {vanilla}");
+            }
+        }
+    }
+}
+
+#[test]
+fn average_linkage_cut_identical_outputs_all_schemes() {
+    // Topology-only output: the never-merged cluster pairs are excluded by
+    // bounds, so the savings return.
+    for (name, metric) in datasets() {
+        let results = check_all(&*metric, false, |r| average_linkage_cut(r, 4));
+        let vanilla = results[0].1;
+        for (scheme, calls) in &results[1..] {
+            assert!(*calls <= vanilla, "{name}/{scheme}: {calls} > {vanilla}");
+        }
+    }
+}

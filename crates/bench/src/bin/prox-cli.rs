@@ -1,0 +1,298 @@
+//! `prox-cli` — run any proximity algorithm × plug-in × dataset from the
+//! command line, with full oracle accounting.
+//!
+//! ```text
+//! prox-cli prim    --dataset urbangb --n 400 --plug tri
+//! prox-cli knng    --dataset sf --n 300 --plug splub --k 5
+//! prox-cli pam     --dataset flickr --n 200 --plug laesa --l 8
+//! prox-cli tsp     --dataset sf --n 150 --plug vanilla
+//! prox-cli kcenter --dataset strings --n 200 --plug tri --l 6 --cache dists.csv
+//! ```
+//!
+//! `--cache FILE` loads previously resolved distances before the run and
+//! saves the (possibly grown) set afterwards — the workflow for oracles
+//! billed per call. The cache covers the algorithm phase; landmark
+//! bootstraps still call the oracle (use `--plug tri-nb` with a warm cache
+//! for fully call-free reruns). A cache is only valid for the same
+//! `--dataset`, `--n`, and `--seed`.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use prox_algos::{
+    average_linkage_cut, clarans, complete_linkage, k_center, knn_graph, kruskal_mst, pam,
+    prim_mst, single_linkage, tsp_2opt, ClaransParams, DistanceResolver, PamParams,
+};
+use prox_bench::runner::{log_landmarks, run_plugged_cached, Plug};
+use prox_core::{load_known, save_known, Metric, Pair};
+use prox_datasets::by_name;
+
+struct Args {
+    algo: String,
+    dataset: String,
+    n: usize,
+    plug: Plug,
+    landmarks: Option<usize>,
+    seed: u64,
+    k: usize,
+    l: usize,
+    oracle_cost_ms: u64,
+    cache: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: prox-cli <prim|kruskal|knng|pam|clarans|kcenter|tsp|linkage|complete-linkage|average-linkage-cut>\n\
+         \x20       --dataset <sf|urbangb|flickr|strings> --n <N>\n\
+         \x20       [--plug vanilla|tri|tri-nb|splub|adm|laesa|tlaesa|dft]\n\
+         \x20       [--landmarks K] [--seed S] [--k 5] [--l 10]\n\
+         \x20       [--oracle-cost-ms MS] [--cache FILE]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse() -> Option<Args> {
+    let mut argv = std::env::args().skip(1);
+    let algo = argv.next()?;
+    let mut a = Args {
+        algo,
+        dataset: "sf".into(),
+        n: 200,
+        plug: Plug::TriBoot,
+        landmarks: None,
+        seed: 42,
+        k: 5,
+        l: 10,
+        oracle_cost_ms: 0,
+        cache: None,
+    };
+    while let Some(flag) = argv.next() {
+        let mut val = || argv.next();
+        match flag.as_str() {
+            "--dataset" => a.dataset = val()?,
+            "--n" => a.n = val()?.parse().ok()?,
+            "--plug" => {
+                a.plug = match val()?.as_str() {
+                    "vanilla" => Plug::Vanilla,
+                    "tri" => Plug::TriBoot,
+                    "tri-nb" => Plug::TriNb,
+                    "splub" => Plug::Splub,
+                    "adm" => Plug::Adm,
+                    "laesa" => Plug::Laesa,
+                    "tlaesa" => Plug::Tlaesa,
+                    "dft" => Plug::Dft,
+                    other => {
+                        eprintln!("unknown plug {other:?}");
+                        return None;
+                    }
+                }
+            }
+            "--landmarks" => a.landmarks = Some(val()?.parse().ok()?),
+            "--seed" => a.seed = val()?.parse().ok()?,
+            "--k" => a.k = val()?.parse().ok()?,
+            "--l" => a.l = val()?.parse().ok()?,
+            "--oracle-cost-ms" => a.oracle_cost_ms = val()?.parse().ok()?,
+            "--cache" => a.cache = Some(val()?),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                return None;
+            }
+        }
+    }
+    Some(a)
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse() else {
+        return usage();
+    };
+    const ALGOS: &[&str] = &[
+        "prim",
+        "kruskal",
+        "knng",
+        "pam",
+        "clarans",
+        "kcenter",
+        "tsp",
+        "linkage",
+        "complete-linkage",
+        "average-linkage-cut",
+    ];
+    if !ALGOS.contains(&args.algo.as_str()) {
+        eprintln!("unknown algorithm {:?}", args.algo);
+        return usage();
+    }
+    let Some(dataset) = by_name(&args.dataset) else {
+        eprintln!("unknown dataset {:?}", args.dataset);
+        return usage();
+    };
+    if args.n < 2 {
+        eprintln!("--n must be at least 2");
+        return ExitCode::FAILURE;
+    }
+    let metric = dataset.metric(args.n, args.seed);
+    let landmarks = args.landmarks.unwrap_or_else(|| log_landmarks(args.n));
+
+    // Pre-load a resolved-distance cache, if any.
+    let preload: Vec<(Pair, f64)> = match &args.cache {
+        Some(path) => match std::fs::File::open(path) {
+            Ok(f) => match load_known(std::io::BufReader::new(f)) {
+                Ok(edges) => {
+                    eprintln!(
+                        "[cache] loaded {} resolved distances from {path}",
+                        edges.len()
+                    );
+                    edges
+                }
+                Err(e) => {
+                    eprintln!("[cache] {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(_) => {
+                eprintln!("[cache] {path} not found; starting cold");
+                Vec::new()
+            }
+        },
+        None => Vec::new(),
+    };
+
+    let seed = args.seed;
+    let (summary, result, resolved) = {
+        let algo = args.algo.clone();
+        let (k, l) = (args.k, args.l);
+        let run = move |r: &mut dyn DistanceResolver| -> String {
+            match algo.as_str() {
+                "prim" => {
+                    let mst = prim_mst(r);
+                    format!(
+                        "MST weight {:.6} ({} edges)",
+                        mst.total_weight,
+                        mst.edges.len()
+                    )
+                }
+                "kruskal" => {
+                    let mst = kruskal_mst(r);
+                    format!(
+                        "MST weight {:.6} ({} edges)",
+                        mst.total_weight,
+                        mst.edges.len()
+                    )
+                }
+                "knng" => {
+                    let g = knn_graph(r, k);
+                    format!("kNN graph built (k = {k}, {} nodes)", g.len())
+                }
+                "pam" => {
+                    let c = pam(
+                        r,
+                        PamParams {
+                            l,
+                            max_swaps: 50,
+                            seed,
+                        },
+                    );
+                    format!("PAM cost {:.6}, medoids {:?}", c.cost, c.medoids)
+                }
+                "clarans" => {
+                    let c = clarans(
+                        r,
+                        ClaransParams {
+                            l,
+                            numlocal: 2,
+                            maxneighbor: 150,
+                            seed,
+                        },
+                    );
+                    format!("CLARANS cost {:.6}, medoids {:?}", c.cost, c.medoids)
+                }
+                "kcenter" => {
+                    let s = k_center(r, l, 0);
+                    format!("k-center radius {:.6}, centers {:?}", s.radius, s.centers)
+                }
+                "tsp" => {
+                    let t = tsp_2opt(r, 0, 50);
+                    format!("tour length {:.6} over {} cities", t.length, t.order.len())
+                }
+                "linkage" => {
+                    let d = single_linkage(r);
+                    let top = d.merges.last().map(|m| m.height).unwrap_or(0.0);
+                    format!(
+                        "dendrogram: {} merges, top height {:.6}",
+                        d.merges.len(),
+                        top
+                    )
+                }
+                "complete-linkage" => {
+                    let d = complete_linkage(r);
+                    let top = d.merges.last().map(|m| m.height).unwrap_or(0.0);
+                    format!(
+                        "complete-linkage dendrogram: {} merges, top height {:.6}",
+                        d.merges.len(),
+                        top
+                    )
+                }
+                "average-linkage-cut" => {
+                    // Full UPGMA dendrograms provably need all pairs (see
+                    // prox_algos::average_linkage); the CLI exposes the
+                    // topology-only cut where bounds actually save.
+                    let labels = average_linkage_cut(r, args.l);
+                    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+                    format!(
+                        "average-linkage cut: {k} clusters over {} objects",
+                        labels.len()
+                    )
+                }
+                other => unreachable!("validated algorithm name: {other}"),
+            }
+        };
+        run_plugged_cached(
+            args.plug,
+            &*metric,
+            landmarks,
+            args.seed,
+            &preload,
+            args.cache.is_some(),
+            run,
+        )
+    };
+
+    // Persist everything we now know *before* printing: a reader closing
+    // our stdout early (`prox-cli ... | head`) delivers SIGPIPE on the next
+    // println, and the cache must survive that.
+    if let Some(path) = &args.cache {
+        match std::fs::File::create(path) {
+            Ok(f) => match save_known(std::io::BufWriter::new(f), resolved.iter().copied()) {
+                Ok(count) => eprintln!("[cache] saved {count} resolved distances to {path}"),
+                Err(e) => eprintln!("[cache] write {path}: {e}"),
+            },
+            Err(e) => eprintln!("[cache] create {path}: {e}"),
+        }
+    }
+
+    println!("{summary}");
+    println!(
+        "oracle calls : {} (bootstrap {}, algorithm {})",
+        result.total_calls(),
+        result.bootstrap_calls,
+        result.algo_calls
+    );
+    println!(
+        "cpu time     : {:.3?} (bootstrap {:.3?})",
+        result.wall, result.bootstrap_wall
+    );
+    if args.oracle_cost_ms > 0 {
+        let cost = Duration::from_millis(args.oracle_cost_ms);
+        println!(
+            "completion   : {:.3?} at {} ms/call",
+            result.completion_time(cost),
+            args.oracle_cost_ms
+        );
+    }
+    println!(
+        "without plug : {} calls (all pairs)",
+        Pair::count(metric.len())
+    );
+
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,76 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list                 # enumerate experiments
+//! repro table2               # one experiment (small scale by default)
+//! repro fig3a fig3b          # several
+//! repro all --scale full     # everything at paper-shaped sizes
+//! ```
+
+use std::process::ExitCode;
+
+use prox_bench::experiments;
+use prox_bench::Scale;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: repro <experiment-id>... [--scale small|full]");
+    eprintln!("       repro all [--scale small|full]");
+    eprintln!("       repro list");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+
+    let mut scale = Scale::Small;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().as_deref() {
+                Some("small") => scale = Scale::Small,
+                Some("full") => scale = Scale::Full,
+                other => {
+                    eprintln!("unknown scale {other:?}");
+                    return usage();
+                }
+            },
+            "list" => {
+                for e in experiments::all() {
+                    println!("{:<8} {}", e.id, e.title);
+                }
+                return ExitCode::SUCCESS;
+            }
+            _ => ids.push(arg),
+        }
+    }
+
+    if ids.iter().any(|id| id == "all") {
+        ids = experiments::all()
+            .iter()
+            .map(|e| e.id.to_string())
+            .collect();
+    }
+    if ids.is_empty() {
+        return usage();
+    }
+
+    for id in &ids {
+        match experiments::by_id(id) {
+            Some(e) => {
+                eprintln!("[repro] running {id} ({:?} scale)…", scale);
+                let t = std::time::Instant::now();
+                (e.run)(scale);
+                eprintln!("[repro] {id} done in {:.1?}", t.elapsed());
+            }
+            None => {
+                eprintln!("unknown experiment {id:?}; try `repro list`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

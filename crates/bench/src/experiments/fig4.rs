@@ -1,0 +1,75 @@
+//! Figure 4: DFT vs ADM on small graphs (Prim's algorithm).
+
+use prox_algos::prim_mst;
+use prox_core::Pair;
+use prox_datasets::{ClusteredPlane, Dataset};
+
+use crate::experiments::SEED;
+use crate::runner::{run_plugged, Plug};
+use crate::table::{pct, Table};
+use crate::Scale;
+
+fn sizes(scale: Scale) -> Vec<usize> {
+    match scale {
+        // Edges 45, 66, 91 — the lower end of the paper's 45..496 sweep.
+        Scale::Small => vec![10, 12, 14],
+        // Up to 153 edges; the dense-tableau simplex makes larger sizes
+        // take hours, exactly the scalability wall the paper reports.
+        Scale::Full => vec![10, 12, 14, 16, 18],
+    }
+}
+
+/// Figure 4a: distance calls — DFT prunes at least as much as ADM, often
+/// considerably more (27–58% in the paper).
+pub fn fig4a(scale: Scale) {
+    let mut t = Table::new(
+        "fig4a",
+        "Prim's distance calls: DFT vs ADM (small graphs)",
+        &[
+            "edges",
+            "WithoutPlug",
+            "ADM",
+            "ADM-1pass",
+            "DFT",
+            "DFT_save_vs_ADM(%)",
+        ],
+    );
+    for n in sizes(scale) {
+        let metric = ClusteredPlane::default().metric(n, SEED);
+        let (_, adm) = run_plugged(Plug::Adm, &*metric, 0, SEED, |r| prim_mst(r));
+        let (_, adm1) = run_plugged(Plug::AdmSinglePass, &*metric, 0, SEED, |r| prim_mst(r));
+        let (_, dft) = run_plugged(Plug::Dft, &*metric, 0, SEED, |r| prim_mst(r));
+        t.row(vec![
+            Pair::count(n).to_string(),
+            Pair::count(n).to_string(),
+            adm.total_calls().to_string(),
+            adm1.total_calls().to_string(),
+            dft.total_calls().to_string(),
+            pct(dft.total_calls(), adm.total_calls()),
+        ]);
+    }
+    t.finish();
+}
+
+/// Figure 4b: running time (log-scale in the paper) — DFT's LP solves cost
+/// orders of magnitude more CPU than ADM's matrix updates.
+pub fn fig4b(scale: Scale) {
+    let mut t = Table::new(
+        "fig4b",
+        "Prim's running time (s): DFT vs ADM (small graphs)",
+        &["edges", "ADM_s", "DFT_s", "slowdown_x"],
+    );
+    for n in sizes(scale) {
+        let metric = ClusteredPlane::default().metric(n, SEED);
+        let (_, adm) = run_plugged(Plug::Adm, &*metric, 0, SEED, |r| prim_mst(r));
+        let (_, dft) = run_plugged(Plug::Dft, &*metric, 0, SEED, |r| prim_mst(r));
+        let slowdown = dft.wall.as_secs_f64() / adm.wall.as_secs_f64().max(1e-9);
+        t.row(vec![
+            Pair::count(n).to_string(),
+            format!("{:.6}", adm.wall.as_secs_f64()),
+            format!("{:.6}", dft.wall.as_secs_f64()),
+            format!("{slowdown:.1}"),
+        ]);
+    }
+    t.finish();
+}

@@ -1,0 +1,128 @@
+//! Figure 6: distance saves inside Kruskal, KNNrp, and PAM, varying size.
+
+use prox_algos::{knn_graph, kruskal_mst, pam, PamParams};
+use prox_core::Pair;
+use prox_datasets::{ClusteredPlane, Dataset, RoadNetwork};
+
+use crate::experiments::SEED;
+use crate::runner::{log_landmarks, run_plugged, Plug};
+use crate::table::{pct, Table};
+use crate::Scale;
+
+/// Figure 6a: Kruskal on UrbanGB — Tri's save-% grows with size.
+pub fn fig6a(scale: Scale) {
+    let sizes = scale.sizes(&[64, 128, 256, 512, 1024], 256);
+    let mut t = Table::new(
+        "fig6a",
+        "Kruskal's oracle calls vs size (UrbanGB)",
+        &[
+            "edges",
+            "WithoutPlug",
+            "Tri",
+            "LAESA",
+            "Save(%)",
+            "TLAESA",
+            "Save(%)",
+        ],
+    );
+    for n in sizes {
+        let metric = RoadNetwork::default().metric(n, SEED);
+        let k = log_landmarks(n);
+        let (_, tri) = run_plugged(Plug::TriBoot, &*metric, k, SEED, |r| kruskal_mst(r));
+        let (_, laesa) = run_plugged(Plug::Laesa, &*metric, k, SEED, |r| kruskal_mst(r));
+        let (_, tlaesa) = run_plugged(Plug::Tlaesa, &*metric, k, SEED, |r| kruskal_mst(r));
+        t.row(vec![
+            Pair::count(n).to_string(),
+            Pair::count(n).to_string(),
+            tri.total_calls().to_string(),
+            laesa.total_calls().to_string(),
+            pct(tri.total_calls(), laesa.total_calls()),
+            tlaesa.total_calls().to_string(),
+            pct(tri.total_calls(), tlaesa.total_calls()),
+        ]);
+    }
+    t.finish();
+}
+
+/// Figure 6b: KNNrp — Tri's call counts track SPLUB's closely (the paper:
+/// "Tri Scheme bounds match SPLUB bounds") and beat the landmark baselines.
+pub fn fig6b(scale: Scale) {
+    let sizes = scale.sizes(&[64, 128, 256, 512], 192);
+    let k_nn = 5;
+    let mut t = Table::new(
+        "fig6b",
+        "KNNrp (k=5) oracle calls vs size (UrbanGB)",
+        &["edges", "WithoutPlug", "TS-NB", "SPLUB", "LAESA", "TLAESA"],
+    );
+    for n in sizes {
+        let metric = RoadNetwork::default().metric(n, SEED);
+        let k = log_landmarks(n);
+        let (_, tri) = run_plugged(Plug::TriNb, &*metric, k, SEED, |r| knn_graph(r, k_nn));
+        let (_, splub) = run_plugged(Plug::Splub, &*metric, k, SEED, |r| knn_graph(r, k_nn));
+        let (_, laesa) = run_plugged(Plug::Laesa, &*metric, k, SEED, |r| knn_graph(r, k_nn));
+        let (_, tlaesa) = run_plugged(Plug::Tlaesa, &*metric, k, SEED, |r| knn_graph(r, k_nn));
+        t.row(vec![
+            Pair::count(n).to_string(),
+            Pair::count(n).to_string(),
+            tri.total_calls().to_string(),
+            splub.total_calls().to_string(),
+            laesa.total_calls().to_string(),
+            tlaesa.total_calls().to_string(),
+        ]);
+    }
+    t.finish();
+}
+
+fn pam_table(id: &str, title: &str, dataset: &dyn Dataset, scale: Scale) {
+    let sizes = scale.sizes(&[64, 128, 256, 512], 128);
+    let params = |_n: usize| PamParams {
+        l: 10,
+        max_swaps: 12,
+        seed: SEED,
+    };
+    let mut t = Table::new(
+        id,
+        title,
+        &[
+            "n", "vanilla", "Tri", "LAESA", "Save(%)", "TLAESA", "Save(%)",
+        ],
+    );
+    for n in sizes {
+        let metric = dataset.metric(n, SEED);
+        let k = log_landmarks(n);
+        let (_, vanilla) = run_plugged(Plug::Vanilla, &*metric, k, SEED, |r| pam(r, params(n)));
+        let (_, tri) = run_plugged(Plug::TriBoot, &*metric, k, SEED, |r| pam(r, params(n)));
+        let (_, laesa) = run_plugged(Plug::Laesa, &*metric, k, SEED, |r| pam(r, params(n)));
+        let (_, tlaesa) = run_plugged(Plug::Tlaesa, &*metric, k, SEED, |r| pam(r, params(n)));
+        t.row(vec![
+            n.to_string(),
+            vanilla.total_calls().to_string(),
+            tri.total_calls().to_string(),
+            laesa.total_calls().to_string(),
+            pct(tri.total_calls(), laesa.total_calls()),
+            tlaesa.total_calls().to_string(),
+            pct(tri.total_calls(), tlaesa.total_calls()),
+        ]);
+    }
+    t.finish();
+}
+
+/// Figure 6c: PAM on UrbanGB, varying size.
+pub fn fig6c(scale: Scale) {
+    pam_table(
+        "fig6c",
+        "PAM (l=10) oracle calls vs size (UrbanGB)",
+        &RoadNetwork::default(),
+        scale,
+    );
+}
+
+/// Figure 6d: PAM on SF, varying size.
+pub fn fig6d(scale: Scale) {
+    pam_table(
+        "fig6d",
+        "PAM (l=10) oracle calls vs size (SF)",
+        &ClusteredPlane::default(),
+        scale,
+    );
+}

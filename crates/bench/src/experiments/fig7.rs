@@ -1,0 +1,138 @@
+//! Figure 7: CLARANS/PAM across datasets, and completion time vs oracle
+//! cost for Prim's algorithm.
+
+use std::time::Duration;
+
+use prox_algos::{clarans, pam, prim_mst, ClaransParams, PamParams};
+use prox_datasets::{ClusteredPlane, Dataset, RandomVectors, RoadNetwork};
+
+use crate::experiments::SEED;
+use crate::runner::{log_landmarks, run_plugged, Plug};
+use crate::table::{pct, secs, Table};
+use crate::Scale;
+
+fn clarans_table(id: &str, title: &str, dataset: &dyn Dataset, scale: Scale) {
+    let sizes = scale.sizes(&[64, 128, 256, 512], 192);
+    let params = ClaransParams {
+        l: 10,
+        numlocal: 2,
+        maxneighbor: 100,
+        seed: SEED,
+    };
+    let mut t = Table::new(
+        id,
+        title,
+        &[
+            "n", "vanilla", "Tri", "LAESA", "Save(%)", "TLAESA", "Save(%)",
+        ],
+    );
+    for n in sizes {
+        let metric = dataset.metric(n, SEED);
+        let k = log_landmarks(n);
+        let (_, vanilla) = run_plugged(Plug::Vanilla, &*metric, k, SEED, |r| clarans(r, params));
+        let (_, tri) = run_plugged(Plug::TriBoot, &*metric, k, SEED, |r| clarans(r, params));
+        let (_, laesa) = run_plugged(Plug::Laesa, &*metric, k, SEED, |r| clarans(r, params));
+        let (_, tlaesa) = run_plugged(Plug::Tlaesa, &*metric, k, SEED, |r| clarans(r, params));
+        t.row(vec![
+            n.to_string(),
+            vanilla.total_calls().to_string(),
+            tri.total_calls().to_string(),
+            laesa.total_calls().to_string(),
+            pct(tri.total_calls(), laesa.total_calls()),
+            tlaesa.total_calls().to_string(),
+            pct(tri.total_calls(), tlaesa.total_calls()),
+        ]);
+    }
+    t.finish();
+}
+
+/// Figure 7a: CLARANS on SF.
+pub fn fig7a(scale: Scale) {
+    clarans_table(
+        "fig7a",
+        "CLARANS (l=10) oracle calls vs size (SF)",
+        &ClusteredPlane::default(),
+        scale,
+    );
+}
+
+/// Figure 7b: PAM on the Flickr vector stand-in.
+pub fn fig7b(scale: Scale) {
+    let sizes = scale.sizes(&[64, 128, 256, 512], 128);
+    let dataset = RandomVectors::default();
+    let mut t = Table::new(
+        "fig7b",
+        "PAM (l=10) oracle calls vs size (Flickr 256-d)",
+        &[
+            "n", "vanilla", "Tri", "LAESA", "Save(%)", "TLAESA", "Save(%)",
+        ],
+    );
+    for n in sizes {
+        let metric = dataset.metric(n, SEED);
+        let k = log_landmarks(n);
+        let params = PamParams {
+            l: 10,
+            max_swaps: 12,
+            seed: SEED,
+        };
+        let (_, vanilla) = run_plugged(Plug::Vanilla, &*metric, k, SEED, |r| pam(r, params));
+        let (_, tri) = run_plugged(Plug::TriBoot, &*metric, k, SEED, |r| pam(r, params));
+        let (_, laesa) = run_plugged(Plug::Laesa, &*metric, k, SEED, |r| pam(r, params));
+        let (_, tlaesa) = run_plugged(Plug::Tlaesa, &*metric, k, SEED, |r| pam(r, params));
+        t.row(vec![
+            n.to_string(),
+            vanilla.total_calls().to_string(),
+            tri.total_calls().to_string(),
+            laesa.total_calls().to_string(),
+            pct(tri.total_calls(), laesa.total_calls()),
+            tlaesa.total_calls().to_string(),
+            pct(tri.total_calls(), tlaesa.total_calls()),
+        ]);
+    }
+    t.finish();
+}
+
+/// Figure 7c: CLARANS on UrbanGB.
+pub fn fig7c(scale: Scale) {
+    clarans_table(
+        "fig7c",
+        "CLARANS (l=10) oracle calls vs size (UrbanGB)",
+        &RoadNetwork::default(),
+        scale,
+    );
+}
+
+/// Figure 7d: Prim's end-to-end completion time as the oracle's per-call
+/// cost sweeps up to 1.2 s (virtual time model, §5.6.1).
+pub fn fig7d(scale: Scale) {
+    let n = match scale {
+        Scale::Small => 192,
+        Scale::Full => 1024,
+    };
+    let metric = RoadNetwork::default().metric(n, SEED);
+    let k = log_landmarks(n);
+    let runs = [
+        ("vanilla", Plug::Vanilla),
+        ("Tri", Plug::TriBoot),
+        ("LAESA", Plug::Laesa),
+        ("TLAESA", Plug::Tlaesa),
+    ]
+    .map(|(name, plug)| {
+        let (_, r) = run_plugged(plug, &*metric, k, SEED, |r| prim_mst(r));
+        (name, r)
+    });
+    let mut t = Table::new(
+        "fig7d",
+        "Prim completion time (s) vs oracle cost (UrbanGB)",
+        &["oracle_cost_s", "vanilla", "Tri", "LAESA", "TLAESA"],
+    );
+    for cost_us in [10u64, 1_000, 10_000, 100_000, 1_200_000] {
+        let cost = Duration::from_micros(cost_us);
+        let mut row = vec![format!("{:.5}", cost.as_secs_f64())];
+        for (_, r) in &runs {
+            row.push(secs(r.completion_time(cost)));
+        }
+        t.row(row);
+    }
+    t.finish();
+}

@@ -1,0 +1,139 @@
+//! Figure 8: clustering completion time vs oracle cost, and sensitivity to
+//! the number of clusters `l`.
+
+use std::time::Duration;
+
+use prox_algos::{clarans, pam, ClaransParams, PamParams};
+use prox_bounds::DistanceResolver;
+use prox_datasets::{ClusteredPlane, Dataset};
+
+use crate::experiments::SEED;
+use crate::runner::{log_landmarks, run_plugged, Plug, RunResult};
+use crate::table::{secs, Table};
+use crate::Scale;
+
+const PLUGS: [(&str, Plug); 4] = [
+    ("vanilla", Plug::Vanilla),
+    ("Tri", Plug::TriBoot),
+    ("LAESA", Plug::Laesa),
+    ("TLAESA", Plug::Tlaesa),
+];
+
+fn time_table(id: &str, title: &str, scale: Scale, algo: impl Fn(&mut dyn DistanceResolver)) {
+    let n = match scale {
+        Scale::Small => 128,
+        Scale::Full => 512,
+    };
+    let metric = ClusteredPlane::default().metric(n, SEED);
+    let k = log_landmarks(n);
+    let runs: Vec<(&str, RunResult)> = PLUGS
+        .iter()
+        .map(|&(name, plug)| {
+            let (_, r) = run_plugged(plug, &*metric, k, SEED, |r| algo(r));
+            (name, r)
+        })
+        .collect();
+    let mut t = Table::new(
+        id,
+        title,
+        &["oracle_cost_s", "vanilla", "Tri", "LAESA", "TLAESA"],
+    );
+    for cost_ms in [1u64, 10, 100, 1_000, 2_500] {
+        let cost = Duration::from_millis(cost_ms);
+        let mut row = vec![format!("{:.3}", cost.as_secs_f64())];
+        for (_, r) in &runs {
+            row.push(secs(r.completion_time(cost)));
+        }
+        t.row(row);
+    }
+    t.finish();
+}
+
+/// Figure 8a: PAM completion time vs oracle cost.
+pub fn fig8a(scale: Scale) {
+    time_table(
+        "fig8a",
+        "PAM (l=10) completion time (s) vs oracle cost (SF)",
+        scale,
+        |r| {
+            pam(
+                r,
+                PamParams {
+                    l: 10,
+                    max_swaps: 12,
+                    seed: SEED,
+                },
+            );
+        },
+    );
+}
+
+/// Figure 8b: CLARANS completion time vs oracle cost.
+pub fn fig8b(scale: Scale) {
+    time_table(
+        "fig8b",
+        "CLARANS (l=10) completion time (s) vs oracle cost (SF)",
+        scale,
+        |r| {
+            clarans(
+                r,
+                ClaransParams {
+                    l: 10,
+                    numlocal: 2,
+                    maxneighbor: 100,
+                    seed: SEED,
+                },
+            );
+        },
+    );
+}
+
+fn vary_l_table(id: &str, title: &str, scale: Scale, use_pam: bool) {
+    let n = match scale {
+        Scale::Small => 128,
+        Scale::Full => 512,
+    };
+    let metric = ClusteredPlane::default().metric(n, SEED);
+    let k = log_landmarks(n);
+    let mut t = Table::new(id, title, &["l", "vanilla", "Tri", "LAESA", "TLAESA"]);
+    for l in [2usize, 5, 10, 20, 40] {
+        let mut row = vec![l.to_string()];
+        for &(_, plug) in &PLUGS {
+            let (_, r) = run_plugged(plug, &*metric, k, SEED, |r| {
+                if use_pam {
+                    pam(
+                        r,
+                        PamParams {
+                            l,
+                            max_swaps: 12,
+                            seed: SEED,
+                        },
+                    );
+                } else {
+                    clarans(
+                        r,
+                        ClaransParams {
+                            l,
+                            numlocal: 2,
+                            maxneighbor: 100,
+                            seed: SEED,
+                        },
+                    );
+                }
+            });
+            row.push(r.total_calls().to_string());
+        }
+        t.row(row);
+    }
+    t.finish();
+}
+
+/// Figure 8c: PAM distance calls varying `l`.
+pub fn fig8c(scale: Scale) {
+    vary_l_table("fig8c", "PAM oracle calls varying l (SF)", scale, true);
+}
+
+/// Figure 8d: CLARANS distance calls varying `l`.
+pub fn fig8d(scale: Scale) {
+    vary_l_table("fig8d", "CLARANS oracle calls varying l (SF)", scale, false);
+}

@@ -1,0 +1,124 @@
+//! Figure 9: parameter sensitivity — calls and local CPU overhead as the
+//! proximity parameters (k for kNN, l for clustering) sweep.
+
+use prox_algos::{clarans, knn_graph, pam, ClaransParams, PamParams};
+use prox_datasets::{ClusteredPlane, Dataset};
+
+use crate::experiments::SEED;
+use crate::runner::{log_landmarks, run_plugged, Plug};
+use crate::table::{secs, Table};
+use crate::Scale;
+
+fn size(scale: Scale) -> usize {
+    match scale {
+        Scale::Small => 128,
+        Scale::Full => 512,
+    }
+}
+
+/// Figure 9a: KNNrp distance calls grow with k; Tri stays well below the
+/// landmark baselines across the sweep.
+pub fn fig9a(scale: Scale) {
+    let n = size(scale);
+    let metric = ClusteredPlane::default().metric(n, SEED);
+    let lm = log_landmarks(n);
+    let mut t = Table::new(
+        "fig9a",
+        "KNNrp oracle calls varying k (SF)",
+        &["k", "vanilla", "TS-NB", "LAESA", "TLAESA"],
+    );
+    for k in [1usize, 5, 10, 15, 20, 25] {
+        let mut row = vec![k.to_string()];
+        for plug in [Plug::Vanilla, Plug::TriNb, Plug::Laesa, Plug::Tlaesa] {
+            let (_, r) = run_plugged(plug, &*metric, lm, SEED, |r| knn_graph(r, k));
+            row.push(r.total_calls().to_string());
+        }
+        t.row(row);
+    }
+    t.finish();
+}
+
+/// Figure 9b: PAM local CPU overhead (measured wall time with a zero-cost
+/// oracle — all of it is bound bookkeeping) varying `l`.
+pub fn fig9b(scale: Scale) {
+    let n = size(scale);
+    let metric = ClusteredPlane::default().metric(n, SEED);
+    let lm = log_landmarks(n);
+    let mut t = Table::new(
+        "fig9b",
+        "PAM CPU overhead (s) varying l (SF)",
+        &["l", "vanilla", "Tri", "LAESA", "TLAESA"],
+    );
+    for l in [2usize, 5, 10, 20, 40] {
+        let mut row = vec![l.to_string()];
+        for plug in [Plug::Vanilla, Plug::TriBoot, Plug::Laesa, Plug::Tlaesa] {
+            let (_, r) = run_plugged(plug, &*metric, lm, SEED, |r| {
+                pam(
+                    r,
+                    PamParams {
+                        l,
+                        max_swaps: 12,
+                        seed: SEED,
+                    },
+                );
+            });
+            row.push(secs(r.wall + r.bootstrap_wall));
+        }
+        t.row(row);
+    }
+    t.finish();
+}
+
+/// Figure 9c: CLARANS CPU overhead varying `l`.
+pub fn fig9c(scale: Scale) {
+    let n = size(scale);
+    let metric = ClusteredPlane::default().metric(n, SEED);
+    let lm = log_landmarks(n);
+    let mut t = Table::new(
+        "fig9c",
+        "CLARANS CPU overhead (s) varying l (SF)",
+        &["l", "vanilla", "Tri", "LAESA", "TLAESA"],
+    );
+    for l in [2usize, 5, 10, 20, 40] {
+        let mut row = vec![l.to_string()];
+        for plug in [Plug::Vanilla, Plug::TriBoot, Plug::Laesa, Plug::Tlaesa] {
+            let (_, r) = run_plugged(plug, &*metric, lm, SEED, |r| {
+                clarans(
+                    r,
+                    ClaransParams {
+                        l,
+                        numlocal: 2,
+                        maxneighbor: 100,
+                        seed: SEED,
+                    },
+                );
+            });
+            row.push(secs(r.wall + r.bootstrap_wall));
+        }
+        t.row(row);
+    }
+    t.finish();
+}
+
+/// Figure 9d: KNNrp CPU overhead varying `k`.
+pub fn fig9d(scale: Scale) {
+    let n = size(scale);
+    let metric = ClusteredPlane::default().metric(n, SEED);
+    let lm = log_landmarks(n);
+    let mut t = Table::new(
+        "fig9d",
+        "KNNrp CPU overhead (s) varying k (SF)",
+        &["k", "vanilla", "TS-NB", "LAESA", "TLAESA"],
+    );
+    for k in [1usize, 5, 10, 15, 20, 25] {
+        let mut row = vec![k.to_string()];
+        for plug in [Plug::Vanilla, Plug::TriNb, Plug::Laesa, Plug::Tlaesa] {
+            let (_, r) = run_plugged(plug, &*metric, lm, SEED, |r| {
+                knn_graph(r, k);
+            });
+            row.push(secs(r.wall + r.bootstrap_wall));
+        }
+        t.row(row);
+    }
+    t.finish();
+}

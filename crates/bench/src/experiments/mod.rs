@@ -1,0 +1,191 @@
+//! One module per figure/table group; a registry maps experiment ids to
+//! runners so `repro <id>` stays data-driven.
+
+pub mod ext;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod tables;
+
+use crate::Scale;
+
+/// A runnable experiment.
+pub struct Experiment {
+    /// Identifier accepted on the command line (`table2`, `fig3a`, …).
+    pub id: &'static str,
+    /// What the paper shows there.
+    pub title: &'static str,
+    /// The runner.
+    pub run: fn(Scale),
+}
+
+/// The registry, in paper order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "table2",
+            title: "Prim's oracle calls on UrbanGB (road network)",
+            run: tables::table2,
+        },
+        Experiment {
+            id: "table3",
+            title: "Prim's oracle calls on SF (clustered plane)",
+            run: tables::table3,
+        },
+        Experiment {
+            id: "fig3a",
+            title: "relative error of bounds vs ADM",
+            run: fig3::fig3a,
+        },
+        Experiment {
+            id: "fig3b",
+            title: "Tri Scheme LB–UB gap vs #known edges",
+            run: fig3::fig3b,
+        },
+        Experiment {
+            id: "fig3c",
+            title: "bound maintenance time: ADM vs SPLUB vs Tri",
+            run: fig3::fig3c,
+        },
+        Experiment {
+            id: "fig4a",
+            title: "DFT vs ADM: Prim's distance calls (small graphs)",
+            run: fig4::fig4a,
+        },
+        Experiment {
+            id: "fig4b",
+            title: "DFT vs ADM: Prim's running time (small graphs)",
+            run: fig4::fig4b,
+        },
+        Experiment {
+            id: "fig5a",
+            title: "LAESA/TLAESA: fast but loose bounds",
+            run: fig5::fig5a,
+        },
+        Experiment {
+            id: "fig5b",
+            title: "the #landmarks selection problem",
+            run: fig5::fig5b,
+        },
+        Experiment {
+            id: "fig6a",
+            title: "Kruskal distance saves vs size (UrbanGB)",
+            run: fig6::fig6a,
+        },
+        Experiment {
+            id: "fig6b",
+            title: "KNNrp distance saves; Tri matches SPLUB (UrbanGB)",
+            run: fig6::fig6b,
+        },
+        Experiment {
+            id: "fig6c",
+            title: "PAM calls vs size (UrbanGB)",
+            run: fig6::fig6c,
+        },
+        Experiment {
+            id: "fig6d",
+            title: "PAM calls vs size (SF)",
+            run: fig6::fig6d,
+        },
+        Experiment {
+            id: "fig7a",
+            title: "CLARANS calls vs size (SF)",
+            run: fig7::fig7a,
+        },
+        Experiment {
+            id: "fig7b",
+            title: "PAM calls vs size (Flickr vectors)",
+            run: fig7::fig7b,
+        },
+        Experiment {
+            id: "fig7c",
+            title: "CLARANS calls vs size (UrbanGB)",
+            run: fig7::fig7c,
+        },
+        Experiment {
+            id: "fig7d",
+            title: "Prim completion time vs oracle cost",
+            run: fig7::fig7d,
+        },
+        Experiment {
+            id: "fig8a",
+            title: "PAM completion time vs oracle cost",
+            run: fig8::fig8a,
+        },
+        Experiment {
+            id: "fig8b",
+            title: "CLARANS completion time vs oracle cost",
+            run: fig8::fig8b,
+        },
+        Experiment {
+            id: "fig8c",
+            title: "PAM distance calls varying l",
+            run: fig8::fig8c,
+        },
+        Experiment {
+            id: "fig8d",
+            title: "CLARANS distance calls varying l",
+            run: fig8::fig8d,
+        },
+        Experiment {
+            id: "fig9a",
+            title: "KNNrp distance calls varying k",
+            run: fig9::fig9a,
+        },
+        Experiment {
+            id: "fig9b",
+            title: "PAM CPU overhead varying l",
+            run: fig9::fig9b,
+        },
+        Experiment {
+            id: "fig9c",
+            title: "CLARANS CPU overhead varying l",
+            run: fig9::fig9c,
+        },
+        Experiment {
+            id: "ext-index",
+            title: "EXTENSION: metric indexes vs the framework on kNN",
+            run: ext::ext_index,
+        },
+        Experiment {
+            id: "fig9d",
+            title: "KNNrp CPU overhead varying k",
+            run: fig9::fig9d,
+        },
+    ]
+}
+
+/// Looks an experiment up by id.
+pub fn by_id(id: &str) -> Option<Experiment> {
+    all().into_iter().find(|e| e.id == id)
+}
+
+/// The workload seed shared by every experiment (reproducibility).
+pub const SEED: u64 = 20210620;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_unique_and_resolvable() {
+        let experiments = all();
+        let mut ids: Vec<&str> = experiments.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate experiment ids");
+        assert!(by_id("table2").is_some());
+        assert!(by_id("fig9d").is_some());
+        assert!(by_id("bogus").is_none());
+        assert_eq!(
+            experiments.len(),
+            26,
+            "2 tables + 23 figure panels + 1 extension"
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Tables 2 and 3: Prim's oracle calls across plug-ins, varying size.
+
+use prox_algos::prim_mst;
+use prox_core::Pair;
+use prox_datasets::{ClusteredPlane, Dataset, RoadNetwork};
+
+use crate::experiments::SEED;
+use crate::runner::{log_landmarks, run_plugged, Plug};
+use crate::table::{pct, Table};
+use crate::Scale;
+
+/// The paper's size ladder expressed in objects; the tables label rows by
+/// `C(n, 2)` edges (2016 ⇒ n = 64, 8128 ⇒ n = 128, …).
+const LADDER: &[usize] = &[64, 128, 256, 512, 1024, 2000];
+const CAP_SMALL: usize = 256;
+
+fn prim_table(id: &str, title: &str, dataset: &dyn Dataset, scale: Scale) {
+    let mut t = Table::new(
+        id,
+        title,
+        &[
+            "edges",
+            "WithoutPlug",
+            "TS-NB",
+            "Bootstrap",
+            "TriScheme",
+            "LAESA",
+            "Save(%)",
+            "TLAESA",
+            "Save(%)",
+            "k",
+        ],
+    );
+    for n in scale.sizes(LADDER, CAP_SMALL) {
+        let metric = dataset.metric(n, SEED);
+        let k = log_landmarks(n);
+
+        let (_, ts_nb) = run_plugged(Plug::TriNb, &*metric, k, SEED, |r| prim_mst(r));
+        let (_, tri) = run_plugged(Plug::TriBoot, &*metric, k, SEED, |r| prim_mst(r));
+        let (_, laesa) = run_plugged(Plug::Laesa, &*metric, k, SEED, |r| prim_mst(r));
+        let (_, tlaesa) = run_plugged(Plug::Tlaesa, &*metric, k, SEED, |r| prim_mst(r));
+
+        t.row(vec![
+            Pair::count(n).to_string(),
+            Pair::count(n).to_string(), // vanilla Prim resolves every pair
+            ts_nb.total_calls().to_string(),
+            tri.bootstrap_calls.to_string(),
+            tri.total_calls().to_string(),
+            laesa.total_calls().to_string(),
+            pct(tri.total_calls(), laesa.total_calls()),
+            tlaesa.total_calls().to_string(),
+            pct(tri.total_calls(), tlaesa.total_calls()),
+            k.to_string(),
+        ]);
+    }
+    t.finish();
+}
+
+/// Table 2: UrbanGB (road-network metric).
+pub fn table2(scale: Scale) {
+    prim_table(
+        "table2",
+        "Prim's oracle calls, UrbanGB stand-in (road network)",
+        &RoadNetwork::default(),
+        scale,
+    );
+}
+
+/// Table 3: SF (clustered plane, L1).
+pub fn table3(scale: Scale) {
+    prim_table(
+        "table3",
+        "Prim's oracle calls, SF stand-in (clustered L1 plane)",
+        &ClusteredPlane::default(),
+        scale,
+    );
+}

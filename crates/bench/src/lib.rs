@@ -1,0 +1,38 @@
+//! Experiment harness for the paper's evaluation (§5).
+//!
+//! The `repro` binary regenerates every table and figure:
+//!
+//! ```text
+//! cargo run --release -p prox-bench --bin repro -- list
+//! cargo run --release -p prox-bench --bin repro -- table2
+//! cargo run --release -p prox-bench --bin repro -- all --scale small
+//! ```
+//!
+//! Each experiment prints a table to stdout and writes the same rows as CSV
+//! under `target/repro/<id>.csv`. `EXPERIMENTS.md` records the mapping to
+//! the paper's numbers and the observed trends.
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use runner::{run_plugged, Plug, RunResult};
+pub use table::Table;
+
+/// Scale knob: `Small` keeps every experiment under a few seconds for CI;
+/// `Full` runs the paper-shaped sizes (minutes).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scale {
+    Small,
+    Full,
+}
+
+impl Scale {
+    /// Filters a size ladder: `Small` keeps entries `<= cap_small`.
+    pub fn sizes(self, ladder: &[usize], cap_small: usize) -> Vec<usize> {
+        match self {
+            Scale::Small => ladder.iter().copied().filter(|&n| n <= cap_small).collect(),
+            Scale::Full => ladder.to_vec(),
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Shared plumbing: build a resolver for any plug-in, run an algorithm,
+//! collect the accounting.
+
+use std::time::{Duration, Instant};
+
+use prox_bounds::{
+    laesa_bootstrap, Adm, AdmUpdate, BoundResolver, DistanceResolver, Laesa, Splub, Tlaesa,
+    TriScheme,
+};
+use prox_core::{Metric, Oracle};
+use prox_lp::DftResolver;
+
+/// The plug-in configurations the experiments compare.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Plug {
+    /// No scheme: the paper's `Without Plug` column.
+    Vanilla,
+    /// Tri Scheme with no bootstrap (`TS-NB`).
+    TriNb,
+    /// Tri Scheme bootstrapped with LAESA landmarks (`Tri Scheme`).
+    TriBoot,
+    /// SPLUB (exact bounds, no bootstrap).
+    Splub,
+    /// ADM baseline (exact bounds, dense matrices, fixpoint updates).
+    Adm,
+    /// ADM with the historical single-pass update discipline.
+    AdmSinglePass,
+    /// LAESA landmark baseline.
+    Laesa,
+    /// TLAESA landmark + pivot-tree baseline.
+    Tlaesa,
+    /// Direct Feasibility Test (LP).
+    Dft,
+}
+
+impl Plug {
+    /// Short label used in table headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Plug::Vanilla => "vanilla",
+            Plug::TriNb => "TS-NB",
+            Plug::TriBoot => "Tri",
+            Plug::Splub => "SPLUB",
+            Plug::Adm => "ADM",
+            Plug::AdmSinglePass => "ADM-1pass",
+            Plug::Laesa => "LAESA",
+            Plug::Tlaesa => "TLAESA",
+            Plug::Dft => "DFT",
+        }
+    }
+}
+
+/// Accounting from a single plugged run.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct RunResult {
+    /// Oracle calls consumed before the algorithm started (landmarks/tree).
+    pub bootstrap_calls: u64,
+    /// Oracle calls consumed by the algorithm itself.
+    pub algo_calls: u64,
+    /// Wall-clock time of the algorithm (excluding bootstrap).
+    pub wall: Duration,
+    /// Wall-clock time of the bootstrap.
+    pub bootstrap_wall: Duration,
+}
+
+impl RunResult {
+    /// Bootstrap + algorithm calls.
+    pub fn total_calls(&self) -> u64 {
+        self.bootstrap_calls + self.algo_calls
+    }
+
+    /// End-to-end completion time under a virtual per-call oracle cost:
+    /// measured CPU + `total_calls × cost` (the §5.6 model).
+    pub fn completion_time(&self, cost_per_call: Duration) -> Duration {
+        let oracle_time =
+            Duration::try_from_secs_f64(cost_per_call.as_secs_f64() * self.total_calls() as f64)
+                .unwrap_or(Duration::MAX);
+        (self.wall + self.bootstrap_wall).saturating_add(oracle_time)
+    }
+}
+
+/// Runs `algo` under the given plug and landmark budget; returns the
+/// algorithm's output plus the accounting.
+pub fn run_plugged<T>(
+    plug: Plug,
+    metric: &(dyn Metric + Send + Sync),
+    landmarks: usize,
+    seed: u64,
+    algo: impl FnOnce(&mut dyn DistanceResolver) -> T,
+) -> (T, RunResult) {
+    let (out, result, _) = run_plugged_cached(plug, metric, landmarks, seed, &[], false, algo);
+    (out, result)
+}
+
+/// [`run_plugged`] with a persisted-knowledge workflow: `preload` is
+/// injected into the resolver before the algorithm starts (no oracle
+/// calls), and when `export` is set the resolver's full certified-distance
+/// set is returned for saving (see `prox_core::persist`).
+pub fn run_plugged_cached<T>(
+    plug: Plug,
+    metric: &(dyn Metric + Send + Sync),
+    landmarks: usize,
+    seed: u64,
+    preload: &[(prox_core::Pair, f64)],
+    export: bool,
+    algo: impl FnOnce(&mut dyn DistanceResolver) -> T,
+) -> (T, RunResult, Vec<(prox_core::Pair, f64)>) {
+    let n = metric.len();
+    let oracle = Oracle::new(metric);
+    let mut result = RunResult::default();
+
+    macro_rules! finish {
+        ($resolver:expr) => {{
+            let mut resolver = $resolver;
+            for &(p, d) in preload {
+                resolver.preload(p, d);
+            }
+            result.bootstrap_calls = oracle.calls();
+            let t = Instant::now();
+            let out = algo(&mut resolver);
+            result.wall = t.elapsed();
+            result.algo_calls = oracle.calls() - result.bootstrap_calls;
+            let mut exported = Vec::new();
+            if export {
+                resolver.export_known(&mut exported);
+            }
+            (out, result, exported)
+        }};
+    }
+
+    let boot_t = Instant::now();
+    match plug {
+        Plug::Vanilla => {
+            result.bootstrap_wall = boot_t.elapsed();
+            finish!(BoundResolver::vanilla(&oracle))
+        }
+        Plug::TriNb => {
+            result.bootstrap_wall = boot_t.elapsed();
+            finish!(BoundResolver::new(&oracle, TriScheme::new(n, 1.0)))
+        }
+        Plug::TriBoot => {
+            let boot = laesa_bootstrap(&oracle, landmarks, seed);
+            let mut scheme = TriScheme::new(n, 1.0);
+            boot.apply_to(&mut scheme);
+            result.bootstrap_wall = boot_t.elapsed();
+            finish!(BoundResolver::new(&oracle, scheme))
+        }
+        Plug::Splub => {
+            result.bootstrap_wall = boot_t.elapsed();
+            finish!(BoundResolver::new(&oracle, Splub::new(n, 1.0)))
+        }
+        Plug::Adm => {
+            result.bootstrap_wall = boot_t.elapsed();
+            finish!(BoundResolver::new(&oracle, Adm::new(n, 1.0)))
+        }
+        Plug::AdmSinglePass => {
+            result.bootstrap_wall = boot_t.elapsed();
+            finish!(BoundResolver::new(
+                &oracle,
+                Adm::with_update(n, 1.0, AdmUpdate::SinglePass)
+            ))
+        }
+        Plug::Laesa => {
+            let boot = laesa_bootstrap(&oracle, landmarks, seed);
+            let scheme = Laesa::new(1.0, &boot);
+            result.bootstrap_wall = boot_t.elapsed();
+            finish!(BoundResolver::new(&oracle, scheme))
+        }
+        Plug::Tlaesa => {
+            let scheme = Tlaesa::build(&oracle, landmarks, 16, seed);
+            result.bootstrap_wall = boot_t.elapsed();
+            finish!(BoundResolver::new(&oracle, scheme))
+        }
+        Plug::Dft => {
+            result.bootstrap_wall = boot_t.elapsed();
+            finish!(DftResolver::new(&oracle))
+        }
+    }
+}
+
+/// `⌈log2 n⌉`, the paper's default landmark budget.
+pub fn log_landmarks(n: usize) -> usize {
+    (n.max(2) as f64).log2().ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prox_algos::prim_mst;
+    use prox_datasets::{ClusteredPlane, Dataset};
+
+    #[test]
+    fn accounting_splits_bootstrap_from_algo() {
+        let metric = ClusteredPlane::default().metric(40, 3);
+        let (_, vanilla) = run_plugged(Plug::Vanilla, &*metric, 0, 3, |r| prim_mst(r));
+        assert_eq!(vanilla.bootstrap_calls, 0);
+        assert_eq!(vanilla.algo_calls, prox_core::Pair::count(40));
+
+        let (_, boot) = run_plugged(Plug::TriBoot, &*metric, 5, 3, |r| prim_mst(r));
+        assert!(boot.bootstrap_calls > 0);
+        assert!(boot.total_calls() < vanilla.total_calls());
+    }
+
+    #[test]
+    fn completion_time_adds_virtual_cost() {
+        let r = RunResult {
+            bootstrap_calls: 10,
+            algo_calls: 90,
+            wall: Duration::from_millis(5),
+            bootstrap_wall: Duration::from_millis(1),
+        };
+        let t = r.completion_time(Duration::from_millis(10));
+        assert_eq!(t, Duration::from_millis(5 + 1 + 1000));
+    }
+
+    #[test]
+    fn all_plugs_run_prim() {
+        let metric = ClusteredPlane::default().metric(12, 9);
+        let mut weights = Vec::new();
+        for plug in [
+            Plug::Vanilla,
+            Plug::TriNb,
+            Plug::TriBoot,
+            Plug::Splub,
+            Plug::Adm,
+            Plug::Laesa,
+            Plug::Tlaesa,
+            Plug::Dft,
+        ] {
+            let (mst, _) = run_plugged(plug, &*metric, 3, 1, |r| prim_mst(r));
+            weights.push(mst.total_weight);
+        }
+        for w in &weights[1..] {
+            assert!((w - weights[0]).abs() < 1e-12, "all plugs same MST weight");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimal aligned-table printer with CSV mirroring.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Collects rows, prints them aligned, and mirrors them to
+/// `target/repro/<id>.csv`.
+pub struct Table {
+    id: String,
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new table for experiment `id` with the given column names.
+    pub fn new(id: &str, title: &str, header: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the aligned table and writes the CSV mirror. Returns the CSV
+    /// path when the write succeeded.
+    pub fn finish(self) -> Option<PathBuf> {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        println!("\n== {} — {} ==", self.id, self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let joined: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("  {}", joined.join("  "));
+        };
+        line(&self.header, &widths);
+        for row in &self.rows {
+            line(row, &widths);
+        }
+
+        let dir = PathBuf::from("target/repro");
+        if fs::create_dir_all(&dir).is_err() {
+            return None;
+        }
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut out = match fs::File::create(&path) {
+            Ok(f) => f,
+            Err(_) => return None,
+        };
+        let mut emit = |cells: &[String]| {
+            let _ = writeln!(out, "{}", cells.join(","));
+        };
+        emit(&self.header);
+        for row in &self.rows {
+            emit(row);
+        }
+        println!("  -> {}", path.display());
+        Some(path)
+    }
+}
+
+/// Format helpers shared by the experiments.
+pub fn pct(ours: u64, baseline: u64) -> String {
+    if baseline == 0 {
+        "-".into()
+    } else {
+        format!(
+            "{:.2}",
+            100.0 * (baseline as f64 - ours as f64) / baseline as f64
+        )
+    }
+}
+
+/// Seconds with 3 decimals.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_matches_paper_rows() {
+        assert_eq!(pct(800_985, 2_198_589), "63.57");
+        assert_eq!(pct(5, 0), "-");
+        assert_eq!(pct(100, 100), "0.00");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("x", "t", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

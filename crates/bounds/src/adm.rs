@@ -1,0 +1,286 @@
+//! ADM — the Approximate Distance Map baseline (Shasha & Wang, 1990).
+
+use prox_core::Pair;
+
+use crate::BoundScheme;
+
+/// How far each ADM update propagates.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum AdmUpdate {
+    /// Iterate the endpoint-pivot sweeps to a fixed point: bounds are the
+    /// *tightest* path bounds, identical to SPLUB's (the default here).
+    #[default]
+    Fixpoint,
+    /// The historical Shasha–Wang discipline: exactly one `O(n²)` sweep per
+    /// resolved distance. Slightly looser lower bounds can survive (upper
+    /// bounds stay exact — a new shortest path uses the new edge at most
+    /// once). Kept for the Figure-4 baseline comparison.
+    SinglePass,
+}
+
+/// Dense lower/upper bound matrices, updated on every resolution.
+///
+/// ADM keeps, for all `n²` pairs, the tightest lower (`lo`) and upper (`up`)
+/// bounds implied by the triangle inequality over everything resolved so
+/// far. Queries are `O(1)` lookups; each update propagates the new distance
+/// through the matrices with pivot sweeps restricted to the freshly-resolved
+/// endpoints, iterated to a fixed point — `O(n²)` per sweep, and the reason
+/// the paper calls ADM impractical for repeated invocation on large inputs
+/// (it also needs `Θ(n²)` memory up front).
+///
+/// The bounds ADM produces are the *tightest* path-derivable bounds — the
+/// same values SPLUB computes lazily. The cross-scheme test-suite asserts
+/// `Adm == Splub` on random instances.
+///
+/// ## Update rules
+///
+/// On `record(a, b, d)` the sweep applies, for every pair `(i, j)` and
+/// pivots `k ∈ {a, b}` (Gauss–Seidel, current values on the right):
+///
+/// ```text
+/// up(i,j) = min(up(i,j), up(i,k) + up(k,j))
+/// lo(i,j) = max(lo(i,j), lo(i,k) − up(k,j), lo(j,k) − up(k,i))
+/// ```
+///
+/// New shortest paths and new wrap bounds created by the edge `(a, b)` all
+/// pass through `a` or `b`, so pivoting on the two endpoints until no entry
+/// changes reaches the full closure.
+pub struct Adm {
+    n: usize,
+    max_distance: f64,
+    /// Row-major `n × n`; `up[i*n + j]`.
+    up: Vec<f64>,
+    lo: Vec<f64>,
+    m: usize,
+    /// Total pivot sweeps executed (exposed for the CPU-cost analyses).
+    sweeps: u64,
+    update: AdmUpdate,
+}
+
+impl Adm {
+    /// An empty ADM over `n` objects with distances in `[0, max_distance]`,
+    /// with fixpoint (tightest) updates.
+    pub fn new(n: usize, max_distance: f64) -> Self {
+        Adm::with_update(n, max_distance, AdmUpdate::Fixpoint)
+    }
+
+    /// An empty ADM with an explicit update discipline.
+    pub fn with_update(n: usize, max_distance: f64, update: AdmUpdate) -> Self {
+        let mut up = vec![max_distance; n * n];
+        let lo = vec![0.0; n * n];
+        for i in 0..n {
+            up[i * n + i] = 0.0;
+        }
+        Adm {
+            n,
+            max_distance,
+            up,
+            lo,
+            m: 0,
+            sweeps: 0,
+            update,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, i: u32, j: u32) -> usize {
+        i as usize * self.n + j as usize
+    }
+
+    /// Number of full-matrix pivot sweeps performed so far.
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    /// One Gauss–Seidel sweep with pivots `a` and `b`; returns whether any
+    /// entry moved by more than `eps`.
+    fn sweep(&mut self, a: u32, b: u32, eps: f64) -> bool {
+        let n = self.n as u32;
+        let mut changed = false;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let ij = self.idx(i, j);
+                let mut up_ij = self.up[ij];
+                let mut lo_ij = self.lo[ij];
+                for k in [a, b] {
+                    if k == i || k == j {
+                        continue;
+                    }
+                    let ik = self.idx(i, k);
+                    let kj = self.idx(k, j);
+                    let cand_up = self.up[ik] + self.up[kj];
+                    if cand_up < up_ij - eps {
+                        up_ij = cand_up;
+                        changed = true;
+                    }
+                    let cand_lo = (self.lo[ik] - self.up[kj]).max(self.lo[kj] - self.up[ik]);
+                    if cand_lo > lo_ij + eps {
+                        lo_ij = cand_lo;
+                        changed = true;
+                    }
+                }
+                if lo_ij > up_ij {
+                    lo_ij = up_ij;
+                }
+                self.up[ij] = up_ij;
+                self.lo[ij] = lo_ij;
+                let ji = self.idx(j, i);
+                self.up[ji] = up_ij;
+                self.lo[ji] = lo_ij;
+            }
+        }
+        self.sweeps += 1;
+        changed
+    }
+}
+
+impl BoundScheme for Adm {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn max_distance(&self) -> f64 {
+        self.max_distance
+    }
+
+    fn known(&self, p: Pair) -> Option<f64> {
+        let (a, b) = p.ends();
+        let i = self.idx(a, b);
+        // A pair is known exactly when its bounds have collapsed.
+        (self.lo[i] == self.up[i]).then_some(self.lo[i])
+    }
+
+    fn bounds(&mut self, p: Pair) -> (f64, f64) {
+        let (a, b) = p.ends();
+        let i = self.idx(a, b);
+        (self.lo[i], self.up[i])
+    }
+
+    fn record(&mut self, p: Pair, d: f64) {
+        let (a, b) = p.ends();
+        let ij = self.idx(a, b);
+        let ji = self.idx(b, a);
+        if self.lo[ij] == self.up[ij] {
+            // Already collapsed. An *inferred* collapse can sit an ulp away
+            // from the oracle's exact value; overwrite with the oracle's
+            // truth rather than discarding it, but don't recount the edge.
+            if self.lo[ij] == d {
+                return;
+            }
+            self.up[ij] = d;
+            self.lo[ij] = d;
+            self.up[ji] = d;
+            self.lo[ji] = d;
+            while self.sweep(a, b, 1e-15) {}
+            return;
+        }
+        self.up[ij] = d;
+        self.lo[ij] = d;
+        self.up[ji] = d;
+        self.lo[ji] = d;
+        self.m += 1;
+        match self.update {
+            // Propagate to a fixed point. Convergence is fast (new
+            // information flows through the two endpoints), typically 1–2
+            // sweeps.
+            AdmUpdate::Fixpoint => while self.sweep(a, b, 1e-15) {},
+            AdmUpdate::SinglePass => {
+                self.sweep(a, b, 1e-15);
+            }
+        }
+    }
+
+    fn m(&self) -> usize {
+        self.m
+    }
+
+    fn name(&self) -> &'static str {
+        "ADM"
+    }
+
+    fn for_each_known(&self, f: &mut dyn FnMut(Pair, f64)) {
+        for p in Pair::all(self.n) {
+            let i = self.idx(p.lo(), p.hi());
+            if self.lo[i] == self.up[i] {
+                f(p, self.lo[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(a: u32, b: u32) -> Pair {
+        Pair::new(a, b)
+    }
+
+    #[test]
+    fn single_triangle_bounds() {
+        let mut s = Adm::new(7, 1.0);
+        s.record(p(1, 3), 0.8);
+        s.record(p(3, 4), 0.1);
+        let (lb, ub) = s.bounds(p(1, 4));
+        assert!((lb - 0.7).abs() < 1e-12, "lb {lb}");
+        assert!((ub - 0.9).abs() < 1e-12, "ub {ub}");
+    }
+
+    #[test]
+    fn chain_ub_propagates() {
+        let mut s = Adm::new(4, 1.0);
+        s.record(p(0, 1), 0.2);
+        s.record(p(1, 2), 0.2);
+        s.record(p(2, 3), 0.2);
+        let (_, ub) = s.bounds(p(0, 3));
+        assert!((ub - 0.6).abs() < 1e-12, "ub {ub}");
+    }
+
+    #[test]
+    fn wrap_lb_propagates() {
+        // Same fixture as Splub::wrap_lower_bound_through_path.
+        let mut s = Adm::new(4, 1.0);
+        s.record(p(0, 2), 0.1);
+        s.record(p(2, 3), 0.9);
+        s.record(p(1, 3), 0.1);
+        let (lb, _) = s.bounds(p(0, 1));
+        assert!((lb - 0.7).abs() < 1e-12, "lb {lb}");
+    }
+
+    #[test]
+    fn known_collapses_and_counts() {
+        let mut s = Adm::new(3, 1.0);
+        assert_eq!(s.known(p(0, 1)), None);
+        s.record(p(0, 1), 0.5);
+        assert_eq!(s.known(p(0, 1)), Some(0.5));
+        assert_eq!(s.bounds(p(0, 1)), (0.5, 0.5));
+        assert_eq!(s.m(), 1);
+        s.record(p(0, 1), 0.5); // idempotent
+        assert_eq!(s.m(), 1);
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let edges = [
+            (p(0, 2), 0.1),
+            (p(2, 3), 0.9),
+            (p(1, 3), 0.1),
+            (p(0, 4), 0.35),
+            (p(4, 1), 0.3),
+        ];
+        let mut fwd = Adm::new(5, 1.0);
+        for &(e, w) in &edges {
+            fwd.record(e, w);
+        }
+        let mut rev = Adm::new(5, 1.0);
+        for &(e, w) in edges.iter().rev() {
+            rev.record(e, w);
+        }
+        for q in Pair::all(5) {
+            let (l1, u1) = fwd.bounds(q);
+            let (l2, u2) = rev.bounds(q);
+            assert!((l1 - l2).abs() < 1e-12, "{q:?}: lo {l1} vs {l2}");
+            assert!((u1 - u2).abs() < 1e-12, "{q:?}: up {u1} vs {u2}");
+        }
+    }
+}

@@ -1,0 +1,493 @@
+//! The resolver framework: re-authored IF statements (§3 of the paper).
+
+use prox_core::{Metric, Oracle, Pair, PruneStats};
+
+use crate::{BoundScheme, NoScheme};
+
+/// Rounding margin applied to every bound-based decision.
+///
+/// Derived bounds are floating-point sums/differences of metric values, and
+/// float metrics themselves can violate the triangle inequality in the last
+/// ulp (e.g. a Euclidean distance vs. the rounded sum along a collinear
+/// triple). Deciding a comparison only when the bounds clear this margin
+/// keeps plugged runs byte-identical to vanilla runs even under such
+/// ulp-level noise; near-ties simply fall through and are compared exactly.
+/// Distances are normalized to `[0, 1]`, so an absolute margin suffices.
+pub const DECISION_EPS: f64 = 1e-12;
+
+/// What a proximity algorithm is written against.
+///
+/// The paper's recipe for adapting an existing algorithm is mechanical:
+/// every `if dist(a,b) < dist(c,d)` becomes a [`DistanceResolver::less`]
+/// call, every `if dist(a,b) < threshold` becomes
+/// [`DistanceResolver::distance_if_less`], and every plain distance fetch
+/// becomes [`DistanceResolver::resolve`]. The resolver first tries to decide
+/// the comparison from bounds (`try_*`), and only falls back to oracle
+/// resolution when the bounds are inconclusive. Because the fallback always
+/// yields exact distances, **the plugged algorithm's output is identical to
+/// the vanilla algorithm's** — only the number of oracle calls changes.
+pub trait DistanceResolver {
+    /// Number of objects.
+    fn n(&self) -> usize;
+
+    /// The a-priori distance cap.
+    fn max_distance(&self) -> f64;
+
+    /// Exact distance if already known (never calls the oracle).
+    fn known(&self, p: Pair) -> Option<f64>;
+
+    /// Exact distance, calling the oracle if necessary.
+    fn resolve(&mut self, p: Pair) -> f64;
+
+    /// Tries to decide `dist(x) < dist(y)` without the oracle.
+    fn try_less(&mut self, x: Pair, y: Pair) -> Option<bool>;
+
+    /// Tries to decide `dist(x) < v` without the oracle.
+    fn try_less_value(&mut self, x: Pair, v: f64) -> Option<bool>;
+
+    /// Tries to decide `dist(x) <= v` without the oracle (`Some(false)` only
+    /// when the lower bound strictly exceeds `v`). Algorithms that must
+    /// inspect *ties* exactly — e.g. kNN breaking equal distances by id —
+    /// use this instead of [`DistanceResolver::try_less_value`].
+    fn try_leq_value(&mut self, x: Pair, v: f64) -> Option<bool>;
+
+    /// Tries to decide the **aggregate** comparison
+    /// `dist(x.0) + dist(x.1) < dist(y.0) + dist(y.1)` without the oracle.
+    ///
+    /// This is the 2-opt / edge-exchange IF statement (`d(a,b) + d(c,d)` vs
+    /// `d(a,c) + d(b,d)`). Bound resolvers decide it by interval sums; the
+    /// DFT resolver runs a joint feasibility test, which is strictly
+    /// stronger on sums (the terms are coupled through shared triangles).
+    fn try_less_sum2(&mut self, x: (Pair, Pair), y: (Pair, Pair)) -> Option<bool>;
+
+    /// Tries to decide `Σ dist(t) < v` over an arbitrary list of terms
+    /// without the oracle — the N-ary generalization of
+    /// [`DistanceResolver::try_less_sum2`], consumed by sum-aggregate
+    /// algorithms (average-linkage cluster distances, facility-location
+    /// objectives).
+    ///
+    /// The default sums per-term interval bounds, with the usual rounding
+    /// margin scaled by the term count. The DFT resolver overrides it with
+    /// a joint feasibility test over the whole triangle polytope, which is
+    /// strictly stronger: with `d(a,c) = 0.9` known, the unknowns `d(a,b)`
+    /// and `d(b,c)` each lie in `[0, 1]` — interval arithmetic bounds the
+    /// sum by `0` while the LP certifies `Σ ≥ 0.9`.
+    fn try_sum_less_value(&mut self, terms: &[Pair], v: f64) -> Option<bool> {
+        let mut lo = 0.0f64;
+        let mut hi = 0.0f64;
+        for &t in terms {
+            let (l, u) = self.bounds_hint(t);
+            lo += l;
+            hi += u;
+        }
+        let margin = DECISION_EPS * terms.len().max(1) as f64;
+        if hi < v - margin {
+            Some(true)
+        } else if lo >= v + margin {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Current lower bound for `x` (`0` when the resolver has no scheme).
+    /// Used by algorithms that *order* candidates by optimistic distance
+    /// (lazy Kruskal, kNN sweeps); correctness never depends on tightness.
+    fn lower_bound_hint(&mut self, x: Pair) -> f64;
+
+    /// Current `(lower, upper)` bounds for `x` — `(d, d)` when known,
+    /// `(0, max_distance)` when the resolver derives nothing. Algorithms
+    /// that maintain *interval* state over aggregates (complete-linkage's
+    /// cluster distances) consume both ends; correctness never depends on
+    /// tightness, only on soundness.
+    fn bounds_hint(&mut self, x: Pair) -> (f64, f64);
+
+    /// Injects externally-known distances (a persisted cache from an
+    /// earlier run — see `prox_core::persist`) without touching the oracle.
+    fn preload(&mut self, p: Pair, d: f64);
+
+    /// Appends every pair whose exact distance this resolver can certify —
+    /// the payload to persist for the next run.
+    fn export_known(&self, out: &mut Vec<(Pair, f64)>);
+
+    /// Pruning counters.
+    fn prune_stats(&self) -> PruneStats;
+
+    /// Mutable access to the counters (used by the provided methods).
+    fn prune_stats_mut(&mut self) -> &mut PruneStats;
+
+    /// Decides `dist(x) < dist(y)`, resolving both distances only when the
+    /// bounds are inconclusive. This is the re-authored
+    /// `if dist(o_i,o_j) ≥ dist(o_k,o_l)` statement from §3.
+    fn less(&mut self, x: Pair, y: Pair) -> bool {
+        match self.try_less(x, y) {
+            Some(b) => {
+                self.prune_stats_mut().decided_by_bounds += 1;
+                b
+            }
+            None => {
+                self.prune_stats_mut().fell_through += 1;
+                self.resolve(x) < self.resolve(y)
+            }
+        }
+    }
+
+    /// Returns `Some(dist(x))` iff `dist(x) < v`, resolving only when the
+    /// bounds cannot rule the candidate out. This is the dominant idiom in
+    /// Prim / PAM / kNN: "is this candidate closer than my current best —
+    /// and if so, how close exactly?"
+    fn distance_if_less(&mut self, x: Pair, v: f64) -> Option<f64> {
+        match self.try_less_value(x, v) {
+            Some(false) => {
+                // Bounds proved dist(x) >= v: candidate discarded for free.
+                self.prune_stats_mut().decided_by_bounds += 1;
+                None
+            }
+            Some(true) => {
+                // The comparison is decided but the caller needs the value.
+                self.prune_stats_mut().decided_by_bounds += 1;
+                Some(self.resolve(x))
+            }
+            None => {
+                self.prune_stats_mut().fell_through += 1;
+                let d = self.resolve(x);
+                (d < v).then_some(d)
+            }
+        }
+    }
+
+    /// Decides the 2-opt aggregate comparison, resolving all four distances
+    /// when the try is inconclusive.
+    fn less_sum2(&mut self, x: (Pair, Pair), y: (Pair, Pair)) -> bool {
+        match self.try_less_sum2(x, y) {
+            Some(b) => {
+                self.prune_stats_mut().decided_by_bounds += 1;
+                b
+            }
+            None => {
+                self.prune_stats_mut().fell_through += 1;
+                self.resolve(x.0) + self.resolve(x.1) < self.resolve(y.0) + self.resolve(y.1)
+            }
+        }
+    }
+
+    /// Returns `Some(dist(x))` iff `dist(x) <= v` — the tie-inclusive
+    /// sibling of [`DistanceResolver::distance_if_less`].
+    fn distance_if_leq(&mut self, x: Pair, v: f64) -> Option<f64> {
+        match self.try_leq_value(x, v) {
+            Some(false) => {
+                self.prune_stats_mut().decided_by_bounds += 1;
+                None
+            }
+            Some(true) => {
+                self.prune_stats_mut().decided_by_bounds += 1;
+                Some(self.resolve(x))
+            }
+            None => {
+                self.prune_stats_mut().fell_through += 1;
+                let d = self.resolve(x);
+                (d <= v).then_some(d)
+            }
+        }
+    }
+}
+
+/// A [`BoundScheme`] wired to an [`Oracle`].
+pub struct BoundResolver<'o, M: Metric, S: BoundScheme> {
+    oracle: &'o Oracle<M>,
+    scheme: S,
+    stats: PruneStats,
+}
+
+impl<'o, M: Metric, S: BoundScheme> BoundResolver<'o, M, S> {
+    /// Wires `scheme` to `oracle`. The scheme may already hold knowledge
+    /// (e.g. LAESA rows or a Tri Scheme pre-loaded by a bootstrap).
+    pub fn new(oracle: &'o Oracle<M>, scheme: S) -> Self {
+        assert_eq!(
+            oracle.n(),
+            scheme.n(),
+            "oracle and scheme must cover the same objects"
+        );
+        BoundResolver {
+            oracle,
+            scheme,
+            stats: PruneStats::default(),
+        }
+    }
+
+    /// Read access to the scheme.
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+
+    /// Mutable access to the scheme (e.g. for out-of-band recording).
+    pub fn scheme_mut(&mut self) -> &mut S {
+        &mut self.scheme
+    }
+
+    /// The wired oracle.
+    pub fn oracle(&self) -> &'o Oracle<M> {
+        self.oracle
+    }
+}
+
+impl<'o, M: Metric> BoundResolver<'o, M, NoScheme> {
+    /// The vanilla resolver: memoizes resolved pairs but derives nothing —
+    /// every fresh comparison pays the oracle. Plugging this into an
+    /// algorithm reproduces the paper's `Without Plug` call counts.
+    pub fn vanilla(oracle: &'o Oracle<M>) -> Self {
+        let scheme = NoScheme::new(oracle.n(), oracle.max_distance());
+        BoundResolver::new(oracle, scheme)
+    }
+}
+
+/// Shorthand for the unplugged configuration.
+pub type VanillaResolver<'o, M> = BoundResolver<'o, M, NoScheme>;
+
+impl<'o, M: Metric, S: BoundScheme> DistanceResolver for BoundResolver<'o, M, S> {
+    fn n(&self) -> usize {
+        self.scheme.n()
+    }
+
+    fn max_distance(&self) -> f64 {
+        self.scheme.max_distance()
+    }
+
+    fn known(&self, p: Pair) -> Option<f64> {
+        self.scheme.known(p)
+    }
+
+    fn resolve(&mut self, p: Pair) -> f64 {
+        if let Some(d) = self.scheme.known(p) {
+            self.stats.served_known += 1;
+            return d;
+        }
+        let d = self.oracle.call_pair(p);
+        self.scheme.record(p, d);
+        self.stats.resolved += 1;
+        d
+    }
+
+    fn try_less(&mut self, x: Pair, y: Pair) -> Option<bool> {
+        let (lx, ux) = self.scheme.bounds(x);
+        let (ly, uy) = self.scheme.bounds(y);
+        if ux < ly - DECISION_EPS {
+            Some(true) // dist(x) <= ub(x) < lb(y) <= dist(y)
+        } else if lx >= uy + DECISION_EPS {
+            Some(false) // dist(x) >= lb(x) >= ub(y) >= dist(y)
+        } else {
+            None
+        }
+    }
+
+    fn try_less_value(&mut self, x: Pair, v: f64) -> Option<bool> {
+        let (lb, ub) = self.scheme.bounds(x);
+        if lb == ub {
+            // Exactly known (recorded) values carry no derivation noise.
+            return Some(lb < v);
+        }
+        if ub < v - DECISION_EPS {
+            Some(true)
+        } else if lb >= v + DECISION_EPS {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    fn try_leq_value(&mut self, x: Pair, v: f64) -> Option<bool> {
+        let (lb, ub) = self.scheme.bounds(x);
+        if lb == ub {
+            return Some(lb <= v);
+        }
+        if ub <= v - DECISION_EPS {
+            Some(true)
+        } else if lb > v + DECISION_EPS {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    fn try_less_sum2(&mut self, x: (Pair, Pair), y: (Pair, Pair)) -> Option<bool> {
+        let (lx0, ux0) = self.scheme.bounds(x.0);
+        let (lx1, ux1) = self.scheme.bounds(x.1);
+        let (ly0, uy0) = self.scheme.bounds(y.0);
+        let (ly1, uy1) = self.scheme.bounds(y.1);
+        // A small safety margin absorbs the rounding of summed bounds; the
+        // near-tie cases fall through and are compared exactly.
+        if ux0 + ux1 < ly0 + ly1 - 1e-12 {
+            Some(true)
+        } else if lx0 + lx1 >= uy0 + uy1 + 1e-12 {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    fn lower_bound_hint(&mut self, x: Pair) -> f64 {
+        self.scheme.bounds(x).0
+    }
+
+    fn bounds_hint(&mut self, x: Pair) -> (f64, f64) {
+        self.scheme.bounds(x)
+    }
+
+    fn preload(&mut self, p: Pair, d: f64) {
+        self.scheme.record(p, d);
+    }
+
+    fn export_known(&self, out: &mut Vec<(Pair, f64)>) {
+        self.scheme.for_each_known(&mut |p, d| out.push((p, d)));
+    }
+
+    fn prune_stats(&self) -> PruneStats {
+        self.stats
+    }
+
+    fn prune_stats_mut(&mut self) -> &mut PruneStats {
+        &mut self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TriScheme;
+    use prox_core::{FnMetric, ObjectId};
+
+    fn line_oracle(n: usize) -> Oracle<FnMetric<impl Fn(ObjectId, ObjectId) -> f64>> {
+        let scale = 1.0 / (n as f64 - 1.0);
+        Oracle::new(FnMetric::new(n, 1.0, move |a, b| {
+            (f64::from(a) - f64::from(b)).abs() * scale
+        }))
+    }
+
+    #[test]
+    fn resolve_memoizes() {
+        let oracle = line_oracle(10);
+        let mut r = BoundResolver::new(&oracle, TriScheme::new(10, 1.0));
+        let p = Pair::new(0, 9);
+        assert_eq!(r.resolve(p), 1.0);
+        assert_eq!(r.resolve(p), 1.0);
+        assert_eq!(oracle.calls(), 1, "second resolve served from knowledge");
+        assert_eq!(r.prune_stats().served_known, 1);
+        assert_eq!(r.prune_stats().resolved, 1);
+    }
+
+    #[test]
+    fn bounds_decide_comparisons_without_calls() {
+        let oracle = line_oracle(11); // unit spacing 0.1
+        let mut r = BoundResolver::new(&oracle, TriScheme::new(11, 1.0));
+        // Teach the scheme two triangles.
+        r.resolve(Pair::new(0, 5)); // 0.5
+        r.resolve(Pair::new(5, 6)); // 0.1  -> d(0,6) in [0.4, 0.6]
+        r.resolve(Pair::new(0, 1)); // 0.1
+        r.resolve(Pair::new(1, 2)); // 0.1  -> d(0,2) in [0.0, 0.2]
+        let calls = oracle.calls();
+        // d(0,2)=0.2 < d(0,6)=0.6 and ub(0,2)=0.2 < lb(0,6)=0.4: decided.
+        assert_eq!(r.try_less(Pair::new(0, 2), Pair::new(0, 6)), Some(true));
+        assert!(r.less(Pair::new(0, 2), Pair::new(0, 6)));
+        assert_eq!(oracle.calls(), calls, "decided by bounds, no oracle");
+        assert_eq!(r.prune_stats().decided_by_bounds, 1);
+    }
+
+    #[test]
+    fn inconclusive_falls_through() {
+        let oracle = line_oracle(11);
+        let mut r = BoundResolver::new(&oracle, TriScheme::new(11, 1.0));
+        assert_eq!(r.try_less(Pair::new(0, 2), Pair::new(0, 6)), None);
+        assert!(r.less(Pair::new(0, 2), Pair::new(0, 6)));
+        assert_eq!(oracle.calls(), 2, "both sides resolved");
+        assert_eq!(r.prune_stats().fell_through, 1);
+    }
+
+    #[test]
+    fn distance_if_less_prunes() {
+        let oracle = line_oracle(11);
+        let mut r = BoundResolver::new(&oracle, TriScheme::new(11, 1.0));
+        r.resolve(Pair::new(0, 5)); // 0.5
+        r.resolve(Pair::new(5, 10)); // 0.5 -> d(0,10) in [0, 1.0]; lb via |.5-.5|=0
+        r.resolve(Pair::new(5, 6)); // 0.1 -> d(0,6) in [0.4, 0.6]
+        let calls = oracle.calls();
+        // Threshold 0.3 < lb(0,6)=0.4: pruned without resolution.
+        assert_eq!(r.distance_if_less(Pair::new(0, 6), 0.3), None);
+        assert_eq!(oracle.calls(), calls);
+        // Threshold 0.7 > ub(0,6)=0.6: surely less, value resolved.
+        let d = r.distance_if_less(Pair::new(0, 6), 0.7).unwrap();
+        assert!((d - 0.6).abs() < 1e-12, "got {d}");
+        assert_eq!(oracle.calls(), calls + 1);
+        // Inconclusive: resolves and tests (d(0,1)=0.1 < 0.2).
+        assert_eq!(r.distance_if_less(Pair::new(0, 1), 0.2), Some(0.1));
+    }
+
+    #[test]
+    fn distance_if_less_exact_boundary() {
+        // dist == v must report "not less" (strict comparison).
+        let oracle = line_oracle(11);
+        let mut r = BoundResolver::vanilla(&oracle);
+        assert_eq!(r.distance_if_less(Pair::new(0, 5), 0.5), None);
+        assert_eq!(oracle.calls(), 1, "vanilla resolves to find out");
+    }
+
+    #[test]
+    fn vanilla_never_decides() {
+        let oracle = line_oracle(8);
+        let mut r = BoundResolver::vanilla(&oracle);
+        assert_eq!(r.try_less(Pair::new(0, 1), Pair::new(0, 7)), None);
+        assert_eq!(r.try_less_value(Pair::new(0, 1), 0.5), None);
+        assert!(r.less(Pair::new(0, 1), Pair::new(0, 7)));
+        assert_eq!(oracle.calls(), 2);
+        // But known values do decide (memoization).
+        assert_eq!(r.try_less(Pair::new(0, 1), Pair::new(0, 7)), Some(true));
+    }
+
+    #[test]
+    fn known_pair_one_sided_test() {
+        let oracle = line_oracle(11);
+        let mut r = BoundResolver::new(&oracle, TriScheme::new(11, 1.0));
+        r.resolve(Pair::new(0, 2)); // 0.2 exact
+        r.resolve(Pair::new(0, 5)); // 0.5
+        r.resolve(Pair::new(5, 6)); // -> d(0,6) in [0.4, 0.6]
+        let calls = oracle.calls();
+        // known 0.2 < lb 0.4: decided.
+        assert_eq!(r.try_less(Pair::new(0, 2), Pair::new(0, 6)), Some(true));
+        // reversed: lb(0,6)=0.4 >= ub(0,2)=0.2 -> Some(false).
+        assert_eq!(r.try_less(Pair::new(0, 6), Pair::new(0, 2)), Some(false));
+        assert_eq!(oracle.calls(), calls);
+    }
+
+    #[test]
+    fn sum_probe_interval_default() {
+        // The provided `try_sum_less_value` sums per-term interval bounds.
+        let oracle = line_oracle(11);
+        let mut r = BoundResolver::new(&oracle, TriScheme::new(11, 1.0));
+        r.resolve(Pair::new(0, 2)); // 0.2
+        r.resolve(Pair::new(0, 5)); // 0.5
+        r.resolve(Pair::new(5, 6)); // -> d(0,6) in [0.4, 0.6]
+        r.resolve(Pair::new(5, 8)); // -> d(0,8) in [0.2, 0.8] via 0/5/8
+        let calls = oracle.calls();
+        let terms = [Pair::new(0, 6), Pair::new(0, 8)];
+        // Interval sum: [0.6, 1.4].
+        assert_eq!(r.try_sum_less_value(&terms, 1.5), Some(true));
+        assert_eq!(r.try_sum_less_value(&terms, 0.55), Some(false));
+        assert_eq!(r.try_sum_less_value(&terms, 1.0), None, "straddles");
+        // Known terms contribute exact point intervals.
+        assert_eq!(
+            r.try_sum_less_value(&[Pair::new(0, 2), Pair::new(0, 5)], 0.71),
+            Some(true)
+        );
+        // Empty sum is zero.
+        assert_eq!(r.try_sum_less_value(&[], 0.1), Some(true));
+        assert_eq!(r.try_sum_less_value(&[], -0.1), Some(false));
+        assert_eq!(oracle.calls(), calls, "probes never call the oracle");
+
+        // Vanilla (no scheme): unknown terms span [0, max], nothing decides
+        // except trivial thresholds.
+        let oracle = line_oracle(11);
+        let mut v = BoundResolver::vanilla(&oracle);
+        assert_eq!(v.try_sum_less_value(&terms, 1.0), None);
+        assert_eq!(v.try_sum_less_value(&terms, 2.5), Some(true));
+        assert_eq!(oracle.calls(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! The `BoundScheme` abstraction (the paper's BOUNDS + UPDATE problems).
+
+use std::collections::HashMap;
+
+use prox_core::Pair;
+
+/// A data structure that answers the paper's two problems:
+///
+/// * **Bounds problem** (Problem 1): for an unknown edge `(a, b)`, produce a
+///   lower and an upper bound on `dist(a, b)` consistent with the triangle
+///   inequality and everything resolved so far.
+/// * **Update problem** (Problem 2): absorb a newly resolved distance so
+///   later bound queries benefit from it.
+///
+/// # Contract
+///
+/// For every implementation, at all times:
+///
+/// * `0 ≤ lb ≤ dist(a, b) ≤ ub ≤ max_distance()` — bounds are *sound*.
+/// * After `record(p, d)`, `bounds(p) == (d, d)` and `known(p) == Some(d)`.
+/// * `record` is idempotent for a fixed pair/distance.
+///
+/// Bound queries take `&mut self` because several schemes reuse scratch
+/// buffers (SPLUB's Dijkstra state); they are still logically read-only.
+pub trait BoundScheme {
+    /// Number of objects in the space.
+    fn n(&self) -> usize;
+
+    /// The a-priori distance cap (the paper's `1`).
+    fn max_distance(&self) -> f64;
+
+    /// Exact distance for `p` if it has been recorded.
+    fn known(&self, p: Pair) -> Option<f64>;
+
+    /// `(lower, upper)` bounds for `p`; `(d, d)` when known.
+    fn bounds(&mut self, p: Pair) -> (f64, f64);
+
+    /// Lower bound only.
+    fn lower_bound(&mut self, p: Pair) -> f64 {
+        self.bounds(p).0
+    }
+
+    /// Upper bound only.
+    fn upper_bound(&mut self, p: Pair) -> f64 {
+        self.bounds(p).1
+    }
+
+    /// Absorbs a resolved distance (the UPDATE problem).
+    fn record(&mut self, p: Pair, d: f64);
+
+    /// Number of distances recorded so far.
+    fn m(&self) -> usize;
+
+    /// Scheme name for reports ("Tri", "SPLUB", …).
+    fn name(&self) -> &'static str;
+
+    /// Visits every pair whose exact distance the scheme can certify —
+    /// the payload of a resolved-distance cache (see `prox_core::persist`).
+    /// Schemes may legitimately report *more* pairs than were recorded
+    /// (ADM's matrices can collapse a pair's bounds by inference; an
+    /// inferred exact value is still the true distance).
+    fn for_each_known(&self, f: &mut dyn FnMut(Pair, f64));
+}
+
+/// The null scheme: remembers exact values but derives nothing.
+///
+/// Plugging `NoScheme` into a resolver yields the vanilla algorithm — every
+/// comparison falls through to the oracle (memoized per pair). This is the
+/// `Without Plug` column of the paper's tables.
+#[derive(Clone, Debug, Default)]
+pub struct NoScheme {
+    n: usize,
+    max_distance: f64,
+    resolved: HashMap<u64, f64>,
+}
+
+impl NoScheme {
+    /// A null scheme over `n` objects with distances in `[0, max_distance]`.
+    pub fn new(n: usize, max_distance: f64) -> Self {
+        NoScheme {
+            n,
+            max_distance,
+            resolved: HashMap::new(),
+        }
+    }
+}
+
+impl BoundScheme for NoScheme {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn max_distance(&self) -> f64 {
+        self.max_distance
+    }
+    fn known(&self, p: Pair) -> Option<f64> {
+        self.resolved.get(&p.key()).copied()
+    }
+    fn bounds(&mut self, p: Pair) -> (f64, f64) {
+        match self.known(p) {
+            Some(d) => (d, d),
+            None => (0.0, self.max_distance),
+        }
+    }
+    fn record(&mut self, p: Pair, d: f64) {
+        self.resolved.insert(p.key(), d);
+    }
+    fn m(&self) -> usize {
+        self.resolved.len()
+    }
+    fn name(&self) -> &'static str {
+        "NoScheme"
+    }
+    fn for_each_known(&self, f: &mut dyn FnMut(Pair, f64)) {
+        for (&key, &d) in &self.resolved {
+            f(Pair::from_key(key), d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noscheme_trivial_bounds() {
+        let mut s = NoScheme::new(4, 1.0);
+        let p = Pair::new(0, 1);
+        assert_eq!(s.bounds(p), (0.0, 1.0));
+        assert_eq!(s.known(p), None);
+        s.record(p, 0.4);
+        assert_eq!(s.bounds(p), (0.4, 0.4));
+        assert_eq!(s.known(p), Some(0.4));
+        assert_eq!(s.m(), 1);
+        assert_eq!(s.bounds(Pair::new(2, 3)), (0.0, 1.0));
+    }
+
+    #[test]
+    fn noscheme_respects_max_distance() {
+        let mut s = NoScheme::new(3, 7.5);
+        assert_eq!(s.bounds(Pair::new(0, 2)), (0.0, 7.5));
+        assert_eq!(s.upper_bound(Pair::new(1, 2)), 7.5);
+        assert_eq!(s.lower_bound(Pair::new(1, 2)), 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Tri Scheme — triangle-induced bounds (§4.2 of the paper, Algorithm 2).
+
+use prox_core::Pair;
+use prox_graph::PartialGraph;
+
+use crate::BoundScheme;
+
+/// The paper's practical plug-in: bound an unknown edge `(a, b)` using only
+/// the *triangles* incident on it — objects `c` with both `d(a, c)` and
+/// `d(b, c)` known:
+///
+/// ```text
+/// LB = max over c of |d(a, c) − d(b, c)|
+/// UB = min over c of  d(a, c) + d(b, c)       (capped at max_distance)
+/// ```
+///
+/// A query is a single merge of the two sorted adjacency lists
+/// (`O(deg a + deg b)`, expected `O(m / n)` under a uniform query model —
+/// Theorem 4.2); an update is one sorted insertion per endpoint. The bounds
+/// are looser than [`crate::Splub`]'s tightest bounds but empirically close,
+/// and the CPU cost is lower by orders of magnitude — the trade the paper's
+/// evaluation recommends for large workloads.
+#[derive(Clone, Debug)]
+pub struct TriScheme {
+    graph: PartialGraph,
+    max_distance: f64,
+}
+
+impl TriScheme {
+    /// An empty Tri Scheme over `n` objects with distances in
+    /// `[0, max_distance]`.
+    pub fn new(n: usize, max_distance: f64) -> Self {
+        TriScheme {
+            graph: PartialGraph::new(n),
+            max_distance,
+        }
+    }
+
+    /// Read access to the underlying known-edge graph.
+    pub fn graph(&self) -> &PartialGraph {
+        &self.graph
+    }
+}
+
+impl BoundScheme for TriScheme {
+    fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    fn max_distance(&self) -> f64 {
+        self.max_distance
+    }
+
+    fn known(&self, p: Pair) -> Option<f64> {
+        self.graph.get(p)
+    }
+
+    fn bounds(&mut self, p: Pair) -> (f64, f64) {
+        if let Some(d) = self.graph.get(p) {
+            return (d, d);
+        }
+        let (a, b) = p.ends();
+        let mut lb = 0.0f64;
+        let mut ub = self.max_distance;
+        self.graph.for_each_common_neighbor(a, b, |_, da, db| {
+            lb = lb.max((da - db).abs());
+            ub = ub.min(da + db);
+        });
+        // Floating-point noise can cross the bounds when |d(a,c) − d(b,c)|
+        // and d(a,c') + d(b,c') are nearly equal; keep the invariant lb ≤ ub.
+        if lb > ub {
+            lb = ub;
+        }
+        (lb, ub)
+    }
+
+    fn record(&mut self, p: Pair, d: f64) {
+        self.graph.insert(p, d);
+    }
+
+    fn m(&self) -> usize {
+        self.graph.m()
+    }
+
+    fn name(&self) -> &'static str {
+        "Tri"
+    }
+
+    fn for_each_known(&self, f: &mut dyn FnMut(Pair, f64)) {
+        for &(p, d) in self.graph.edges() {
+            f(p, d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(a: u32, b: u32) -> Pair {
+        Pair::new(a, b)
+    }
+
+    /// The single-triangle bound from the paper's Example 2.1:
+    /// `d(1,3) = 0.8`, `d(3,4) = 0.1` ⇒ `0.7 ≤ d(1,4) ≤ 0.9`.
+    #[test]
+    fn paper_example_single_triangle() {
+        let mut s = TriScheme::new(7, 1.0);
+        s.record(p(1, 3), 0.8);
+        s.record(p(3, 4), 0.1);
+        let (lb, ub) = s.bounds(p(1, 4));
+        assert!((lb - 0.7).abs() < 1e-12);
+        assert!((ub - 0.9).abs() < 1e-12, "ub {ub}");
+    }
+
+    #[test]
+    fn no_triangle_gives_trivial_bounds() {
+        let mut s = TriScheme::new(5, 1.0);
+        s.record(p(0, 1), 0.5);
+        // (2,3) shares no neighbour with anything.
+        assert_eq!(s.bounds(p(2, 3)), (0.0, 1.0));
+        // (0,2): 0 knows 1 but 2 knows nothing.
+        assert_eq!(s.bounds(p(0, 2)), (0.0, 1.0));
+    }
+
+    #[test]
+    fn multiple_triangles_take_best() {
+        let mut s = TriScheme::new(4, 1.0);
+        // Common neighbours of (0,1): 2 and 3.
+        s.record(p(0, 2), 0.9);
+        s.record(p(1, 2), 0.2); // lb 0.7, ub 1.0(capped 1.1)
+        s.record(p(0, 3), 0.4);
+        s.record(p(1, 3), 0.35); // lb 0.05, ub 0.75
+        let (lb, ub) = s.bounds(p(0, 1));
+        assert!((lb - 0.7).abs() < 1e-12, "max of lower bounds, got {lb}");
+        assert!((ub - 0.75).abs() < 1e-12, "min of upper bounds, got {ub}");
+    }
+
+    #[test]
+    fn known_edge_collapses_bounds() {
+        let mut s = TriScheme::new(3, 1.0);
+        s.record(p(0, 1), 0.33);
+        assert_eq!(s.bounds(p(0, 1)), (0.33, 0.33));
+        assert_eq!(s.known(p(1, 0)), Some(0.33));
+        assert_eq!(s.m(), 1);
+    }
+
+    #[test]
+    fn ub_capped_at_max_distance() {
+        let mut s = TriScheme::new(3, 1.0);
+        s.record(p(0, 2), 0.8);
+        s.record(p(1, 2), 0.7);
+        let (lb, ub) = s.bounds(p(0, 1));
+        assert!((lb - 0.1).abs() < 1e-12, "lb {lb}");
+        assert_eq!(ub, 1.0, "1.5 capped to max_distance");
+    }
+}

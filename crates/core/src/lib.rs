@@ -1,0 +1,34 @@
+//! Core primitives shared by every crate in the `prox` workspace.
+//!
+//! The paper's setting is a *general metric space* whose pairwise distances
+//! are served by an **expensive oracle** (a web API, an edit-distance
+//! computation, an image comparison…). Everything in this crate exists to
+//! model that setting precisely:
+//!
+//! * [`Metric`] — a ground-truth distance function over `n` atomic objects.
+//! * [`Oracle`] — the *only* sanctioned way for an algorithm to learn a
+//!   distance. It counts every call and can attach a configurable *virtual
+//!   cost* per call, so experiments can sweep "oracle cost" from microseconds
+//!   to seconds without sleeping (see `EXPERIMENTS.md`).
+//! * [`Pair`] — a canonical unordered pair of object ids, used as the edge
+//!   key throughout the workspace.
+//! * [`OracleStats`] / [`PruneStats`] — the accounting that the paper's
+//!   tables and figures are made of (distance calls, saved comparisons,
+//!   CPU overhead vs. oracle time).
+
+pub mod metric;
+pub mod oracle;
+pub mod pair;
+pub mod persist;
+pub mod rng;
+pub mod stats;
+
+pub use metric::{FnMetric, MatrixMetric, Metric, MetricCheck};
+pub use oracle::Oracle;
+pub use pair::{Pair, PairMap};
+pub use persist::{load_known, save_known};
+pub use rng::TinyRng;
+pub use stats::{OracleStats, PruneStats};
+
+/// Identifier of an object in a metric space: a dense index in `0..n`.
+pub type ObjectId = u32;

@@ -1,0 +1,159 @@
+//! The metered distance oracle.
+
+use std::cell::Cell;
+use std::time::Duration;
+
+use crate::{Metric, ObjectId, OracleStats, Pair};
+
+/// The sole gateway between an algorithm and the ground-truth metric.
+///
+/// Every [`Oracle::call`] increments the call counter and accrues the
+/// configured *virtual cost*. The experiments in the paper sweep the oracle
+/// cost from 10⁻⁵ s up to 2.5 s per call; charging that cost virtually (a
+/// counter, not a sleep) reproduces the completion-time figures without
+/// burning wall clock, and `EXPERIMENTS.md` reports the two components
+/// (measured CPU time + virtual oracle time) separately, exactly as the
+/// paper separates "CPU overhead" from oracle time.
+///
+/// Interior mutability (`Cell`) keeps `call` usable through `&Oracle`, so an
+/// oracle can be shared by a resolver and a bootstrap routine without
+/// plumbing `&mut` everywhere.
+pub struct Oracle<M> {
+    metric: M,
+    calls: Cell<u64>,
+    cost_per_call: Duration,
+}
+
+impl<M: Metric> Oracle<M> {
+    /// Wraps `metric` with a zero-cost (but still counted) oracle.
+    pub fn new(metric: M) -> Self {
+        Oracle::with_cost(metric, Duration::ZERO)
+    }
+
+    /// Wraps `metric`, charging `cost_per_call` of virtual time per call.
+    pub fn with_cost(metric: M, cost_per_call: Duration) -> Self {
+        Oracle {
+            metric,
+            calls: Cell::new(0),
+            cost_per_call,
+        }
+    }
+
+    /// Number of objects in the underlying space.
+    pub fn n(&self) -> usize {
+        self.metric.len()
+    }
+
+    /// Upper bound on any distance (the `1` the paper initializes UBs to).
+    pub fn max_distance(&self) -> f64 {
+        self.metric.max_distance()
+    }
+
+    /// Performs one expensive distance resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`: self-distances are known to be zero a priori and
+    /// calling the oracle for one is always an algorithmic bug.
+    pub fn call(&self, a: ObjectId, b: ObjectId) -> f64 {
+        assert_ne!(a, b, "oracle called for a self-distance");
+        self.calls.set(self.calls.get() + 1);
+        self.metric.distance(a, b)
+    }
+
+    /// [`Oracle::call`] keyed by a canonical [`Pair`].
+    pub fn call_pair(&self, p: Pair) -> f64 {
+        self.call(p.lo(), p.hi())
+    }
+
+    /// Total calls made so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.get()
+    }
+
+    /// Virtual cost charged per call.
+    pub fn cost_per_call(&self) -> Duration {
+        self.cost_per_call
+    }
+
+    /// Total virtual time spent in the oracle: `calls × cost_per_call`
+    /// (computed in `f64`, so call counts beyond `u32::MAX` keep scaling
+    /// instead of silently capping).
+    pub fn virtual_time(&self) -> Duration {
+        Duration::try_from_secs_f64(self.cost_per_call.as_secs_f64() * self.calls.get() as f64)
+            .unwrap_or(Duration::MAX)
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> OracleStats {
+        OracleStats {
+            calls: self.calls(),
+            virtual_time: self.virtual_time(),
+        }
+    }
+
+    /// Resets the call counter (e.g. to separate a bootstrap phase from the
+    /// algorithm proper, as the tables' `Bootstrap` column does).
+    pub fn reset(&self) {
+        self.calls.set(0);
+    }
+
+    /// Consumes the oracle, returning the wrapped metric.
+    pub fn into_inner(self) -> M {
+        self.metric
+    }
+
+    /// Borrows the wrapped metric. Intended for *verification only* (tests
+    /// comparing outputs against ground truth); production algorithms must
+    /// go through [`Oracle::call`].
+    pub fn ground_truth(&self) -> &M {
+        &self.metric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnMetric;
+
+    fn unit_metric(n: usize) -> FnMetric<impl Fn(ObjectId, ObjectId) -> f64> {
+        FnMetric::new(n, 1.0, |_, _| 0.5)
+    }
+
+    #[test]
+    fn counts_every_call() {
+        let o = Oracle::new(unit_metric(10));
+        assert_eq!(o.calls(), 0);
+        o.call(0, 1);
+        o.call(2, 3);
+        o.call_pair(Pair::new(4, 5));
+        assert_eq!(o.calls(), 3);
+        o.reset();
+        assert_eq!(o.calls(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-distance")]
+    fn rejects_self_distance() {
+        let o = Oracle::new(unit_metric(4));
+        o.call(2, 2);
+    }
+
+    #[test]
+    fn virtual_time_accrues() {
+        let o = Oracle::with_cost(unit_metric(4), Duration::from_millis(10));
+        for _ in 0..7 {
+            o.call(0, 1);
+        }
+        assert_eq!(o.virtual_time(), Duration::from_millis(70));
+        assert_eq!(o.stats().calls, 7);
+    }
+
+    #[test]
+    fn returns_metric_distances() {
+        let m = FnMetric::new(3, 1.0, |a, b| f64::from(a + b) / 10.0);
+        let o = Oracle::new(m);
+        assert_eq!(o.call(1, 2), 0.3);
+        assert_eq!(o.call(2, 1), 0.3);
+    }
+}

@@ -1,0 +1,123 @@
+//! Persisting resolved distances.
+//!
+//! When the oracle is a billed third-party API, every resolved distance is
+//! money: a crashed or staged computation should never re-pay for knowledge
+//! it already bought. This module serializes resolved `(pair, distance)`
+//! sets to a tiny line format (`lo,hi,distance` per line, `#` comments) and
+//! loads them back, so a later run can seed its bound scheme via
+//! `record` before making a single new call.
+//!
+//! The format is deliberately plain text: diffable, greppable, and free of
+//! serialization dependencies.
+
+use std::io::{self, BufRead, Write};
+
+use crate::Pair;
+
+/// Writes `edges` in the `lo,hi,distance` line format.
+pub fn save_known<W: Write>(
+    mut w: W,
+    edges: impl IntoIterator<Item = (Pair, f64)>,
+) -> io::Result<usize> {
+    writeln!(w, "# prox resolved-distance cache v1")?;
+    let mut count = 0;
+    for (p, d) in edges {
+        // 17 significant digits round-trip any f64 exactly.
+        writeln!(w, "{},{},{:.17e}", p.lo(), p.hi(), d)?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Reads a `lo,hi,distance` stream written by [`save_known`].
+///
+/// Returns an `InvalidData` error on malformed lines, ids that are not
+/// `u32`, self-loops, negative or non-finite distances.
+pub fn load_known<R: BufRead>(r: R) -> io::Result<Vec<(Pair, f64)>> {
+    let mut out = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let bad = |msg: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {msg}: {trimmed:?}", lineno + 1),
+            )
+        };
+        let mut parts = trimmed.split(',');
+        let a: u32 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| bad("bad first id"))?;
+        let b: u32 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| bad("bad second id"))?;
+        let d: f64 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| bad("bad distance"))?;
+        if parts.next().is_some() {
+            return Err(bad("trailing fields"));
+        }
+        if a == b {
+            return Err(bad("self-loop"));
+        }
+        if !d.is_finite() || d < 0.0 {
+            return Err(bad("distance must be finite and non-negative"));
+        }
+        out.push((Pair::new(a, b), d));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact() {
+        let edges = vec![
+            (Pair::new(0, 1), 0.1),
+            (Pair::new(5, 2), 1.0 / 3.0),
+            (Pair::new(7, 100), f64::MIN_POSITIVE),
+        ];
+        let mut buf = Vec::new();
+        let n = save_known(&mut buf, edges.clone()).expect("write");
+        assert_eq!(n, 3);
+        let back = load_known(&buf[..]).expect("read");
+        assert_eq!(back, edges, "bit-exact distances after round-trip");
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# header\n\n0,1,0.5\n  # indented comment\n2,3,0.25\n";
+        let back = load_known(text.as_bytes()).expect("read");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0], (Pair::new(0, 1), 0.5));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "0,1",           // missing distance
+            "0,1,0.5,extra", // trailing field
+            "x,1,0.5",       // bad id
+            "1,1,0.5",       // self-loop
+            "0,1,-0.5",      // negative
+            "0,1,NaN_",      // unparsable distance
+            "0,1,inf",       // non-finite
+        ] {
+            assert!(load_known(bad.as_bytes()).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn canonicalizes_pair_order() {
+        let back = load_known("9,4,0.25\n".as_bytes()).expect("read");
+        assert_eq!(back[0].0.ends(), (4, 9));
+    }
+}

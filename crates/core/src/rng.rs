@@ -1,0 +1,52 @@
+//! Deterministic, dependency-free randomness for library internals.
+
+use crate::ObjectId;
+
+/// splitmix64 — deterministic, dependency-free randomness for algorithm
+/// internals (initial medoids, CLARANS neighbour sampling).
+///
+/// Both the vanilla and the plugged run of an algorithm draw the same
+/// sequence from the same seed, and no draw ever depends on a resolver
+/// verdict — a precondition for output equality of randomized algorithms.
+#[derive(Clone, Debug)]
+pub struct TinyRng {
+    state: u64,
+}
+
+impl TinyRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        TinyRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..bound` (bound > 0).
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// `k` distinct values from `0..n`, ascending.
+    pub fn distinct(&mut self, k: usize, n: usize) -> Vec<ObjectId> {
+        assert!(k <= n, "cannot draw {k} distinct from {n}");
+        // Partial Fisher–Yates over a scratch index vector.
+        let mut idx: Vec<ObjectId> = (0..n as ObjectId).collect();
+        for i in 0..k {
+            let j = i + self.below(n - i);
+            idx.swap(i, j);
+        }
+        let mut out = idx[..k].to_vec();
+        out.sort_unstable();
+        out
+    }
+}

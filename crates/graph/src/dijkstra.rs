@@ -1,0 +1,236 @@
+//! Single-source shortest paths with reusable scratch space.
+
+use std::collections::BinaryHeap;
+
+use prox_core::ObjectId;
+
+use crate::PartialGraph;
+
+/// Anything Dijkstra can walk: a node count plus a neighbour visitor.
+///
+/// Implemented by [`PartialGraph`] (SPLUB's bound queries) and by the road
+/// network graphs in `prox-datasets` (ground-truth generation).
+pub trait Adjacency {
+    /// Number of nodes; valid ids are `0..n()`.
+    fn n(&self) -> usize;
+    /// Calls `f(neighbour, edge_weight)` for every edge incident on `v`.
+    fn for_each_neighbor(&self, v: ObjectId, f: &mut dyn FnMut(ObjectId, f64));
+}
+
+impl Adjacency for PartialGraph {
+    fn n(&self) -> usize {
+        PartialGraph::n(self)
+    }
+    fn for_each_neighbor(&self, v: ObjectId, f: &mut dyn FnMut(ObjectId, f64)) {
+        for &(u, w) in self.neighbors(v) {
+            f(u, w);
+        }
+    }
+}
+
+/// Max-heap entry ordered so the smallest tentative distance pops first.
+#[derive(Copy, Clone, PartialEq)]
+struct Entry {
+    dist: f64,
+    node: ObjectId,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse on distance for a min-heap; break ties by node id so the
+        // visit order is fully deterministic.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra's algorithm with owned, reusable scratch buffers.
+///
+/// SPLUB runs two SSSP computations per bound query (`O(m + n log n)` each);
+/// reusing the distance array and heap across queries keeps those queries
+/// allocation-free after warm-up, per the workspace's performance guide.
+pub struct Dijkstra {
+    dist: Vec<f64>,
+    heap: BinaryHeap<Entry>,
+}
+
+impl Dijkstra {
+    /// Scratch sized for graphs of up to `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Dijkstra {
+            dist: vec![f64::INFINITY; n],
+            heap: BinaryHeap::with_capacity(64),
+        }
+    }
+
+    /// Runs SSSP from `src` over `graph` and returns the distance array;
+    /// unreachable nodes hold `f64::INFINITY`.
+    pub fn run<'a, G: Adjacency + ?Sized>(&'a mut self, graph: &G, src: ObjectId) -> &'a [f64] {
+        let n = graph.n();
+        assert!(
+            n <= self.dist.len(),
+            "graph larger than Dijkstra scratch ({} > {})",
+            n,
+            self.dist.len()
+        );
+        let dist = &mut self.dist[..n];
+        dist.fill(f64::INFINITY);
+        self.heap.clear();
+
+        dist[src as usize] = 0.0;
+        self.heap.push(Entry {
+            dist: 0.0,
+            node: src,
+        });
+        while let Some(Entry { dist: d, node: v }) = self.heap.pop() {
+            if d > dist[v as usize] {
+                continue; // stale entry
+            }
+            graph.for_each_neighbor(v, &mut |u, w| {
+                let nd = d + w;
+                if nd < dist[u as usize] {
+                    dist[u as usize] = nd;
+                    self.heap.push(Entry { dist: nd, node: u });
+                }
+            });
+        }
+        dist
+    }
+
+    /// Like [`Dijkstra::run`] but stops as soon as `target` is settled,
+    /// returning its distance. Used when only one shortest path is needed
+    /// (e.g. a road-network oracle resolving a single pair).
+    pub fn run_to<G: Adjacency + ?Sized>(
+        &mut self,
+        graph: &G,
+        src: ObjectId,
+        target: ObjectId,
+    ) -> f64 {
+        let n = graph.n();
+        assert!(n <= self.dist.len());
+        let dist = &mut self.dist[..n];
+        dist.fill(f64::INFINITY);
+        self.heap.clear();
+
+        dist[src as usize] = 0.0;
+        self.heap.push(Entry {
+            dist: 0.0,
+            node: src,
+        });
+        while let Some(Entry { dist: d, node: v }) = self.heap.pop() {
+            if v == target {
+                return d;
+            }
+            if d > dist[v as usize] {
+                continue;
+            }
+            graph.for_each_neighbor(v, &mut |u, w| {
+                let nd = d + w;
+                if nd < dist[u as usize] {
+                    dist[u as usize] = nd;
+                    self.heap.push(Entry { dist: nd, node: u });
+                }
+            });
+        }
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prox_core::Pair;
+
+    fn path_graph(n: usize) -> PartialGraph {
+        // 0 -1.0- 1 -1.0- 2 ...
+        let mut g = PartialGraph::new(n);
+        for v in 0..n as ObjectId - 1 {
+            g.insert(Pair::new(v, v + 1), 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn line_distances() {
+        let g = path_graph(6);
+        let mut dj = Dijkstra::new(6);
+        let d = dj.run(&g, 0);
+        assert_eq!(d, &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let mut g = PartialGraph::new(4);
+        g.insert(Pair::new(0, 1), 0.5);
+        let mut dj = Dijkstra::new(4);
+        let d = dj.run(&g, 0);
+        assert_eq!(d[1], 0.5);
+        assert!(d[2].is_infinite());
+        assert!(d[3].is_infinite());
+    }
+
+    #[test]
+    fn picks_shorter_route() {
+        let mut g = PartialGraph::new(4);
+        g.insert(Pair::new(0, 1), 1.0);
+        g.insert(Pair::new(1, 3), 1.0);
+        g.insert(Pair::new(0, 2), 0.25);
+        g.insert(Pair::new(2, 3), 0.25);
+        let mut dj = Dijkstra::new(4);
+        assert_eq!(dj.run(&g, 0)[3], 0.5);
+        assert_eq!(dj.run_to(&g, 0, 3), 0.5);
+    }
+
+    #[test]
+    fn run_to_unreachable() {
+        let mut g = PartialGraph::new(3);
+        g.insert(Pair::new(0, 1), 1.0);
+        let mut dj = Dijkstra::new(3);
+        assert!(dj.run_to(&g, 0, 2).is_infinite());
+    }
+
+    #[test]
+    fn scratch_is_reusable() {
+        let g = path_graph(5);
+        let mut dj = Dijkstra::new(5);
+        let first: Vec<f64> = dj.run(&g, 0).to_vec();
+        let _ = dj.run(&g, 4); // different source in between
+        let again: Vec<f64> = dj.run(&g, 0).to_vec();
+        assert_eq!(first, again, "scratch reuse must not leak state");
+    }
+
+    #[test]
+    fn run_to_matches_run() {
+        let mut g = PartialGraph::new(8);
+        // A small web with varied weights.
+        let edges = [
+            (0, 1, 0.3),
+            (0, 2, 0.9),
+            (1, 2, 0.4),
+            (1, 3, 0.7),
+            (2, 4, 0.2),
+            (3, 5, 0.1),
+            (4, 5, 0.6),
+            (4, 6, 0.5),
+            (5, 7, 0.8),
+        ];
+        for (a, b, w) in edges {
+            g.insert(Pair::new(a, b), w);
+        }
+        let mut dj = Dijkstra::new(8);
+        let all: Vec<f64> = dj.run(&g, 0).to_vec();
+        for t in 0..8 {
+            assert_eq!(dj.run_to(&g, 0, t), all[t as usize]);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Disjoint-set forest for Kruskal's algorithm.
+
+use prox_core::ObjectId;
+
+/// Union-find with path halving and union by rank.
+///
+/// In the bound-augmented Kruskal (see `prox-algos`), the connectivity test
+/// runs *before* an edge's distance is resolved — a popped candidate whose
+/// endpoints are already connected is discarded with **zero** oracle calls.
+/// That check is this structure.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<ObjectId>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as ObjectId).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s set (path halving).
+    pub fn find(&mut self, mut x: ObjectId) -> ObjectId {
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+    }
+
+    /// True when `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: ObjectId, b: ObjectId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Merges the sets of `a` and `b`; returns `false` if already merged.
+    pub fn union(&mut self, a: ObjectId, b: ObjectId) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unions_reduce_components() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0), "repeat union is a no-op");
+        assert_eq!(uf.components(), 3);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.components(), 2);
+    }
+
+    #[test]
+    fn chain_compresses() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.components(), 1);
+        for i in 0..100 {
+            assert!(uf.connected(0, i));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Phase-II simplex: optimize a linear objective over `A·x ≤ b`, `x ≥ 0`.
+//!
+//! The feasibility test in [`crate::simplex`] is all DFT needs at runtime,
+//! but *optimization* lets us compute the exact LP-implied interval of a
+//! single unknown distance: `[min x_e, max x_e]` over the triangle
+//! polytope. The `lp_vs_bounds` suite uses it to verify, instance by
+//! instance, that these LP bounds coincide with SPLUB's tightest path
+//! bounds — the convexity argument recorded in `DESIGN.md` §4.5.
+//!
+//! Implementation: bounded bisection over feasibility probes. Rather than a
+//! second tableau code path (with its own Bland/degeneracy handling), we
+//! reuse the hardened phase-I solver: `max x_e` is the largest `v` for
+//! which `x_e ≥ v` stays feasible, and the probe function is monotone in
+//! `v`, so 40 bisection steps pin the optimum to ~1e-12 of the cap. This
+//! trades a log factor for reusing one battle-tested kernel.
+
+use crate::{Feasibility, FeasibilityProblem};
+
+/// Minimizes and maximizes the single variable `var` over the system.
+///
+/// Returns `None` when the system is infeasible or the solver gave up.
+/// `cap` must be a valid upper bound for `var` (e.g. the metric diameter).
+pub fn variable_range(problem: &FeasibilityProblem, var: usize, cap: f64) -> Option<(f64, f64)> {
+    if problem.feasible() != Feasibility::Feasible {
+        return None;
+    }
+    // Feasible(v) for the max probe: "exists a point with x_var >= v".
+    // Monotone decreasing in v, true at v = 0 (x >= 0 always holds).
+    let max = bisect_largest(
+        |v| {
+            let mut p = problem.clone();
+            p.add_ge(&[(var, 1.0)], v);
+            p.feasible()
+        },
+        0.0,
+        cap,
+    )?;
+    // For the min: "exists a point with x_var <= v" is monotone increasing;
+    // find the smallest feasible v by bisecting on the complement.
+    let min = bisect_smallest(
+        |v| {
+            let mut p = problem.clone();
+            p.add_le(&[(var, 1.0)], v);
+            p.feasible()
+        },
+        0.0,
+        cap,
+    )?;
+    Some((min, max))
+}
+
+const BISECT_STEPS: u32 = 48;
+
+/// Largest `v` in `[lo, hi]` with `probe(v)` feasible, assuming
+/// monotonicity (feasible at `lo`).
+fn bisect_largest(mut probe: impl FnMut(f64) -> Feasibility, lo: f64, hi: f64) -> Option<f64> {
+    match probe(hi) {
+        Feasibility::Feasible => return Some(hi),
+        Feasibility::Unknown => return None,
+        Feasibility::Infeasible => {}
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    for _ in 0..BISECT_STEPS {
+        let mid = 0.5 * (lo + hi);
+        match probe(mid) {
+            Feasibility::Feasible => lo = mid,
+            Feasibility::Infeasible => hi = mid,
+            Feasibility::Unknown => return None,
+        }
+    }
+    Some(lo)
+}
+
+/// Smallest `v` in `[lo, hi]` with `probe(v)` feasible, assuming
+/// monotonicity (feasible at `hi`).
+fn bisect_smallest(mut probe: impl FnMut(f64) -> Feasibility, lo: f64, hi: f64) -> Option<f64> {
+    match probe(lo) {
+        Feasibility::Feasible => return Some(lo),
+        Feasibility::Unknown => return None,
+        Feasibility::Infeasible => {}
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    for _ in 0..BISECT_STEPS {
+        let mid = 0.5 * (lo + hi);
+        match probe(mid) {
+            Feasibility::Feasible => hi = mid,
+            Feasibility::Infeasible => lo = mid,
+            Feasibility::Unknown => return None,
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_recovered() {
+        // 0.3 <= x0 <= 0.7 within cap 1.
+        let mut p = FeasibilityProblem::new(1);
+        p.add_ge(&[(0, 1.0)], 0.3);
+        p.add_le(&[(0, 1.0)], 0.7);
+        let (lo, hi) = variable_range(&p, 0, 1.0).expect("feasible");
+        assert!((lo - 0.3).abs() < 1e-9, "lo {lo}");
+        assert!((hi - 0.7).abs() < 1e-9, "hi {hi}");
+    }
+
+    #[test]
+    fn coupled_variables() {
+        // x0 + x1 >= 0.9, x1 <= 0.2, both in [0, 1]: x0 in [0.7, 1.0].
+        let mut p = FeasibilityProblem::new(2);
+        p.add_ge(&[(0, 1.0), (1, 1.0)], 0.9);
+        p.add_le(&[(1, 1.0)], 0.2);
+        p.add_le(&[(0, 1.0)], 1.0);
+        let (lo, hi) = variable_range(&p, 0, 1.0).expect("feasible");
+        assert!((lo - 0.7).abs() < 1e-9, "lo {lo}");
+        assert!((hi - 1.0).abs() < 1e-9, "hi {hi}");
+    }
+
+    #[test]
+    fn infeasible_system_yields_none() {
+        let mut p = FeasibilityProblem::new(1);
+        p.add_ge(&[(0, 1.0)], 2.0);
+        p.add_le(&[(0, 1.0)], 1.0);
+        assert!(variable_range(&p, 0, 3.0).is_none());
+    }
+
+    #[test]
+    fn unconstrained_variable_spans_cap() {
+        let p = FeasibilityProblem::new(1);
+        let (lo, hi) = variable_range(&p, 0, 0.5).expect("feasible");
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, 0.5);
+    }
+}

@@ -1,0 +1,389 @@
+//! Phase-I simplex feasibility for `A·x ≤ b`, `x ≥ 0`.
+//!
+//! The Direct Feasibility Test only needs a *decision*: does the polytope
+//! have any point at all? Phase-I answers exactly that — introduce slacks to
+//! reach equality form, add artificial variables for rows whose basic slack
+//! solution is infeasible (`b_i < 0`), and minimize the sum of artificials.
+//! The optimum is `0` iff the original system is feasible.
+//!
+//! Pivoting uses Dantzig's rule for speed with an automatic switch to
+//! Bland's rule (which provably terminates) after a stall budget; a hard
+//! iteration cap converts pathological instances into
+//! [`Feasibility::Unknown`], which DFT treats as "cannot decide" — soundness
+//! is preserved because an undecided comparison simply falls through to the
+//! oracle.
+
+/// Verdict of a feasibility test.
+///
+/// Tolerances bias toward `Feasible`: a system infeasible by less than
+/// `EPS` (1e-9) may report `Feasible`. For DFT this is the *safe*
+/// direction — a Feasible verdict only means "cannot decide the
+/// comparison", which falls through to an exact oracle resolution; a
+/// spurious `Infeasible` would be unsound and is what the planted-point
+/// fuzz suite hunts for.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Feasibility {
+    /// The system has at least one solution.
+    Feasible,
+    /// The system has no solution.
+    Infeasible,
+    /// The solver hit its iteration cap (treated as "cannot decide").
+    Unknown,
+}
+
+/// A system `A·x ≤ b` over `n_vars` non-negative variables, built row by
+/// row from sparse coefficient lists.
+#[derive(Clone, Debug, Default)]
+pub struct FeasibilityProblem {
+    n_vars: usize,
+    /// Each row: sparse `(var, coeff)` terms and the rhs.
+    rows: Vec<(Vec<(usize, f64)>, f64)>,
+}
+
+impl FeasibilityProblem {
+    /// An empty system over `n_vars` variables (all implicitly `≥ 0`).
+    pub fn new(n_vars: usize) -> Self {
+        FeasibilityProblem {
+            n_vars,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of constraint rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Adds the constraint `Σ coeff_i · x_i ≤ rhs`.
+    pub fn add_le(&mut self, terms: &[(usize, f64)], rhs: f64) {
+        debug_assert!(terms.iter().all(|&(v, _)| v < self.n_vars));
+        self.rows.push((terms.to_vec(), rhs));
+    }
+
+    /// Adds `Σ coeff_i · x_i ≥ rhs` (stored as the negated `≤`).
+    pub fn add_ge(&mut self, terms: &[(usize, f64)], rhs: f64) {
+        let neg: Vec<(usize, f64)> = terms.iter().map(|&(v, c)| (v, -c)).collect();
+        self.rows.push((neg, -rhs));
+    }
+
+    /// Adds `Σ coeff_i · x_i = rhs` as a pair of inequalities.
+    pub fn add_eq(&mut self, terms: &[(usize, f64)], rhs: f64) {
+        self.add_le(terms, rhs);
+        self.add_ge(terms, rhs);
+    }
+
+    /// Decides feasibility with phase-I simplex.
+    pub fn feasible(&self) -> Feasibility {
+        // Trivial screens.
+        for (terms, rhs) in &self.rows {
+            if terms.is_empty() && *rhs < -EPS {
+                return Feasibility::Infeasible; // 0 <= negative rhs
+            }
+        }
+        if self.rows.iter().all(|(_, rhs)| *rhs >= 0.0) {
+            // x = 0 satisfies every row.
+            return Feasibility::Feasible;
+        }
+        Tableau::build(self).solve()
+    }
+}
+
+const EPS: f64 = 1e-9;
+
+/// Dense phase-I tableau.
+///
+/// Layout: columns `0..n` are the structural variables, `n..n+m` the slacks,
+/// then one artificial per negative-rhs row, final column the rhs. Row `m`
+/// is the phase-I objective (sum of artificials, expressed in terms of the
+/// non-basic variables).
+struct Tableau {
+    m: usize,
+    cols: usize, // number of variable columns (excl. rhs)
+    /// `(m + 1) × (cols + 1)`, row-major; last row = objective.
+    t: Vec<f64>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    n_artificial: usize,
+}
+
+impl Tableau {
+    fn build(p: &FeasibilityProblem) -> Tableau {
+        let m = p.rows.len();
+        let n = p.n_vars;
+        let n_artificial = p.rows.iter().filter(|(_, rhs)| *rhs < 0.0).count();
+        let cols = n + m + n_artificial;
+        let width = cols + 1;
+        let mut t = vec![0.0; (m + 1) * width];
+        let mut basis = vec![0usize; m];
+        let first_artificial = n + m;
+
+        let mut art = first_artificial;
+        for (i, (terms, rhs)) in p.rows.iter().enumerate() {
+            let row = &mut t[i * width..(i + 1) * width];
+            for &(v, c) in terms {
+                row[v] += c;
+            }
+            row[n + i] = 1.0; // slack
+            row[cols] = *rhs;
+            if *rhs < 0.0 {
+                // Negate the row so rhs >= 0, then install an artificial.
+                for x in row.iter_mut() {
+                    *x = -*x;
+                }
+                row[art] = 1.0;
+                basis[i] = art;
+                art += 1;
+            } else {
+                basis[i] = n + i;
+            }
+        }
+
+        // Objective: minimize sum of artificials. Expressed via the basic
+        // rows: z - Σ art = 0  =>  obj row = -(Σ rows with artificial basis).
+        {
+            let (rows_part, obj_part) = t.split_at_mut(m * width);
+            let obj = &mut obj_part[..width];
+            for i in 0..m {
+                if basis[i] >= first_artificial {
+                    let row = &rows_part[i * width..(i + 1) * width];
+                    for (o, &r) in obj.iter_mut().zip(row.iter()) {
+                        *o -= r;
+                    }
+                }
+            }
+            // Artificial columns must read zero in the objective.
+            for o in obj[first_artificial..cols].iter_mut() {
+                *o = 0.0;
+            }
+        }
+
+        Tableau {
+            m,
+            cols,
+            t,
+            basis,
+            n_artificial,
+        }
+    }
+
+    #[inline]
+    fn width(&self) -> usize {
+        self.cols + 1
+    }
+
+    fn solve(mut self) -> Feasibility {
+        if self.n_artificial == 0 {
+            return Feasibility::Feasible;
+        }
+        let width = self.width();
+        let obj_off = self.m * width;
+        // Generous but finite budget; DFT instances converge in far fewer.
+        let max_iter = 200 + 40 * (self.m + self.cols);
+        let bland_after = max_iter / 2;
+
+        for iter in 0..max_iter {
+            // Current phase-I objective value = -rhs of the objective row.
+            let obj_val = -self.t[obj_off + self.cols];
+            if obj_val < EPS {
+                return Feasibility::Feasible;
+            }
+
+            // Entering column: most negative reduced cost (Dantzig), or the
+            // first negative (Bland) once the stall budget is burned.
+            let bland = iter >= bland_after;
+            let mut enter = None;
+            let mut best = -EPS;
+            for c in 0..self.cols {
+                let rc = self.t[obj_off + c];
+                if rc < -EPS {
+                    if bland {
+                        enter = Some(c);
+                        break;
+                    }
+                    if rc < best {
+                        best = rc;
+                        enter = Some(c);
+                    }
+                }
+            }
+            let Some(enter) = enter else {
+                // Optimal; objective still positive => infeasible.
+                return Feasibility::Infeasible;
+            };
+
+            // Ratio test (Bland tie-break on basis index).
+            let mut leave = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.m {
+                let a = self.t[r * width + enter];
+                if a > EPS {
+                    let ratio = self.t[r * width + self.cols] / a;
+                    if ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|l: usize| self.basis[r] < self.basis[l]))
+                    {
+                        // On an EPS-tie keep the smaller ratio so the
+                        // tolerance cannot drift upward across many ties.
+                        best_ratio = best_ratio.min(ratio);
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(leave) = leave else {
+                // Unbounded phase-I objective cannot happen (it is bounded
+                // below by 0); numerically treat as unknown.
+                return Feasibility::Unknown;
+            };
+
+            self.pivot(leave, enter);
+        }
+        Feasibility::Unknown
+    }
+
+    fn pivot(&mut self, r: usize, c: usize) {
+        let width = self.width();
+        let pivot = self.t[r * width + c];
+        debug_assert!(pivot.abs() > EPS);
+        let inv = 1.0 / pivot;
+        for x in self.t[r * width..(r + 1) * width].iter_mut() {
+            *x *= inv;
+        }
+        for row in 0..=self.m {
+            if row == r {
+                continue;
+            }
+            let factor = self.t[row * width + c];
+            if factor.abs() <= EPS {
+                self.t[row * width + c] = 0.0;
+                continue;
+            }
+            for k in 0..width {
+                let v = self.t[r * width + k];
+                self.t[row * width + k] -= factor * v;
+            }
+            self.t[row * width + c] = 0.0;
+        }
+        self.basis[r] = c;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_system_is_feasible() {
+        let p = FeasibilityProblem::new(3);
+        assert_eq!(p.feasible(), Feasibility::Feasible);
+    }
+
+    #[test]
+    fn all_nonnegative_rhs_trivially_feasible() {
+        let mut p = FeasibilityProblem::new(2);
+        p.add_le(&[(0, 1.0), (1, 1.0)], 5.0);
+        p.add_le(&[(0, -1.0)], 0.0);
+        assert_eq!(p.feasible(), Feasibility::Feasible);
+    }
+
+    #[test]
+    fn simple_infeasible_pair() {
+        // x0 <= 1 and x0 >= 2.
+        let mut p = FeasibilityProblem::new(1);
+        p.add_le(&[(0, 1.0)], 1.0);
+        p.add_ge(&[(0, 1.0)], 2.0);
+        assert_eq!(p.feasible(), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn simple_feasible_band() {
+        // 1 <= x0 <= 2.
+        let mut p = FeasibilityProblem::new(1);
+        p.add_le(&[(0, 1.0)], 2.0);
+        p.add_ge(&[(0, 1.0)], 1.0);
+        assert_eq!(p.feasible(), Feasibility::Feasible);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // x0 + x1 = 4, x0 - x1 = 0 -> x0 = x1 = 2, feasible.
+        let mut p = FeasibilityProblem::new(2);
+        p.add_eq(&[(0, 1.0), (1, 1.0)], 4.0);
+        p.add_eq(&[(0, 1.0), (1, -1.0)], 0.0);
+        assert_eq!(p.feasible(), Feasibility::Feasible);
+
+        // Add x0 >= 3: now infeasible.
+        p.add_ge(&[(0, 1.0)], 3.0);
+        assert_eq!(p.feasible(), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn constant_row_contradiction() {
+        let mut p = FeasibilityProblem::new(1);
+        p.add_ge(&[], 1.0); // 0 >= 1
+        assert_eq!(p.feasible(), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn chained_inequalities() {
+        // x0 >= 1, x1 >= x0 + 1, x2 >= x1 + 1, x2 <= 2.5: infeasible
+        // (x2 >= 3 required).
+        let mut p = FeasibilityProblem::new(3);
+        p.add_ge(&[(0, 1.0)], 1.0);
+        p.add_ge(&[(1, 1.0), (0, -1.0)], 1.0);
+        p.add_ge(&[(2, 1.0), (1, -1.0)], 1.0);
+        p.add_le(&[(2, 1.0)], 2.5);
+        assert_eq!(p.feasible(), Feasibility::Infeasible);
+
+        // Relax the cap to 3.0: feasible (tight).
+        let mut q = FeasibilityProblem::new(3);
+        q.add_ge(&[(0, 1.0)], 1.0);
+        q.add_ge(&[(1, 1.0), (0, -1.0)], 1.0);
+        q.add_ge(&[(2, 1.0), (1, -1.0)], 1.0);
+        q.add_le(&[(2, 1.0)], 3.0);
+        assert_eq!(q.feasible(), Feasibility::Feasible);
+    }
+
+    #[test]
+    fn triangle_system_from_paper_example() {
+        // Known d(1,3)=0.8, d(3,4)=0.1; variable x = d(1,4).
+        // Triangle: x <= 0.9, x >= 0.7. Asking x <= 0.6 must be infeasible,
+        // x <= 0.75 feasible — this is exactly the DFT bound behaviour.
+        let base = |extra: (f64, bool)| {
+            let mut p = FeasibilityProblem::new(1);
+            p.add_le(&[(0, 1.0)], 1.0); // range
+            p.add_le(&[(0, 1.0)], 0.9); // x - 0.8 - 0.1 <= 0
+            p.add_ge(&[(0, 1.0)], 0.7); // 0.8 - x - 0.1 <= 0
+            let (v, le) = extra;
+            if le {
+                p.add_le(&[(0, 1.0)], v);
+            } else {
+                p.add_ge(&[(0, 1.0)], v);
+            }
+            p.feasible()
+        };
+        assert_eq!(base((0.6, true)), Feasibility::Infeasible);
+        assert_eq!(base((0.75, true)), Feasibility::Feasible);
+        assert_eq!(base((0.95, false)), Feasibility::Infeasible);
+        assert_eq!(base((0.85, false)), Feasibility::Feasible);
+    }
+
+    #[test]
+    fn degenerate_rows_terminate() {
+        // Redundant + degenerate rows exercise anti-cycling.
+        let mut p = FeasibilityProblem::new(2);
+        for _ in 0..20 {
+            p.add_ge(&[(0, 1.0), (1, 1.0)], 1.0);
+            p.add_le(&[(0, 1.0), (1, 1.0)], 1.0);
+        }
+        p.add_ge(&[(0, 1.0)], 0.5);
+        p.add_ge(&[(1, 1.0)], 0.5);
+        assert_eq!(p.feasible(), Feasibility::Feasible);
+        p.add_ge(&[(1, 1.0)], 0.6);
+        assert_eq!(p.feasible(), Feasibility::Infeasible);
+    }
+}

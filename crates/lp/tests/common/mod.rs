@@ -1,0 +1,53 @@
+//! Shared helpers for the LP fuzz suites: one xorshift generator and one
+//! brute-force 2-D vertex enumerator, so tolerances and mixing constants
+//! live in exactly one place.
+#![allow(dead_code)] // each test binary uses a subset
+
+/// xorshift64 — deliberately different from the library's splitmix-based
+/// `TinyRng` so the fuzz inputs don't share structure with library
+/// internals.
+pub struct Rng(pub u64);
+
+impl Rng {
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    /// Uniform-ish in [-1, 1].
+    pub fn f(&mut self) -> f64 {
+        (self.next() % 2001) as f64 / 1000.0 - 1.0
+    }
+    /// Uniform-ish in [0, 1].
+    pub fn pos(&mut self) -> f64 {
+        (self.next() % 1001) as f64 / 1000.0
+    }
+}
+
+/// Feasibility slack used by the brute checks.
+pub const BRUTE_SLACK: f64 = 1e-7;
+
+/// All pairwise constraint intersections of `a·x + b·y <= c` rows.
+pub fn vertices(cons: &[(f64, f64, f64)]) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    for i in 0..cons.len() {
+        for j in (i + 1)..cons.len() {
+            let (a1, b1, c1) = cons[i];
+            let (a2, b2, c2) = cons[j];
+            let det = a1 * b2 - a2 * b1;
+            if det.abs() < 1e-12 {
+                continue;
+            }
+            out.push(((c1 * b2 - c2 * b1) / det, (a1 * c2 - a2 * c1) / det));
+        }
+    }
+    out
+}
+
+/// Whether `(x, y)` satisfies every row within `slack`.
+pub fn satisfies(cons: &[(f64, f64, f64)], x: f64, y: f64, slack: f64) -> bool {
+    cons.iter().all(|&(a, b, c)| a * x + b * y <= c + slack)
+}

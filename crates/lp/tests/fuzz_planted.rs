@@ -1,0 +1,68 @@
+//! Planted-point soundness: systems constructed *around* a known feasible
+//! point (with half the rows exactly tight, the degenerate case that bites
+//! simplex implementations, plus equality-pinned variants) must never come
+//! back `Infeasible` — an unsound Infeasible verdict would silently corrupt
+//! a DFT-plugged algorithm's output.
+
+use prox_lp::{Feasibility, FeasibilityProblem};
+
+mod common;
+use common::Rng;
+
+#[test]
+fn planted_feasible_point_never_reported_infeasible() {
+    let mut rng = Rng(0xDEADBEEFCAFE1234);
+    let mut bad = 0;
+    let mut unknown = 0;
+    for trial in 0..5000 {
+        let n = 2 + (rng.next() % 5) as usize; // 2..6 vars
+        let m = 1 + (rng.next() % 12) as usize;
+        let z: Vec<f64> = (0..n).map(|_| rng.pos()).collect();
+        let mut p = FeasibilityProblem::new(n);
+        for _ in 0..m {
+            let terms: Vec<(usize, f64)> = (0..n).map(|v| (v, rng.f())).collect();
+            let az: f64 = terms.iter().map(|&(v, c)| c * z[v]).sum();
+            // 50% exactly tight (degenerate), else loose
+            let slack = if rng.next().is_multiple_of(2) {
+                0.0
+            } else {
+                rng.pos()
+            };
+            p.add_le(&terms, az + slack);
+        }
+        match p.feasible() {
+            Feasibility::Infeasible => {
+                bad += 1;
+                if bad < 4 {
+                    eprintln!("trial {trial}: z={z:?}");
+                }
+            }
+            Feasibility::Unknown => unknown += 1,
+            Feasibility::Feasible => {}
+        }
+    }
+    eprintln!("unknown: {unknown}");
+    assert_eq!(bad, 0, "unsound Infeasible verdicts: {bad}");
+}
+
+#[test]
+fn eq_pinned_planted_point() {
+    // equality-heavy degenerate systems
+    let mut rng = Rng(0x1234567887654321);
+    let mut bad = 0;
+    for _ in 0..3000 {
+        let n = 2 + (rng.next() % 4) as usize;
+        let z: Vec<f64> = (0..n).map(|_| rng.pos()).collect();
+        let mut p = FeasibilityProblem::new(n);
+        let m = 1 + (rng.next() % 6) as usize;
+        for _ in 0..m {
+            let terms: Vec<(usize, f64)> = (0..n).map(|v| (v, rng.f())).collect();
+            let az: f64 = terms.iter().map(|&(v, c)| c * z[v]).sum();
+            p.add_eq(&terms, az);
+        }
+        if p.feasible() == Feasibility::Infeasible {
+            bad += 1;
+        }
+    }
+    assert_eq!(bad, 0, "unsound Infeasible on equality systems: {bad}");
+}

@@ -1,0 +1,66 @@
+//! Randomized soundness: simplex feasibility vs. brute-force vertex
+//! enumeration on 20,000 random 2-variable systems. The feasible region of
+//! a 2-D LP with non-negativity rows is non-empty iff some pairwise
+//! constraint intersection (a vertex candidate) is feasible, so the brute
+//! check is complete — any disagreement is a solver bug.
+
+use prox_lp::{Feasibility, FeasibilityProblem};
+
+mod common;
+use common::{satisfies, vertices, Rng, BRUTE_SLACK};
+
+// Exact-ish feasibility for a*x + b*y <= c rows plus x,y >= 0 via vertex
+// enumeration (see common/mod.rs for the shared machinery).
+fn brute(rows: &[(f64, f64, f64)]) -> bool {
+    let mut cons: Vec<(f64, f64, f64)> = rows.to_vec();
+    cons.push((-1.0, 0.0, 0.0)); // -x <= 0
+    cons.push((0.0, -1.0, 0.0)); // -y <= 0
+    vertices(&cons)
+        .into_iter()
+        .any(|(x, y)| satisfies(&cons, x, y, BRUTE_SLACK))
+}
+
+#[test]
+fn random_2d_systems_agree_with_vertex_enumeration() {
+    let mut rng = Rng(0x9E3779B97F4A7C15);
+    let mut disagreements = Vec::new();
+    for trial in 0..20000 {
+        let m = 1 + (rng.next() % 6) as usize;
+        let rows: Vec<(f64, f64, f64)> = (0..m).map(|_| (rng.f(), rng.f(), rng.f())).collect();
+        let mut p = FeasibilityProblem::new(2);
+        for &(a, b, c) in &rows {
+            p.add_le(&[(0, a), (1, b)], c);
+        }
+        let lp = p.feasible();
+        let bf = brute(&rows);
+        match (lp, bf) {
+            (Feasibility::Feasible, false) => {
+                // could be tolerance; re-check with a looser slack
+                let tight = {
+                    let mut cons = rows.clone();
+                    cons.push((-1.0, 0.0, 0.0));
+                    cons.push((0.0, -1.0, 0.0));
+                    vertices(&cons)
+                        .into_iter()
+                        .any(|(x, y)| satisfies(&cons, x, y, 1e-4))
+                };
+                if !tight {
+                    disagreements.push((trial, rows.clone(), "lp says Feasible, brute says no"));
+                }
+            }
+            (Feasibility::Infeasible, true) => {
+                disagreements.push((trial, rows.clone(), "lp says Infeasible, brute found point"));
+            }
+            (Feasibility::Unknown, _) => {
+                disagreements.push((trial, rows.clone(), "Unknown"));
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        disagreements.is_empty(),
+        "{} disagreements, first: {:?}",
+        disagreements.len(),
+        disagreements.first()
+    );
+}

@@ -1,0 +1,157 @@
+//! Cross-validation of the simplex-backed DFT against the exact
+//! path-bound machinery on randomized metric instances.
+//!
+//! For a *single* unknown edge, the LP relaxation of the triangle system is
+//! exactly as tight as the tightest path bounds (SPLUB): probing below the
+//! TLB or above the TUB must come back infeasible, probing strictly inside
+//! the band must come back feasible. This pins the simplex, the system
+//! builder, and SPLUB against each other — three independent
+//! implementations of the same mathematics.
+
+use proptest::prelude::*;
+use prox_bounds::{BoundScheme, DistanceResolver, Splub};
+use prox_core::{Metric, Oracle, Pair};
+use prox_datasets::EuclideanPoints;
+use prox_lp::DftResolver;
+
+fn planar_metric(points: Vec<(f64, f64)>) -> EuclideanPoints {
+    EuclideanPoints::new(points)
+}
+
+/// (points, pre-resolved id pairs)
+type Instance = (Vec<(f64, f64)>, Vec<(u32, u32)>);
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (4usize..9).prop_flat_map(|n| {
+        let pts = prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), n);
+        let pair = (0..n as u32)
+            .prop_flat_map(move |a| (Just(a), 0..n as u32))
+            .prop_filter("distinct", |(a, b)| a != b);
+        let edges = prop::collection::vec(pair, 1..=(n * (n - 1) / 3));
+        (pts, edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dft_value_probes_match_splub_band((pts, edges) in instance()) {
+        let n = pts.len();
+        let metric = planar_metric(pts);
+        let oracle = Oracle::new(&metric);
+        let mut dft = DftResolver::new(&oracle);
+        let mut splub = Splub::new(n, 1.0);
+        for &(a, b) in &edges {
+            let p = Pair::new(a, b);
+            let d = metric.distance(a, b);
+            dft.resolve(p);
+            splub.record(p, d);
+        }
+        for q in Pair::all(n) {
+            if dft.known(q).is_some() {
+                continue;
+            }
+            let (lb, ub) = splub.bounds(q);
+            // Probe strictly below the band: d(q) < probe must be refuted.
+            if lb > 0.05 {
+                let probe = lb * 0.5;
+                prop_assert_eq!(
+                    dft.try_less_value(q, probe), Some(false),
+                    "{:?}: probe {} under lb {}", q, probe, lb
+                );
+            }
+            // Probe strictly above: certainly less.
+            if ub < 0.95 {
+                let probe = ub + 0.5 * (1.0 - ub);
+                prop_assert_eq!(
+                    dft.try_less_value(q, probe), Some(true),
+                    "{:?}: probe {} over ub {}", q, probe, ub
+                );
+            }
+            // Probe strictly inside a non-degenerate band: undecidable.
+            if ub - lb > 0.1 {
+                let probe = lb + (ub - lb) * 0.5;
+                prop_assert_eq!(
+                    dft.try_less_value(q, probe), None,
+                    "{:?}: probe {} inside [{}, {}]", q, probe, lb, ub
+                );
+            }
+        }
+    }
+
+    /// The convexity theorem in practice: for a single unknown edge, the
+    /// exact LP interval over the triangle polytope equals SPLUB's tightest
+    /// path bounds. (See DESIGN.md §4.5 — this is why DFT cannot out-prune
+    /// a tightest-bound scheme on pairwise comparisons.)
+    #[test]
+    fn lp_interval_equals_tightest_path_bounds((pts, edges) in instance()) {
+        let n = pts.len();
+        let metric = planar_metric(pts);
+        let oracle = Oracle::new(&metric);
+        let mut dft = DftResolver::new(&oracle);
+        let mut splub = Splub::new(n, 1.0);
+        for &(a, b) in &edges {
+            let p = Pair::new(a, b);
+            dft.resolve(p);
+            splub.record(p, metric.distance(a, b));
+        }
+        for q in Pair::all(n).step_by(2) {
+            if dft.known(q).is_some() {
+                continue;
+            }
+            let (sl, su) = splub.bounds(q);
+            let (ll, lu) = dft.lp_bounds(q).expect("metric system is feasible");
+            prop_assert!((ll - sl).abs() < 1e-6, "{:?}: LP min {} vs TLB {}", q, ll, sl);
+            prop_assert!((lu - su).abs() < 1e-6, "{:?}: LP max {} vs TUB {}", q, lu, su);
+        }
+    }
+
+    #[test]
+    fn dft_pair_comparisons_never_contradict_truth((pts, edges) in instance()) {
+        let n = pts.len();
+        let metric = planar_metric(pts);
+        let oracle = Oracle::new(&metric);
+        let mut dft = DftResolver::new(&oracle);
+        for &(a, b) in &edges {
+            dft.resolve(Pair::new(a, b));
+        }
+        let all: Vec<Pair> = Pair::all(n).collect();
+        for (i, &x) in all.iter().enumerate() {
+            for &y in all.iter().skip(i + 1).step_by(3) {
+                if let Some(ans) = dft.try_less(x, y) {
+                    let truth = metric.distance(x.lo(), x.hi())
+                        < metric.distance(y.lo(), y.hi());
+                    prop_assert_eq!(ans, truth, "{:?} vs {:?}", x, y);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dft_sum_probes_sound((pts, edges) in instance()) {
+        let n = pts.len();
+        let metric = planar_metric(pts);
+        let oracle = Oracle::new(&metric);
+        let mut dft = DftResolver::new(&oracle);
+        for &(a, b) in &edges {
+            dft.resolve(Pair::new(a, b));
+        }
+        // Sum probes over consecutive unknown pairs must agree with truth.
+        let unknown: Vec<Pair> = Pair::all(n)
+            .filter(|&p| dft.known(p).is_none())
+            .collect();
+        for w in unknown.windows(2).step_by(2) {
+            let truth: f64 = w
+                .iter()
+                .map(|p| metric.distance(p.lo(), p.hi()))
+                .sum();
+            for probe in [truth * 0.5, truth * 1.5] {
+                if let Some(ans) = dft.try_sum_less_value(w, probe) {
+                    prop_assert_eq!(ans, truth < probe,
+                        "sum {:?} vs probe {}", w, probe);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! A guided tour of the Direct Feasibility Test on the paper's running
+//! example (§2, Figure 1 flavor), plus a case where DFT out-prunes every
+//! bound scheme.
+//!
+//! ```text
+//! cargo run --release --example dft_walkthrough
+//! ```
+
+use prox::prelude::*;
+
+fn main() {
+    // Seven objects, distances in [0,1]. We only script the pairs the
+    // walkthrough touches; everything else is a neutral 0.5.
+    let metric = FnMetric::new(7, 1.0, |a, b| match Pair::new(a, b).ends() {
+        (1, 3) => 0.8,
+        (3, 4) => 0.1,
+        (1, 4) => 0.75,
+        (2, 6) => 0.45,
+        (3, 5) => 0.55,
+        _ => 0.5,
+    });
+    let oracle = Oracle::new(metric);
+    let mut dft = DftResolver::new(&oracle);
+
+    println!("== the paper's Example 2.1 ==");
+    dft.resolve(Pair::new(1, 3));
+    dft.resolve(Pair::new(3, 4));
+    println!("resolved d(1,3) = 0.8 and d(3,4) = 0.1");
+    println!("triangle inequality forces d(1,4) into [0.7, 0.9]:");
+    for probe in [0.65, 0.70, 0.80, 0.90, 0.95] {
+        let verdict = match dft.try_less_value(Pair::new(1, 4), probe) {
+            Some(true) => "certainly d(1,4) <  probe",
+            Some(false) => "certainly d(1,4) >= probe",
+            None => "cannot tell without the oracle",
+        };
+        println!("  probe {probe:.2}: {verdict}");
+    }
+
+    println!("\n== an IF statement decided for free ==");
+    // if dist(2,6) < dist(3,5) ... the paper's §2.2 formulation: test the
+    // reversed constraint for infeasibility.
+    dft.resolve(Pair::new(2, 0));
+    dft.resolve(Pair::new(0, 6)); // d(2,6) <= 1.0, >= 0 ... plus triangles
+    let before = oracle.calls();
+    match dft.try_less(Pair::new(2, 6), Pair::new(3, 5)) {
+        Some(b) => println!("decided without any oracle call: {b}"),
+        None => println!("region non-empty both ways -> the oracle must be asked"),
+    }
+    println!(
+        "oracle calls consumed by the attempt: {}",
+        oracle.calls() - before
+    );
+    println!("LP feasibility solves so far: {}", dft.lp_solves());
+
+    println!("\n== where DFT is strictly stronger: aggregates ==");
+    // With only d(0,1) = 0.9 known, the unknowns d(0,2) and d(2,1) each
+    // range over [0, 1] — per-edge bounds can say nothing about either.
+    // But the triangle inequality couples them: their SUM can never drop
+    // below 0.9. Interval arithmetic on the bounds gives sum >= 0 + 0 = 0;
+    // the joint LP certifies sum >= 0.9.
+    let metric2 = FnMetric::new(3, 1.0, |a, b| match Pair::new(a, b).ends() {
+        (0, 1) => 0.9,
+        _ => 0.45,
+    });
+    let oracle2 = Oracle::new(metric2);
+    let mut dft2 = DftResolver::new(&oracle2);
+    dft2.resolve(Pair::new(0, 1));
+
+    let mut tri = TriScheme::new(3, 1.0);
+    tri.record(Pair::new(0, 1), 0.9);
+    let (l1, _) = tri.bounds(Pair::new(0, 2));
+    let (l2, _) = tri.bounds(Pair::new(1, 2));
+    println!("per-edge lower bounds: d(0,2) >= {l1}, d(1,2) >= {l2}");
+    println!("interval arithmetic on the sum: >= {}", l1 + l2);
+
+    let terms = [Pair::new(0, 2), Pair::new(1, 2)];
+    for probe in [0.5, 0.85, 1.5] {
+        let verdict = dft2.try_sum_less_value(&terms, probe);
+        let text = match verdict {
+            Some(false) => "certainly NOT (the sum is at least 0.9)",
+            Some(true) => "certainly yes",
+            None => "cannot tell",
+        };
+        println!("DFT: is d(0,2) + d(1,2) < {probe}? {text}");
+    }
+    println!("zero oracle calls were spent on either unknown edge.");
+    println!(
+        "(this aggregate coupling is what 2-opt exploits via less_sum2 — \
+         see prox_algos::tsp_2opt.)"
+    );
+}

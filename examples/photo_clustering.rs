@@ -1,0 +1,110 @@
+//! Photo-library clustering: medoid clustering of high-dimensional image
+//! descriptors with three interchangeable plug-ins.
+//!
+//! ```text
+//! cargo run --release --example photo_clustering
+//! ```
+//!
+//! Scenario: 500 images embedded as 256-d feature vectors (the paper's
+//! Flickr workload). We group them into 10 albums with PAM and CLARANS,
+//! comparing the oracle bill under the vanilla run, the Tri Scheme, and the
+//! TLAESA baseline — all three produce the same medoids.
+
+use prox::prelude::*;
+
+fn main() {
+    let n = 500;
+    let l = 10;
+    let metric = RandomVectors::default().generate(n, 11);
+    let pam_params = PamParams {
+        l,
+        max_swaps: 20,
+        seed: 5,
+    };
+    let clarans_params = ClaransParams {
+        l,
+        numlocal: 2,
+        maxneighbor: 150,
+        seed: 5,
+    };
+
+    println!("clustering {n} photos into {l} albums\n");
+    for algo in ["PAM", "CLARANS"] {
+        let mut reference: Option<Clustering> = None;
+        println!("{algo}:");
+        for plug in ["vanilla", "tri", "tlaesa"] {
+            let oracle = Oracle::new(metric.clone());
+            let clustering = {
+                let run = |r: &mut dyn DistanceResolver| match algo {
+                    "PAM" => pam(r, pam_params),
+                    _ => clarans(r, clarans_params),
+                };
+                match plug {
+                    "vanilla" => {
+                        let mut r = BoundResolver::vanilla(&oracle);
+                        run(&mut r)
+                    }
+                    "tri" => {
+                        let mut r = BoundResolver::new(&oracle, TriScheme::new(n, 1.0));
+                        run(&mut r)
+                    }
+                    _ => {
+                        let scheme = Tlaesa::build(&oracle, 9, 16, 11);
+                        let mut r = BoundResolver::new(&oracle, scheme);
+                        run(&mut r)
+                    }
+                }
+            };
+            match &reference {
+                None => reference = Some(clustering.clone()),
+                Some(want) => {
+                    assert_eq!(want.medoids, clustering.medoids, "{algo}/{plug} diverged");
+                    assert_eq!(want.assignment, clustering.assignment);
+                }
+            }
+            println!(
+                "  {plug:<8} {:>9} oracle calls   cost {:.4}   medoids {:?}",
+                oracle.calls(),
+                clustering.cost,
+                &clustering.medoids[..l.min(5)],
+            );
+        }
+        println!();
+    }
+    println!("identical albums from every plug-in; only the bill changed.");
+
+    // The bill for PAM barely moves at 256 dimensions: distances
+    // *concentrate* in high dimension, so triangle bounds rarely decide a
+    // comparison — the curse of dimensionality, stated honestly. Pruning
+    // recovers as the intrinsic dimensionality drops (real image
+    // descriptors live on much lower-dimensional manifolds than their raw
+    // 256 coordinates).
+    println!("\nintrinsic dimensionality vs PAM savings (Tri, n = 300):");
+    for dim in [8usize, 32, 256] {
+        let metric = RandomVectors {
+            dim,
+            clusters: 16,
+            spread: if dim <= 16 { 0.08 } else { 0.05 },
+            // Full-rank noise: the worst case for triangle pruning.
+            intrinsic: dim,
+        }
+        .generate(300, 11);
+        let small_params = PamParams {
+            l: 10,
+            max_swaps: 10,
+            seed: 5,
+        };
+        let o1 = Oracle::new(metric.clone());
+        let mut v = BoundResolver::vanilla(&o1);
+        pam(&mut v, small_params);
+        let o2 = Oracle::new(metric);
+        let mut t = BoundResolver::new(&o2, TriScheme::new(300, 1.0));
+        pam(&mut t, small_params);
+        println!(
+            "  dim {dim:>3}: vanilla {:>6}, Tri {:>6}  ({:.1}% saved)",
+            o1.calls(),
+            o2.calls(),
+            100.0 * (o1.calls() - o2.calls()) as f64 / o1.calls() as f64
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Sequence classification by k-nearest-neighbour vote over edit distance —
+//! the paper's bioinformatics motivation (§1.1: DNA sequence analysis,
+//! protein database search).
+//!
+//! ```text
+//! cargo run --release --example sequence_classifier
+//! ```
+//!
+//! Scenario: 240 DNA-like sequences from 6 gene families. We classify each
+//! sequence by the majority family among its k nearest neighbours. Each
+//! pairwise comparison is an O(len²) dynamic program; the Tri Scheme cuts
+//! the number of comparisons while the predictions stay identical.
+
+use prox::prelude::*;
+
+fn classify(
+    resolver: &mut dyn DistanceResolver,
+    n: usize,
+    k: usize,
+    family_of: &[usize],
+) -> Vec<usize> {
+    (0..n as ObjectId)
+        .map(|q| {
+            let mut votes = [0usize; 16];
+            for (nb, _) in knn_query(resolver, q, k) {
+                votes[family_of[nb as usize]] += 1;
+            }
+            votes
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &v)| v)
+                .map(|(f, _)| f)
+                .expect("non-empty vote array")
+        })
+        .collect()
+}
+
+fn main() {
+    let n = 240;
+    let k = 7;
+    let families = 6;
+    let gen = StringSet {
+        length: 80,
+        families,
+        mutation_rate: 0.12,
+    };
+    let metric = gen.generate(n, 20210620);
+
+    // Ground-truth labels: reconstruct each sequence's nearest family seed
+    // via a fresh generator pass (the generator draws family ids in object
+    // order from the same seeded stream, so the labels are recoverable by
+    // regenerating with jitter off — here we simply label by closest
+    // cluster medoid from an exact k-medoid run).
+    let label_oracle = Oracle::new(metric.clone());
+    let mut label_resolver = BoundResolver::vanilla(&label_oracle);
+    let truth = pam(
+        &mut label_resolver,
+        PamParams {
+            l: families,
+            max_swaps: 40,
+            seed: 7,
+        },
+    );
+    let family_of: Vec<usize> = truth.assignment.iter().map(|&a| a as usize).collect();
+
+    println!("classifying {n} sequences into {families} families by {k}-NN vote\n");
+    let mut reference: Option<Vec<usize>> = None;
+    for plug in ["vanilla", "tri"] {
+        let oracle = Oracle::new(metric.clone());
+        let predictions = match plug {
+            "vanilla" => {
+                let mut r = BoundResolver::vanilla(&oracle);
+                classify(&mut r, n, k, &family_of)
+            }
+            _ => {
+                let mut r = BoundResolver::new(&oracle, TriScheme::new(n, 1.0));
+                classify(&mut r, n, k, &family_of)
+            }
+        };
+        let correct = predictions
+            .iter()
+            .zip(&family_of)
+            .filter(|(p, t)| p == t)
+            .count();
+        match &reference {
+            None => reference = Some(predictions),
+            Some(want) => assert_eq!(want, &predictions, "plugged predictions diverged"),
+        }
+        println!(
+            "  {plug:<8} {:>7} oracle calls   accuracy {:>5.1}%",
+            oracle.calls(),
+            100.0 * correct as f64 / n as f64
+        );
+    }
+    println!("\nidentical predictions; only the edit-distance bill changed.");
+}
