@@ -68,6 +68,7 @@
 
 use prox_bounds::resolver::DECISION_EPS;
 use prox_bounds::DistanceResolver;
+use prox_core::invariant::InvariantExt;
 use prox_core::{ObjectId, Pair};
 
 use crate::linkage::{Dendrogram, Merge};
@@ -107,8 +108,8 @@ impl State {
     }
     /// Number of member pairs between two active slots.
     fn pair_count(&self, a: usize, b: usize) -> f64 {
-        let ma = self.members[a].as_ref().expect("active cluster");
-        let mb = self.members[b].as_ref().expect("active cluster");
+        let ma = self.members[a].as_ref().expect_invariant("active cluster");
+        let mb = self.members[b].as_ref().expect_invariant("active cluster");
         (ma.len() * mb.len()) as f64
     }
     /// Member pairs in canonical iteration order: outer loop over the
@@ -118,8 +119,8 @@ impl State {
     /// with `c` possibly below `a`).
     fn member_pairs(&self, a: usize, b: usize) -> Vec<Pair> {
         let (a, b) = if a < b { (a, b) } else { (b, a) };
-        let ma = self.members[a].as_ref().expect("active cluster");
-        let mb = self.members[b].as_ref().expect("active cluster");
+        let ma = self.members[a].as_ref().expect_invariant("active cluster");
+        let mb = self.members[b].as_ref().expect_invariant("active cluster");
         let mut out = Vec::with_capacity(ma.len() * mb.len());
         for &x in ma {
             for &y in mb {
@@ -146,8 +147,8 @@ fn recompute_band<R: DistanceResolver + ?Sized>(
     // produce bit-identical sums for identical member lists.
     let (a, b) = if a < b { (a, b) } else { (b, a) };
     let (ma, mb) = (
-        state.members[a].as_ref().expect("active cluster"),
-        state.members[b].as_ref().expect("active cluster"),
+        state.members[a].as_ref().expect_invariant("active cluster"),
+        state.members[b].as_ref().expect_invariant("active cluster"),
     );
     let mut slo = 0.0f64;
     let mut all_known = true;
@@ -186,7 +187,7 @@ fn refine<R: DistanceResolver + ?Sized>(
         }
     }
     let band = recompute_band(resolver, state, a, b);
-    let m = band.mean.expect("all members resolved");
+    let m = band.mean.expect_invariant("all members resolved");
     state.set_band(a, b, band);
     m
 }
@@ -252,7 +253,7 @@ fn agglomerate<R: DistanceResolver + ?Sized>(
                         }
                     }
                 }
-                let (x, y, _) = pick.expect("two active clusters remain");
+                let (x, y, _) = pick.expect_invariant("two active clusters remain");
                 refine(resolver, &mut state, x, y);
                 continue;
             };
@@ -306,8 +307,8 @@ fn agglomerate<R: DistanceResolver + ?Sized>(
         // Merge members (slot `a` absorbs slot `b`), then refresh every
         // affected band from current knowledge — heights must come from a
         // fresh canonical accumulation, never from adding cached sums.
-        let mut merged = state.members[a].take().expect("active");
-        merged.extend(state.members[b].take().expect("active"));
+        let mut merged = state.members[a].take().expect_invariant("active");
+        merged.extend(state.members[b].take().expect_invariant("active"));
         state.members[a] = Some(merged);
         active.retain(|&c| c != b);
         for &c in &active {
@@ -536,6 +537,8 @@ mod tests {
             (x(a) - x(b)).abs()
         });
 
+        // Ground-truth matrix for the textbook reference run.
+        #[allow(clippy::disallowed_methods)]
         let dist: Vec<Vec<f64>> = (0..n)
             .map(|i| {
                 (0..n)

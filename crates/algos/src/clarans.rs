@@ -2,6 +2,7 @@
 //! Ng & Han 2002).
 
 use prox_bounds::DistanceResolver;
+use prox_core::invariant::InvariantExt;
 use prox_core::ObjectId;
 
 use crate::medoid::{assign, swap_delta};
@@ -93,7 +94,7 @@ pub fn clarans<R: DistanceResolver + ?Sized>(
         }
     }
 
-    best.expect("numlocal >= 1")
+    best.expect_invariant("numlocal >= 1")
 }
 
 #[cfg(test)]

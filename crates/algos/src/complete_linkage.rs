@@ -32,6 +32,7 @@
 
 use prox_bounds::resolver::DECISION_EPS;
 use prox_bounds::DistanceResolver;
+use prox_core::invariant::InvariantExt;
 use prox_core::{ObjectId, Pair};
 
 use crate::linkage::{Dendrogram, Merge};
@@ -79,8 +80,8 @@ fn recompute_band<R: DistanceResolver + ?Sized>(
     b: usize,
 ) -> Band {
     let (ma, mb) = (
-        state.members[a].as_ref().expect("active cluster"),
-        state.members[b].as_ref().expect("active cluster"),
+        state.members[a].as_ref().expect_invariant("active cluster"),
+        state.members[b].as_ref().expect_invariant("active cluster"),
     );
     let mut lo = 0.0f64;
     let mut hi = 0.0f64;
@@ -133,8 +134,8 @@ fn refine<R: DistanceResolver + ?Sized>(
         return d;
     }
     let (ma, mb) = (
-        state.members[a].as_ref().expect("active cluster"),
-        state.members[b].as_ref().expect("active cluster"),
+        state.members[a].as_ref().expect_invariant("active cluster"),
+        state.members[b].as_ref().expect_invariant("active cluster"),
     );
     let mut entries: Vec<(f64, Pair)> = Vec::with_capacity(ma.len() * mb.len());
     for &x in ma {
@@ -238,7 +239,7 @@ pub fn complete_linkage<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Dendr
                         }
                     }
                 }
-                let (x, y, _) = pick.expect("two active clusters remain");
+                let (x, y, _) = pick.expect_invariant("two active clusters remain");
                 refine(resolver, &mut state, x, y);
                 continue;
             };
@@ -299,8 +300,8 @@ pub fn complete_linkage<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Dendr
                 },
             );
         }
-        let mut merged = state.members[a].take().expect("active");
-        merged.extend(state.members[b].take().expect("active"));
+        let mut merged = state.members[a].take().expect_invariant("active");
+        merged.extend(state.members[b].take().expect_invariant("active"));
         state.members[a] = Some(merged);
         active.retain(|&c| c != b);
 
@@ -423,7 +424,8 @@ mod tests {
             (x(a) - x(b)).abs()
         });
 
-        // Textbook run.
+        // Textbook run against the un-metered ground truth.
+        #[allow(clippy::disallowed_methods)]
         let dist: Vec<Vec<f64>> = (0..n)
             .map(|i| {
                 (0..n)

@@ -4,6 +4,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use prox_bounds::DistanceResolver;
+use prox_core::invariant::InvariantExt;
 use prox_core::{ObjectId, Pair};
 
 /// The kNN graph: for each object, its `k` nearest neighbours sorted by
@@ -75,7 +76,7 @@ pub fn knn_query<R: DistanceResolver + ?Sized>(
     for &(key, known, v) in &cands {
         let worst = heap.peek().copied();
         if heap.len() == k {
-            let w = worst.expect("heap full");
+            let w = worst.expect_invariant("heap full");
             // `key` is a lower bound (or exact): if it already exceeds the
             // k-th distance, no later candidate can qualify either.
             if key > w.d {
@@ -88,7 +89,7 @@ pub fn knn_query<R: DistanceResolver + ?Sized>(
             heap.push(Neighbor { d, id: v });
             continue;
         }
-        let w = worst.expect("heap full");
+        let w = worst.expect_invariant("heap full");
         let d = if known {
             Some(key)
         } else {

@@ -4,6 +4,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use prox_bounds::DistanceResolver;
+use prox_core::invariant::InvariantExt;
 use prox_core::Pair;
 use prox_graph::UnionFind;
 
@@ -106,7 +107,7 @@ pub fn kruskal_mst_with<R: DistanceResolver + ?Sized>(
     let mut total = 0.0;
 
     while edges.len() + 1 < n {
-        let mut c = heap.pop().expect("complete graph is connected");
+        let mut c = heap.pop().expect_invariant("complete graph is connected");
         let (a, b) = c.pair.ends();
         let connected = uf.connected(a, b);
         if connected && (config.connectivity_first || c.resolved) {

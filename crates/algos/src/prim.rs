@@ -1,6 +1,7 @@
 //! Prim's MST with re-authored, *symbolic* distance comparisons.
 
 use prox_bounds::DistanceResolver;
+use prox_core::invariant::InvariantExt;
 use prox_core::{ObjectId, Pair};
 
 use crate::Mst;
@@ -60,7 +61,7 @@ pub fn prim_mst<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Mst {
                 }
             }
         }
-        let next = best.expect("n - 1 vertices remain outside the tree");
+        let next = best.expect_invariant("n - 1 vertices remain outside the tree");
         let w = resolver.resolve(Pair::new(parent[next as usize], next));
         in_tree[next as usize] = true;
         edges.push((Pair::new(parent[next as usize], next), w));

@@ -1,31 +1,31 @@
-//! Randomized exactness: proptest-generated planar instances, plugged
-//! outputs must equal vanilla outputs for a representative algorithm mix.
-//! (The deterministic `exactness.rs` suite covers every scheme × algorithm
-//! on the generator workloads; this suite hammers the invariant on
+//! Randomized exactness: seeded random planar instances, plugged outputs
+//! must equal vanilla outputs for a representative algorithm mix. (The
+//! deterministic `exactness.rs` suite covers every scheme × algorithm on
+//! the generator workloads; this suite hammers the invariant on
 //! adversarially-shaped random instances instead.)
 
-use proptest::prelude::*;
 use prox_algos::{
     average_linkage, average_linkage_cut, complete_linkage, k_center, knn_graph, kruskal_mst,
     prim_mst, tsp_2opt,
 };
 use prox_bounds::{BoundResolver, Splub, TriScheme};
-use prox_core::Oracle;
+use prox_core::{Oracle, TinyRng};
+use prox_datasets::testgen::{property, random_points};
 use prox_datasets::EuclideanPoints;
 
 fn planar(points: &[(f64, f64)]) -> EuclideanPoints {
     EuclideanPoints::new(points.to_vec())
 }
 
-fn points() -> impl Strategy<Value = Vec<(f64, f64)>> {
-    prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 5..18)
+fn points(rng: &mut TinyRng) -> Vec<(f64, f64)> {
+    let n = rng.range(5, 18);
+    random_points(rng, n)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn prim_and_kruskal_agree_across_schemes(pts in points()) {
+#[test]
+fn prim_and_kruskal_agree_across_schemes() {
+    property(0x5EED_0101, 24, |rng| {
+        let pts = points(rng);
         let n = pts.len();
         let metric = planar(&pts);
 
@@ -38,22 +38,25 @@ proptest! {
 
         // Prim == Kruskal on the same metric (unique MST a.s.; compare by
         // total weight to sidestep tie-representation differences).
-        prop_assert!((want_prim.total_weight - want_kruskal.total_weight).abs() < 1e-9);
+        assert!((want_prim.total_weight - want_kruskal.total_weight).abs() < 1e-9);
 
         let o_t = Oracle::new(&metric);
         let mut t = BoundResolver::new(&o_t, TriScheme::new(n, 1.0));
         let got = prim_mst(&mut t);
-        prop_assert_eq!(got.edge_keys(), want_prim.edge_keys());
-        prop_assert!(o_t.calls() <= o_v.calls());
+        assert_eq!(got.edge_keys(), want_prim.edge_keys());
+        assert!(o_t.calls() <= o_v.calls());
 
         let o_s = Oracle::new(&metric);
         let mut s = BoundResolver::new(&o_s, Splub::new(n, 1.0));
         let got = kruskal_mst(&mut s);
-        prop_assert_eq!(got.edge_keys(), want_kruskal.edge_keys());
-    }
+        assert_eq!(got.edge_keys(), want_kruskal.edge_keys());
+    });
+}
 
-    #[test]
-    fn knng_and_kcenter_agree_across_schemes(pts in points()) {
+#[test]
+fn knng_and_kcenter_agree_across_schemes() {
+    property(0x5EED_0102, 24, |rng| {
+        let pts = points(rng);
         let n = pts.len();
         let metric = planar(&pts);
         let k = 3.min(n - 1);
@@ -72,13 +75,16 @@ proptest! {
             .into_iter()
             .map(|nb| nb.into_iter().map(|(id, _)| id).collect())
             .collect();
-        prop_assert_eq!(got_g, want_g);
+        assert_eq!(got_g, want_g);
         let got_c = k_center(&mut t, 3.min(n), 0);
-        prop_assert_eq!(got_c, want_c);
-    }
+        assert_eq!(got_c, want_c);
+    });
+}
 
-    #[test]
-    fn tsp_agrees_across_schemes(pts in points()) {
+#[test]
+fn tsp_agrees_across_schemes() {
+    property(0x5EED_0103, 24, |rng| {
+        let pts = points(rng);
         let n = pts.len();
         let metric = planar(&pts);
         let o_v = Oracle::new(&metric);
@@ -88,15 +94,18 @@ proptest! {
         let o_t = Oracle::new(&metric);
         let mut t = BoundResolver::new(&o_t, TriScheme::new(n, 1.0));
         let got = tsp_2opt(&mut t, 0, 10);
-        prop_assert_eq!(got.order, want.order);
-        prop_assert!((got.length - want.length).abs() < 1e-9);
-    }
+        assert_eq!(got.order, want.order);
+        assert!((got.length - want.length).abs() < 1e-9);
+    });
+}
 
-    /// The newest, most float-sensitive surfaces: aggregate linkages on
-    /// sqrt-based Euclidean metrics (the exact setting where derived
-    /// bounds carry ulp noise). Dendrograms must be bit-identical.
-    #[test]
-    fn linkage_family_agrees_across_schemes(pts in points()) {
+/// The newest, most float-sensitive surfaces: aggregate linkages on
+/// sqrt-based Euclidean metrics (the exact setting where derived bounds
+/// carry ulp noise). Dendrograms must be bit-identical.
+#[test]
+fn linkage_family_agrees_across_schemes() {
+    property(0x5EED_0104, 24, |rng| {
+        let pts = points(rng);
         let n = pts.len();
         let metric = planar(&pts);
 
@@ -106,10 +115,10 @@ proptest! {
         let want_c = complete_linkage(&mut v);
         let o_t = Oracle::new(&metric);
         let mut t = BoundResolver::new(&o_t, TriScheme::new(n, 1.0));
-        prop_assert_eq!(&complete_linkage(&mut t), &want_c);
+        assert_eq!(&complete_linkage(&mut t), &want_c);
         let o_s = Oracle::new(&metric);
         let mut s = BoundResolver::new(&o_s, Splub::new(n, 1.0));
-        prop_assert_eq!(&complete_linkage(&mut s), &want_c);
+        assert_eq!(&complete_linkage(&mut s), &want_c);
 
         // Average linkage: full dendrogram and the topology-only cut.
         let o_v = Oracle::new(&metric);
@@ -117,14 +126,14 @@ proptest! {
         let want_a = average_linkage(&mut v);
         let o_t = Oracle::new(&metric);
         let mut t = BoundResolver::new(&o_t, TriScheme::new(n, 1.0));
-        prop_assert_eq!(&average_linkage(&mut t), &want_a);
+        assert_eq!(&average_linkage(&mut t), &want_a);
         let k = 3.min(n);
         let want_cut = want_a.cut(k);
         let o_t = Oracle::new(&metric);
         let mut t = BoundResolver::new(&o_t, TriScheme::new(n, 1.0));
-        prop_assert_eq!(&average_linkage_cut(&mut t, k), &want_cut);
+        assert_eq!(&average_linkage_cut(&mut t, k), &want_cut);
         let o_s = Oracle::new(&metric);
         let mut s = BoundResolver::new(&o_s, Splub::new(n, 1.0));
-        prop_assert_eq!(&average_linkage_cut(&mut s, k), &want_cut);
-    }
+        assert_eq!(&average_linkage_cut(&mut s, k), &want_cut);
+    });
 }

@@ -3,7 +3,7 @@
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prox_bench::microbench::Bench;
 use prox_bounds::DistanceResolver;
 use prox_core::{Oracle, Pair};
 use prox_datasets::{ClusteredPlane, Dataset};
@@ -12,32 +12,27 @@ use prox_lp::{DftResolver, Encoding, FeasibilityProblem};
 const SEED: u64 = 20210620;
 
 /// Raw simplex feasibility on triangle-shaped systems.
-fn bench_simplex(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simplex_feasibility");
+fn bench_simplex(b: &mut Bench) {
     for n_vars in [10usize, 30, 60] {
         // A chained system that needs real pivoting: x0 >= 1, x_{i+1} >= x_i
         // + 1, plus a cap near the end that makes it barely feasible.
-        group.bench_with_input(BenchmarkId::new("chain", n_vars), &n_vars, |b, &nv| {
-            b.iter(|| {
-                let mut p = FeasibilityProblem::new(nv);
-                p.add_ge(&[(0, 1.0)], 1.0);
-                for i in 0..nv - 1 {
-                    p.add_ge(&[(i + 1, 1.0), (i, -1.0)], 1.0);
-                }
-                p.add_le(&[(nv - 1, 1.0)], nv as f64);
-                black_box(p.feasible())
-            })
+        b.bench("simplex_feasibility", &format!("chain/{n_vars}"), || {
+            let mut p = FeasibilityProblem::new(n_vars);
+            p.add_ge(&[(0, 1.0)], 1.0);
+            for i in 0..n_vars - 1 {
+                p.add_ge(&[(i + 1, 1.0), (i, -1.0)], 1.0);
+            }
+            p.add_le(&[(n_vars - 1, 1.0)], n_vars as f64);
+            black_box(p.feasible());
         });
     }
-    group.finish();
 }
 
 /// DFT comparison queries under both encodings: substituted (vars only for
 /// unknown edges) vs the paper's literal encoding (vars for every edge plus
 /// equality pins). Verdicts are identical; size and speed are not.
-fn bench_dft_encoding(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dft_encoding");
-    group.sample_size(10);
+fn bench_dft_encoding(b: &mut Bench) {
+    b.sample_size(10);
     let n = 12;
     let metric = ClusteredPlane::default().metric(n, SEED);
     let resolved: Vec<Pair> = Pair::all(n).step_by(5).collect();
@@ -50,22 +45,23 @@ fn bench_dft_encoding(c: &mut Criterion) {
         ("substituted", Encoding::Substituted),
         ("literal", Encoding::Literal),
     ] {
-        group.bench_function(BenchmarkId::new(name, n), |b| {
-            b.iter(|| {
-                let oracle = Oracle::new(&*metric);
-                let mut dft = DftResolver::with_encoding(&oracle, encoding);
-                for &p in &resolved {
-                    dft.resolve(p);
-                }
-                for &(x, y) in &queries {
-                    black_box(dft.try_less(x, y));
-                }
-                black_box(dft.lp_solves())
-            })
+        b.bench("dft_encoding", &format!("{name}/{n}"), || {
+            let oracle = Oracle::new(&*metric);
+            let mut dft = DftResolver::with_encoding(&oracle, encoding);
+            for &p in &resolved {
+                dft.resolve(p);
+            }
+            for &(x, y) in &queries {
+                black_box(dft.try_less(x, y));
+            }
+            black_box(dft.lp_solves());
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_simplex, bench_dft_encoding);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new();
+    bench_simplex(&mut b);
+    bench_dft_encoding(&mut b);
+    b.finish();
+}

@@ -3,72 +3,59 @@
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use prox_algos::{
     average_linkage_cut, complete_linkage, knn_graph, kruskal_mst, kruskal_mst_with, prim_mst,
     single_linkage, KruskalConfig,
 };
+use prox_bench::microbench::Bench;
 use prox_bench::runner::{log_landmarks, run_plugged, Plug};
 use prox_datasets::{ClusteredPlane, Dataset, RoadNetwork};
 
 const SEED: u64 = 20210620;
 
-fn bench_prim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("prim_plugged");
-    group.sample_size(10);
+fn bench_prim(b: &mut Bench) {
+    b.sample_size(10);
     let n = 128;
     let metric = RoadNetwork::default().metric(n, SEED);
     let k = log_landmarks(n);
     for plug in [Plug::Vanilla, Plug::TriBoot, Plug::Laesa, Plug::Tlaesa] {
-        group.bench_function(BenchmarkId::new(plug.label(), n), |b| {
-            b.iter(|| {
-                let (mst, r) = run_plugged(plug, &*metric, k, SEED, |r| prim_mst(r));
-                black_box((mst.total_weight, r.total_calls()))
-            })
+        b.bench("prim_plugged", &format!("{}/{n}", plug.label()), || {
+            let (mst, r) = run_plugged(plug, &*metric, k, SEED, |r| prim_mst(r));
+            black_box((mst.total_weight, r.total_calls()));
         });
     }
-    group.finish();
 }
 
-fn bench_kruskal(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kruskal_plugged");
-    group.sample_size(10);
+fn bench_kruskal(b: &mut Bench) {
+    b.sample_size(10);
     let n = 128;
     let metric = RoadNetwork::default().metric(n, SEED);
     let k = log_landmarks(n);
     for plug in [Plug::Vanilla, Plug::TriBoot] {
-        group.bench_function(BenchmarkId::new(plug.label(), n), |b| {
-            b.iter(|| {
-                let (mst, r) = run_plugged(plug, &*metric, k, SEED, |r| kruskal_mst(r));
-                black_box((mst.total_weight, r.total_calls()))
-            })
+        b.bench("kruskal_plugged", &format!("{}/{n}", plug.label()), || {
+            let (mst, r) = run_plugged(plug, &*metric, k, SEED, |r| kruskal_mst(r));
+            black_box((mst.total_weight, r.total_calls()));
         });
     }
-    group.finish();
 }
 
-fn bench_knng(c: &mut Criterion) {
-    let mut group = c.benchmark_group("knng_plugged");
-    group.sample_size(10);
+fn bench_knng(b: &mut Bench) {
+    b.sample_size(10);
     let n = 128;
     let metric = ClusteredPlane::default().metric(n, SEED);
     let k = log_landmarks(n);
     for plug in [Plug::Vanilla, Plug::TriNb, Plug::Splub] {
-        group.bench_function(BenchmarkId::new(plug.label(), n), |b| {
-            b.iter(|| {
-                let (g, r) = run_plugged(plug, &*metric, k, SEED, |r| knn_graph(r, 5));
-                black_box((g.len(), r.total_calls()))
-            })
+        b.bench("knng_plugged", &format!("{}/{n}", plug.label()), || {
+            let (g, r) = run_plugged(plug, &*metric, k, SEED, |r| knn_graph(r, 5));
+            black_box((g.len(), r.total_calls()));
         });
     }
-    group.finish();
 }
 
 /// DESIGN.md ablation: the lazy-Kruskal levers (connectivity-first discard,
 /// bound refresh) measured in oracle calls and wall time.
-fn bench_kruskal_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kruskal_ablation");
-    group.sample_size(10);
+fn bench_kruskal_ablation(b: &mut Bench) {
+    b.sample_size(10);
     let n = 128;
     let metric = RoadNetwork::default().metric(n, SEED);
     let k = log_landmarks(n);
@@ -90,67 +77,59 @@ fn bench_kruskal_ablation(c: &mut Criterion) {
         ),
     ];
     for (name, config) in configs {
-        group.bench_function(BenchmarkId::new(name, n), |b| {
-            b.iter(|| {
-                let (mst, r) = run_plugged(Plug::TriBoot, &*metric, k, SEED, |r| {
-                    kruskal_mst_with(r, config)
-                });
-                black_box((mst.total_weight, r.total_calls()))
-            })
+        b.bench("kruskal_ablation", &format!("{name}/{n}"), || {
+            let (mst, r) = run_plugged(Plug::TriBoot, &*metric, k, SEED, |r| {
+                kruskal_mst_with(r, config)
+            });
+            black_box((mst.total_weight, r.total_calls()));
         });
     }
-    group.finish();
 }
 
 /// The linkage family under one plug: min (single) and max (complete)
 /// aggregates prune inside cluster pairs; the sum aggregate only pays off
 /// on the topology-only cut. CPU time here shows the certificate overhead
 /// each aggregate shape buys its savings with.
-fn bench_linkage_family(c: &mut Criterion) {
-    let mut group = c.benchmark_group("linkage_family");
-    group.sample_size(10);
+fn bench_linkage_family(b: &mut Bench) {
+    b.sample_size(10);
     let n = 96;
     let metric = ClusteredPlane::default().metric(n, SEED);
     let k = log_landmarks(n);
     for plug in [Plug::Vanilla, Plug::TriNb] {
-        group.bench_function(
-            BenchmarkId::new(format!("single/{}", plug.label()), n),
-            |b| {
-                b.iter(|| {
-                    let (d, r) = run_plugged(plug, &*metric, k, SEED, |r| single_linkage(r));
-                    black_box((d.merges.len(), r.total_calls()))
-                })
+        b.bench(
+            "linkage_family",
+            &format!("single/{}/{n}", plug.label()),
+            || {
+                let (d, r) = run_plugged(plug, &*metric, k, SEED, |r| single_linkage(r));
+                black_box((d.merges.len(), r.total_calls()));
             },
         );
-        group.bench_function(
-            BenchmarkId::new(format!("complete/{}", plug.label()), n),
-            |b| {
-                b.iter(|| {
-                    let (d, r) = run_plugged(plug, &*metric, k, SEED, |r| complete_linkage(r));
-                    black_box((d.merges.len(), r.total_calls()))
-                })
+        b.bench(
+            "linkage_family",
+            &format!("complete/{}/{n}", plug.label()),
+            || {
+                let (d, r) = run_plugged(plug, &*metric, k, SEED, |r| complete_linkage(r));
+                black_box((d.merges.len(), r.total_calls()));
             },
         );
-        group.bench_function(
-            BenchmarkId::new(format!("average-cut/{}", plug.label()), n),
-            |b| {
-                b.iter(|| {
-                    let (labels, r) =
-                        run_plugged(plug, &*metric, k, SEED, |r| average_linkage_cut(r, 6));
-                    black_box((labels.len(), r.total_calls()))
-                })
+        b.bench(
+            "linkage_family",
+            &format!("average-cut/{}/{n}", plug.label()),
+            || {
+                let (labels, r) =
+                    run_plugged(plug, &*metric, k, SEED, |r| average_linkage_cut(r, 6));
+                black_box((labels.len(), r.total_calls()));
             },
         );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_prim,
-    bench_kruskal,
-    bench_knng,
-    bench_kruskal_ablation,
-    bench_linkage_family
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new();
+    bench_prim(&mut b);
+    bench_kruskal(&mut b);
+    bench_knng(&mut b);
+    bench_kruskal_ablation(&mut b);
+    bench_linkage_family(&mut b);
+    b.finish();
+}

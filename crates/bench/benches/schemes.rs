@@ -2,7 +2,7 @@
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prox_bench::microbench::Bench;
 use prox_bounds::{
     laesa_bootstrap, Adm, BoundScheme, Laesa, Splub, Tlaesa, TriBTreeScheme, TriScheme,
 };
@@ -19,69 +19,56 @@ fn feed(scheme: &mut dyn BoundScheme, metric: &(dyn prox_core::Metric + Send + S
     }
 }
 
-fn bench_queries(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bound_query");
+fn bench_queries(b: &mut Bench) {
     for n in [128usize, 256] {
         let metric = ClusteredPlane::default().metric(n, SEED);
         let queries: Vec<Pair> = Pair::all(n).step_by(13).take(256).collect();
 
         let mut tri = TriScheme::new(n, 1.0);
         feed(&mut tri, &*metric, n);
-        group.bench_with_input(BenchmarkId::new("tri", n), &n, |b, _| {
-            b.iter(|| {
-                for &q in &queries {
-                    black_box(tri.bounds(q));
-                }
-            })
+        b.bench("bound_query", &format!("tri/{n}"), || {
+            for &q in &queries {
+                black_box(tri.bounds(q));
+            }
         });
 
         let mut splub = Splub::new(n, 1.0);
         feed(&mut splub, &*metric, n);
-        group.bench_with_input(BenchmarkId::new("splub", n), &n, |b, _| {
-            b.iter(|| {
-                for &q in &queries {
-                    black_box(splub.bounds(q));
-                }
-            })
+        b.bench("bound_query", &format!("splub/{n}"), || {
+            for &q in &queries {
+                black_box(splub.bounds(q));
+            }
         });
 
         let mut adm = Adm::new(n, 1.0);
         feed(&mut adm, &*metric, n);
-        group.bench_with_input(BenchmarkId::new("adm_query", n), &n, |b, _| {
-            b.iter(|| {
-                for &q in &queries {
-                    black_box(adm.bounds(q));
-                }
-            })
+        b.bench("bound_query", &format!("adm_query/{n}"), || {
+            for &q in &queries {
+                black_box(adm.bounds(q));
+            }
         });
 
         let oracle = Oracle::new(&*metric);
         let boot = laesa_bootstrap(&oracle, 8, SEED);
         let mut laesa = Laesa::new(1.0, &boot);
-        group.bench_with_input(BenchmarkId::new("laesa", n), &n, |b, _| {
-            b.iter(|| {
-                for &q in &queries {
-                    black_box(laesa.bounds(q));
-                }
-            })
+        b.bench("bound_query", &format!("laesa/{n}"), || {
+            for &q in &queries {
+                black_box(laesa.bounds(q));
+            }
         });
 
         let oracle2 = Oracle::new(&*metric);
         let mut tlaesa = Tlaesa::build(&oracle2, 8, 16, SEED);
-        group.bench_with_input(BenchmarkId::new("tlaesa", n), &n, |b, _| {
-            b.iter(|| {
-                for &q in &queries {
-                    black_box(tlaesa.bounds(q));
-                }
-            })
+        b.bench("bound_query", &format!("tlaesa/{n}"), || {
+            for &q in &queries {
+                black_box(tlaesa.bounds(q));
+            }
         });
     }
-    group.finish();
 }
 
-fn bench_updates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bound_update");
-    group.sample_size(10);
+fn bench_updates(b: &mut Bench) {
+    b.sample_size(10);
     for n in [128usize, 256] {
         let metric = ClusteredPlane::default().metric(n, SEED);
         let oracle = Oracle::new(&*metric);
@@ -91,40 +78,32 @@ fn bench_updates(c: &mut Criterion) {
             .map(|p| (p, oracle.call_pair(p)))
             .collect();
 
-        group.bench_with_input(BenchmarkId::new("tri", n), &n, |b, _| {
-            b.iter(|| {
-                let mut s = TriScheme::new(n, 1.0);
-                for &(p, d) in &edges {
-                    s.record(p, d);
-                }
-                black_box(s.m())
-            })
+        b.bench("bound_update", &format!("tri/{n}"), || {
+            let mut s = TriScheme::new(n, 1.0);
+            for &(p, d) in &edges {
+                s.record(p, d);
+            }
+            black_box(s.m());
         });
-        group.bench_with_input(BenchmarkId::new("splub", n), &n, |b, _| {
-            b.iter(|| {
-                let mut s = Splub::new(n, 1.0);
-                for &(p, d) in &edges {
-                    s.record(p, d);
-                }
-                black_box(s.m())
-            })
+        b.bench("bound_update", &format!("splub/{n}"), || {
+            let mut s = Splub::new(n, 1.0);
+            for &(p, d) in &edges {
+                s.record(p, d);
+            }
+            black_box(s.m());
         });
-        group.bench_with_input(BenchmarkId::new("adm", n), &n, |b, _| {
-            b.iter(|| {
-                let mut s = Adm::new(n, 1.0);
-                for &(p, d) in &edges {
-                    s.record(p, d);
-                }
-                black_box(s.m())
-            })
+        b.bench("bound_update", &format!("adm/{n}"), || {
+            let mut s = Adm::new(n, 1.0);
+            for &(p, d) in &edges {
+                s.record(p, d);
+            }
+            black_box(s.m());
         });
     }
-    group.finish();
 }
 
 /// DESIGN.md ablation: sorted-`Vec` vs `BTreeMap` adjacency inside Tri.
-fn bench_tri_adjacency(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tri_adjacency");
+fn bench_tri_adjacency(b: &mut Bench) {
     let n = 512;
     let metric = ClusteredPlane::default().metric(n, SEED);
     let oracle = Oracle::new(&*metric);
@@ -134,34 +113,34 @@ fn bench_tri_adjacency(c: &mut Criterion) {
         .collect();
     let queries: Vec<Pair> = Pair::all(n).step_by(101).collect();
 
-    group.bench_function("sorted_vec", |b| {
-        b.iter(|| {
-            let mut s = TriScheme::new(n, 1.0);
-            for &(p, d) in &edges {
-                s.record(p, d);
-            }
-            let mut acc = 0.0;
-            for &q in &queries {
-                acc += s.bounds(q).0;
-            }
-            black_box(acc)
-        })
+    b.bench("tri_adjacency", "sorted_vec", || {
+        let mut s = TriScheme::new(n, 1.0);
+        for &(p, d) in &edges {
+            s.record(p, d);
+        }
+        let mut acc = 0.0;
+        for &q in &queries {
+            acc += s.bounds(q).0;
+        }
+        black_box(acc);
     });
-    group.bench_function("btree", |b| {
-        b.iter(|| {
-            let mut s = TriBTreeScheme::new(n, 1.0);
-            for &(p, d) in &edges {
-                s.record(p, d);
-            }
-            let mut acc = 0.0;
-            for &q in &queries {
-                acc += s.bounds(q).0;
-            }
-            black_box(acc)
-        })
+    b.bench("tri_adjacency", "btree", || {
+        let mut s = TriBTreeScheme::new(n, 1.0);
+        for &(p, d) in &edges {
+            s.record(p, d);
+        }
+        let mut acc = 0.0;
+        for &q in &queries {
+            acc += s.bounds(q).0;
+        }
+        black_box(acc);
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_queries, bench_updates, bench_tri_adjacency);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new();
+    bench_queries(&mut b);
+    bench_updates(&mut b);
+    bench_tri_adjacency(&mut b);
+    b.finish();
+}

@@ -13,6 +13,7 @@
 //! the paper's numbers and the observed trends.
 
 pub mod experiments;
+pub mod microbench;
 pub mod runner;
 pub mod table;
 

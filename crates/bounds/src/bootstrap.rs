@@ -1,5 +1,6 @@
 //! Landmark selection and bootstrap (LAESA preprocessing, §4.2 of the paper).
 
+use prox_core::invariant::InvariantExt;
 use prox_core::{Metric, ObjectId, Oracle, Pair};
 
 use crate::BoundScheme;
@@ -109,7 +110,7 @@ pub fn select_maxmin_pivots<M: Metric>(oracle: &Oracle<M>, k: usize, seed: u64) 
                 best = Some(x as ObjectId);
             }
         }
-        current = best.expect("k <= n guarantees a next pivot");
+        current = best.expect_invariant("k <= n guarantees a next pivot");
     }
 
     Bootstrap { n, pivots, rows }

@@ -37,6 +37,8 @@
 
 pub mod adm;
 pub mod bootstrap;
+#[cfg(feature = "paranoid")]
+pub mod checked;
 pub mod composite;
 pub mod laesa;
 pub mod resolver;
@@ -48,6 +50,8 @@ pub mod tri_btree;
 
 pub use adm::{Adm, AdmUpdate};
 pub use bootstrap::{laesa_bootstrap, select_maxmin_pivots, Bootstrap};
+#[cfg(feature = "paranoid")]
+pub use checked::CheckedResolver;
 pub use composite::Composite;
 pub use laesa::Laesa;
 pub use resolver::{BoundResolver, DistanceResolver, VanillaResolver, DECISION_EPS};

@@ -34,21 +34,25 @@ pub trait DistanceResolver {
     fn max_distance(&self) -> f64;
 
     /// Exact distance if already known (never calls the oracle).
+    #[must_use]
     fn known(&self, p: Pair) -> Option<f64>;
 
     /// Exact distance, calling the oracle if necessary.
     fn resolve(&mut self, p: Pair) -> f64;
 
     /// Tries to decide `dist(x) < dist(y)` without the oracle.
+    #[must_use = "a discarded verdict wastes the bound derivation"]
     fn try_less(&mut self, x: Pair, y: Pair) -> Option<bool>;
 
     /// Tries to decide `dist(x) < v` without the oracle.
+    #[must_use = "a discarded verdict wastes the bound derivation"]
     fn try_less_value(&mut self, x: Pair, v: f64) -> Option<bool>;
 
     /// Tries to decide `dist(x) <= v` without the oracle (`Some(false)` only
     /// when the lower bound strictly exceeds `v`). Algorithms that must
     /// inspect *ties* exactly — e.g. kNN breaking equal distances by id —
     /// use this instead of [`DistanceResolver::try_less_value`].
+    #[must_use = "a discarded verdict wastes the bound derivation"]
     fn try_leq_value(&mut self, x: Pair, v: f64) -> Option<bool>;
 
     /// Tries to decide the **aggregate** comparison
@@ -58,6 +62,7 @@ pub trait DistanceResolver {
     /// `d(a,c) + d(b,d)`). Bound resolvers decide it by interval sums; the
     /// DFT resolver runs a joint feasibility test, which is strictly
     /// stronger on sums (the terms are coupled through shared triangles).
+    #[must_use = "a discarded verdict wastes the bound derivation"]
     fn try_less_sum2(&mut self, x: (Pair, Pair), y: (Pair, Pair)) -> Option<bool>;
 
     /// Tries to decide `Σ dist(t) < v` over an arbitrary list of terms
@@ -72,6 +77,7 @@ pub trait DistanceResolver {
     /// strictly stronger: with `d(a,c) = 0.9` known, the unknowns `d(a,b)`
     /// and `d(b,c)` each lie in `[0, 1]` — interval arithmetic bounds the
     /// sum by `0` while the LP certifies `Σ ≥ 0.9`.
+    #[must_use = "a discarded verdict wastes the bound derivation"]
     fn try_sum_less_value(&mut self, terms: &[Pair], v: f64) -> Option<bool> {
         let mut lo = 0.0f64;
         let mut hi = 0.0f64;
@@ -283,7 +289,8 @@ impl<'o, M: Metric, S: BoundScheme> DistanceResolver for BoundResolver<'o, M, S>
     fn try_less_value(&mut self, x: Pair, v: f64) -> Option<bool> {
         let (lb, ub) = self.scheme.bounds(x);
         if lb == ub {
-            // Exactly known (recorded) values carry no derivation noise.
+            // Exactly known (recorded) values carry no derivation noise,
+            // so this compares as the oracle itself would. lint: allow(L3)
             return Some(lb < v);
         }
         if ub < v - DECISION_EPS {
@@ -298,6 +305,7 @@ impl<'o, M: Metric, S: BoundScheme> DistanceResolver for BoundResolver<'o, M, S>
     fn try_leq_value(&mut self, x: Pair, v: f64) -> Option<bool> {
         let (lb, ub) = self.scheme.bounds(x);
         if lb == ub {
+            // Exactly known value: compare as the oracle would. lint: allow(L3)
             return Some(lb <= v);
         }
         if ub <= v - DECISION_EPS {
@@ -316,9 +324,9 @@ impl<'o, M: Metric, S: BoundScheme> DistanceResolver for BoundResolver<'o, M, S>
         let (ly1, uy1) = self.scheme.bounds(y.1);
         // A small safety margin absorbs the rounding of summed bounds; the
         // near-tie cases fall through and are compared exactly.
-        if ux0 + ux1 < ly0 + ly1 - 1e-12 {
+        if ux0 + ux1 < ly0 + ly1 - DECISION_EPS {
             Some(true)
-        } else if lx0 + lx1 >= uy0 + uy1 + 1e-12 {
+        } else if lx0 + lx1 >= uy0 + uy1 + DECISION_EPS {
             Some(false)
         } else {
             None

@@ -30,9 +30,11 @@ pub trait BoundScheme {
     fn max_distance(&self) -> f64;
 
     /// Exact distance for `p` if it has been recorded.
+    #[must_use]
     fn known(&self, p: Pair) -> Option<f64>;
 
     /// `(lower, upper)` bounds for `p`; `(d, d)` when known.
+    #[must_use]
     fn bounds(&mut self, p: Pair) -> (f64, f64);
 
     /// Lower bound only.
@@ -49,6 +51,7 @@ pub trait BoundScheme {
     fn record(&mut self, p: Pair, d: f64);
 
     /// Number of distances recorded so far.
+    #[must_use]
     fn m(&self) -> usize;
 
     /// Scheme name for reports ("Tri", "SPLUB", …).

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use prox_core::invariant::InvariantExt;
 use prox_core::{Metric, ObjectId, Oracle, Pair};
 
 use crate::laesa::pivot_list_bounds;
@@ -101,7 +102,7 @@ impl Tlaesa {
                 .enumerate()
                 .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
-                .expect("non-empty node");
+                .expect_invariant("non-empty node");
             let rep2 = members[far_idx];
             // Distances from rep2 to every member (oracle calls unless the
             // pair is already known from the prototype rows or an ancestor).

@@ -8,45 +8,22 @@
 //! * Tri Scheme is never tighter than SPLUB (it explores a path subset);
 //! * recording collapses a pair's bounds to the exact value.
 
-use proptest::prelude::*;
 use prox_bounds::{Adm, BoundScheme, Splub, TriScheme};
 use prox_core::{FnMetric, Metric, Pair};
-use prox_datasets::EuclideanPoints;
+use prox_datasets::testgen::{property, PlanarInstance};
 
-/// A random point set in the unit square under scaled Euclidean distance —
-/// a guaranteed metric with distances in [0, 1].
-fn planar_metric(points: Vec<(f64, f64)>) -> EuclideanPoints {
-    EuclideanPoints::new(points)
-}
-
-/// Strategy: n points in [0,1]^2 plus a subset of edges to pre-resolve.
-/// (points, pre-resolved id pairs)
-type Instance = (Vec<(f64, f64)>, Vec<(u32, u32)>);
-
-fn instance() -> impl Strategy<Value = Instance> {
-    (4usize..12).prop_flat_map(|n| {
-        let pts = prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), n);
-        let pair = (0..n as u32)
-            .prop_flat_map(move |a| (Just(a), 0..n as u32))
-            .prop_filter("distinct", |(a, b)| a != b);
-        let edges = prop::collection::vec(pair, 0..=(n * (n - 1) / 2));
-        (pts, edges)
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn bounds_sound_and_tightness_ordered((pts, edges) in instance()) {
-        let n = pts.len();
-        let metric = planar_metric(pts);
+#[test]
+fn bounds_sound_and_tightness_ordered() {
+    property(0x5EED_0001, 64, |rng| {
+        let inst = PlanarInstance::draw(rng, 4, 12, 1.0);
+        let n = inst.n();
+        let metric = inst.metric();
 
         let mut tri = TriScheme::new(n, 1.0);
         let mut splub = Splub::new(n, 1.0);
         let mut adm = Adm::new(n, 1.0);
 
-        for &(a, b) in &edges {
+        for &(a, b) in &inst.edges {
             let p = Pair::new(a, b);
             let d = metric.distance(a, b);
             tri.record(p, d);
@@ -62,40 +39,52 @@ proptest! {
 
             // Soundness for every scheme.
             for (name, l, u) in [("tri", tl, tu), ("splub", sl, su), ("adm", al, au)] {
-                prop_assert!(l <= d + 1e-9, "{name} {q:?}: lb {l} > d {d}");
-                prop_assert!(u >= d - 1e-9, "{name} {q:?}: ub {u} < d {d}");
-                prop_assert!(l <= u + 1e-9, "{name} {q:?}: lb {l} > ub {u}");
+                assert!(l <= d + 1e-9, "{name} {q:?}: lb {l} > d {d}");
+                assert!(u >= d - 1e-9, "{name} {q:?}: ub {u} < d {d}");
+                assert!(l <= u + 1e-9, "{name} {q:?}: lb {l} > ub {u}");
             }
 
             // SPLUB == ADM: both compute the tightest path bounds.
-            prop_assert!((sl - al).abs() < 1e-9, "{q:?}: splub lb {sl} vs adm {al}");
-            prop_assert!((su - au).abs() < 1e-9, "{q:?}: splub ub {su} vs adm {au}");
+            assert!((sl - al).abs() < 1e-9, "{q:?}: splub lb {sl} vs adm {al}");
+            assert!((su - au).abs() < 1e-9, "{q:?}: splub ub {su} vs adm {au}");
 
             // Tri is never tighter than SPLUB.
-            prop_assert!(tl <= sl + 1e-9, "{q:?}: tri lb {tl} tighter than splub {sl}");
-            prop_assert!(tu >= su - 1e-9, "{q:?}: tri ub {tu} tighter than splub {su}");
+            assert!(
+                tl <= sl + 1e-9,
+                "{q:?}: tri lb {tl} tighter than splub {sl}"
+            );
+            assert!(
+                tu >= su - 1e-9,
+                "{q:?}: tri ub {tu} tighter than splub {su}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn record_collapses_bounds((pts, edges) in instance()) {
-        let n = pts.len();
-        let metric = planar_metric(pts);
+#[test]
+fn record_collapses_bounds() {
+    property(0x5EED_0002, 64, |rng| {
+        let inst = PlanarInstance::draw(rng, 4, 12, 1.0);
+        let n = inst.n();
+        let metric = inst.metric();
         let mut splub = Splub::new(n, 1.0);
         let mut tri = TriScheme::new(n, 1.0);
         let mut adm = Adm::new(n, 1.0);
-        for &(a, b) in &edges {
+        for &(a, b) in &inst.edges {
             let p = Pair::new(a, b);
             let d = metric.distance(a, b);
             for s in [&mut tri as &mut dyn BoundScheme, &mut splub, &mut adm] {
                 s.record(p, d);
                 let (lb, ub) = s.bounds(p);
-                prop_assert!((lb - d).abs() < 1e-12 && (ub - d).abs() < 1e-12,
-                    "{} {p:?} bounds did not collapse: ({lb}, {ub}) vs {d}", s.name());
-                prop_assert!(s.known(p).is_some());
+                assert!(
+                    (lb - d).abs() < 1e-12 && (ub - d).abs() < 1e-12,
+                    "{} {p:?} bounds did not collapse: ({lb}, {ub}) vs {d}",
+                    s.name()
+                );
+                assert!(s.known(p).is_some());
             }
         }
-    }
+    });
 }
 
 /// Theorem 4.2 sanity: the expected Tri lookup cost for a uniformly random

@@ -16,6 +16,7 @@
 //!   tables and figures are made of (distance calls, saved comparisons,
 //!   CPU overhead vs. oracle time).
 
+pub mod invariant;
 pub mod metric;
 pub mod oracle;
 pub mod pair;

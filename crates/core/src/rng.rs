@@ -36,6 +36,30 @@ impl TinyRng {
         (self.next_u64() % bound as u64) as usize
     }
 
+    /// Uniform in the half-open integer range `lo..hi` (`lo < hi`).
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in the half-open real range `[lo, hi)` (`lo ≤ hi`).
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.unit_f64()
+    }
+
+    /// A standard-normal draw (Box–Muller over two uniform draws).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.f64_range(1e-12, 1.0);
+        let u2 = self.unit_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
     /// `k` distinct values from `0..n`, ascending.
     pub fn distinct(&mut self, k: usize, n: usize) -> Vec<ObjectId> {
         assert!(k <= n, "cannot draw {k} distinct from {n}");

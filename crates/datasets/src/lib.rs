@@ -27,6 +27,7 @@ pub mod plane;
 pub mod pointsets;
 pub mod roadnet;
 pub mod strings;
+pub mod testgen;
 pub mod vectors;
 
 pub use plane::{ClusteredPlane, EuclideanPoints};

@@ -1,9 +1,6 @@
 //! Clustered planar points under L1 distance — the SF POI stand-in.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use prox_core::{Metric, ObjectId};
+use prox_core::{Metric, ObjectId, TinyRng};
 
 use crate::Dataset;
 
@@ -90,22 +87,17 @@ impl Metric for EuclideanPoints {
 impl ClusteredPlane {
     /// Generates the point set for `n` objects.
     pub fn generate(&self, n: usize, seed: u64) -> PlaneMetric {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5f3_7a11);
+        let mut rng = TinyRng::new(seed ^ 0x5f3_7a11);
         let centers: Vec<(f64, f64)> = (0..self.clusters.max(1))
-            .map(|_| (rng.random_range(0.1..0.9), rng.random_range(0.1..0.9)))
+            .map(|_| (rng.f64_range(0.1, 0.9), rng.f64_range(0.1, 0.9)))
             .collect();
-        // Box–Muller normals around a seeded-random center, clamped to the
-        // unit square.
-        let normal = move |rng: &mut StdRng| -> f64 {
-            let u1: f64 = rng.random_range(1e-12..1.0);
-            let u2: f64 = rng.random_range(0.0..1.0);
-            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-        };
+        // Normal draws around a seeded-random center, clamped to the unit
+        // square.
         let points = (0..n)
             .map(|_| {
-                let (cx, cy) = centers[rng.random_range(0..centers.len())];
-                let x = (cx + self.spread * normal(&mut rng)).clamp(0.0, 1.0);
-                let y = (cy + self.spread * normal(&mut rng)).clamp(0.0, 1.0);
+                let (cx, cy) = centers[rng.below(centers.len())];
+                let x = (cx + self.spread * rng.normal()).clamp(0.0, 1.0);
+                let y = (cy + self.spread * rng.normal()).clamp(0.0, 1.0);
                 (x, y)
             })
             .collect();

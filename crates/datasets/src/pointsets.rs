@@ -6,10 +6,7 @@
 //! oracle. The Hausdorff distance is a metric on compact sets, so all
 //! triangle-inequality machinery applies unchanged.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use prox_core::{Metric, ObjectId};
+use prox_core::{Metric, ObjectId, TinyRng};
 
 use crate::Dataset;
 
@@ -88,23 +85,23 @@ impl Metric for HausdorffMetric {
 impl PointSets {
     /// Generates `n` clouds.
     pub fn generate(&self, n: usize, seed: u64) -> HausdorffMetric {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x4A05_D0FF);
+        let mut rng = TinyRng::new(seed ^ 0x4A05_D0FF);
         let s = self.set_size.max(2);
         let shapes: Vec<Vec<(f64, f64)>> = (0..self.families.max(1))
             .map(|_| {
                 (0..s)
-                    .map(|_| (rng.random_range(0.1..0.9), rng.random_range(0.1..0.9)))
+                    .map(|_| (rng.f64_range(0.1, 0.9), rng.f64_range(0.1, 0.9)))
                     .collect()
             })
             .collect();
         let sets = (0..n)
             .map(|_| {
-                let base = &shapes[rng.random_range(0..shapes.len())];
+                let base = &shapes[rng.below(shapes.len())];
                 base.iter()
                     .map(|&(x, y)| {
                         (
-                            (x + rng.random_range(-self.jitter..=self.jitter)).clamp(0.0, 1.0),
-                            (y + rng.random_range(-self.jitter..=self.jitter)).clamp(0.0, 1.0),
+                            (x + rng.f64_range(-self.jitter, self.jitter)).clamp(0.0, 1.0),
+                            (y + rng.f64_range(-self.jitter, self.jitter)).clamp(0.0, 1.0),
                         )
                     })
                     .collect()

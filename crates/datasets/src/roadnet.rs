@@ -1,9 +1,6 @@
 //! Road-network shortest-path metric — the UrbanGB stand-in.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use prox_core::{MatrixMetric, Metric, ObjectId, Pair, PairMap};
+use prox_core::{MatrixMetric, Metric, ObjectId, Pair, PairMap, TinyRng};
 use prox_graph::{Adjacency, Dijkstra};
 
 use crate::Dataset;
@@ -23,15 +20,15 @@ impl RoadGraph {
     /// lengths scaled by a per-edge congestion factor in `[1, 1.5]` — the
     /// shortest-path closure over any positive weights is a metric.
     pub fn generate(side: usize, seed: u64) -> RoadGraph {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x60D_64A9);
+        let mut rng = TinyRng::new(seed ^ 0x60D_64A9);
         let n = side * side;
         let cell = 1.0 / side as f64;
         let coords: Vec<(f64, f64)> = (0..n)
             .map(|i| {
                 let (gx, gy) = (i % side, i / side);
                 (
-                    (gx as f64 + 0.5 + rng.random_range(-0.3..0.3)) * cell,
-                    (gy as f64 + 0.5 + rng.random_range(-0.3..0.3)) * cell,
+                    (gx as f64 + 0.5 + rng.f64_range(-0.3, 0.3)) * cell,
+                    (gy as f64 + 0.5 + rng.f64_range(-0.3, 0.3)) * cell,
                 )
             })
             .collect();
@@ -48,11 +45,11 @@ impl RoadGraph {
             for gx in 0..side {
                 let i = gy * side + gx;
                 if gx + 1 < side {
-                    let f = rng.random_range(1.0..1.5);
+                    let f = rng.f64_range(1.0, 1.5);
                     connect(&mut adj, i, i + 1, f);
                 }
                 if gy + 1 < side {
-                    let f = rng.random_range(1.0..1.5);
+                    let f = rng.f64_range(1.0, 1.5);
                     connect(&mut adj, i, i + side, f);
                 }
             }
@@ -60,14 +57,14 @@ impl RoadGraph {
         // Shortcut roads (ring roads / motorways): ~5% of nodes get a
         // diagonal to a node a few cells away.
         for _ in 0..(n / 20).max(1) {
-            let a = rng.random_range(0..n);
-            let dx = rng.random_range(1..=3.min(side - 1));
-            let dy = rng.random_range(1..=3.min(side - 1));
+            let a = rng.below(n);
+            let dx = rng.range(1, 3.min(side - 1) + 1);
+            let dy = rng.range(1, 3.min(side - 1) + 1);
             let gx = (a % side + dx) % side;
             let gy = (a / side + dy) % side;
             let b = gy * side + gx;
             if a != b {
-                let f = rng.random_range(1.0..1.2);
+                let f = rng.f64_range(1.0, 1.2);
                 connect(&mut adj, a, b, f);
             }
         }
@@ -144,11 +141,11 @@ impl RoadNetwork {
         let graph = RoadGraph::generate(side, seed);
         let total = graph.n();
 
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x9_01AF);
+        let mut rng = TinyRng::new(seed ^ 0x9_01AF);
         // Sample n distinct POI nodes.
         let mut perm: Vec<u32> = (0..total as u32).collect();
         for i in 0..n {
-            let j = rng.random_range(i..total);
+            let j = rng.range(i, total);
             perm.swap(i, j);
         }
         let pois = &perm[..n];

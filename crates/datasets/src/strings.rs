@@ -6,10 +6,8 @@
 //! oracle call is an `O(len²)` dynamic program, so this dataset is the one
 //! where the "expensive oracle" is real rather than virtual.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use prox_core::{Metric, ObjectId};
+use prox_core::invariant::InvariantExt;
+use prox_core::{Metric, ObjectId, TinyRng};
 
 use crate::Dataset;
 
@@ -50,7 +48,7 @@ impl StringMetric {
     pub fn strings(&self) -> impl Iterator<Item = &str> {
         self.strings
             .iter()
-            .map(|s| std::str::from_utf8(s).expect("ASCII by construction"))
+            .map(|s| std::str::from_utf8(s).expect_invariant("ASCII by construction"))
     }
 }
 
@@ -92,22 +90,22 @@ const ALPHABET: &[u8] = b"ACGT";
 impl StringSet {
     /// Generates `n` strings.
     pub fn generate(&self, n: usize, seed: u64) -> StringMetric {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x57F1_26D5);
+        let mut rng = TinyRng::new(seed ^ 0x57F1_26D5);
         let len = self.length.max(4);
         let families: Vec<Vec<u8>> = (0..self.families.max(1))
             .map(|_| {
                 (0..len)
-                    .map(|_| ALPHABET[rng.random_range(0..ALPHABET.len())])
+                    .map(|_| ALPHABET[rng.below(ALPHABET.len())])
                     .collect()
             })
             .collect();
         let strings = (0..n)
             .map(|_| {
-                let base = &families[rng.random_range(0..families.len())];
+                let base = &families[rng.below(families.len())];
                 base.iter()
                     .map(|&c| {
-                        if rng.random_range(0.0..1.0) < self.mutation_rate {
-                            ALPHABET[rng.random_range(0..ALPHABET.len())]
+                        if rng.unit_f64() < self.mutation_rate {
+                            ALPHABET[rng.below(ALPHABET.len())]
                         } else {
                             c
                         }

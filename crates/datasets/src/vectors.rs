@@ -1,9 +1,6 @@
 //! High-dimensional vectors under Euclidean distance — the Flickr1M stand-in.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use prox_core::{Metric, ObjectId};
+use prox_core::{Metric, ObjectId, TinyRng};
 
 use crate::Dataset;
 
@@ -82,25 +79,20 @@ impl Metric for VectorMetric {
 impl RandomVectors {
     /// Generates `n` vectors.
     pub fn generate(&self, n: usize, seed: u64) -> VectorMetric {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xF11C_4A2B);
+        let mut rng = TinyRng::new(seed ^ 0xF11C_4A2B);
         let dim = self.dim.max(1);
         let clusters = self.clusters.max(1);
         let centers: Vec<Vec<f64>> = (0..clusters)
-            .map(|_| (0..dim).map(|_| rng.random_range(0.2..0.8)).collect())
+            .map(|_| (0..dim).map(|_| rng.f64_range(0.2, 0.8)).collect())
             .collect();
-        let normal = move |rng: &mut StdRng| -> f64 {
-            let u1: f64 = rng.random_range(1e-12..1.0);
-            let u2: f64 = rng.random_range(0.0..1.0);
-            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-        };
         let intrinsic = self.intrinsic.clamp(1, dim);
         // Per-cluster basis of `intrinsic` random unit directions.
         let bases: Vec<Vec<Vec<f64>>> = (0..clusters)
             .map(|_| {
                 (0..intrinsic)
                     .map(|_| {
-                        let mut rng2 = StdRng::seed_from_u64(rng.random_range(0..u64::MAX));
-                        let v: Vec<f64> = (0..dim).map(|_| normal(&mut rng2)).collect();
+                        let mut rng2 = TinyRng::new(rng.next_u64());
+                        let v: Vec<f64> = (0..dim).map(|_| rng2.normal()).collect();
                         let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
                         v.into_iter().map(|x| x / norm).collect()
                     })
@@ -110,11 +102,11 @@ impl RandomVectors {
         let mut data = Vec::with_capacity(n * dim);
         let mut point = vec![0.0f64; dim];
         for _ in 0..n {
-            let which = rng.random_range(0..clusters);
+            let which = rng.below(clusters);
             let c = &centers[which];
             point.copy_from_slice(c);
             for dir in &bases[which] {
-                let coef = self.spread * normal(&mut rng);
+                let coef = self.spread * rng.normal();
                 for (x, &dv) in point.iter_mut().zip(dir.iter()) {
                     *x += coef * dv;
                 }

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use prox_core::invariant::InvariantExt;
 use prox_core::{Metric, ObjectId, Oracle};
 
 /// A BK-tree: children of a node are keyed by the (quantized) distance of
@@ -67,7 +68,7 @@ impl BkTree {
                 }));
                 return;
             } else {
-                node = node.children.get_mut(&key).expect("just checked");
+                node = node.children.get_mut(&key).expect_invariant("just checked");
             }
         }
     }

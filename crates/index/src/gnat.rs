@@ -8,6 +8,7 @@
 //! split point is incompatible with that group's stored range — triangle
 //! reasoning on precomputed data, no extra oracle calls.
 
+use prox_core::invariant::InvariantExt;
 use prox_core::{Metric, ObjectId, Oracle};
 
 /// Float-boundary slack, as in the other indexes.
@@ -88,7 +89,7 @@ impl Gnat {
                 .enumerate()
                 .filter(|(_, o)| !splits.contains(o))
                 .max_by(|a, b| min_d[a.0].total_cmp(&min_d[b.0]))
-                .expect("k <= len");
+                .expect_invariant("k <= len");
             let sp = objects[far];
             splits.push(sp);
             for (i, &o) in objects.iter().enumerate() {
@@ -115,7 +116,7 @@ impl Gnat {
                         .iter()
                         .enumerate()
                         .min_by(|a, b| a.1.total_cmp(b.1).then_with(|| a.0.cmp(&b.0)))
-                        .expect("non-empty splits")
+                        .expect_invariant("non-empty splits")
                         .0
                 }
             };

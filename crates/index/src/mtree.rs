@@ -7,6 +7,7 @@
 //! pruning step — many candidate entries are discarded using *already
 //! computed* distances, before any new oracle call.
 
+use prox_core::invariant::InvariantExt;
 use prox_core::{Metric, ObjectId, Oracle};
 
 /// Slack for float-boundary pruning (same rationale as the VP-tree's).
@@ -141,14 +142,17 @@ impl MTree {
                 best = Some(i);
             }
         }
-        let i = best.expect("internal node has entries");
+        let i = best.expect_invariant("internal node has entries");
         let d = dists[i];
         let (routing, child) = {
             let e = &mut self.nodes[idx].entries[i];
             if d > e.radius {
                 e.radius = d;
             }
-            (e.oid, e.child.expect("internal entry has a child"))
+            (
+                e.oid,
+                e.child.expect_invariant("internal entry has a child"),
+            )
         };
 
         if let Some((e1, e2)) = self.insert_into(oracle, child, o, routing) {
@@ -198,7 +202,7 @@ impl MTree {
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
-            .expect("non-empty split");
+            .expect_invariant("non-empty split");
         let p2 = entries[far].oid;
 
         // Generalized hyperplane partition.
@@ -271,7 +275,9 @@ impl MTree {
         let mut h = 1;
         let mut idx = self.root;
         while !self.nodes[idx].is_leaf {
-            idx = self.nodes[idx].entries[0].child.expect("internal");
+            idx = self.nodes[idx].entries[0]
+                .child
+                .expect_invariant("internal");
             h += 1;
         }
         h
@@ -312,7 +318,14 @@ impl MTree {
                     out.push(e.oid);
                 }
             } else if d <= radius + e.radius + PRUNE_EPS {
-                self.range_node(oracle, e.child.expect("internal"), q, radius, d, out);
+                self.range_node(
+                    oracle,
+                    e.child.expect_invariant("internal"),
+                    q,
+                    radius,
+                    d,
+                    out,
+                );
             }
         }
     }
@@ -366,7 +379,7 @@ impl MTree {
                         best.pop();
                     }
                     if best.len() == k {
-                        *tau = best.last().expect("k >= 1").0;
+                        *tau = best.last().expect_invariant("k >= 1").0;
                     }
                 }
             } else {
@@ -386,7 +399,15 @@ impl MTree {
             if (d - e.radius).max(0.0) > *tau + PRUNE_EPS {
                 continue;
             }
-            self.knn_node(oracle, e.child.expect("internal"), q, k, d, best, tau);
+            self.knn_node(
+                oracle,
+                e.child.expect_invariant("internal"),
+                q,
+                k,
+                d,
+                best,
+                tau,
+            );
         }
     }
 }

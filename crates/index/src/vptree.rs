@@ -1,5 +1,6 @@
 //! Vantage Point Tree (Yianilos 1993).
 
+use prox_core::invariant::InvariantExt;
 use prox_core::{Metric, ObjectId, Oracle};
 
 /// Slack on branch-pruning comparisons: a candidate at *exactly* the k-th
@@ -136,7 +137,7 @@ impl VpTree {
                 best.pop();
             }
             if best.len() == k {
-                *tau = best.last().expect("k >= 1").0;
+                *tau = best.last().expect_invariant("k >= 1").0;
             }
         }
         // Visit the side containing q first, prune the other by tau.

@@ -2,7 +2,8 @@
 
 use std::collections::HashMap;
 
-use prox_bounds::{BoundScheme, DistanceResolver, Splub};
+use prox_bounds::{BoundScheme, DistanceResolver, Splub, DECISION_EPS};
+use prox_core::invariant::InvariantExt;
 use prox_core::{Metric, Oracle, Pair, PruneStats};
 
 use crate::{Feasibility, FeasibilityProblem};
@@ -125,6 +126,7 @@ impl<'o, M: Metric> DftResolver<'o, M> {
             }
         }
         if rest.is_empty() {
+            // All terms known exactly: compare as the oracle would. lint: allow(L3)
             return Some(0.0 < threshold);
         }
         // Σ rest ≥ threshold infeasible ⇒ sum < v.
@@ -155,11 +157,11 @@ impl<'o, M: Metric> DftResolver<'o, M> {
         if self.cache.is_none() {
             self.cache = Some(self.build_base_system());
         }
-        let base = self.cache.as_ref().expect("just built");
+        let base = self.cache.as_ref().expect_invariant("just built");
         let n = self.n;
         let (a, b) = (p.lo() as usize, p.hi() as usize);
         let idx = a * n - a * (a + 1) / 2 + (b - a - 1);
-        let var = base.var_of[idx].expect("unknown pairs have a variable");
+        let var = base.var_of[idx].expect_invariant("unknown pairs have a variable");
         crate::variable_range(&base.sys, var, self.max_distance)
     }
 
@@ -250,7 +252,7 @@ impl<'o, M: Metric> DftResolver<'o, M> {
         if self.cache.is_none() {
             self.cache = Some(self.build_base_system());
         }
-        let base = self.cache.as_ref().expect("just built");
+        let base = self.cache.as_ref().expect_invariant("just built");
         let tri_index = |a: usize, b: usize| -> usize {
             let (lo, hi) = if a < b { (a, b) } else { (b, a) };
             lo * n - lo * (lo + 1) / 2 + (hi - lo - 1)
@@ -306,15 +308,17 @@ impl<'o, M: Metric> DistanceResolver for DftResolver<'o, M> {
             return Some(false);
         }
         if let (Some(dx), Some(dy)) = (self.known_d(x), self.known_d(y)) {
+            // Both distances known exactly. lint: allow(L3)
             return Some(dx < dy);
         }
-        // Exact-bound prescreen: a decided comparison needs no LP.
+        // Exact-bound prescreen: a decided comparison needs no LP. The
+        // margin matches `BoundResolver`; near-ties fall through to the LP.
         let (lx, ux) = self.screen.bounds(x);
         let (ly, uy) = self.screen.bounds(y);
-        if ux < ly {
+        if ux < ly - DECISION_EPS {
             return Some(true);
         }
-        if lx >= uy {
+        if lx >= uy + DECISION_EPS {
             return Some(false);
         }
         // Certainly true iff the reversed constraint d(y) ≤ d(x), i.e.
@@ -331,13 +335,14 @@ impl<'o, M: Metric> DistanceResolver for DftResolver<'o, M> {
 
     fn try_less_value(&mut self, x: Pair, v: f64) -> Option<bool> {
         if let Some(d) = self.known_d(x) {
+            // Distance known exactly. lint: allow(L3)
             return Some(d < v);
         }
         let (lb, ub) = self.screen.bounds(x);
-        if ub < v {
+        if ub < v - DECISION_EPS {
             return Some(true);
         }
-        if lb >= v {
+        if lb >= v + DECISION_EPS {
             return Some(false);
         }
         // d(x) ≥ v infeasible ⇒ d(x) < v.
@@ -353,13 +358,14 @@ impl<'o, M: Metric> DistanceResolver for DftResolver<'o, M> {
 
     fn try_leq_value(&mut self, x: Pair, v: f64) -> Option<bool> {
         if let Some(d) = self.known_d(x) {
+            // Distance known exactly. lint: allow(L3)
             return Some(d <= v);
         }
         let (lb, ub) = self.screen.bounds(x);
-        if ub <= v {
+        if ub <= v - DECISION_EPS {
             return Some(true);
         }
-        if lb > v {
+        if lb > v + DECISION_EPS {
             return Some(false);
         }
         // With weak LP inequalities, infeasibility of d(x) ≤ v certifies
@@ -379,10 +385,10 @@ impl<'o, M: Metric> DistanceResolver for DftResolver<'o, M> {
         let (lx1, ux1) = self.screen.bounds(x.1);
         let (ly0, uy0) = self.screen.bounds(y.0);
         let (ly1, uy1) = self.screen.bounds(y.1);
-        if ux0 + ux1 < ly0 + ly1 - 1e-12 {
+        if ux0 + ux1 < ly0 + ly1 - DECISION_EPS {
             return Some(true);
         }
-        if lx0 + lx1 >= uy0 + uy1 + 1e-12 {
+        if lx0 + lx1 >= uy0 + uy1 + DECISION_EPS {
             return Some(false);
         }
         // Joint feasibility on the 4-term difference — this is where the LP

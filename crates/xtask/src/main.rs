@@ -1,0 +1,96 @@
+//! `cargo xtask` — repo-specific checks that `rustc`/`clippy` cannot express.
+//!
+//! ```text
+//! cargo xtask lint        # enforce L1–L4 across the workspace
+//! ```
+//!
+//! The rules and their rationale live in `docs/INVARIANTS.md`; the
+//! implementations (with fixture tests) are in [`rules`].
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+mod lexer;
+mod rules;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        _ => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files);
+    collect_rs_files(&root.join("src"), &mut files);
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            eprintln!("warning: unreadable file {}", path.display());
+            continue;
+        };
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        scanned += 1;
+        violations.extend(rules::lint_source(&rel, &text));
+    }
+
+    for v in &violations {
+        println!("{}\n", v.render());
+    }
+    if violations.is_empty() {
+        println!("xtask lint: {scanned} files scanned, no violations");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask lint: {} violation(s) in {} file(s) ({} files scanned)",
+            violations.len(),
+            {
+                let mut fs: Vec<&str> = violations.iter().map(|v| v.file.as_str()).collect();
+                fs.dedup();
+                fs.len()
+            },
+            scanned
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root, two levels up from this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .unwrap_or(manifest)
+        .to_path_buf()
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The lint rules (`L1`–`L4`) enforcing the oracle-call discipline.
+//!
+//! Every rule works on the masked code produced by [`crate::lexer::scan`],
+//! skips `#[cfg(test)]` blocks (test code is exempt), and honours an escape
+//! hatch: a comment containing `lint: allow(L3)` (etc.) on the flagged line
+//! or the line directly above suppresses that rule there. Escapes are for
+//! *audited* sites — each one should say why it is sound.
+//!
+//! | rule | scope | it forbids |
+//! |------|-------|------------|
+//! | L1 | everywhere except `prox-core` and `prox-datasets` | direct `Metric::distance` calls |
+//! | L2 | `crates/algos` | `Oracle::call` / `call_pair` (algorithms speak `DistanceResolver`) |
+//! | L3 | `try_*` bodies in `crates/bounds` + `crates/lp` | raw float comparisons with no `DECISION_EPS`/eps margin |
+//! | L4 | library crates | `unwrap` / `expect` / `panic!` (use `prox_core::invariant`) |
+
+use crate::lexer::{line_starts, match_brace, scan, test_line_ranges};
+
+/// One finding, addressable as `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id: `"L1"` … `"L4"`.
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// One-line explanation of the rule that fired.
+    pub msg: String,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl Violation {
+    /// `error[L1]: … \n  --> file:line` rendering for the console.
+    pub fn render(&self) -> String {
+        format!(
+            "error[{}]: {}\n  --> {}:{}\n      {}",
+            self.rule, self.msg, self.file, self.line, self.excerpt
+        )
+    }
+}
+
+/// Lints one file. `rel` is the workspace-relative path (forward slashes);
+/// it decides which rules apply. Returns findings sorted by line.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
+    if !rules_for(rel).iter().any(|&r| r) {
+        return Vec::new();
+    }
+    let [l1, l2, l3, l4] = rules_for(rel);
+    let scanned = scan(src);
+    let masked_lines: Vec<&str> = scanned.masked.lines().collect();
+    let comment_lines: Vec<&str> = scanned.comments.lines().collect();
+    let src_lines: Vec<&str> = src.lines().collect();
+    let test_ranges = test_line_ranges(&scanned.masked);
+    let in_test = |line: usize| test_ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi);
+    let allowed = |line: usize, rule: &str| {
+        let tag = format!("lint: allow({rule})");
+        let here = comment_lines
+            .get(line - 1)
+            .is_some_and(|c| c.contains(&tag));
+        let above = line >= 2 && comment_lines[line - 2].contains(&tag);
+        here || above
+    };
+
+    let mut out = Vec::new();
+    let mut push = |rule: &'static str, line: usize, msg: String| {
+        out.push(Violation {
+            rule,
+            file: rel.to_string(),
+            line,
+            msg,
+            excerpt: src_lines.get(line - 1).unwrap_or(&"").trim().to_string(),
+        });
+    };
+
+    let try_body_lines = if l3 {
+        try_fn_body_lines(&scanned.masked)
+    } else {
+        Vec::new()
+    };
+
+    for (idx, code) in masked_lines.iter().enumerate() {
+        let line = idx + 1;
+        if in_test(line) {
+            continue;
+        }
+        if l1
+            && (code.contains(".distance(") || code.contains("::distance("))
+            && !allowed(line, "L1")
+        {
+            push(
+                "L1",
+                line,
+                "direct `Metric::distance` call outside `prox-core`/`prox-datasets`; \
+                 route it through `Oracle` so every call is counted"
+                    .to_string(),
+            );
+        }
+        if l2
+            && [".call(", ".call_pair(", "::call(", "::call_pair("]
+                .iter()
+                .any(|p| code.contains(p))
+            && !allowed(line, "L2")
+        {
+            push(
+                "L2",
+                line,
+                "`Oracle::call`/`call_pair` inside `crates/algos`; algorithms must \
+                 speak `DistanceResolver` so plug-ins stay interchangeable"
+                    .to_string(),
+            );
+        }
+        if l3
+            && try_body_lines
+                .iter()
+                .any(|&(lo, hi)| lo <= line && line <= hi)
+            && has_raw_comparison(code)
+            && !mentions_epsilon(code)
+            && !allowed(line, "L3")
+        {
+            push(
+                "L3",
+                line,
+                "raw float comparison inside a `try_*` decision body; compare \
+                 through a `DECISION_EPS`-aware margin (or annotate the audited \
+                 exact case with `lint: allow(L3)`)"
+                    .to_string(),
+            );
+        }
+        if l4
+            && [".unwrap()", ".expect(", "panic!", "unreachable!"]
+                .iter()
+                .any(|p| code.contains(p))
+            && !allowed(line, "L4")
+        {
+            push(
+                "L4",
+                line,
+                "`unwrap`/`expect`/`panic!` in library code; use the \
+                 `prox_core::invariant` helpers so violations carry context"
+                    .to_string(),
+            );
+        }
+    }
+    out
+}
+
+/// Which of `[L1, L2, L3, L4]` apply to this path.
+fn rules_for(rel: &str) -> [bool; 4] {
+    // Only non-test library/tool sources are linted at all.
+    let linted = rel.ends_with(".rs")
+        && (rel.starts_with("crates/") || rel.starts_with("src/"))
+        && rel.contains("/src/")
+        && !rel.starts_with("crates/xtask/");
+    if !linted {
+        return [false; 4];
+    }
+    let in_crate = |c: &str| rel.starts_with(&format!("crates/{c}/"));
+    let l1 = !in_crate("core") && !in_crate("datasets");
+    let l2 = in_crate("algos");
+    let l3 = in_crate("bounds") || in_crate("lp");
+    // L4: library crates only. `prox-bench` is a harness (bins + benches)
+    // and `crates/core/src/invariant.rs` is the audited panic chokepoint.
+    let l4 =
+        !in_crate("bench") && !rel.contains("/src/bin/") && rel != "crates/core/src/invariant.rs";
+    [l1, l2, l3, l4]
+}
+
+/// 1-based inclusive line ranges of `fn try_*` bodies in masked source.
+fn try_fn_body_lines(masked: &str) -> Vec<(usize, usize)> {
+    let starts = line_starts(masked);
+    let bytes = masked.as_bytes();
+    let mut ranges = Vec::new();
+    let mut from = 0usize;
+    while let Some(off) = masked[from..].find("fn try_") {
+        let at = from + off;
+        from = at + "fn try_".len();
+        // A signature cannot contain `{`, so the body starts at the first
+        // brace after the `fn` keyword; `;` first means a trait method decl.
+        let mut j = from;
+        let mut open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    open = Some(j);
+                    break;
+                }
+                b';' => break,
+                _ => j += 1,
+            }
+        }
+        let Some(open) = open else { continue };
+        if let Some(close) = match_brace(bytes, open) {
+            let lo = crate::lexer::line_of(&starts, open);
+            let hi = crate::lexer::line_of(&starts, close);
+            ranges.push((lo, hi));
+            from = close + 1;
+        }
+    }
+    ranges
+}
+
+/// Detects a spaced `<`, `<=`, `>`, or `>=` comparison operator, excluding
+/// shifts (`<<`/`>>`) and arrows (`->`/`=>`). Relies on `rustfmt` spacing:
+/// binary operators are space-separated, generics never are.
+fn has_raw_comparison(code: &str) -> bool {
+    let b = code.as_bytes();
+    for i in 1..b.len() {
+        let c = b[i];
+        if c != b'<' && c != b'>' {
+            continue;
+        }
+        if b[i - 1] != b' ' {
+            continue; // generics, shifts, arrows: no leading space
+        }
+        let next = b.get(i + 1).copied();
+        match next {
+            Some(b' ') => return true,                                // `a < b`
+            Some(b'=') if b.get(i + 2) == Some(&b' ') => return true, // `a <= b`
+            _ => {}
+        }
+    }
+    false
+}
+
+/// True when the line already carries an epsilon-aware margin.
+fn mentions_epsilon(code: &str) -> bool {
+    ["DECISION_EPS", "EPS", "eps", "epsilon", "margin"]
+        .iter()
+        .any(|t| code.contains(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(vs: &[Violation], rule: &str) -> Vec<usize> {
+        vs.iter()
+            .filter(|v| v.rule == rule)
+            .map(|v| v.line)
+            .collect()
+    }
+
+    // ---------------------------------------------------------------- L1
+
+    #[test]
+    fn l1_flags_direct_distance_call_with_file_and_line() {
+        let src = "fn f(m: &dyn Metric) {\n    let d = m.distance(a, b);\n}\n";
+        let vs = lint_source("crates/algos/src/x.rs", src);
+        assert_eq!(lines(&vs, "L1"), vec![2]);
+        assert_eq!(vs[0].file, "crates/algos/src/x.rs");
+        assert!(vs[0].render().contains("crates/algos/src/x.rs:2"));
+    }
+
+    #[test]
+    fn l1_ignores_test_code_strings_and_allowed_crates() {
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { m.distance(a, b); }\n}\n";
+        assert!(lint_source("crates/algos/src/x.rs", in_test).is_empty());
+        let in_string = "fn f() { let s = \"m.distance(a, b)\"; }\n";
+        assert!(lint_source("crates/algos/src/x.rs", in_string).is_empty());
+        let def_site = "fn f(m: &M) { m.distance(a, b); }\n";
+        assert!(lint_source("crates/datasets/src/x.rs", def_site).is_empty());
+        assert!(lint_source("crates/core/src/oracle.rs", def_site).is_empty());
+    }
+
+    #[test]
+    fn l1_respects_allow_annotation() {
+        let src = "fn f(m: &M) {\n    // audited: lint: allow(L1)\n    m.distance(a, b);\n}\n";
+        assert!(lint_source("crates/index/src/x.rs", src).is_empty());
+    }
+
+    // ---------------------------------------------------------------- L2
+
+    #[test]
+    fn l2_flags_oracle_calls_in_algos_only() {
+        let src = "fn f(o: &Oracle) {\n    let d = o.call_pair(p);\n    let e = o.call(a, b);\n}\n";
+        let vs = lint_source("crates/algos/src/knng.rs", src);
+        assert_eq!(lines(&vs, "L2"), vec![2, 3]);
+        // The same text is fine in bounds: schemes are fed by the oracle.
+        let vs = lint_source("crates/bounds/src/x.rs", src);
+        assert!(lines(&vs, "L2").is_empty());
+    }
+
+    // ---------------------------------------------------------------- L3
+
+    #[test]
+    fn l3_flags_raw_comparison_in_try_body() {
+        let src = "fn try_less(&self) -> Option<bool> {\n    if lb < ub {\n        return None;\n    }\n    None\n}\n";
+        let vs = lint_source("crates/bounds/src/x.rs", src);
+        assert_eq!(lines(&vs, "L3"), vec![2]);
+    }
+
+    #[test]
+    fn l3_accepts_eps_margins_and_ignores_non_try_fns() {
+        let with_eps = "fn try_less(&self) -> Option<bool> {\n    if ub + DECISION_EPS < lb {\n        return Some(true);\n    }\n    None\n}\n";
+        assert!(lint_source("crates/lp/src/x.rs", with_eps).is_empty());
+        let outside =
+            "fn bounds(&self) -> (f64, f64) {\n    if a < b { (a, b) } else { (b, a) }\n}\n";
+        assert!(lint_source("crates/bounds/src/x.rs", outside).is_empty());
+    }
+
+    #[test]
+    fn l3_ignores_shifts_generics_and_arrows() {
+        let src = "fn try_less(&self) -> Option<bool> {\n    let cap: Vec<u64> = vec![1 << 20];\n    let f = |x: u64| -> u64 { x };\n    match x { _ => f(cap[0]) };\n    None\n}\n";
+        assert!(lint_source("crates/bounds/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l3_respects_allow_annotation_same_line() {
+        let src = "fn try_less(&self) -> Option<bool> {\n    Some(lb < ub) // exact by construction; lint: allow(L3)\n}\n";
+        assert!(lint_source("crates/bounds/src/x.rs", src).is_empty());
+    }
+
+    // ---------------------------------------------------------------- L4
+
+    #[test]
+    fn l4_flags_unwrap_expect_panic_with_lines() {
+        let src = "fn f() {\n    let a = x.unwrap();\n    let b = y.expect(\"msg\");\n    panic!(\"boom\");\n}\n";
+        let vs = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(lines(&vs, "L4"), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn l4_exempts_tests_benches_chokepoint_and_unwrap_or() {
+        let src = "fn f() { let a = x.unwrap(); }\n";
+        assert!(lint_source("crates/bench/src/runner.rs", src)
+            .iter()
+            .all(|v| v.rule != "L4"));
+        assert!(lint_source("crates/core/src/invariant.rs", src).is_empty());
+        assert!(lint_source("crates/algos/tests/t.rs", src).is_empty());
+        let graceful = "fn f() { let a = x.unwrap_or(0).unwrap_or_else(|| 1); }\n";
+        assert!(lint_source("crates/core/src/x.rs", graceful).is_empty());
+    }
+
+    #[test]
+    fn l4_panic_in_doc_comment_is_fine() {
+        let src = "/// This function will panic!(never) at runtime.\nfn f() {}\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    // ----------------------------------------------------------- plumbing
+
+    #[test]
+    fn non_source_paths_are_skipped() {
+        let src = "fn f() { x.unwrap(); m.distance(a, b); }\n";
+        assert!(lint_source("crates/algos/tests/exact.rs", src).is_empty());
+        assert!(lint_source("crates/bench/benches/schemes.rs", src).is_empty());
+        assert!(lint_source("crates/xtask/src/rules.rs", src).is_empty());
+        assert!(lint_source("README.md", src).is_empty());
+    }
+}
