@@ -29,6 +29,7 @@ mod medoid;
 pub mod pam;
 pub mod prim;
 pub mod range;
+mod speculate;
 pub mod tsp;
 
 pub use average_linkage::{average_linkage, average_linkage_cut};
@@ -36,10 +37,10 @@ pub use clarans::{clarans, ClaransParams};
 pub use common::{Clustering, Mst, TinyRng};
 pub use complete_linkage::complete_linkage;
 pub use kcenter::{k_center, KCenter};
-pub use knng::{knn_graph, knn_query, KnnGraph};
+pub use knng::{knn_graph, knn_graph_pool, knn_query, KnnGraph};
 pub use kruskal::{kruskal_mst, kruskal_mst_with, KruskalConfig};
 pub use linkage::{single_linkage, Dendrogram, Merge};
-pub use pam::{pam, PamParams};
+pub use pam::{pam, pam_pool, PamParams};
 pub use prim::prim_mst;
 pub use range::{range_members, range_query};
 pub use tsp::{tsp_2opt, Tour};

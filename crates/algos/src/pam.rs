@@ -1,9 +1,12 @@
 //! PAM (Partitioning Around Medoids, Kaufman & Rousseeuw).
 
 use prox_bounds::DistanceResolver;
+use prox_core::invariant::InvariantExt;
 use prox_core::ObjectId;
+use prox_exec::ExecPool;
 
 use crate::medoid::{assign, swap_delta};
+use crate::speculate::SpecProbe;
 use crate::{Clustering, TinyRng};
 
 /// PAM configuration.
@@ -37,27 +40,111 @@ impl Default for PamParams {
 /// oracle savings; a seeded random draw (shared by vanilla and plugged runs,
 /// so outputs still match exactly) is used instead.
 pub fn pam<R: DistanceResolver + ?Sized>(resolver: &mut R, params: PamParams) -> Clustering {
+    pam_pool(resolver, params, &ExecPool::global())
+}
+
+/// [`pam()`] with an explicit pool: each SWAP scan speculates batches of
+/// candidate swaps in parallel against a frozen snapshot of the scheme and
+/// commits them in the canonical `(slot, object)` order.
+///
+/// A speculative `swap_delta` is reused only when (a) the probe never
+/// needed an unknown distance (it is *poisoned* otherwise) and (b) the live
+/// generation still equals the snapshot generation — i.e. nothing has been
+/// resolved since the snapshot, so the live scan would have seen the exact
+/// same state and taken the exact same branches. Both conditions together
+/// make outputs *and* oracle-call counts identical to the sequential scan
+/// at any thread count: the first candidate that does resolve bumps the
+/// generation, and the rest of the batch simply falls back to the live
+/// path. Workloads whose scans keep resolving (little reuse) disable
+/// speculation for the remainder of the run after a deterministic warm-up.
+pub fn pam_pool<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+    params: PamParams,
+    pool: &ExecPool,
+) -> Clustering {
     let n = resolver.n();
     let l = params.l.clamp(1, n);
     let mut rng = TinyRng::new(params.seed);
     let mut medoids: Vec<ObjectId> = rng.distinct(l, n);
     let (mut near, mut cost) = assign(resolver, &medoids);
 
+    let batch = pool.threads().saturating_mul(8).max(8);
+    let mut spec_enabled = pool.threads() > 1 && resolver.spec().is_some();
+    let mut spec_total = 0usize;
+    let mut spec_reused = 0usize;
+
     for _ in 0..params.max_swaps {
         let mut best_delta = -1e-12;
         let mut best: Option<(usize, ObjectId)> = None;
+
+        // Canonical candidate order — the order the sequential scan takes.
+        let mut cands: Vec<(usize, ObjectId)> = Vec::with_capacity(l * (n - l));
         for i in 0..l {
             for h in 0..n as ObjectId {
-                if medoids.contains(&h) {
-                    continue;
+                if !medoids.contains(&h) {
+                    cands.push((i, h));
                 }
+            }
+        }
+
+        let mut idx = 0;
+        while idx < cands.len() {
+            if !spec_enabled {
+                let (i, h) = cands[idx];
                 let delta = swap_delta(resolver, &medoids, &near, i, h);
                 if delta < best_delta {
                     best_delta = delta;
                     best = Some((i, h));
                 }
+                idx += 1;
+                continue;
+            }
+
+            let end = (idx + batch).min(cands.len());
+            let gen0 = resolver.generation();
+            let speculated: Vec<Option<(f64, prox_core::PruneStats)>> = {
+                let spec = resolver
+                    .spec()
+                    .expect_invariant("spec() checked at enable; nothing revokes it");
+                let (meds, nr, cs) = (&medoids, &near, &cands);
+                pool.map_indexed(end - idx, |j| {
+                    let (i, h) = cs[idx + j];
+                    let mut probe = SpecProbe::new(spec);
+                    let delta = swap_delta(&mut probe, meds, nr, i, h);
+                    (!probe.poisoned()).then(|| (delta, probe.stats()))
+                })
+            };
+            for (j, sr) in speculated.into_iter().enumerate() {
+                let (i, h) = cands[idx + j];
+                spec_total += 1;
+                let delta = match sr {
+                    // Complete speculation + untouched generation: the live
+                    // scan would see the snapshot state verbatim, take the
+                    // same branches, and leave the state unchanged (nothing
+                    // resolves), so the value and stat deltas stand as-is.
+                    Some((delta, stats)) if resolver.generation() == gen0 => {
+                        spec_reused += 1;
+                        resolver.prune_stats_mut().merge(&stats);
+                        delta
+                    }
+                    _ => swap_delta(resolver, &medoids, &near, i, h),
+                };
+                if delta < best_delta {
+                    best_delta = delta;
+                    best = Some((i, h));
+                }
+            }
+            idx = end;
+            // Deterministic adaptive cutoff: once enough evidence shows the
+            // scan keeps resolving (so speculation keeps getting discarded),
+            // stop paying for it. Pure function of the candidate stream —
+            // never of timing — and it only skips speculation, so outputs
+            // are unaffected.
+            if spec_total >= 4 * batch && spec_reused * 4 < spec_total {
+                spec_enabled = false;
             }
         }
+
         match best {
             Some((i, h)) => {
                 medoids[i] = h;
@@ -152,6 +239,33 @@ mod tests {
             o2.calls(),
             o1.calls()
         );
+    }
+
+    #[test]
+    fn pool_matches_sequential_exactly() {
+        let params = PamParams {
+            l: 3,
+            max_swaps: 50,
+            seed: 9,
+        };
+        let o_seq = blobs_oracle();
+        let mut seq = BoundResolver::new(&o_seq, TriScheme::new(12, 1.0));
+        let want = pam_pool(&mut seq, params, &ExecPool::sequential());
+
+        for threads in [2, 8] {
+            let o_par = blobs_oracle();
+            let mut par = BoundResolver::new(&o_par, TriScheme::new(12, 1.0));
+            let got = pam_pool(&mut par, params, &ExecPool::new(threads));
+            assert_eq!(got.medoids, want.medoids, "threads={threads}");
+            assert_eq!(got.assignment, want.assignment, "threads={threads}");
+            assert_eq!(got.cost.to_bits(), want.cost.to_bits(), "threads={threads}");
+            assert_eq!(
+                o_seq.calls(),
+                o_par.calls(),
+                "oracle-call determinism, threads={threads}"
+            );
+            assert_eq!(seq.prune_stats(), par.prune_stats(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Worker-side machinery for the speculate/commit protocol.
+//!
+//! Workers never touch the oracle (its call counter is deliberately not
+//! `Sync`, and call-count determinism forbids racing resolutions anyway).
+//! Instead they evaluate bound-decidable work against a frozen
+//! [`SpecBounds`] snapshot; the sequential committer then reuses a
+//! speculative result only when it provably equals what the live
+//! sequential path would have produced:
+//!
+//! * **Freshness reuse** (bit-equality): a snapshot value for pair `p` is
+//!   current while the live `pair_stamp(p)` does not exceed the snapshot
+//!   generation — safe even for sort keys.
+//! * **Monotone reuse** (verdict-stability): bounds only ever tighten, so
+//!   a *decisive* snapshot verdict (`Some(_)` under the [`DECISION_EPS`]
+//!   margins) is still the live verdict even when the snapshot is stale —
+//!   `lb_snap ≤ lb_live ≤ dist ≤ ub_live ≤ ub_snap`.
+//! * **Generation-equality reuse**: a whole speculative evaluation (PAM's
+//!   `swap_delta`) replays exactly if the live generation still equals the
+//!   snapshot generation and the evaluation never needed an unknown
+//!   distance (it is *poisoned* otherwise).
+
+use prox_bounds::{DistanceResolver, DECISION_EPS};
+use prox_core::{Pair, PruneStats, SpecBounds, SpecScratch};
+
+/// The decision function of `BoundResolver::try_leq_value`, applied to
+/// snapshot bounds. Returning `Some(_)` from stale bounds is sound by
+/// monotone tightening; the known fast path (`lb == ub`, an exact value,
+/// compared without the margin) is consistent because collapsed snapshot
+/// bounds pin the live value exactly.
+pub(crate) fn leq_verdict(lb: f64, ub: f64, v: f64) -> Option<bool> {
+    if lb == ub {
+        return Some(lb <= v);
+    }
+    if ub <= v - DECISION_EPS {
+        Some(true)
+    } else if lb > v + DECISION_EPS {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// A [`DistanceResolver`] over a frozen snapshot: every `try_*` mirrors
+/// `BoundResolver`'s decision functions bit-for-bit, `resolve` serves only
+/// already-known values, and anything that would need the oracle *poisons*
+/// the probe (the committer then discards the evaluation and re-runs it
+/// live). Each probe owns its scratch, so many can run in parallel against
+/// one shared snapshot.
+pub(crate) struct SpecProbe<'a> {
+    spec: &'a dyn SpecBounds,
+    scratch: SpecScratch,
+    stats: PruneStats,
+    poisoned: bool,
+}
+
+impl<'a> SpecProbe<'a> {
+    pub(crate) fn new(spec: &'a dyn SpecBounds) -> Self {
+        SpecProbe {
+            spec,
+            scratch: spec.new_scratch(),
+            stats: PruneStats::default(),
+            poisoned: false,
+        }
+    }
+
+    /// True when the evaluation needed an unknown distance and its result
+    /// must be discarded.
+    pub(crate) fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Stat deltas accumulated by this probe, to be merged into the live
+    /// resolver if the evaluation is committed.
+    pub(crate) fn stats(&self) -> PruneStats {
+        self.stats
+    }
+
+    fn bounds(&mut self, x: Pair) -> (f64, f64) {
+        self.spec.spec_bounds(x, &mut self.scratch)
+    }
+}
+
+impl DistanceResolver for SpecProbe<'_> {
+    fn n(&self) -> usize {
+        self.spec.spec_n()
+    }
+
+    fn max_distance(&self) -> f64 {
+        self.spec.spec_max_distance()
+    }
+
+    fn known(&self, p: Pair) -> Option<f64> {
+        self.spec.spec_known(p)
+    }
+
+    fn resolve(&mut self, p: Pair) -> f64 {
+        if let Some(d) = self.spec.spec_known(p) {
+            self.stats.served_known += 1;
+            return d;
+        }
+        // The value would need an oracle call; speculation cannot know it.
+        // Poison and return a placeholder — arithmetic downstream of a
+        // poisoned probe is discarded wholesale by the committer.
+        self.poisoned = true;
+        0.0
+    }
+
+    fn try_less(&mut self, x: Pair, y: Pair) -> Option<bool> {
+        let (lx, ux) = self.bounds(x);
+        let (ly, uy) = self.bounds(y);
+        if ux < ly - DECISION_EPS {
+            Some(true)
+        } else if lx >= uy + DECISION_EPS {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    fn try_less_value(&mut self, x: Pair, v: f64) -> Option<bool> {
+        let (lb, ub) = self.bounds(x);
+        if lb == ub {
+            // Exactly-known value: compare as the oracle would, no margin.
+            return Some(lb < v);
+        }
+        if ub < v - DECISION_EPS {
+            Some(true)
+        } else if lb >= v + DECISION_EPS {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    fn try_leq_value(&mut self, x: Pair, v: f64) -> Option<bool> {
+        let (lb, ub) = self.bounds(x);
+        leq_verdict(lb, ub, v)
+    }
+
+    fn try_less_sum2(&mut self, x: (Pair, Pair), y: (Pair, Pair)) -> Option<bool> {
+        let (lx0, ux0) = self.bounds(x.0);
+        let (lx1, ux1) = self.bounds(x.1);
+        let (ly0, uy0) = self.bounds(y.0);
+        let (ly1, uy1) = self.bounds(y.1);
+        if ux0 + ux1 < ly0 + ly1 - DECISION_EPS {
+            Some(true)
+        } else if lx0 + lx1 >= uy0 + uy1 + DECISION_EPS {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    fn lower_bound_hint(&mut self, x: Pair) -> f64 {
+        self.bounds(x).0
+    }
+
+    fn bounds_hint(&mut self, x: Pair) -> (f64, f64) {
+        self.bounds(x)
+    }
+
+    fn preload(&mut self, _p: Pair, _d: f64) {
+        self.poisoned = true; // snapshots are frozen; nothing to record into
+    }
+
+    fn export_known(&self, _out: &mut Vec<(Pair, f64)>) {}
+
+    fn prune_stats(&self) -> PruneStats {
+        self.stats
+    }
+
+    fn prune_stats_mut(&mut self) -> &mut PruneStats {
+        &mut self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prox_bounds::{BoundResolver, BoundScheme, TriScheme};
+    use prox_core::{FnMetric, ObjectId, Oracle};
+
+    fn line_oracle(n: usize) -> Oracle<FnMetric<impl Fn(ObjectId, ObjectId) -> f64>> {
+        let scale = 1.0 / (n as f64 - 1.0);
+        Oracle::new(FnMetric::new(n, 1.0, move |a, b| {
+            (f64::from(a) - f64::from(b)).abs() * scale
+        }))
+    }
+
+    #[test]
+    fn probe_mirrors_live_verdicts() {
+        let oracle = line_oracle(11);
+        let mut tri = TriScheme::new(11, 1.0);
+        for p in [Pair::new(0, 5), Pair::new(5, 6), Pair::new(0, 1)] {
+            tri.record(p, oracle.call_pair(p));
+        }
+        let mut live = BoundResolver::new(&oracle, tri.clone());
+        let spec = tri.spec().expect("Tri provides a snapshot");
+        let mut probe = SpecProbe::new(spec);
+
+        for v in [0.3, 0.5, 0.55, 0.7] {
+            let p = Pair::new(0, 6); // bounds [0.4, 0.6] from the triangle
+            assert_eq!(probe.try_less_value(p, v), live.try_less_value(p, v));
+            assert_eq!(probe.try_leq_value(p, v), live.try_leq_value(p, v));
+        }
+        assert_eq!(
+            probe.try_less(Pair::new(0, 1), Pair::new(0, 6)),
+            live.try_less(Pair::new(0, 1), Pair::new(0, 6)),
+        );
+        assert!(!probe.poisoned());
+        // Known value served without poisoning; unknown poisons.
+        assert_eq!(probe.resolve(Pair::new(0, 5)), 0.5);
+        assert!(!probe.poisoned());
+        probe.resolve(Pair::new(3, 7));
+        assert!(probe.poisoned());
+    }
+
+    #[test]
+    fn leq_verdict_margins() {
+        assert_eq!(leq_verdict(0.2, 0.2, 0.2), Some(true), "known, no margin");
+        assert_eq!(leq_verdict(0.2, 0.2, 0.199_999), Some(false));
+        assert_eq!(leq_verdict(0.1, 0.3, 0.5), Some(true));
+        assert_eq!(leq_verdict(0.1, 0.3, 0.05), Some(false));
+        assert_eq!(leq_verdict(0.1, 0.3, 0.2), None, "straddles");
+        assert_eq!(leq_verdict(0.1, 0.3, 0.3), None, "inside the margin");
+    }
+}

@@ -138,7 +138,7 @@ fn bench_tri_adjacency(b: &mut Bench) {
 }
 
 fn main() {
-    let mut b = Bench::new();
+    let mut b = Bench::named("schemes");
     bench_queries(&mut b);
     bench_updates(&mut b);
     bench_tri_adjacency(&mut b);

@@ -46,7 +46,7 @@ fn usage() -> ExitCode {
          \x20       --dataset <sf|urbangb|flickr|strings> --n <N>\n\
          \x20       [--plug vanilla|tri|tri-nb|splub|adm|laesa|tlaesa|dft]\n\
          \x20       [--landmarks K] [--seed S] [--k 5] [--l 10]\n\
-         \x20       [--oracle-cost-ms MS] [--cache FILE]"
+         \x20       [--oracle-cost-ms MS] [--cache FILE] [--threads N]"
     );
     ExitCode::FAILURE
 }
@@ -93,6 +93,9 @@ fn parse() -> Option<Args> {
             "--l" => a.l = val()?.parse().ok()?,
             "--oracle-cost-ms" => a.oracle_cost_ms = val()?.parse().ok()?,
             "--cache" => a.cache = Some(val()?),
+            // 0 = one per core. Results and oracle-call counts are
+            // identical at any thread count (speculate/commit protocol).
+            "--threads" => prox_exec::set_global_threads(val()?.parse().ok()?),
             other => {
                 eprintln!("unknown flag {other:?}");
                 return None;

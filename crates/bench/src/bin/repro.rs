@@ -13,9 +13,10 @@ use prox_bench::experiments;
 use prox_bench::Scale;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: repro <experiment-id>... [--scale small|full]");
-    eprintln!("       repro all [--scale small|full]");
+    eprintln!("usage: repro <experiment-id>... [--scale small|full] [--threads N]");
+    eprintln!("       repro all [--scale small|full] [--threads N]");
     eprintln!("       repro list");
+    eprintln!("       (--threads 0 = one per core; outputs are identical at any N)");
     ExitCode::FAILURE
 }
 
@@ -35,6 +36,13 @@ fn main() -> ExitCode {
                 Some("full") => scale = Scale::Full,
                 other => {
                     eprintln!("unknown scale {other:?}");
+                    return usage();
+                }
+            },
+            "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(t) => prox_exec::set_global_threads(t),
+                None => {
+                    eprintln!("--threads needs a number (0 = one per core)");
                     return usage();
                 }
             },

@@ -1,11 +1,16 @@
 //! Figure 6: distance saves inside Kruskal, KNNrp, and PAM, varying size.
+//!
+//! These panels evaluate a grid of independent `(size, plug)` cells; the
+//! grid runs through [`parallel_cells`] so `--threads N` spreads the cells
+//! over the pool. Every cell owns its oracle, so the reported call counts
+//! are identical at any thread count.
 
 use prox_algos::{knn_graph, kruskal_mst, pam, PamParams};
 use prox_core::Pair;
 use prox_datasets::{ClusteredPlane, Dataset, RoadNetwork};
 
 use crate::experiments::SEED;
-use crate::runner::{log_landmarks, run_plugged, Plug};
+use crate::runner::{log_landmarks, parallel_cells, run_plugged, Plug, RunResult};
 use crate::table::{pct, Table};
 use crate::Scale;
 
@@ -25,12 +30,20 @@ pub fn fig6a(scale: Scale) {
             "Save(%)",
         ],
     );
-    for n in sizes {
-        let metric = RoadNetwork::default().metric(n, SEED);
-        let k = log_landmarks(n);
-        let (_, tri) = run_plugged(Plug::TriBoot, &*metric, k, SEED, |r| kruskal_mst(r));
-        let (_, laesa) = run_plugged(Plug::Laesa, &*metric, k, SEED, |r| kruskal_mst(r));
-        let (_, tlaesa) = run_plugged(Plug::Tlaesa, &*metric, k, SEED, |r| kruskal_mst(r));
+    const PLUGS: [Plug; 3] = [Plug::TriBoot, Plug::Laesa, Plug::Tlaesa];
+    let metrics: Vec<_> = sizes
+        .iter()
+        .map(|&n| RoadNetwork::default().metric(n, SEED))
+        .collect();
+    let cells: Vec<RunResult> = parallel_cells(sizes.len() * PLUGS.len(), |c| {
+        let (si, pi) = (c / PLUGS.len(), c % PLUGS.len());
+        let k = log_landmarks(sizes[si]);
+        run_plugged(PLUGS[pi], &*metrics[si], k, SEED, |r| kruskal_mst(r)).1
+    });
+    for (si, &n) in sizes.iter().enumerate() {
+        let [tri, laesa, tlaesa] = &cells[si * PLUGS.len()..][..PLUGS.len()] else {
+            unreachable!("cells come back one per (size, plug)");
+        };
         t.row(vec![
             Pair::count(n).to_string(),
             Pair::count(n).to_string(),
@@ -54,13 +67,20 @@ pub fn fig6b(scale: Scale) {
         "KNNrp (k=5) oracle calls vs size (UrbanGB)",
         &["edges", "WithoutPlug", "TS-NB", "SPLUB", "LAESA", "TLAESA"],
     );
-    for n in sizes {
-        let metric = RoadNetwork::default().metric(n, SEED);
-        let k = log_landmarks(n);
-        let (_, tri) = run_plugged(Plug::TriNb, &*metric, k, SEED, |r| knn_graph(r, k_nn));
-        let (_, splub) = run_plugged(Plug::Splub, &*metric, k, SEED, |r| knn_graph(r, k_nn));
-        let (_, laesa) = run_plugged(Plug::Laesa, &*metric, k, SEED, |r| knn_graph(r, k_nn));
-        let (_, tlaesa) = run_plugged(Plug::Tlaesa, &*metric, k, SEED, |r| knn_graph(r, k_nn));
+    const PLUGS: [Plug; 4] = [Plug::TriNb, Plug::Splub, Plug::Laesa, Plug::Tlaesa];
+    let metrics: Vec<_> = sizes
+        .iter()
+        .map(|&n| RoadNetwork::default().metric(n, SEED))
+        .collect();
+    let cells: Vec<RunResult> = parallel_cells(sizes.len() * PLUGS.len(), |c| {
+        let (si, pi) = (c / PLUGS.len(), c % PLUGS.len());
+        let k = log_landmarks(sizes[si]);
+        run_plugged(PLUGS[pi], &*metrics[si], k, SEED, |r| knn_graph(r, k_nn)).1
+    });
+    for (si, &n) in sizes.iter().enumerate() {
+        let [tri, splub, laesa, tlaesa] = &cells[si * PLUGS.len()..][..PLUGS.len()] else {
+            unreachable!("cells come back one per (size, plug)");
+        };
         t.row(vec![
             Pair::count(n).to_string(),
             Pair::count(n).to_string(),
@@ -87,13 +107,18 @@ fn pam_table(id: &str, title: &str, dataset: &dyn Dataset, scale: Scale) {
             "n", "vanilla", "Tri", "LAESA", "Save(%)", "TLAESA", "Save(%)",
         ],
     );
-    for n in sizes {
-        let metric = dataset.metric(n, SEED);
+    const PLUGS: [Plug; 4] = [Plug::Vanilla, Plug::TriBoot, Plug::Laesa, Plug::Tlaesa];
+    let metrics: Vec<_> = sizes.iter().map(|&n| dataset.metric(n, SEED)).collect();
+    let cells: Vec<RunResult> = parallel_cells(sizes.len() * PLUGS.len(), |c| {
+        let (si, pi) = (c / PLUGS.len(), c % PLUGS.len());
+        let n = sizes[si];
         let k = log_landmarks(n);
-        let (_, vanilla) = run_plugged(Plug::Vanilla, &*metric, k, SEED, |r| pam(r, params(n)));
-        let (_, tri) = run_plugged(Plug::TriBoot, &*metric, k, SEED, |r| pam(r, params(n)));
-        let (_, laesa) = run_plugged(Plug::Laesa, &*metric, k, SEED, |r| pam(r, params(n)));
-        let (_, tlaesa) = run_plugged(Plug::Tlaesa, &*metric, k, SEED, |r| pam(r, params(n)));
+        run_plugged(PLUGS[pi], &*metrics[si], k, SEED, |r| pam(r, params(n))).1
+    });
+    for (si, &n) in sizes.iter().enumerate() {
+        let [vanilla, tri, laesa, tlaesa] = &cells[si * PLUGS.len()..][..PLUGS.len()] else {
+            unreachable!("cells come back one per (size, plug)");
+        };
         t.row(vec![
             n.to_string(),
             vanilla.total_calls().to_string(),

@@ -17,7 +17,7 @@ pub mod microbench;
 pub mod runner;
 pub mod table;
 
-pub use runner::{run_plugged, Plug, RunResult};
+pub use runner::{parallel_cells, run_plugged, Plug, RunResult};
 pub use table::Table;
 
 /// Scale knob: `Small` keeps every experiment under a few seconds for CI;

@@ -26,6 +26,9 @@ pub struct Bench {
     /// Minimum measured wall time per sample; iterations adapt to reach it.
     min_sample_time: Duration,
     rows: Vec<Row>,
+    /// When set, [`Bench::finish`] also writes `BENCH_<name>.json` at the
+    /// workspace root — the committed baseline CI diffs against.
+    name: Option<String>,
 }
 
 impl Default for Bench {
@@ -46,7 +49,16 @@ impl Bench {
             sample_size: 20,
             min_sample_time: Duration::from_millis(5),
             rows: Vec::new(),
+            name: None,
         }
+    }
+
+    /// [`Bench::new`], additionally writing a machine-readable
+    /// `BENCH_<name>.json` summary at the workspace root on finish.
+    pub fn named(name: &str) -> Self {
+        let mut b = Bench::new();
+        b.name = Some(name.to_string());
+        b
     }
 
     /// Samples per benchmark (default 20).
@@ -130,6 +142,32 @@ impl Bench {
         if std::fs::create_dir_all(&dir).is_ok() {
             let _ = std::fs::write(dir.join("results.csv"), csv);
         }
+        if let Some(name) = &self.name {
+            let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..");
+            let _ = std::fs::write(root.join(format!("BENCH_{name}.json")), self.to_json());
+        }
+    }
+
+    /// The rows as a JSON array (names are `group/id` ASCII; quotes and
+    /// backslashes are escaped just in case).
+    fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let median = row.samples[row.samples.len() / 2];
+            let mean = row.samples.iter().sum::<f64>() / row.samples.len() as f64;
+            let min = row.samples[0];
+            let name = row.name.replace('\\', "\\\\").replace('"', "\\\"");
+            out.push_str(&format!(
+                "  {{\"name\": \"{name}\", \"median_ns\": {median:.1}, \
+                 \"mean_ns\": {mean:.1}, \"min_ns\": {min:.1}, \"iters\": {}}}{}\n",
+                row.iters_per_sample,
+                if i + 1 < self.rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("]\n");
+        out
     }
 }
 
@@ -157,6 +195,7 @@ mod tests {
             sample_size: 3,
             min_sample_time: Duration::from_micros(50),
             rows: Vec::new(),
+            name: None,
         };
         let mut acc = 0u64;
         b.bench("smoke", "add", || {
@@ -174,11 +213,32 @@ mod tests {
             sample_size: 3,
             min_sample_time: Duration::from_micros(10),
             rows: Vec::new(),
+            name: None,
         };
         b.bench("other", "bench", || {});
         assert!(b.rows.is_empty());
         b.bench("wanted", "bench", || {});
         assert_eq!(b.rows.len(), 1);
+    }
+
+    #[test]
+    fn json_summary_shape() {
+        let mut b = Bench {
+            filter: None,
+            sample_size: 3,
+            min_sample_time: Duration::from_micros(10),
+            rows: Vec::new(),
+            name: Some("test".into()),
+        };
+        b.bench("g", "one", || {});
+        b.bench("g", "two", || {});
+        let json = b.to_json();
+        assert!(json.starts_with("[\n"), "{json}");
+        assert!(json.trim_end().ends_with(']'), "{json}");
+        assert!(json.contains("\"name\": \"g/one\""), "{json}");
+        assert!(json.contains("\"median_ns\": "), "{json}");
+        assert_eq!(json.matches("\"iters\": ").count(), 2, "{json}");
+        assert_eq!(json.matches("},\n").count(), 1, "one comma for two rows");
     }
 
     #[test]

@@ -183,6 +183,17 @@ pub fn log_landmarks(n: usize) -> usize {
     (n.max(2) as f64).log2().ceil() as usize
 }
 
+/// Runs `count` independent experiment cells on the global thread pool and
+/// returns their results in index order.
+///
+/// Each cell owns its oracle, scheme, and resolver, so per-cell accounting
+/// (oracle calls, prune stats, outputs) is identical to running the cells
+/// in a plain loop — concurrency only changes wall-clock. Cells must not
+/// share mutable state; everything they need goes in by index.
+pub fn parallel_cells<T: Send, F: Fn(usize) -> T + Sync>(count: usize, cell: F) -> Vec<T> {
+    prox_exec::ExecPool::global().map_indexed(count, cell)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +222,23 @@ mod tests {
         };
         let t = r.completion_time(Duration::from_millis(10));
         assert_eq!(t, Duration::from_millis(5 + 1 + 1000));
+    }
+
+    #[test]
+    fn parallel_cells_ordered_and_deterministic() {
+        let metric = ClusteredPlane::default().metric(30, 3);
+        let plugs = [Plug::Vanilla, Plug::TriNb, Plug::Splub, Plug::Laesa];
+        let cell = |i: usize| {
+            run_plugged(plugs[i], &*metric, 4, 3, |r| prim_mst(r))
+                .1
+                .total_calls()
+        };
+        let seq: Vec<u64> = (0..plugs.len()).map(cell).collect();
+        // Concurrent cells, global pool widened for the duration.
+        prox_exec::set_global_threads(4);
+        let par = parallel_cells(plugs.len(), cell);
+        prox_exec::set_global_threads(1);
+        assert_eq!(seq, par, "cells must come back in order with equal counts");
     }
 
     #[test]

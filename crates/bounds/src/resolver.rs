@@ -1,6 +1,8 @@
 //! The resolver framework: re-authored IF statements (§3 of the paper).
 
-use prox_core::{Metric, Oracle, Pair, PruneStats};
+use std::collections::HashMap;
+
+use prox_core::{Metric, Oracle, Pair, PruneStats, SpecBounds};
 
 use crate::{BoundScheme, NoScheme};
 
@@ -122,6 +124,35 @@ pub trait DistanceResolver {
     /// Mutable access to the counters (used by the provided methods).
     fn prune_stats_mut(&mut self) -> &mut PruneStats;
 
+    /// Monotone generation counter of the resolver's bound state (`0` when
+    /// the resolver does not track one). Used by the speculate/commit
+    /// protocol to gate reuse of speculative results.
+    fn generation(&self) -> u64 {
+        0
+    }
+
+    /// Upper bound on the last generation at which bound-derived answers
+    /// for `x` may have changed. The default, `u64::MAX` ("always stale"),
+    /// is the safe answer for resolvers that cannot track freshness: no
+    /// speculative value is ever treated as current.
+    fn pair_stamp(&self, x: Pair) -> u64 {
+        let _ = x;
+        u64::MAX
+    }
+
+    /// A read-only, thread-shareable snapshot of the resolver's bound
+    /// state for speculative parallel evaluation. `None` (the default)
+    /// keeps every consumer on the sequential path.
+    ///
+    /// Implementors must guarantee that their `try_*` verdicts are the
+    /// pure decision functions of `bounds`/`known` used by
+    /// [`BoundResolver`] — the committer's speculative replay reproduces
+    /// exactly those decisions (same [`DECISION_EPS`] margins, same known
+    /// fast paths).
+    fn spec(&self) -> Option<&dyn SpecBounds> {
+        None
+    }
+
     /// Decides `dist(x) < dist(y)`, resolving both distances only when the
     /// bounds are inconclusive. This is the re-authored
     /// `if dist(o_i,o_j) ≥ dist(o_k,o_l)` statement from §3.
@@ -203,6 +234,15 @@ pub struct BoundResolver<'o, M: Metric, S: BoundScheme> {
     oracle: &'o Oracle<M>,
     scheme: S,
     stats: PruneStats,
+    /// Generation-stamped `(lb, ub, generation)` memo per pair, used when
+    /// the scheme opts in via [`BoundScheme::bounds_cacheable`]. A hit is
+    /// served only while `scheme.pair_stamp(p) <= generation`, i.e. while
+    /// the cached value is bitwise what the scheme would recompute —
+    /// repeated SPLUB probes of one pair then cost a hash lookup instead
+    /// of two Dijkstras. Hits and misses are deliberately *not* counted in
+    /// [`PruneStats`]: the cache must not change any observable accounting.
+    bcache: HashMap<u64, (f64, f64, u64)>,
+    cache_on: bool,
 }
 
 impl<'o, M: Metric, S: BoundScheme> BoundResolver<'o, M, S> {
@@ -214,11 +254,33 @@ impl<'o, M: Metric, S: BoundScheme> BoundResolver<'o, M, S> {
             scheme.n(),
             "oracle and scheme must cover the same objects"
         );
+        let cache_on = scheme.bounds_cacheable();
         BoundResolver {
             oracle,
             scheme,
             stats: PruneStats::default(),
+            bcache: HashMap::new(),
+            cache_on,
         }
+    }
+
+    /// `scheme.bounds(x)`, memoized per pair while still current (see the
+    /// `bcache` field). Exact equality with the uncached computation is an
+    /// invariant: the cached value was produced by the scheme itself, and
+    /// the stamp check proves the scheme would still produce it.
+    fn cached_bounds(&mut self, x: Pair) -> (f64, f64) {
+        if !self.cache_on {
+            return self.scheme.bounds(x);
+        }
+        let key = x.key();
+        if let Some(&(lb, ub, gen)) = self.bcache.get(&key) {
+            if self.scheme.pair_stamp(x) <= gen {
+                return (lb, ub);
+            }
+        }
+        let (lb, ub) = self.scheme.bounds(x);
+        self.bcache.insert(key, (lb, ub, self.scheme.generation()));
+        (lb, ub)
     }
 
     /// Read access to the scheme.
@@ -275,8 +337,8 @@ impl<'o, M: Metric, S: BoundScheme> DistanceResolver for BoundResolver<'o, M, S>
     }
 
     fn try_less(&mut self, x: Pair, y: Pair) -> Option<bool> {
-        let (lx, ux) = self.scheme.bounds(x);
-        let (ly, uy) = self.scheme.bounds(y);
+        let (lx, ux) = self.cached_bounds(x);
+        let (ly, uy) = self.cached_bounds(y);
         if ux < ly - DECISION_EPS {
             Some(true) // dist(x) <= ub(x) < lb(y) <= dist(y)
         } else if lx >= uy + DECISION_EPS {
@@ -287,7 +349,7 @@ impl<'o, M: Metric, S: BoundScheme> DistanceResolver for BoundResolver<'o, M, S>
     }
 
     fn try_less_value(&mut self, x: Pair, v: f64) -> Option<bool> {
-        let (lb, ub) = self.scheme.bounds(x);
+        let (lb, ub) = self.cached_bounds(x);
         if lb == ub {
             // Exactly known (recorded) values carry no derivation noise,
             // so this compares as the oracle itself would. lint: allow(L3)
@@ -303,7 +365,7 @@ impl<'o, M: Metric, S: BoundScheme> DistanceResolver for BoundResolver<'o, M, S>
     }
 
     fn try_leq_value(&mut self, x: Pair, v: f64) -> Option<bool> {
-        let (lb, ub) = self.scheme.bounds(x);
+        let (lb, ub) = self.cached_bounds(x);
         if lb == ub {
             // Exactly known value: compare as the oracle would. lint: allow(L3)
             return Some(lb <= v);
@@ -318,10 +380,10 @@ impl<'o, M: Metric, S: BoundScheme> DistanceResolver for BoundResolver<'o, M, S>
     }
 
     fn try_less_sum2(&mut self, x: (Pair, Pair), y: (Pair, Pair)) -> Option<bool> {
-        let (lx0, ux0) = self.scheme.bounds(x.0);
-        let (lx1, ux1) = self.scheme.bounds(x.1);
-        let (ly0, uy0) = self.scheme.bounds(y.0);
-        let (ly1, uy1) = self.scheme.bounds(y.1);
+        let (lx0, ux0) = self.cached_bounds(x.0);
+        let (lx1, ux1) = self.cached_bounds(x.1);
+        let (ly0, uy0) = self.cached_bounds(y.0);
+        let (ly1, uy1) = self.cached_bounds(y.1);
         // A small safety margin absorbs the rounding of summed bounds; the
         // near-tie cases fall through and are compared exactly.
         if ux0 + ux1 < ly0 + ly1 - DECISION_EPS {
@@ -334,11 +396,11 @@ impl<'o, M: Metric, S: BoundScheme> DistanceResolver for BoundResolver<'o, M, S>
     }
 
     fn lower_bound_hint(&mut self, x: Pair) -> f64 {
-        self.scheme.bounds(x).0
+        self.cached_bounds(x).0
     }
 
     fn bounds_hint(&mut self, x: Pair) -> (f64, f64) {
-        self.scheme.bounds(x)
+        self.cached_bounds(x)
     }
 
     fn preload(&mut self, p: Pair, d: f64) {
@@ -355,6 +417,18 @@ impl<'o, M: Metric, S: BoundScheme> DistanceResolver for BoundResolver<'o, M, S>
 
     fn prune_stats_mut(&mut self) -> &mut PruneStats {
         &mut self.stats
+    }
+
+    fn generation(&self) -> u64 {
+        self.scheme.generation()
+    }
+
+    fn pair_stamp(&self, x: Pair) -> u64 {
+        self.scheme.pair_stamp(x)
+    }
+
+    fn spec(&self) -> Option<&dyn SpecBounds> {
+        self.scheme.spec()
     }
 }
 

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use prox_core::Pair;
+use prox_core::{Pair, SpecBounds};
 
 /// A data structure that answers the paper's two problems:
 ///
@@ -63,6 +63,40 @@ pub trait BoundScheme {
     /// (ADM's matrices can collapse a pair's bounds by inference; an
     /// inferred exact value is still the true distance).
     fn for_each_known(&self, f: &mut dyn FnMut(Pair, f64));
+
+    /// Monotone generation counter: advances (at least) whenever a `record`
+    /// may have changed some pair's derivable bounds. The default — the
+    /// number of recorded distances — is correct for every scheme, since
+    /// `record` is the only mutation.
+    fn generation(&self) -> u64 {
+        self.m() as u64
+    }
+
+    /// Upper bound on the last generation at which `bounds(p)` may have
+    /// changed. The default (the current generation: "maybe just now") is
+    /// maximally conservative and therefore always sound; schemes with
+    /// localized bounds (Tri's are a function of the endpoints' adjacency
+    /// alone) override it with a sharper stamp.
+    fn pair_stamp(&self, p: Pair) -> u64 {
+        let _ = p;
+        self.generation()
+    }
+
+    /// A read-only, thread-shareable snapshot view for speculative bound
+    /// evaluation (see `prox_core::spec`), when the scheme supports one.
+    /// Schemes returning `None` simply keep all consumers sequential.
+    fn spec(&self) -> Option<&dyn SpecBounds> {
+        None
+    }
+
+    /// True when `bounds` is expensive enough that the resolver should
+    /// memoize `(lb, ub)` per pair, invalidated via
+    /// [`BoundScheme::pair_stamp`]. Schemes with O(1)-ish queries (ADM's
+    /// matrix lookup, LAESA's pivot rows) leave this off — the cache probe
+    /// would cost more than the query.
+    fn bounds_cacheable(&self) -> bool {
+        false
+    }
 }
 
 /// The null scheme: remembers exact values but derives nothing.

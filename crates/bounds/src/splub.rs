@@ -1,6 +1,7 @@
 //! SPLUB — Shortest-Path based Lower and Upper Bounds (§4.1, Algorithm 1).
 
-use prox_core::Pair;
+use prox_core::invariant::InvariantExt;
+use prox_core::{ObjectId, Pair, SpecBounds, SpecScratch};
 use prox_graph::{Dijkstra, PartialGraph};
 
 use crate::BoundScheme;
@@ -27,6 +28,21 @@ pub struct Splub {
     max_distance: f64,
     dij_a: Dijkstra,
     dij_b: Dijkstra,
+    /// `(source, graph generation)` of the tree each scratch currently
+    /// holds. Consecutive queries sharing an endpoint (kNN sweeps probe
+    /// `(u, v)` for a fixed `u`) then pay one Dijkstra, not two.
+    src_a: Option<(ObjectId, u64)>,
+    src_b: Option<(ObjectId, u64)>,
+}
+
+/// Per-worker scratch for speculative SPLUB bound queries: the same
+/// two-slot source-tagged Dijkstra cache, minus the generation tag (the
+/// snapshot graph is frozen while the view is borrowed).
+struct SplubScratch {
+    dij_a: Dijkstra,
+    dij_b: Dijkstra,
+    src_a: Option<ObjectId>,
+    src_b: Option<ObjectId>,
 }
 
 impl Splub {
@@ -38,6 +54,8 @@ impl Splub {
             max_distance,
             dij_a: Dijkstra::new(n),
             dij_b: Dijkstra::new(n),
+            src_a: None,
+            src_b: None,
         }
     }
 
@@ -45,6 +63,37 @@ impl Splub {
     pub fn graph(&self) -> &PartialGraph {
         &self.graph
     }
+}
+
+/// TUB/TLB from two settled shortest-path trees (Equations 2 and 3).
+/// Shared verbatim by the live and snapshot paths so both produce
+/// bitwise-identical bounds from identical trees.
+fn wrap_bounds(
+    graph: &PartialGraph,
+    max_distance: f64,
+    b: ObjectId,
+    sp_a: &[f64],
+    sp_b: &[f64],
+) -> (f64, f64) {
+    // TUB: shortest path a -> b (Equation 2), capped by the a-priori max.
+    let ub = max_distance.min(sp_a[b as usize]);
+
+    // TLB: wrap both shortest-path trees onto every known edge
+    // (Equation 3). Unreachable endpoints contribute -inf and drop out.
+    let mut lb = 0.0f64;
+    for &(e, w) in graph.edges() {
+        let (k, l) = (e.lo() as usize, e.hi() as usize);
+        let via = w - (sp_a[k] + sp_b[l]);
+        let via_sym = w - (sp_a[l] + sp_b[k]);
+        let best = via.max(via_sym);
+        if best > lb {
+            lb = best;
+        }
+    }
+    if lb > ub {
+        lb = ub; // float-noise guard; mathematically lb <= ub
+    }
+    (lb, ub)
 }
 
 impl BoundScheme for Splub {
@@ -65,28 +114,25 @@ impl BoundScheme for Splub {
             return (d, d);
         }
         let (a, b) = p.ends();
-        let sp_a = self.dij_a.run(&self.graph, a);
-        let sp_b = self.dij_b.run(&self.graph, b);
-
-        // TUB: shortest path a -> b (Equation 2), capped by the a-priori max.
-        let ub = self.max_distance.min(sp_a[b as usize]);
-
-        // TLB: wrap both shortest-path trees onto every known edge
-        // (Equation 3). Unreachable endpoints contribute -inf and drop out.
-        let mut lb = 0.0f64;
-        for &(e, w) in self.graph.edges() {
-            let (k, l) = (e.lo() as usize, e.hi() as usize);
-            let via = w - (sp_a[k] + sp_b[l]);
-            let via_sym = w - (sp_a[l] + sp_b[k]);
-            let best = via.max(via_sym);
-            if best > lb {
-                lb = best;
-            }
+        // Re-run Dijkstra only when the cached tree is for another source
+        // or the graph has grown since (Dijkstra is deterministic, so a
+        // cached tree is bitwise what a re-run would produce).
+        let gen = self.graph.generation();
+        if self.src_a != Some((a, gen)) {
+            self.dij_a.run(&self.graph, a);
+            self.src_a = Some((a, gen));
         }
-        if lb > ub {
-            lb = ub; // float-noise guard; mathematically lb <= ub
+        if self.src_b != Some((b, gen)) {
+            self.dij_b.run(&self.graph, b);
+            self.src_b = Some((b, gen));
         }
-        (lb, ub)
+        wrap_bounds(
+            &self.graph,
+            self.max_distance,
+            b,
+            self.dij_a.dist(),
+            self.dij_b.dist(),
+        )
     }
 
     fn record(&mut self, p: Pair, d: f64) {
@@ -105,6 +151,81 @@ impl BoundScheme for Splub {
         for &(p, d) in self.graph.edges() {
             f(p, d);
         }
+    }
+
+    fn generation(&self) -> u64 {
+        self.graph.generation()
+    }
+
+    // SPLUB bounds depend on the whole graph (any new edge can shorten a
+    // path or improve a wrap), so the conservative default pair stamp — the
+    // current generation — is also the sharp one; no override.
+
+    fn spec(&self) -> Option<&dyn SpecBounds> {
+        Some(self)
+    }
+
+    fn bounds_cacheable(&self) -> bool {
+        true
+    }
+}
+
+impl SpecBounds for Splub {
+    fn spec_n(&self) -> usize {
+        self.graph.n()
+    }
+
+    fn spec_max_distance(&self) -> f64 {
+        self.max_distance
+    }
+
+    fn spec_generation(&self) -> u64 {
+        self.graph.generation()
+    }
+
+    fn spec_pair_stamp(&self, _p: Pair) -> u64 {
+        self.graph.generation()
+    }
+
+    fn spec_known(&self, p: Pair) -> Option<f64> {
+        self.graph.get(p)
+    }
+
+    fn new_scratch(&self) -> SpecScratch {
+        SpecScratch::with(SplubScratch {
+            dij_a: Dijkstra::new(self.graph.n()),
+            dij_b: Dijkstra::new(self.graph.n()),
+            src_a: None,
+            src_b: None,
+        })
+    }
+
+    fn spec_bounds(&self, p: Pair, scratch: &mut SpecScratch) -> (f64, f64) {
+        if let Some(d) = self.graph.get(p) {
+            return (d, d);
+        }
+        if scratch.get_mut::<SplubScratch>().is_none() {
+            *scratch = self.new_scratch();
+        }
+        let s = scratch
+            .get_mut::<SplubScratch>()
+            .expect_invariant("scratch installed above");
+        let (a, b) = p.ends();
+        if s.src_a != Some(a) {
+            s.dij_a.run(&self.graph, a);
+            s.src_a = Some(a);
+        }
+        if s.src_b != Some(b) {
+            s.dij_b.run(&self.graph, b);
+            s.src_b = Some(b);
+        }
+        wrap_bounds(
+            &self.graph,
+            self.max_distance,
+            b,
+            s.dij_a.dist(),
+            s.dij_b.dist(),
+        )
     }
 }
 

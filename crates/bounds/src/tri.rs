@@ -1,6 +1,6 @@
 //! Tri Scheme — triangle-induced bounds (§4.2 of the paper, Algorithm 2).
 
-use prox_core::Pair;
+use prox_core::{Pair, SpecBounds, SpecScratch};
 use prox_graph::PartialGraph;
 
 use crate::BoundScheme;
@@ -40,22 +40,11 @@ impl TriScheme {
     pub fn graph(&self) -> &PartialGraph {
         &self.graph
     }
-}
 
-impl BoundScheme for TriScheme {
-    fn n(&self) -> usize {
-        self.graph.n()
-    }
-
-    fn max_distance(&self) -> f64 {
-        self.max_distance
-    }
-
-    fn known(&self, p: Pair) -> Option<f64> {
-        self.graph.get(p)
-    }
-
-    fn bounds(&mut self, p: Pair) -> (f64, f64) {
+    /// The bound computation proper, shared verbatim by the live
+    /// (`BoundScheme::bounds`) and snapshot (`SpecBounds::bounds`) paths so
+    /// the two produce bitwise-identical values at the same generation.
+    fn bounds_ro(&self, p: Pair) -> (f64, f64) {
         if let Some(d) = self.graph.get(p) {
             return (d, d);
         }
@@ -72,6 +61,24 @@ impl BoundScheme for TriScheme {
             lb = ub;
         }
         (lb, ub)
+    }
+}
+
+impl BoundScheme for TriScheme {
+    fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    fn max_distance(&self) -> f64 {
+        self.max_distance
+    }
+
+    fn known(&self, p: Pair) -> Option<f64> {
+        self.graph.get(p)
+    }
+
+    fn bounds(&mut self, p: Pair) -> (f64, f64) {
+        self.bounds_ro(p)
     }
 
     fn record(&mut self, p: Pair, d: f64) {
@@ -90,6 +97,50 @@ impl BoundScheme for TriScheme {
         for &(p, d) in self.graph.edges() {
             f(p, d);
         }
+    }
+
+    fn generation(&self) -> u64 {
+        self.graph.generation()
+    }
+
+    fn pair_stamp(&self, p: Pair) -> u64 {
+        // Tri bounds for (a, b) are a function of adj(a) and adj(b) alone,
+        // so the freshest incident insertion bounds the last change.
+        self.graph.pair_stamp(p)
+    }
+
+    fn spec(&self) -> Option<&dyn SpecBounds> {
+        Some(self)
+    }
+
+    fn bounds_cacheable(&self) -> bool {
+        true
+    }
+}
+
+impl SpecBounds for TriScheme {
+    fn spec_n(&self) -> usize {
+        self.graph.n()
+    }
+
+    fn spec_max_distance(&self) -> f64 {
+        self.max_distance
+    }
+
+    fn spec_generation(&self) -> u64 {
+        self.graph.generation()
+    }
+
+    fn spec_pair_stamp(&self, p: Pair) -> u64 {
+        self.graph.pair_stamp(p)
+    }
+
+    fn spec_known(&self, p: Pair) -> Option<f64> {
+        self.graph.get(p)
+    }
+
+    fn spec_bounds(&self, p: Pair, _scratch: &mut SpecScratch) -> (f64, f64) {
+        self.bounds_ro(p)
     }
 }
 

@@ -22,6 +22,7 @@ pub mod oracle;
 pub mod pair;
 pub mod persist;
 pub mod rng;
+pub mod spec;
 pub mod stats;
 
 pub use metric::{FnMetric, MatrixMetric, Metric, MetricCheck};
@@ -29,6 +30,7 @@ pub use oracle::Oracle;
 pub use pair::{Pair, PairMap};
 pub use persist::{load_known, save_known};
 pub use rng::TinyRng;
+pub use spec::{SpecBounds, SpecScratch};
 pub use stats::{OracleStats, PruneStats};
 
 /// Identifier of an object in a metric space: a dense index in `0..n`.

@@ -75,6 +75,7 @@ pub fn property(base_seed: u64, cases: u64, mut body: impl FnMut(&mut TinyRng)) 
     }
     impl Drop for ReplayNote {
         fn drop(&mut self) {
+            // Panic introspection, not threading; lint: allow(L5)
             if self.armed && std::thread::panicking() {
                 eprintln!(
                     "property case failed: replay with run_case(base_seed={}, case={}, ..)",

@@ -1,0 +1,27 @@
+//! Deterministic fork-join execution for the prox workspace.
+//!
+//! The workspace's core guarantee — plugged runs are byte-identical to
+//! vanilla runs, with deterministic oracle-call counts — rules out the
+//! usual "just parallelize the loop" approach: resolvers are single-owner
+//! (`Oracle`'s call counter is not `Sync`, on purpose) and the order in
+//! which distances are resolved feeds back into every later bound. The
+//! protocol that squares parallelism with that guarantee is
+//! **speculate-in-parallel, commit-in-order**:
+//!
+//! 1. take a frozen snapshot of the bound state (`prox_core::SpecBounds`);
+//! 2. fan speculative work out across an [`ExecPool`] — workers only read
+//!    the snapshot, never touch the oracle;
+//! 3. a sequential committer replays the work in canonical order, reusing
+//!    each speculative result only when it provably equals what the live
+//!    sequential path would have produced, and falling back to the normal
+//!    sequential computation otherwise.
+//!
+//! This crate provides step 2: a dependency-free scoped-thread pool
+//! ([`ExecPool::map_indexed`]) plus the process-wide thread-count knob the
+//! `--threads` CLI flags set ([`set_global_threads`]). All consumers
+//! (`prox_algos::knn_graph`, PAM's SWAP scan, the `repro` harness) go
+//! through it; `cargo xtask lint` rejects `std::thread` anywhere else.
+
+pub mod pool;
+
+pub use pool::{global_threads, set_global_threads, ExecPool};

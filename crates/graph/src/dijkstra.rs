@@ -73,6 +73,14 @@ impl Dijkstra {
         }
     }
 
+    /// The distance array written by the most recent [`Dijkstra::run`]
+    /// (all-`INFINITY` before any run). Lets callers that cache trees by
+    /// source re-read results without re-running.
+    #[inline]
+    pub fn dist(&self) -> &[f64] {
+        &self.dist
+    }
+
     /// Runs SSSP from `src` over `graph` and returns the distance array;
     /// unreachable nodes hold `f64::INFINITY`.
     pub fn run<'a, G: Adjacency + ?Sized>(&'a mut self, graph: &G, src: ObjectId) -> &'a [f64] {

@@ -14,6 +14,12 @@ use prox_core::{ObjectId, Pair};
 pub struct PartialGraph {
     adj: Vec<Vec<(ObjectId, f64)>>,
     edges: Vec<(Pair, f64)>,
+    /// Bumped once per new edge; `node_stamp[v]` records the generation of
+    /// the last insertion incident on `v`. Together they let snapshot-based
+    /// (speculative) consumers decide whether bounds derived from a node's
+    /// adjacency are still current — see `prox_core::spec`.
+    generation: u64,
+    node_stamp: Vec<u64>,
 }
 
 impl PartialGraph {
@@ -22,7 +28,28 @@ impl PartialGraph {
         PartialGraph {
             adj: vec![Vec::new(); n],
             edges: Vec::new(),
+            generation: 0,
+            node_stamp: vec![0; n],
         }
+    }
+
+    /// Monotone counter of structural changes (one per new edge).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Generation of the last insertion incident on `v` (`0` if none).
+    #[inline]
+    pub fn node_stamp(&self, v: ObjectId) -> u64 {
+        self.node_stamp[v as usize]
+    }
+
+    /// Upper bound on the last generation at which information derived from
+    /// the adjacency lists of `p`'s endpoints may have changed.
+    #[inline]
+    pub fn pair_stamp(&self, p: Pair) -> u64 {
+        self.node_stamp[p.lo() as usize].max(self.node_stamp[p.hi() as usize])
     }
 
     /// Number of objects (nodes).
@@ -41,6 +68,7 @@ impl PartialGraph {
     }
 
     /// The known distance for `p`, if resolved.
+    #[inline]
     pub fn get(&self, p: Pair) -> Option<f64> {
         let list = &self.adj[p.lo() as usize];
         list.binary_search_by_key(&p.hi(), |&(id, _)| id)
@@ -71,18 +99,34 @@ impl PartialGraph {
                 false
             }
             Err(i) => {
+                // Adjacency lists start at a useful capacity: degrees in
+                // this workspace's workloads are almost never 1–2, and the
+                // default 1→2→4 growth triples the early reallocations on
+                // the Tri hot path.
+                Self::reserve_adj(&mut self.adj[a as usize]);
                 self.adj[a as usize].insert(i, (b, d));
+                Self::reserve_adj(&mut self.adj[b as usize]);
                 let j = self.adj[b as usize]
                     .binary_search_by_key(&a, |&(id, _)| id)
                     .unwrap_err();
                 self.adj[b as usize].insert(j, (a, d));
                 self.edges.push((p, d));
+                self.generation += 1;
+                self.node_stamp[a as usize] = self.generation;
+                self.node_stamp[b as usize] = self.generation;
                 true
             }
         }
     }
 
+    fn reserve_adj(list: &mut Vec<(ObjectId, f64)>) {
+        if list.capacity() == list.len() {
+            list.reserve(list.len().max(8));
+        }
+    }
+
     /// Sorted `(neighbour, distance)` list of `v`.
+    #[inline]
     pub fn neighbors(&self, v: ObjectId) -> &[(ObjectId, f64)] {
         &self.adj[v as usize]
     }
@@ -96,6 +140,7 @@ impl PartialGraph {
     /// `a` and `b` — i.e. every triangle incident on the unknown edge
     /// `(a, b)` whose other two sides are known. This is the sorted-list
     /// merge at the heart of Tri Scheme (Algorithm 2), `O(deg a + deg b)`.
+    #[inline]
     pub fn for_each_common_neighbor<F: FnMut(ObjectId, f64, f64)>(
         &self,
         a: ObjectId,
@@ -177,6 +222,27 @@ mod tests {
         assert_eq!(count, 0, "isolated endpoints share nothing");
         g.for_each_common_neighbor(0, 1, |_, _, _| count += 1);
         assert_eq!(count, 0, "adjacent endpoints without a triangle");
+    }
+
+    #[test]
+    fn generation_and_stamps_track_insertions() {
+        let mut g = PartialGraph::new(5);
+        assert_eq!(g.generation(), 0);
+        assert_eq!(g.pair_stamp(p(0, 1)), 0);
+        g.insert(p(0, 1), 0.5);
+        assert_eq!(g.generation(), 1);
+        assert_eq!(g.node_stamp(0), 1);
+        assert_eq!(g.node_stamp(1), 1);
+        assert_eq!(g.node_stamp(2), 0);
+        g.insert(p(1, 2), 0.25);
+        assert_eq!(g.generation(), 2);
+        assert_eq!(g.node_stamp(1), 2, "stamp follows the latest insertion");
+        assert_eq!(g.pair_stamp(p(0, 2)), 2, "max of endpoint stamps");
+        assert_eq!(g.pair_stamp(p(0, 3)), 1);
+        assert_eq!(g.pair_stamp(p(3, 4)), 0, "untouched pair stays at 0");
+        // Duplicate insert changes nothing.
+        g.insert(p(0, 1), 0.5);
+        assert_eq!(g.generation(), 2);
     }
 
     #[test]

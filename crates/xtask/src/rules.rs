@@ -1,4 +1,4 @@
-//! The lint rules (`L1`–`L4`) enforcing the oracle-call discipline.
+//! The lint rules (`L1`–`L5`) enforcing the oracle-call discipline.
 //!
 //! Every rule works on the masked code produced by [`crate::lexer::scan`],
 //! skips `#[cfg(test)]` blocks (test code is exempt), and honours an escape
@@ -12,13 +12,14 @@
 //! | L2 | `crates/algos` | `Oracle::call` / `call_pair` (algorithms speak `DistanceResolver`) |
 //! | L3 | `try_*` bodies in `crates/bounds` + `crates/lp` | raw float comparisons with no `DECISION_EPS`/eps margin |
 //! | L4 | library crates | `unwrap` / `expect` / `panic!` (use `prox_core::invariant`) |
+//! | L5 | everywhere except `prox-exec` | `std::thread` (threading goes through `ExecPool` so determinism stays centralised) |
 
 use crate::lexer::{line_starts, match_brace, scan, test_line_ranges};
 
 /// One finding, addressable as `file:line`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id: `"L1"` … `"L4"`.
+    /// Rule id: `"L1"` … `"L5"`.
     pub rule: &'static str,
     /// Workspace-relative path with forward slashes.
     pub file: String,
@@ -46,7 +47,7 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
     if !rules_for(rel).iter().any(|&r| r) {
         return Vec::new();
     }
-    let [l1, l2, l3, l4] = rules_for(rel);
+    let [l1, l2, l3, l4, l5] = rules_for(rel);
     let scanned = scan(src);
     let masked_lines: Vec<&str> = scanned.masked.lines().collect();
     let comment_lines: Vec<&str> = scanned.comments.lines().collect();
@@ -141,19 +142,39 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                     .to_string(),
             );
         }
+        if l5
+            && [
+                "std::thread",
+                "thread::spawn(",
+                "thread::scope(",
+                "thread::Builder",
+            ]
+            .iter()
+            .any(|p| code.contains(p))
+            && !allowed(line, "L5")
+        {
+            push(
+                "L5",
+                line,
+                "`std::thread` outside `prox-exec`; spawn through `ExecPool` so \
+                 the speculate/commit determinism protocol stays the only \
+                 threading path"
+                    .to_string(),
+            );
+        }
     }
     out
 }
 
-/// Which of `[L1, L2, L3, L4]` apply to this path.
-fn rules_for(rel: &str) -> [bool; 4] {
+/// Which of `[L1, L2, L3, L4, L5]` apply to this path.
+fn rules_for(rel: &str) -> [bool; 5] {
     // Only non-test library/tool sources are linted at all.
     let linted = rel.ends_with(".rs")
         && (rel.starts_with("crates/") || rel.starts_with("src/"))
         && rel.contains("/src/")
         && !rel.starts_with("crates/xtask/");
     if !linted {
-        return [false; 4];
+        return [false; 5];
     }
     let in_crate = |c: &str| rel.starts_with(&format!("crates/{c}/"));
     let l1 = !in_crate("core") && !in_crate("datasets");
@@ -163,7 +184,9 @@ fn rules_for(rel: &str) -> [bool; 4] {
     // and `crates/core/src/invariant.rs` is the audited panic chokepoint.
     let l4 =
         !in_crate("bench") && !rel.contains("/src/bin/") && rel != "crates/core/src/invariant.rs";
-    [l1, l2, l3, l4]
+    // L5: `prox-exec` owns all threading; everything else goes through it.
+    let l5 = !in_crate("exec");
+    [l1, l2, l3, l4, l5]
 }
 
 /// 1-based inclusive line ranges of `fn try_*` bodies in masked source.
@@ -336,6 +359,26 @@ mod tests {
     fn l4_panic_in_doc_comment_is_fine() {
         let src = "/// This function will panic!(never) at runtime.\nfn f() {}\n";
         assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    // ---------------------------------------------------------------- L5
+
+    #[test]
+    fn l5_flags_threading_outside_exec() {
+        let src = "fn f() {\n    std::thread::scope(|s| { s.spawn(|| {}); });\n}\n";
+        let vs = lint_source("crates/algos/src/x.rs", src);
+        assert_eq!(lines(&vs, "L5"), vec![2]);
+        // The same text is the whole point of prox-exec.
+        assert!(lint_source("crates/exec/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l5_exempts_tests_and_allow_annotation() {
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(lint_source("crates/algos/src/x.rs", in_test).is_empty());
+        let allowed =
+            "fn f() {\n    // introspection only; lint: allow(L5)\n    std::thread::panicking();\n}\n";
+        assert!(lint_source("crates/datasets/src/x.rs", allowed).is_empty());
     }
 
     // ----------------------------------------------------------- plumbing
