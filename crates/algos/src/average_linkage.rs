@@ -68,8 +68,8 @@
 
 use prox_bounds::resolver::DECISION_EPS;
 use prox_bounds::DistanceResolver;
-use prox_core::invariant::InvariantExt;
-use prox_core::{ObjectId, Pair};
+use prox_core::invariant::{expect_ok, InvariantExt};
+use prox_core::{ObjectId, OracleError, Pair};
 
 use crate::linkage::{Dendrogram, Merge};
 
@@ -177,19 +177,19 @@ fn refine<R: DistanceResolver + ?Sized>(
     state: &mut State,
     a: usize,
     b: usize,
-) -> f64 {
+) -> Result<f64, OracleError> {
     if let Some(m) = state.band(a, b).mean {
-        return m;
+        return Ok(m);
     }
     for p in state.member_pairs(a, b) {
         if resolver.known(p).is_none() {
-            resolver.resolve(p);
+            resolver.resolve_fallible(p)?;
         }
     }
     let band = recompute_band(resolver, state, a, b);
     let m = band.mean.expect_invariant("all members resolved");
     state.set_band(a, b, band);
-    m
+    Ok(m)
 }
 
 /// The agglomeration engine: merges until `stop_at` clusters remain and
@@ -197,7 +197,7 @@ fn refine<R: DistanceResolver + ?Sized>(
 fn agglomerate<R: DistanceResolver + ?Sized>(
     resolver: &mut R,
     stop_at: usize,
-) -> (Vec<Merge>, State) {
+) -> Result<(Vec<Merge>, State), OracleError> {
     let n = resolver.n();
     let stop_at = stop_at.clamp(1, n.max(1));
     let mut state = State {
@@ -254,7 +254,7 @@ fn agglomerate<R: DistanceResolver + ?Sized>(
                     }
                 }
                 let (x, y, _) = pick.expect_invariant("two active clusters remain");
-                refine(resolver, &mut state, x, y);
+                refine(resolver, &mut state, x, y)?;
                 continue;
             };
             // Certificate: every other pair must be excluded by a mean
@@ -294,7 +294,7 @@ fn agglomerate<R: DistanceResolver + ?Sized>(
                         continue;
                     }
                     // Still a contender (or a potential tie): resolve.
-                    refine(resolver, &mut state, x, y);
+                    refine(resolver, &mut state, x, y)?;
                     disturbed = true;
                     break 'scan;
                 }
@@ -328,7 +328,7 @@ fn agglomerate<R: DistanceResolver + ?Sized>(
         });
     }
 
-    (merges, state)
+    Ok((merges, state))
 }
 
 /// Builds the full average-linkage (UPGMA) dendrogram (`n − 1` merges,
@@ -342,9 +342,20 @@ fn agglomerate<R: DistanceResolver + ?Sized>(
 /// [`average_linkage_cut`] when only the partition is needed; that is
 /// where bounds actually save calls.
 pub fn average_linkage<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Dendrogram {
+    expect_ok(
+        try_average_linkage(resolver),
+        "average_linkage on the infallible path",
+    )
+}
+
+/// Fallible [`average_linkage`]: surfaces oracle faults instead of
+/// panicking.
+pub fn try_average_linkage<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+) -> Result<Dendrogram, OracleError> {
     let n = resolver.n();
-    let (merges, _) = agglomerate(resolver, 1);
-    Dendrogram::from_merges(n, merges)
+    let (merges, _) = agglomerate(resolver, 1)?;
+    Ok(Dendrogram::from_merges(n, merges))
 }
 
 /// Agglomerates until `k` clusters remain and returns the partition as
@@ -353,8 +364,19 @@ pub fn average_linkage<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Dendro
 /// merges that never happen: the final `k(k−1)/2` cluster-pair sums (the
 /// widest ones) are excluded by bounds instead of resolved.
 pub fn average_linkage_cut<R: DistanceResolver + ?Sized>(resolver: &mut R, k: usize) -> Vec<u32> {
+    expect_ok(
+        try_average_linkage_cut(resolver, k),
+        "average_linkage_cut on the infallible path",
+    )
+}
+
+/// Fallible [`average_linkage_cut`].
+pub fn try_average_linkage_cut<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+    k: usize,
+) -> Result<Vec<u32>, OracleError> {
     let n = resolver.n();
-    let (_, state) = agglomerate(resolver, k);
+    let (_, state) = agglomerate(resolver, k)?;
     // Dense labels by first-seen object id, matching `Dendrogram::cut`.
     let mut slot_of = vec![usize::MAX; n];
     for (s, slot) in state.members.iter().enumerate() {
@@ -374,7 +396,7 @@ pub fn average_linkage_cut<R: DistanceResolver + ?Sized>(resolver: &mut R, k: us
         }
         labels.push(label_of_slot[s]);
     }
-    labels
+    Ok(labels)
 }
 
 #[cfg(test)]

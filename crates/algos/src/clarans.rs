@@ -2,10 +2,10 @@
 //! Ng & Han 2002).
 
 use prox_bounds::DistanceResolver;
-use prox_core::invariant::InvariantExt;
-use prox_core::ObjectId;
+use prox_core::invariant::{expect_ok, InvariantExt};
+use prox_core::{ObjectId, OracleError};
 
-use crate::medoid::{assign, swap_delta};
+use crate::medoid::{try_assign, try_swap_delta};
 use crate::{Clustering, TinyRng};
 
 /// CLARANS configuration.
@@ -46,6 +46,17 @@ pub fn clarans<R: DistanceResolver + ?Sized>(
     resolver: &mut R,
     params: ClaransParams,
 ) -> Clustering {
+    expect_ok(
+        try_clarans(resolver, params),
+        "clarans on the infallible path",
+    )
+}
+
+/// Fallible [`clarans`]: surfaces oracle faults instead of panicking.
+pub fn try_clarans<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+    params: ClaransParams,
+) -> Result<Clustering, OracleError> {
     let n = resolver.n();
     let l = params.l.clamp(1, n);
     let mut rng = TinyRng::new(params.seed ^ 0xC1A_2A25);
@@ -54,7 +65,7 @@ pub fn clarans<R: DistanceResolver + ?Sized>(
 
     for _ in 0..params.numlocal.max(1) {
         let mut medoids: Vec<ObjectId> = rng.distinct(l, n);
-        let (mut near, mut cost) = assign(resolver, &medoids);
+        let (mut near, mut cost) = try_assign(resolver, &medoids)?;
 
         let mut failures = 0usize;
         while failures < params.maxneighbor {
@@ -68,10 +79,10 @@ pub fn clarans<R: DistanceResolver + ?Sized>(
                     break cand;
                 }
             };
-            let delta = swap_delta(resolver, &medoids, &near, i, h);
+            let delta = try_swap_delta(resolver, &medoids, &near, i, h)?;
             if delta < -1e-12 {
                 medoids[i] = h;
-                let (na, c) = assign(resolver, &medoids);
+                let (na, c) = try_assign(resolver, &medoids)?;
                 near = na;
                 cost = c;
                 failures = 0;
@@ -94,7 +105,7 @@ pub fn clarans<R: DistanceResolver + ?Sized>(
         }
     }
 
-    best.expect_invariant("numlocal >= 1")
+    Ok(best.expect_invariant("numlocal >= 1"))
 }
 
 #[cfg(test)]

@@ -32,8 +32,8 @@
 
 use prox_bounds::resolver::DECISION_EPS;
 use prox_bounds::DistanceResolver;
-use prox_core::invariant::InvariantExt;
-use prox_core::{ObjectId, Pair};
+use prox_core::invariant::{expect_ok, InvariantExt};
+use prox_core::{ObjectId, OracleError, Pair};
 
 use crate::linkage::{Dendrogram, Merge};
 
@@ -128,10 +128,10 @@ fn refine<R: DistanceResolver + ?Sized>(
     state: &mut State,
     a: usize,
     b: usize,
-) -> f64 {
+) -> Result<f64, OracleError> {
     let band = state.band(a, b);
     if let Some(d) = band.exact {
-        return d;
+        return Ok(d);
     }
     let (ma, mb) = (
         state.members[a].as_ref().expect_invariant("active cluster"),
@@ -156,7 +156,7 @@ fn refine<R: DistanceResolver + ?Sized>(
         if i > 0 && max_d >= entries[i].0 + DECISION_EPS {
             break;
         }
-        let d = resolver.resolve(p);
+        let d = resolver.resolve_fallible(p)?;
         if d > max_d {
             max_d = d;
         }
@@ -170,13 +170,24 @@ fn refine<R: DistanceResolver + ?Sized>(
             exact: Some(max_d),
         },
     );
-    max_d
+    Ok(max_d)
 }
 
 /// Builds the complete-linkage dendrogram (`n − 1` merges, heights
 /// non-decreasing) through the resolver. Cluster-id conventions match
 /// [`crate::single_linkage`]: leaves are `0..n`, merge `i` creates `n + i`.
 pub fn complete_linkage<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Dendrogram {
+    expect_ok(
+        try_complete_linkage(resolver),
+        "complete_linkage on the infallible path",
+    )
+}
+
+/// Fallible [`complete_linkage`]: surfaces oracle faults instead of
+/// panicking.
+pub fn try_complete_linkage<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+) -> Result<Dendrogram, OracleError> {
     let n = resolver.n();
     let max_d = resolver.max_distance();
     let mut state = State {
@@ -240,7 +251,7 @@ pub fn complete_linkage<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Dendr
                     }
                 }
                 let (x, y, _) = pick.expect_invariant("two active clusters remain");
-                refine(resolver, &mut state, x, y);
+                refine(resolver, &mut state, x, y)?;
                 continue;
             };
             // Certificate: every other pair must be excluded by a lower
@@ -268,7 +279,7 @@ pub fn complete_linkage<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Dendr
                     }
                     if fresh.lo <= bd + DECISION_EPS {
                         // Still a contender (or a potential tie): resolve.
-                        refine(resolver, &mut state, x, y);
+                        refine(resolver, &mut state, x, y)?;
                         disturbed = true;
                         break 'scan;
                     }
@@ -314,7 +325,7 @@ pub fn complete_linkage<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Dendr
         });
     }
 
-    Dendrogram::from_merges(n, merges)
+    Ok(Dendrogram::from_merges(n, merges))
 }
 
 #[cfg(test)]

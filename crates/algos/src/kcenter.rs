@@ -2,7 +2,8 @@
 //! the paper's §7 extension targets.
 
 use prox_bounds::DistanceResolver;
-use prox_core::{ObjectId, Pair};
+use prox_core::invariant::expect_ok;
+use prox_core::{ObjectId, OracleError, Pair};
 
 /// A k-center solution.
 #[derive(Clone, Debug, PartialEq)]
@@ -31,6 +32,18 @@ pub fn k_center<R: DistanceResolver + ?Sized>(
     k: usize,
     seed_center: ObjectId,
 ) -> KCenter {
+    expect_ok(
+        try_k_center(resolver, k, seed_center),
+        "k_center on the infallible path",
+    )
+}
+
+/// Fallible [`k_center`]: surfaces oracle faults instead of panicking.
+pub fn try_k_center<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+    k: usize,
+    seed_center: ObjectId,
+) -> Result<KCenter, OracleError> {
     let n = resolver.n();
     assert!(n >= 1);
     assert!((seed_center as usize) < n);
@@ -51,7 +64,8 @@ pub fn k_center<R: DistanceResolver + ?Sized>(
                  slot: u32,
                  mind: &mut [f64],
                  assignment: &mut [u32],
-                 is_center: &[bool]| {
+                 is_center: &[bool]|
+     -> Result<(), OracleError> {
         for v in 0..mind.len() as ObjectId {
             if v == c || is_center[v as usize] {
                 continue;
@@ -59,13 +73,14 @@ pub fn k_center<R: DistanceResolver + ?Sized>(
             let cur = mind[v as usize];
             let p = Pair::new(c, v);
             if cur.is_infinite() {
-                mind[v as usize] = resolver.resolve(p);
+                mind[v as usize] = resolver.resolve_fallible(p)?;
                 assignment[v as usize] = slot;
-            } else if let Some(d) = resolver.distance_if_less(p, cur) {
+            } else if let Some(d) = resolver.distance_if_less_fallible(p, cur)? {
                 mind[v as usize] = d;
                 assignment[v as usize] = slot;
             }
         }
+        Ok(())
     };
     relax(
         resolver,
@@ -74,7 +89,7 @@ pub fn k_center<R: DistanceResolver + ?Sized>(
         &mut mind,
         &mut assignment,
         &is_center,
-    );
+    )?;
 
     for slot in 1..k {
         // Farthest-first: argmax of the exact nearest-center distances
@@ -99,15 +114,15 @@ pub fn k_center<R: DistanceResolver + ?Sized>(
             &mut mind,
             &mut assignment,
             &is_center,
-        );
+        )?;
     }
 
     let radius = mind.iter().copied().fold(0.0f64, f64::max);
-    KCenter {
+    Ok(KCenter {
         centers,
         assignment,
         radius,
-    }
+    })
 }
 
 #[cfg(test)]

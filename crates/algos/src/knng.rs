@@ -16,8 +16,8 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use prox_bounds::DistanceResolver;
-use prox_core::invariant::InvariantExt;
-use prox_core::{ObjectId, Pair, SpecBounds};
+use prox_core::invariant::{expect_ok, InvariantExt};
+use prox_core::{ObjectId, OracleError, Pair, SpecBounds};
 use prox_exec::ExecPool;
 
 use crate::speculate::leq_verdict;
@@ -110,7 +110,7 @@ fn sweep<R: DistanceResolver + ?Sized>(
     k: usize,
     cands: &[(f64, bool, ObjectId)],
     snap: Option<&SourceSpec>,
-) -> Vec<(ObjectId, f64)> {
+) -> Result<Vec<(ObjectId, f64)>, OracleError> {
     let mut heap: BinaryHeap<Neighbor> = BinaryHeap::with_capacity(k + 1);
     for &(key, known, v) in cands {
         let worst = heap.peek().copied();
@@ -124,7 +124,7 @@ fn sweep<R: DistanceResolver + ?Sized>(
         }
         let p = Pair::new(u, v);
         if heap.len() < k {
-            let d = resolver.resolve(p);
+            let d = resolver.resolve_fallible(p)?;
             heap.push(Neighbor { d, id: v });
             continue;
         }
@@ -143,13 +143,13 @@ fn sweep<R: DistanceResolver + ?Sized>(
             match verdict {
                 Some(true) => {
                     resolver.prune_stats_mut().decided_by_bounds += 1;
-                    Some(resolver.resolve(p))
+                    Some(resolver.resolve_fallible(p)?)
                 }
                 Some(false) => {
                     resolver.prune_stats_mut().decided_by_bounds += 1;
                     None
                 }
-                None => resolver.distance_if_leq(p, w.d),
+                None => resolver.distance_if_leq_fallible(p, w.d)?,
             }
         };
         if let Some(d) = d {
@@ -163,7 +163,7 @@ fn sweep<R: DistanceResolver + ?Sized>(
 
     let mut out: Vec<(ObjectId, f64)> = heap.into_iter().map(|nb| (nb.id, nb.d)).collect();
     out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
-    out
+    Ok(out)
 }
 
 /// Finds the `k` nearest neighbours of `u` (by `(distance, id)` order).
@@ -181,11 +181,23 @@ pub fn knn_query<R: DistanceResolver + ?Sized>(
     u: ObjectId,
     k: usize,
 ) -> Vec<(ObjectId, f64)> {
+    expect_ok(
+        try_knn_query(resolver, u, k),
+        "knn_query on the infallible path",
+    )
+}
+
+/// Fallible [`knn_query`]: surfaces oracle faults instead of panicking.
+pub fn try_knn_query<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+    u: ObjectId,
+    k: usize,
+) -> Result<Vec<(ObjectId, f64)>, OracleError> {
     let n = resolver.n();
     assert!((u as usize) < n);
     let k = k.min(n - 1);
     if k == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
 
     // Gather candidates keyed by the best current information.
@@ -220,12 +232,12 @@ fn knn_query_committed<R: DistanceResolver + ?Sized>(
     k: usize,
     snap: &SourceSpec,
     gen: u64,
-) -> Vec<(ObjectId, f64)> {
+) -> Result<Vec<(ObjectId, f64)>, OracleError> {
     let n = resolver.n();
     assert!((u as usize) < n);
     let k = k.min(n - 1);
     if k == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
 
     let mut fresh: Vec<(f64, bool, ObjectId)> = Vec::with_capacity(snap.sorted.len());
@@ -275,6 +287,16 @@ pub fn knn_graph<R: DistanceResolver + ?Sized>(resolver: &mut R, k: usize) -> Kn
     knn_graph_pool(resolver, k, &ExecPool::global())
 }
 
+/// Fallible [`knn_graph`]: a worker fault aborts cleanly in canonical
+/// commit order, leaving the resolver consistent (every committed source
+/// is final, nothing past the fault is recorded).
+pub fn try_knn_graph<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+    k: usize,
+) -> Result<KnnGraph, OracleError> {
+    try_knn_graph_pool(resolver, k, &ExecPool::global())
+}
+
 /// [`knn_graph`] with an explicit pool: speculate a batch of sources in
 /// parallel against one frozen snapshot, then commit them in order.
 ///
@@ -286,10 +308,25 @@ pub fn knn_graph_pool<R: DistanceResolver + ?Sized>(
     k: usize,
     pool: &ExecPool,
 ) -> KnnGraph {
+    expect_ok(
+        try_knn_graph_pool(resolver, k, pool),
+        "knn_graph on the infallible path",
+    )
+}
+
+/// Fallible [`knn_graph_pool`]. Workers only speculate against a frozen
+/// snapshot and never touch the oracle, so a fault can only surface on the
+/// sequential commit path — the error is returned after the last fully
+/// committed source, never mid-speculation.
+pub fn try_knn_graph_pool<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+    k: usize,
+    pool: &ExecPool,
+) -> Result<KnnGraph, OracleError> {
     let n = resolver.n();
     if pool.threads() <= 1 || n < 2 || resolver.spec().is_none() {
         return (0..n as ObjectId)
-            .map(|u| knn_query(resolver, u, k))
+            .map(|u| try_knn_query(resolver, u, k))
             .collect();
     }
 
@@ -314,11 +351,11 @@ pub fn knn_graph_pool<R: DistanceResolver + ?Sized>(
                 k,
                 snap,
                 gen,
-            ));
+            )?);
         }
         start = end;
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -4,8 +4,8 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use prox_bounds::DistanceResolver;
-use prox_core::invariant::InvariantExt;
-use prox_core::Pair;
+use prox_core::invariant::{expect_ok, InvariantExt};
+use prox_core::{OracleError, Pair};
 use prox_graph::UnionFind;
 
 use crate::Mst;
@@ -79,11 +79,27 @@ pub fn kruskal_mst<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Mst {
     kruskal_mst_with(resolver, KruskalConfig::default())
 }
 
+/// Fallible [`kruskal_mst`]: surfaces oracle faults instead of panicking.
+pub fn try_kruskal_mst<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Result<Mst, OracleError> {
+    try_kruskal_mst_with(resolver, KruskalConfig::default())
+}
+
 /// [`kruskal_mst`] with explicit [`KruskalConfig`] (for the ablations).
 pub fn kruskal_mst_with<R: DistanceResolver + ?Sized>(
     resolver: &mut R,
     config: KruskalConfig,
 ) -> Mst {
+    expect_ok(
+        try_kruskal_mst_with(resolver, config),
+        "kruskal_mst on the infallible path",
+    )
+}
+
+/// Fallible [`kruskal_mst_with`].
+pub fn try_kruskal_mst_with<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+    config: KruskalConfig,
+) -> Result<Mst, OracleError> {
     let n = resolver.n();
     assert!(n >= 1, "empty space has no MST");
     let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(Pair::count(n) as usize);
@@ -116,7 +132,7 @@ pub fn kruskal_mst_with<R: DistanceResolver + ?Sized>(
         if !c.resolved && !config.connectivity_first {
             // Ablation: resolve before the connectivity check, like a
             // naively lazified Kruskal would.
-            let d = resolver.resolve(c.pair);
+            let d = resolver.resolve_fallible(c.pair)?;
             c = Candidate {
                 key: d,
                 resolved: true,
@@ -145,7 +161,7 @@ pub fn kruskal_mst_with<R: DistanceResolver + ?Sized>(
                     pair: c.pair,
                 });
             } else {
-                let d = resolver.resolve(c.pair);
+                let d = resolver.resolve_fallible(c.pair)?;
                 heap.push(Candidate {
                     key: d,
                     resolved: true,
@@ -155,10 +171,10 @@ pub fn kruskal_mst_with<R: DistanceResolver + ?Sized>(
         }
     }
 
-    Mst {
+    Ok(Mst {
         edges,
         total_weight: total,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -8,10 +8,11 @@
 //! bound-augmented [`crate::kruskal_mst`].
 
 use prox_bounds::DistanceResolver;
-use prox_core::ObjectId;
+use prox_core::invariant::expect_ok;
+use prox_core::{ObjectId, OracleError};
 use prox_graph::UnionFind;
 
-use crate::kruskal_mst;
+use crate::try_kruskal_mst;
 
 /// One agglomeration step: two clusters merged at a linkage height.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -88,8 +89,20 @@ impl Dendrogram {
 /// Builds the single-linkage dendrogram by running the bound-augmented
 /// Kruskal and replaying its ascending edges as merges.
 pub fn single_linkage<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Dendrogram {
+    expect_ok(
+        try_single_linkage(resolver),
+        "single_linkage on the infallible path",
+    )
+}
+
+/// Fallible [`single_linkage`]: surfaces oracle faults instead of
+/// panicking. Only the underlying Kruskal run touches the oracle; the merge
+/// replay is pure bookkeeping.
+pub fn try_single_linkage<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+) -> Result<Dendrogram, OracleError> {
     let n = resolver.n();
-    let mst = kruskal_mst(resolver);
+    let mst = try_kruskal_mst(resolver)?;
     let mut uf = UnionFind::new(n);
     // cluster id currently representing each union-find root
     let mut cluster_of: Vec<u32> = (0..n as u32).collect();
@@ -107,7 +120,7 @@ pub fn single_linkage<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Dendrog
             height: w,
         });
     }
-    Dendrogram { n, merges }
+    Ok(Dendrogram { n, merges })
 }
 
 #[cfg(test)]

@@ -16,7 +16,8 @@
 //! is what makes plugged and vanilla runs take identical swap decisions.
 
 use prox_bounds::DistanceResolver;
-use prox_core::{ObjectId, Pair};
+use prox_core::invariant::expect_ok;
+use prox_core::{ObjectId, OracleError, Pair};
 
 /// Per-object nearest/second-nearest medoid record.
 #[derive(Copy, Clone, Debug)]
@@ -33,10 +34,25 @@ pub(crate) struct Near {
 
 /// Computes nearest/second-nearest medoids for every object, plus the total
 /// deviation (the clustering cost). Medoids have `d1 = 0` (themselves).
+///
+/// Infallible wrapper over [`try_assign`], for callers that never see
+/// faults (speculative probes, legacy entry points).
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn assign<R: DistanceResolver + ?Sized>(
     resolver: &mut R,
     medoids: &[ObjectId],
 ) -> (Vec<Near>, f64) {
+    expect_ok(
+        try_assign(resolver, medoids),
+        "assign on the infallible path",
+    )
+}
+
+/// Fallible [`assign`].
+pub(crate) fn try_assign<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+    medoids: &[ObjectId],
+) -> Result<(Vec<Near>, f64), OracleError> {
     debug_assert!(
         medoids
             .iter()
@@ -71,7 +87,7 @@ pub(crate) fn assign<R: DistanceResolver + ?Sized>(
         for (t, &m) in medoids.iter().enumerate() {
             // if dist(j, m) < d2 it matters; otherwise it can't even be the
             // second-nearest — the paper's re-authored comparison.
-            if let Some(d) = resolver.distance_if_less(Pair::new(j, m), rec.d2) {
+            if let Some(d) = resolver.distance_if_less_fallible(Pair::new(j, m), rec.d2)? {
                 if d < rec.d1 {
                     rec.n2 = rec.n1;
                     rec.d2 = rec.d1;
@@ -85,12 +101,13 @@ pub(crate) fn assign<R: DistanceResolver + ?Sized>(
         }
         cost += rec.d1;
     }
-    (near, cost)
+    Ok((near, cost))
 }
 
 /// Exact cost delta of the swap "remove medoid slot `i`, promote `h`".
 ///
-/// `h` must not currently be a medoid.
+/// `h` must not currently be a medoid. Infallible wrapper over
+/// [`try_swap_delta`].
 pub(crate) fn swap_delta<R: DistanceResolver + ?Sized>(
     resolver: &mut R,
     medoids: &[ObjectId],
@@ -98,6 +115,20 @@ pub(crate) fn swap_delta<R: DistanceResolver + ?Sized>(
     i: usize,
     h: ObjectId,
 ) -> f64 {
+    expect_ok(
+        try_swap_delta(resolver, medoids, near, i, h),
+        "swap_delta on the infallible path",
+    )
+}
+
+/// Fallible [`swap_delta`].
+pub(crate) fn try_swap_delta<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+    medoids: &[ObjectId],
+    near: &[Near],
+    i: usize,
+    h: ObjectId,
+) -> Result<f64, OracleError> {
     debug_assert!(!medoids.contains(&h), "h must be a non-medoid");
     let n = resolver.n();
     let removed = medoids[i];
@@ -113,14 +144,14 @@ pub(crate) fn swap_delta<R: DistanceResolver + ?Sized>(
             // The removed medoid becomes a regular object; its new nearest
             // is the best of h and the surviving medoids.
             let mut best = f64::INFINITY;
-            if let Some(d) = resolver.distance_if_less(Pair::new(j, h), best) {
+            if let Some(d) = resolver.distance_if_less_fallible(Pair::new(j, h), best)? {
                 best = d;
             }
             for (t, &m) in medoids.iter().enumerate() {
                 if t == i {
                     continue;
                 }
-                if let Some(d) = resolver.distance_if_less(Pair::new(j, m), best) {
+                if let Some(d) = resolver.distance_if_less_fallible(Pair::new(j, m), best)? {
                     best = d;
                 }
             }
@@ -133,18 +164,18 @@ pub(crate) fn swap_delta<R: DistanceResolver + ?Sized>(
         let rec = near[j as usize];
         if rec.n1 == i as u32 {
             // j loses its nearest; new contribution = min(d(j,h), d2).
-            match resolver.distance_if_less(Pair::new(j, h), rec.d2) {
+            match resolver.distance_if_less_fallible(Pair::new(j, h), rec.d2)? {
                 Some(d) => delta += d - rec.d1,
                 None => delta += rec.d2 - rec.d1,
             }
         } else {
             // j keeps its nearest unless h is closer.
-            if let Some(d) = resolver.distance_if_less(Pair::new(j, h), rec.d1) {
+            if let Some(d) = resolver.distance_if_less_fallible(Pair::new(j, h), rec.d1)? {
                 delta += d - rec.d1;
             }
         }
     }
-    delta
+    Ok(delta)
 }
 
 #[cfg(test)]

@@ -1,11 +1,11 @@
 //! PAM (Partitioning Around Medoids, Kaufman & Rousseeuw).
 
 use prox_bounds::DistanceResolver;
-use prox_core::invariant::InvariantExt;
-use prox_core::ObjectId;
+use prox_core::invariant::{expect_ok, InvariantExt};
+use prox_core::{ObjectId, OracleError};
 use prox_exec::ExecPool;
 
-use crate::medoid::{assign, swap_delta};
+use crate::medoid::{swap_delta, try_assign, try_swap_delta};
 use crate::speculate::SpecProbe;
 use crate::{Clustering, TinyRng};
 
@@ -43,6 +43,14 @@ pub fn pam<R: DistanceResolver + ?Sized>(resolver: &mut R, params: PamParams) ->
     pam_pool(resolver, params, &ExecPool::global())
 }
 
+/// Fallible [`pam()`]: surfaces oracle faults instead of panicking.
+pub fn try_pam<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+    params: PamParams,
+) -> Result<Clustering, OracleError> {
+    try_pam_pool(resolver, params, &ExecPool::global())
+}
+
 /// [`pam()`] with an explicit pool: each SWAP scan speculates batches of
 /// candidate swaps in parallel against a frozen snapshot of the scheme and
 /// commits them in the canonical `(slot, object)` order.
@@ -62,11 +70,25 @@ pub fn pam_pool<R: DistanceResolver + ?Sized>(
     params: PamParams,
     pool: &ExecPool,
 ) -> Clustering {
+    expect_ok(
+        try_pam_pool(resolver, params, pool),
+        "pam on the infallible path",
+    )
+}
+
+/// Fallible [`pam_pool`]. Only the sequential commit path touches the
+/// oracle (workers probe a frozen snapshot and cannot fault), so an error
+/// aborts cleanly in canonical candidate order.
+pub fn try_pam_pool<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+    params: PamParams,
+    pool: &ExecPool,
+) -> Result<Clustering, OracleError> {
     let n = resolver.n();
     let l = params.l.clamp(1, n);
     let mut rng = TinyRng::new(params.seed);
     let mut medoids: Vec<ObjectId> = rng.distinct(l, n);
-    let (mut near, mut cost) = assign(resolver, &medoids);
+    let (mut near, mut cost) = try_assign(resolver, &medoids)?;
 
     let batch = pool.threads().saturating_mul(8).max(8);
     let mut spec_enabled = pool.threads() > 1 && resolver.spec().is_some();
@@ -91,7 +113,7 @@ pub fn pam_pool<R: DistanceResolver + ?Sized>(
         while idx < cands.len() {
             if !spec_enabled {
                 let (i, h) = cands[idx];
-                let delta = swap_delta(resolver, &medoids, &near, i, h);
+                let delta = try_swap_delta(resolver, &medoids, &near, i, h)?;
                 if delta < best_delta {
                     best_delta = delta;
                     best = Some((i, h));
@@ -127,7 +149,7 @@ pub fn pam_pool<R: DistanceResolver + ?Sized>(
                         resolver.prune_stats_mut().merge(&stats);
                         delta
                     }
-                    _ => swap_delta(resolver, &medoids, &near, i, h),
+                    _ => try_swap_delta(resolver, &medoids, &near, i, h)?,
                 };
                 if delta < best_delta {
                     best_delta = delta;
@@ -148,7 +170,7 @@ pub fn pam_pool<R: DistanceResolver + ?Sized>(
         match best {
             Some((i, h)) => {
                 medoids[i] = h;
-                let (na, c) = assign(resolver, &medoids);
+                let (na, c) = try_assign(resolver, &medoids)?;
                 near = na;
                 cost = c;
             }
@@ -156,11 +178,11 @@ pub fn pam_pool<R: DistanceResolver + ?Sized>(
         }
     }
 
-    Clustering {
+    Ok(Clustering {
         medoids: medoids.clone(),
         assignment: near.iter().map(|r| r.n1).collect(),
         cost,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -1,8 +1,8 @@
 //! Prim's MST with re-authored, *symbolic* distance comparisons.
 
 use prox_bounds::DistanceResolver;
-use prox_core::invariant::InvariantExt;
-use prox_core::{ObjectId, Pair};
+use prox_core::invariant::{expect_ok, InvariantExt};
+use prox_core::{ObjectId, OracleError, Pair};
 
 use crate::Mst;
 
@@ -32,6 +32,11 @@ use crate::Mst;
 /// vertex scanned first (ascending id), identically under every resolver,
 /// so the tree is unique given the metric.
 pub fn prim_mst<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Mst {
+    expect_ok(try_prim_mst(resolver), "prim_mst on the infallible path")
+}
+
+/// Fallible [`prim_mst`]: surfaces oracle faults instead of panicking.
+pub fn try_prim_mst<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Result<Mst, OracleError> {
     let n = resolver.n();
     assert!(n >= 1, "empty space has no MST");
     let mut in_tree = vec![false; n];
@@ -55,14 +60,14 @@ pub fn prim_mst<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Mst {
                     let ev = Pair::new(parent[v as usize], v);
                     let eb = Pair::new(parent[b as usize], b);
                     // if dist(parent[v], v) < dist(parent[best], best)
-                    if resolver.less(ev, eb) {
+                    if resolver.less_fallible(ev, eb)? {
                         best = Some(v);
                     }
                 }
             }
         }
         let next = best.expect_invariant("n - 1 vertices remain outside the tree");
-        let w = resolver.resolve(Pair::new(parent[next as usize], next));
+        let w = resolver.resolve_fallible(Pair::new(parent[next as usize], next))?;
         in_tree[next as usize] = true;
         edges.push((Pair::new(parent[next as usize], next), w));
         total += w;
@@ -75,16 +80,16 @@ pub fn prim_mst<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Mst {
             let cand = Pair::new(next, v);
             let cur = Pair::new(parent[v as usize], v);
             // if dist(next, v) < dist(parent[v], v)
-            if resolver.less(cand, cur) {
+            if resolver.less_fallible(cand, cur)? {
                 parent[v as usize] = next;
             }
         }
     }
 
-    Mst {
+    Ok(Mst {
         edges,
         total_weight: total,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -2,7 +2,8 @@
 //! and sequence databases (§1.1 of the paper).
 
 use prox_bounds::DistanceResolver;
-use prox_core::{ObjectId, Pair};
+use prox_core::invariant::expect_ok;
+use prox_core::{ObjectId, OracleError, Pair};
 
 /// Ids of all objects within the closed ball `dist(center, ·) <= radius`,
 /// ascending. **Membership only**: an object whose upper bound already
@@ -14,6 +15,18 @@ pub fn range_members<R: DistanceResolver + ?Sized>(
     center: ObjectId,
     radius: f64,
 ) -> Vec<ObjectId> {
+    expect_ok(
+        try_range_members(resolver, center, radius),
+        "range_members on the infallible path",
+    )
+}
+
+/// Fallible [`range_members`]: surfaces oracle faults instead of panicking.
+pub fn try_range_members<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+    center: ObjectId,
+    radius: f64,
+) -> Result<Vec<ObjectId>, OracleError> {
     let n = resolver.n();
     assert!((center as usize) < n);
     let mut out = Vec::new();
@@ -30,14 +43,14 @@ pub fn range_members<R: DistanceResolver + ?Sized>(
             }
             None => {
                 resolver.prune_stats_mut().fell_through += 1;
-                resolver.resolve(p) <= radius
+                resolver.resolve_fallible(p)? <= radius
             }
         };
         if inside {
             out.push(v);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Like [`range_members`] but returns exact distances too (each member is
@@ -47,13 +60,25 @@ pub fn range_query<R: DistanceResolver + ?Sized>(
     center: ObjectId,
     radius: f64,
 ) -> Vec<(ObjectId, f64)> {
-    range_members(resolver, center, radius)
+    expect_ok(
+        try_range_query(resolver, center, radius),
+        "range_query on the infallible path",
+    )
+}
+
+/// Fallible [`range_query`].
+pub fn try_range_query<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+    center: ObjectId,
+    radius: f64,
+) -> Result<Vec<(ObjectId, f64)>, OracleError> {
+    try_range_members(resolver, center, radius)?
         .into_iter()
         .map(|v| {
             if v == center {
-                (v, 0.0)
+                Ok((v, 0.0))
             } else {
-                (v, resolver.resolve(Pair::new(center, v)))
+                Ok((v, resolver.resolve_fallible(Pair::new(center, v))?))
             }
         })
         .collect()

@@ -14,8 +14,8 @@
 //! aggregates" (§1.2).
 
 use prox_bounds::DistanceResolver;
-use prox_core::invariant::InvariantExt;
-use prox_core::{ObjectId, Pair};
+use prox_core::invariant::{expect_ok, InvariantExt};
+use prox_core::{ObjectId, OracleError, Pair};
 
 /// A closed tour and its exact length.
 #[derive(Clone, Debug, PartialEq)]
@@ -33,6 +33,18 @@ pub fn tsp_2opt<R: DistanceResolver + ?Sized>(
     start: ObjectId,
     max_rounds: usize,
 ) -> Tour {
+    expect_ok(
+        try_tsp_2opt(resolver, start, max_rounds),
+        "tsp_2opt on the infallible path",
+    )
+}
+
+/// Fallible [`tsp_2opt`]: surfaces oracle faults instead of panicking.
+pub fn try_tsp_2opt<R: DistanceResolver + ?Sized>(
+    resolver: &mut R,
+    start: ObjectId,
+    max_rounds: usize,
+) -> Result<Tour, OracleError> {
     let n = resolver.n();
     assert!(n >= 2, "a tour needs at least two cities");
     assert!((start as usize) < n);
@@ -53,9 +65,9 @@ pub fn tsp_2opt<R: DistanceResolver + ?Sized>(
             }
             let p = Pair::new(current, v);
             match best {
-                None => best = Some((v, resolver.resolve(p))),
+                None => best = Some((v, resolver.resolve_fallible(p)?)),
                 Some((_, bd)) => {
-                    if let Some(d) = resolver.distance_if_less(p, bd) {
+                    if let Some(d) = resolver.distance_if_less_fallible(p, bd)? {
                         best = Some((v, d));
                     }
                 }
@@ -84,7 +96,7 @@ pub fn tsp_2opt<R: DistanceResolver + ?Sized>(
                 let d = order[(j + 1) % n];
                 let new_pair = (Pair::new(a, c), Pair::new(b, d));
                 let old_pair = (Pair::new(a, b), Pair::new(c, d));
-                if resolver.less_sum2(new_pair, old_pair) {
+                if resolver.less_sum2_fallible(new_pair, old_pair)? {
                     order[i + 1..=j].reverse();
                     improved = true;
                 }
@@ -99,9 +111,9 @@ pub fn tsp_2opt<R: DistanceResolver + ?Sized>(
     let mut length = 0.0;
     for i in 0..n {
         let p = Pair::new(order[i], order[(i + 1) % n]);
-        length += resolver.resolve(p);
+        length += resolver.resolve_fallible(p)?;
     }
-    Tour { order, length }
+    Ok(Tour { order, length })
 }
 
 #[cfg(test)]

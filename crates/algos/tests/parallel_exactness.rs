@@ -10,7 +10,7 @@
 
 use prox_algos::{knn_graph, knn_graph_pool, pam, pam_pool, KnnGraph, PamParams};
 use prox_bounds::{BoundResolver, CheckedResolver, DistanceResolver, Splub, TriScheme};
-use prox_core::{Metric, ObjectId, Oracle, Pair, PruneStats, TinyRng};
+use prox_core::{FaultInjector, Metric, ObjectId, Oracle, Pair, PruneStats, RetryPolicy, TinyRng};
 use prox_datasets::testgen::{property, random_points};
 use prox_datasets::EuclideanPoints;
 use prox_exec::ExecPool;
@@ -112,6 +112,69 @@ fn parallel_paths_match_vanilla_outputs() {
         }
         for (got, _, _) in per_scheme(&metric, n, |r| pam_pool(r, params, &pool)) {
             assert_eq!(got, pam_want, "parallel plugged PAM != vanilla");
+        }
+    });
+}
+
+#[test]
+fn fault_schedule_is_a_pure_function_of_seed_pair_attempt() {
+    // The injector consults no mutable state, so the fault decision for
+    // any (pair, attempt) is the same no matter when — or on how many
+    // threads — it is asked. Enumerating the schedule twice must give the
+    // identical sequence, and a different seed must give a different one.
+    let inj = FaultInjector::new(0.2, 0xD00D);
+    let schedule = |inj: &FaultInjector| {
+        let mut seq = Vec::new();
+        for a in 0..20u32 {
+            for b in (a + 1)..20u32 {
+                for attempt in 0..4u32 {
+                    seq.push(inj.fault_at(Pair::new(a, b), attempt).is_some());
+                }
+            }
+        }
+        seq
+    };
+    let first = schedule(&inj);
+    assert_eq!(first, schedule(&inj), "same seed, same schedule");
+    assert!(first.iter().any(|&f| f), "rate 0.2 must fire somewhere");
+    assert_ne!(
+        first,
+        schedule(&FaultInjector::new(0.2, 0xD00E)),
+        "different seed, different schedule"
+    );
+}
+
+#[test]
+fn fault_accounting_identical_across_thread_counts_and_reruns() {
+    // Same seed ⇒ identical injected-fault count, retry count, and virtual
+    // time — across repeated runs and across thread counts. Faults only
+    // ever surface on the sequential committer (workers speculate on the
+    // infallible path), so the fault schedule replays exactly.
+    property(0x5EED_0405, 8, |rng| {
+        let pts = points(rng);
+        let n = pts.len();
+        let metric = EuclideanPoints::new(pts);
+        let k = 3.min(n - 1);
+
+        let run = |threads: usize| {
+            let oracle = Oracle::new(&metric)
+                .with_faults(FaultInjector::new(0.15, 0xFEED))
+                .with_retry(RetryPolicy::standard(8));
+            let pool = ExecPool::new(threads);
+            let mut r = BoundResolver::new(&oracle, TriScheme::new(n, 1.0));
+            let g = knn_graph_pool(&mut r, k, &pool);
+            (
+                g,
+                oracle.calls(),
+                oracle.fault_stats(),
+                oracle.virtual_time(),
+            )
+        };
+
+        let want = run(1);
+        for threads in THREADS {
+            assert_eq!(run(threads), want, "threads={threads}");
+            assert_eq!(run(threads), want, "rerun, threads={threads}");
         }
     });
 }

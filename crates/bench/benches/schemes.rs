@@ -6,7 +6,7 @@ use prox_bench::microbench::Bench;
 use prox_bounds::{
     laesa_bootstrap, Adm, BoundScheme, Laesa, Splub, Tlaesa, TriBTreeScheme, TriScheme,
 };
-use prox_core::{Oracle, Pair};
+use prox_core::{CallBudget, FaultInjector, Oracle, Pair, RetryPolicy};
 use prox_datasets::{ClusteredPlane, Dataset};
 
 const SEED: u64 = 20210620;
@@ -137,10 +137,53 @@ fn bench_tri_adjacency(b: &mut Bench) {
     });
 }
 
+/// DESIGN.md §9 ablation: cost of the fault-tolerance layer on the oracle
+/// hot path. `clean` is the plain oracle; `machinery_disabled` carries a
+/// retry policy but no injector/budget, so it must take the same fast path
+/// (the two entries should be indistinguishable); `injector_rate0` and
+/// `budgeted` opt into the slow path and price the per-call schedule hash
+/// and budget check.
+fn bench_oracle_fault_layer(b: &mut Bench) {
+    let n = 256;
+    let metric = ClusteredPlane::default().metric(n, SEED);
+    let queries: Vec<Pair> = Pair::all(n).step_by(13).take(1024).collect();
+
+    let clean = Oracle::new(&*metric);
+    b.bench("oracle_fault_layer", "clean", || {
+        for &q in &queries {
+            black_box(clean.call_pair(q));
+        }
+    });
+
+    let disabled = Oracle::new(&*metric).with_retry(RetryPolicy::standard(3));
+    b.bench("oracle_fault_layer", "machinery_disabled", || {
+        for &q in &queries {
+            black_box(disabled.call_pair(q));
+        }
+    });
+
+    let rate0 = Oracle::new(&*metric)
+        .with_faults(FaultInjector::new(0.0, SEED))
+        .with_retry(RetryPolicy::standard(3));
+    b.bench("oracle_fault_layer", "injector_rate0", || {
+        for &q in &queries {
+            black_box(rate0.call_pair(q));
+        }
+    });
+
+    let budgeted = Oracle::new(&*metric).with_budget(CallBudget::calls(u64::MAX));
+    b.bench("oracle_fault_layer", "budgeted", || {
+        for &q in &queries {
+            black_box(budgeted.call_pair(q));
+        }
+    });
+}
+
 fn main() {
     let mut b = Bench::named("schemes");
     bench_queries(&mut b);
     bench_updates(&mut b);
     bench_tri_adjacency(&mut b);
+    bench_oracle_fault_layer(&mut b);
     b.finish();
 }

@@ -15,16 +15,37 @@
 //! bootstraps still call the oracle (use `--plug tri-nb` with a warm cache
 //! for fully call-free reruns). A cache is only valid for the same
 //! `--dataset`, `--n`, and `--seed`.
+//!
+//! Fault tolerance (DESIGN.md §9): `--faults RATE[:SEED]` injects
+//! deterministic transient faults, `--retry N[:BASE_MS]` retries them with
+//! exponential backoff charged as virtual time, `--budget CALLS` caps total
+//! billed oracle attempts, `--checkpoint FILE[:EVERY]` snapshots resolved
+//! distances every EVERY resolutions (and once at exit, clean or not), and
+//! `--resume FILE` preloads a previous run's checkpoint so only the missing
+//! pairs are re-paid:
+//!
+//! ```text
+//! prox-cli prim --dataset sf --n 300 --plug tri \
+//!     --faults 0.05 --retry 3 --budget 20000 --checkpoint run.ckpt
+//! prox-cli prim --dataset sf --n 300 --plug tri --resume run.ckpt
+//! ```
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use prox_algos::{
-    average_linkage_cut, clarans, complete_linkage, k_center, knn_graph, kruskal_mst, pam,
-    prim_mst, single_linkage, tsp_2opt, ClaransParams, DistanceResolver, PamParams,
+    try_average_linkage_cut, try_clarans, try_complete_linkage, try_k_center, try_knn_graph,
+    try_kruskal_mst, try_pam, try_prim_mst, try_single_linkage, try_tsp_2opt, ClaransParams,
+    DistanceResolver, PamParams,
 };
-use prox_bench::runner::{log_landmarks, run_plugged_cached, Plug};
-use prox_core::{load_known, save_known, Metric, Pair};
+use prox_bench::runner::{
+    log_landmarks, set_oracle_config, try_run_plugged_cached, OracleConfig, Plug,
+};
+use prox_bench::CheckpointingResolver;
+use prox_core::{
+    load_known, read_checkpoint_file, save_known, write_checkpoint_file, CallBudget, FaultInjector,
+    Metric, OracleError, Pair, RetryPolicy,
+};
 use prox_datasets::by_name;
 
 struct Args {
@@ -38,6 +59,16 @@ struct Args {
     l: usize,
     oracle_cost_ms: u64,
     cache: Option<String>,
+    /// `--faults RATE[:SEED]` (seed defaults to `--seed`).
+    faults: Option<(f64, Option<u64>)>,
+    /// `--retry N[:BASE_MS]`.
+    retry: Option<(u32, Option<u64>)>,
+    /// `--budget CALLS`.
+    budget: Option<u64>,
+    /// `--checkpoint FILE[:EVERY]`.
+    checkpoint: Option<(String, u64)>,
+    /// `--resume FILE`.
+    resume: Option<String>,
 }
 
 fn usage() -> ExitCode {
@@ -46,9 +77,19 @@ fn usage() -> ExitCode {
          \x20       --dataset <sf|urbangb|flickr|strings> --n <N>\n\
          \x20       [--plug vanilla|tri|tri-nb|splub|adm|laesa|tlaesa|dft]\n\
          \x20       [--landmarks K] [--seed S] [--k 5] [--l 10]\n\
-         \x20       [--oracle-cost-ms MS] [--cache FILE] [--threads N]"
+         \x20       [--oracle-cost-ms MS] [--cache FILE] [--threads N]\n\
+         \x20       [--faults RATE[:SEED]] [--retry N[:BASE_MS]] [--budget CALLS]\n\
+         \x20       [--checkpoint FILE[:EVERY]] [--resume FILE]"
     );
     ExitCode::FAILURE
+}
+
+/// Splits `value[:suffix]`, parsing both halves.
+fn split_opt<A: std::str::FromStr, B: std::str::FromStr>(s: &str) -> Option<(A, Option<B>)> {
+    match s.split_once(':') {
+        Some((head, tail)) => Some((head.parse().ok()?, Some(tail.parse().ok()?))),
+        None => Some((s.parse().ok()?, None)),
+    }
 }
 
 fn parse() -> Option<Args> {
@@ -65,6 +106,11 @@ fn parse() -> Option<Args> {
         l: 10,
         oracle_cost_ms: 0,
         cache: None,
+        faults: None,
+        retry: None,
+        budget: None,
+        checkpoint: None,
+        resume: None,
     };
     while let Some(flag) = argv.next() {
         let mut val = || argv.next();
@@ -93,6 +139,14 @@ fn parse() -> Option<Args> {
             "--l" => a.l = val()?.parse().ok()?,
             "--oracle-cost-ms" => a.oracle_cost_ms = val()?.parse().ok()?,
             "--cache" => a.cache = Some(val()?),
+            "--faults" => a.faults = Some(split_opt(&val()?)?),
+            "--retry" => a.retry = Some(split_opt(&val()?)?),
+            "--budget" => a.budget = Some(val()?.parse().ok()?),
+            "--checkpoint" => {
+                let (path, every): (String, Option<u64>) = split_opt(&val()?)?;
+                a.checkpoint = Some((path, every.unwrap_or(256)));
+            }
+            "--resume" => a.resume = Some(val()?),
             // 0 = one per core. Results and oracle-call counts are
             // identical at any thread count (speculate/commit protocol).
             "--threads" => prox_exec::set_global_threads(val()?.parse().ok()?),
@@ -136,8 +190,32 @@ fn main() -> ExitCode {
     let metric = dataset.metric(args.n, args.seed);
     let landmarks = args.landmarks.unwrap_or_else(|| log_landmarks(args.n));
 
+    // Install the fault/retry/budget knobs on every oracle the runner
+    // builds (bootstrap included — landmark calls can fault too).
+    if args.faults.is_some() || args.retry.is_some() || args.budget.is_some() {
+        let retry = match args.retry {
+            Some((n, base_ms)) => {
+                let mut p = RetryPolicy::standard(n);
+                if let Some(ms) = base_ms {
+                    p.base = Duration::from_millis(ms);
+                }
+                p
+            }
+            None => RetryPolicy::none(),
+        };
+        set_oracle_config(OracleConfig {
+            faults: args
+                .faults
+                .map(|(rate, seed)| FaultInjector::new(rate, seed.unwrap_or(args.seed))),
+            retry,
+            budget: args
+                .budget
+                .map_or_else(CallBudget::unlimited, CallBudget::calls),
+        });
+    }
+
     // Pre-load a resolved-distance cache, if any.
-    let preload: Vec<(Pair, f64)> = match &args.cache {
+    let mut preload: Vec<(Pair, f64)> = match &args.cache {
         Some(path) => match std::fs::File::open(path) {
             Ok(f) => match load_known(std::io::BufReader::new(f)) {
                 Ok(edges) => {
@@ -160,45 +238,102 @@ fn main() -> ExitCode {
         None => Vec::new(),
     };
 
+    // A checkpoint from a budget-killed (or completed) earlier run: its
+    // manifest must describe the same problem, its pairs preload for free.
+    if let Some(path) = &args.resume {
+        match read_checkpoint_file(std::path::Path::new(path)) {
+            Ok(ckpt) => {
+                for (key, want) in [
+                    ("dataset", args.dataset.as_str()),
+                    ("n", &args.n.to_string()),
+                    ("seed", &args.seed.to_string()),
+                ] {
+                    if let Some(have) = ckpt.manifest_value(key) {
+                        if have != want {
+                            eprintln!(
+                                "[resume] {path}: checkpoint {key}={have} but this run has \
+                                 {key}={want}; refusing to mix problems"
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                eprintln!(
+                    "[resume] loaded {} resolved distances from {path}",
+                    ckpt.known.len()
+                );
+                preload.extend(ckpt.known);
+            }
+            Err(e) => {
+                eprintln!("[resume] {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let manifest: Vec<(String, String)> = [
+        ("dataset", args.dataset.clone()),
+        ("n", args.n.to_string()),
+        ("seed", args.seed.to_string()),
+        ("algo", args.algo.clone()),
+        ("plug", args.plug.label().to_string()),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v))
+    .collect();
+
     let seed = args.seed;
-    let (summary, result, resolved) = {
+    let run_out = {
         let algo = args.algo.clone();
         let (k, l) = (args.k, args.l);
-        let run = move |r: &mut dyn DistanceResolver| -> String {
+        let checkpoint = args.checkpoint.clone();
+        let manifest_for_run = manifest.clone();
+        let run = move |r: &mut dyn DistanceResolver| -> Result<String, OracleError> {
+            // Periodic snapshots while the algorithm runs, so a hard kill
+            // (not just a budget error) still leaves a resume file.
+            let mut ckpt_resolver;
+            let r: &mut dyn DistanceResolver = match &checkpoint {
+                Some((path, every)) => {
+                    ckpt_resolver =
+                        CheckpointingResolver::new(r, path.clone(), *every, manifest_for_run);
+                    &mut ckpt_resolver
+                }
+                None => r,
+            };
             match algo.as_str() {
                 "prim" => {
-                    let mst = prim_mst(r);
-                    format!(
+                    let mst = try_prim_mst(r)?;
+                    Ok(format!(
                         "MST weight {:.6} ({} edges)",
                         mst.total_weight,
                         mst.edges.len()
-                    )
+                    ))
                 }
                 "kruskal" => {
-                    let mst = kruskal_mst(r);
-                    format!(
+                    let mst = try_kruskal_mst(r)?;
+                    Ok(format!(
                         "MST weight {:.6} ({} edges)",
                         mst.total_weight,
                         mst.edges.len()
-                    )
+                    ))
                 }
                 "knng" => {
-                    let g = knn_graph(r, k);
-                    format!("kNN graph built (k = {k}, {} nodes)", g.len())
+                    let g = try_knn_graph(r, k)?;
+                    Ok(format!("kNN graph built (k = {k}, {} nodes)", g.len()))
                 }
                 "pam" => {
-                    let c = pam(
+                    let c = try_pam(
                         r,
                         PamParams {
                             l,
                             max_swaps: 50,
                             seed,
                         },
-                    );
-                    format!("PAM cost {:.6}, medoids {:?}", c.cost, c.medoids)
+                    )?;
+                    Ok(format!("PAM cost {:.6}, medoids {:?}", c.cost, c.medoids))
                 }
                 "clarans" => {
-                    let c = clarans(
+                    let c = try_clarans(
                         r,
                         ClaransParams {
                             l,
@@ -206,63 +341,84 @@ fn main() -> ExitCode {
                             maxneighbor: 150,
                             seed,
                         },
-                    );
-                    format!("CLARANS cost {:.6}, medoids {:?}", c.cost, c.medoids)
+                    )?;
+                    Ok(format!(
+                        "CLARANS cost {:.6}, medoids {:?}",
+                        c.cost, c.medoids
+                    ))
                 }
                 "kcenter" => {
-                    let s = k_center(r, l, 0);
-                    format!("k-center radius {:.6}, centers {:?}", s.radius, s.centers)
+                    let s = try_k_center(r, l, 0)?;
+                    Ok(format!(
+                        "k-center radius {:.6}, centers {:?}",
+                        s.radius, s.centers
+                    ))
                 }
                 "tsp" => {
-                    let t = tsp_2opt(r, 0, 50);
-                    format!("tour length {:.6} over {} cities", t.length, t.order.len())
+                    let t = try_tsp_2opt(r, 0, 50)?;
+                    Ok(format!(
+                        "tour length {:.6} over {} cities",
+                        t.length,
+                        t.order.len()
+                    ))
                 }
                 "linkage" => {
-                    let d = single_linkage(r);
+                    let d = try_single_linkage(r)?;
                     let top = d.merges.last().map(|m| m.height).unwrap_or(0.0);
-                    format!(
+                    Ok(format!(
                         "dendrogram: {} merges, top height {:.6}",
                         d.merges.len(),
                         top
-                    )
+                    ))
                 }
                 "complete-linkage" => {
-                    let d = complete_linkage(r);
+                    let d = try_complete_linkage(r)?;
                     let top = d.merges.last().map(|m| m.height).unwrap_or(0.0);
-                    format!(
+                    Ok(format!(
                         "complete-linkage dendrogram: {} merges, top height {:.6}",
                         d.merges.len(),
                         top
-                    )
+                    ))
                 }
                 "average-linkage-cut" => {
                     // Full UPGMA dendrograms provably need all pairs (see
                     // prox_algos::average_linkage); the CLI exposes the
                     // topology-only cut where bounds actually save.
-                    let labels = average_linkage_cut(r, args.l);
+                    let labels = try_average_linkage_cut(r, l)?;
                     let k = labels.iter().copied().max().map_or(0, |m| m + 1);
-                    format!(
+                    Ok(format!(
                         "average-linkage cut: {k} clusters over {} objects",
                         labels.len()
-                    )
+                    ))
                 }
                 other => unreachable!("validated algorithm name: {other}"),
             }
         };
-        run_plugged_cached(
+        try_run_plugged_cached(
             args.plug,
             &*metric,
             landmarks,
             args.seed,
             &preload,
-            args.cache.is_some(),
+            args.cache.is_some() || args.checkpoint.is_some(),
             run,
         )
+    };
+    let (outcome, result, resolved) = match run_out {
+        Ok(t) => t,
+        Err(e) => {
+            // The bootstrap itself faulted or ran out of budget: there is
+            // no resolver knowledge to checkpoint yet.
+            eprintln!("aborted during bootstrap: {e}");
+            return ExitCode::FAILURE;
+        }
     };
 
     // Persist everything we now know *before* printing: a reader closing
     // our stdout early (`prox-cli ... | head`) delivers SIGPIPE on the next
-    // println, and the cache must survive that.
+    // println, and the cache/checkpoint must survive that. The export runs
+    // even when the algorithm aborted on a fault — that is the whole point
+    // of resume.
     if let Some(path) = &args.cache {
         match std::fs::File::create(path) {
             Ok(f) => match save_known(std::io::BufWriter::new(f), resolved.iter().copied()) {
@@ -272,6 +428,30 @@ fn main() -> ExitCode {
             Err(e) => eprintln!("[cache] create {path}: {e}"),
         }
     }
+    if let Some((path, _)) = &args.checkpoint {
+        match write_checkpoint_file(
+            std::path::Path::new(path),
+            &manifest,
+            resolved.iter().copied(),
+        ) {
+            Ok(count) => eprintln!("[checkpoint] saved {count} resolved distances to {path}"),
+            Err(e) => eprintln!("[checkpoint] write {path}: {e}"),
+        }
+    }
+
+    let summary = match outcome {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("aborted: {e}");
+            match &args.checkpoint {
+                Some((path, _)) => eprintln!(
+                    "progress saved; rerun with `--resume {path}` to pay only the missing calls"
+                ),
+                None => eprintln!("rerun with --checkpoint FILE to make runs resumable"),
+            }
+            return ExitCode::FAILURE;
+        }
+    };
 
     println!("{summary}");
     println!(
@@ -280,6 +460,13 @@ fn main() -> ExitCode {
         result.bootstrap_calls,
         result.algo_calls
     );
+    if args.faults.is_some() || args.retry.is_some() || args.budget.is_some() {
+        let f = result.fault_stats;
+        println!(
+            "fault path   : {} faults injected, {} retries, {:.3?} virtual backoff",
+            f.faults_injected, f.retries, f.backoff_time
+        );
+    }
     println!(
         "cpu time     : {:.3?} (bootstrap {:.3?})",
         result.wall, result.bootstrap_wall

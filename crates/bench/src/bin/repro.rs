@@ -8,16 +8,29 @@
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use prox_bench::experiments;
-use prox_bench::Scale;
+use prox_bench::{set_oracle_config, OracleConfig, Scale};
+use prox_core::{CallBudget, FaultInjector, RetryPolicy};
 
 fn usage() -> ExitCode {
     eprintln!("usage: repro <experiment-id>... [--scale small|full] [--threads N]");
     eprintln!("       repro all [--scale small|full] [--threads N]");
     eprintln!("       repro list");
     eprintln!("       (--threads 0 = one per core; outputs are identical at any N)");
+    eprintln!("       [--faults RATE[:SEED]] [--retry N[:BASE_MS]] [--budget CALLS]");
+    eprintln!("       (fault knobs apply to every oracle; outputs stay identical — I6 —");
+    eprintln!("        while billed call counts grow by exactly the injected faults)");
     ExitCode::FAILURE
+}
+
+/// Splits `value[:suffix]`, parsing both halves.
+fn split_opt<A: std::str::FromStr, B: std::str::FromStr>(s: &str) -> Option<(A, Option<B>)> {
+    match s.split_once(':') {
+        Some((head, tail)) => Some((head.parse().ok()?, Some(tail.parse().ok()?))),
+        None => Some((s.parse().ok()?, None)),
+    }
 }
 
 fn main() -> ExitCode {
@@ -28,6 +41,7 @@ fn main() -> ExitCode {
 
     let mut scale = Scale::Small;
     let mut ids: Vec<String> = Vec::new();
+    let mut oracle_cfg: Option<OracleConfig> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -43,6 +57,39 @@ fn main() -> ExitCode {
                 Some(t) => prox_exec::set_global_threads(t),
                 None => {
                     eprintln!("--threads needs a number (0 = one per core)");
+                    return usage();
+                }
+            },
+            "--faults" => match it.next().as_deref().and_then(split_opt) {
+                Some((rate, seed)) => {
+                    oracle_cfg.get_or_insert_with(OracleConfig::default).faults =
+                        Some(FaultInjector::new(rate, seed.unwrap_or(42)));
+                }
+                None => {
+                    eprintln!("--faults needs RATE[:SEED]");
+                    return usage();
+                }
+            },
+            "--retry" => match it.next().as_deref().and_then(split_opt::<u32, u64>) {
+                Some((n, base_ms)) => {
+                    let mut policy = RetryPolicy::standard(n);
+                    if let Some(ms) = base_ms {
+                        policy.base = Duration::from_millis(ms);
+                    }
+                    oracle_cfg.get_or_insert_with(OracleConfig::default).retry = policy;
+                }
+                None => {
+                    eprintln!("--retry needs N[:BASE_MS]");
+                    return usage();
+                }
+            },
+            "--budget" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(calls) => {
+                    oracle_cfg.get_or_insert_with(OracleConfig::default).budget =
+                        CallBudget::calls(calls);
+                }
+                None => {
+                    eprintln!("--budget needs a call count");
                     return usage();
                 }
             },
@@ -64,6 +111,10 @@ fn main() -> ExitCode {
     }
     if ids.is_empty() {
         return usage();
+    }
+    if let Some(cfg) = oracle_cfg {
+        eprintln!("[repro] fault knobs installed: {cfg:?}");
+        set_oracle_config(cfg);
     }
 
     for id in &ids {

@@ -12,12 +12,17 @@
 //! under `target/repro/<id>.csv`. `EXPERIMENTS.md` records the mapping to
 //! the paper's numbers and the observed trends.
 
+pub mod checkpointing;
 pub mod experiments;
 pub mod microbench;
 pub mod runner;
 pub mod table;
 
-pub use runner::{parallel_cells, run_plugged, Plug, RunResult};
+pub use checkpointing::CheckpointingResolver;
+pub use runner::{
+    clear_oracle_config, oracle_config, parallel_cells, run_plugged, set_oracle_config,
+    try_run_plugged_cached, OracleConfig, Plug, RunResult,
+};
 pub use table::Table;
 
 /// Scale knob: `Small` keeps every experiment under a few seconds for CI;

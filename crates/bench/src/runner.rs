@@ -1,13 +1,14 @@
 //! Shared plumbing: build a resolver for any plug-in, run an algorithm,
 //! collect the accounting.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use prox_bounds::{
-    laesa_bootstrap, Adm, AdmUpdate, BoundResolver, DistanceResolver, Laesa, Splub, Tlaesa,
+    try_laesa_bootstrap, Adm, AdmUpdate, BoundResolver, DistanceResolver, Laesa, Splub, Tlaesa,
     TriScheme,
 };
-use prox_core::{Metric, Oracle};
+use prox_core::{CallBudget, FaultInjector, FaultStats, Metric, Oracle, OracleError, RetryPolicy};
 use prox_lp::DftResolver;
 
 /// The plug-in configurations the experiments compare.
@@ -50,6 +51,40 @@ impl Plug {
     }
 }
 
+/// Fault-tolerance configuration applied to every oracle the runner
+/// builds. Set it once (e.g. from `--faults` / `--retry` / `--budget`
+/// CLI flags) and every subsequent [`run_plugged_cached`] call constructs
+/// its oracle with these knobs; the default injects nothing and limits
+/// nothing, which preserves the oracle's zero-overhead fast path.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct OracleConfig {
+    /// Deterministic fault injection (None = clean oracle).
+    pub faults: Option<FaultInjector>,
+    /// Retry/backoff policy for injected faults.
+    pub retry: RetryPolicy,
+    /// Hard call/deadline guards.
+    pub budget: CallBudget,
+}
+
+static ORACLE_CONFIG: Mutex<Option<OracleConfig>> = Mutex::new(None);
+
+/// Installs the fault/retry/budget configuration used by every oracle the
+/// runner builds from now on (process-wide).
+pub fn set_oracle_config(config: OracleConfig) {
+    *ORACLE_CONFIG.lock().expect("oracle config lock") = Some(config);
+}
+
+/// Removes any installed [`OracleConfig`]; subsequent runs get clean,
+/// unlimited oracles again.
+pub fn clear_oracle_config() {
+    *ORACLE_CONFIG.lock().expect("oracle config lock") = None;
+}
+
+/// The currently installed [`OracleConfig`], if any.
+pub fn oracle_config() -> Option<OracleConfig> {
+    *ORACLE_CONFIG.lock().expect("oracle config lock")
+}
+
 /// Accounting from a single plugged run.
 #[derive(Copy, Clone, Debug, Default)]
 pub struct RunResult {
@@ -61,6 +96,8 @@ pub struct RunResult {
     pub wall: Duration,
     /// Wall-clock time of the bootstrap.
     pub bootstrap_wall: Duration,
+    /// Fault-path accounting (all zero for a clean oracle).
+    pub fault_stats: FaultStats,
 }
 
 impl RunResult {
@@ -92,6 +129,10 @@ pub fn run_plugged<T>(
     (out, result)
 }
 
+/// What a cached run returns: the algorithm's output, the accounting, and
+/// (when `export` is set) the resolver's certified-distance set.
+pub type CachedRun<T> = (T, RunResult, Vec<(prox_core::Pair, f64)>);
+
 /// [`run_plugged`] with a persisted-knowledge workflow: `preload` is
 /// injected into the resolver before the algorithm starts (no oracle
 /// calls), and when `export` is set the resolver's full certified-distance
@@ -104,9 +145,34 @@ pub fn run_plugged_cached<T>(
     preload: &[(prox_core::Pair, f64)],
     export: bool,
     algo: impl FnOnce(&mut dyn DistanceResolver) -> T,
-) -> (T, RunResult, Vec<(prox_core::Pair, f64)>) {
+) -> CachedRun<T> {
+    try_run_plugged_cached(plug, metric, landmarks, seed, preload, export, algo)
+        .expect("bootstrap hit a fault on the infallible path")
+}
+
+/// Fallible twin of [`run_plugged_cached`]: a fault or budget error during
+/// the *bootstrap* (landmark selection, pivot tree) surfaces as `Err`
+/// instead of a panic. Faults during the algorithm itself belong to the
+/// closure — have it return a `Result` and `?` through the fallible
+/// resolver combinators.
+pub fn try_run_plugged_cached<T>(
+    plug: Plug,
+    metric: &(dyn Metric + Send + Sync),
+    landmarks: usize,
+    seed: u64,
+    preload: &[(prox_core::Pair, f64)],
+    export: bool,
+    algo: impl FnOnce(&mut dyn DistanceResolver) -> T,
+) -> Result<CachedRun<T>, OracleError> {
     let n = metric.len();
-    let oracle = Oracle::new(metric);
+    let mut oracle = Oracle::new(metric);
+    if let Some(cfg) = oracle_config() {
+        oracle = oracle.with_retry(cfg.retry).with_budget(cfg.budget);
+        if let Some(f) = cfg.faults {
+            oracle = oracle.with_faults(f);
+        }
+    }
+    let oracle = oracle;
     let mut result = RunResult::default();
 
     macro_rules! finish {
@@ -120,11 +186,12 @@ pub fn run_plugged_cached<T>(
             let out = algo(&mut resolver);
             result.wall = t.elapsed();
             result.algo_calls = oracle.calls() - result.bootstrap_calls;
+            result.fault_stats = oracle.fault_stats();
             let mut exported = Vec::new();
             if export {
                 resolver.export_known(&mut exported);
             }
-            (out, result, exported)
+            Ok((out, result, exported))
         }};
     }
 
@@ -139,7 +206,7 @@ pub fn run_plugged_cached<T>(
             finish!(BoundResolver::new(&oracle, TriScheme::new(n, 1.0)))
         }
         Plug::TriBoot => {
-            let boot = laesa_bootstrap(&oracle, landmarks, seed);
+            let boot = try_laesa_bootstrap(&oracle, landmarks, seed)?;
             let mut scheme = TriScheme::new(n, 1.0);
             boot.apply_to(&mut scheme);
             result.bootstrap_wall = boot_t.elapsed();
@@ -161,13 +228,13 @@ pub fn run_plugged_cached<T>(
             ))
         }
         Plug::Laesa => {
-            let boot = laesa_bootstrap(&oracle, landmarks, seed);
+            let boot = try_laesa_bootstrap(&oracle, landmarks, seed)?;
             let scheme = Laesa::new(1.0, &boot);
             result.bootstrap_wall = boot_t.elapsed();
             finish!(BoundResolver::new(&oracle, scheme))
         }
         Plug::Tlaesa => {
-            let scheme = Tlaesa::build(&oracle, landmarks, 16, seed);
+            let scheme = Tlaesa::try_build(&oracle, landmarks, 16, seed)?;
             result.bootstrap_wall = boot_t.elapsed();
             finish!(BoundResolver::new(&oracle, scheme))
         }
@@ -219,6 +286,7 @@ mod tests {
             algo_calls: 90,
             wall: Duration::from_millis(5),
             bootstrap_wall: Duration::from_millis(1),
+            fault_stats: FaultStats::default(),
         };
         let t = r.completion_time(Duration::from_millis(10));
         assert_eq!(t, Duration::from_millis(5 + 1 + 1000));

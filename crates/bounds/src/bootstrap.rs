@@ -1,7 +1,7 @@
 //! Landmark selection and bootstrap (LAESA preprocessing, §4.2 of the paper).
 
-use prox_core::invariant::InvariantExt;
-use prox_core::{Metric, ObjectId, Oracle, Pair};
+use prox_core::invariant::{expect_ok, InvariantExt};
+use prox_core::{Metric, ObjectId, Oracle, OracleError, Pair};
 
 use crate::BoundScheme;
 
@@ -63,8 +63,21 @@ impl Bootstrap {
 /// farthest from all pivots chosen so far. Every distance learned on the way
 /// is an oracle call and is retained in the returned [`Bootstrap`].
 pub fn select_maxmin_pivots<M: Metric>(oracle: &Oracle<M>, k: usize, seed: u64) -> Bootstrap {
+    expect_ok(
+        try_select_maxmin_pivots(oracle, k, seed),
+        "select_maxmin_pivots on the infallible path",
+    )
+}
+
+/// Fallible twin of [`select_maxmin_pivots`]: a fault or budget error from
+/// the oracle aborts the bootstrap cleanly instead of panicking.
+pub fn try_select_maxmin_pivots<M: Metric>(
+    oracle: &Oracle<M>,
+    k: usize,
+    seed: u64,
+) -> Result<Bootstrap, OracleError> {
     let n = oracle.n();
-    assert!(n >= 2, "need at least two objects");
+    assert!(n >= 2, "need at least two objects"); // integer, not a float decision; lint: allow(L3)
     let k = k.clamp(1, n);
 
     // TinyRng::new xors its seed with the splitmix increment; pre-xor it
@@ -89,7 +102,7 @@ pub fn select_maxmin_pivots<M: Metric>(oracle: &Oracle<M>, k: usize, seed: u64) 
             if let Some(s) = pivots.iter().position(|&p| p == x) {
                 row[x as usize] = rows[s][current as usize];
             } else {
-                row[x as usize] = oracle.call(current, x);
+                row[x as usize] = oracle.try_call(current, x)?;
             }
         }
         pivots.push(current);
@@ -105,6 +118,7 @@ pub fn select_maxmin_pivots<M: Metric>(oracle: &Oracle<M>, k: usize, seed: u64) 
         let mut best = None;
         let mut best_d = f64::NEG_INFINITY;
         for (x, &d) in min_dist.iter().enumerate() {
+            // order-only selection, any tie-break exact; lint: allow(L3)
             if !pivots.contains(&(x as ObjectId)) && d > best_d {
                 best_d = d;
                 best = Some(x as ObjectId);
@@ -113,13 +127,22 @@ pub fn select_maxmin_pivots<M: Metric>(oracle: &Oracle<M>, k: usize, seed: u64) 
         current = best.expect_invariant("k <= n guarantees a next pivot");
     }
 
-    Bootstrap { n, pivots, rows }
+    Ok(Bootstrap { n, pivots, rows })
 }
 
 /// Alias with the paper's terminology: bootstrap a scheme with LAESA-style
 /// landmarks, `k = log(n)` unless stated otherwise (§5.1.2).
 pub fn laesa_bootstrap<M: Metric>(oracle: &Oracle<M>, k: usize, seed: u64) -> Bootstrap {
     select_maxmin_pivots(oracle, k, seed)
+}
+
+/// Fallible twin of [`laesa_bootstrap`].
+pub fn try_laesa_bootstrap<M: Metric>(
+    oracle: &Oracle<M>,
+    k: usize,
+    seed: u64,
+) -> Result<Bootstrap, OracleError> {
+    try_select_maxmin_pivots(oracle, k, seed)
 }
 
 /// The paper's default number of landmarks, `⌈log2 n⌉` (§5.1.2 and the

@@ -138,6 +138,14 @@ impl<R: DistanceResolver, F: Fn(Pair) -> f64> DistanceResolver for CheckedResolv
         d
     }
 
+    fn resolve_fallible(&mut self, p: Pair) -> Result<f64, prox_core::OracleError> {
+        // Errors pass through unaudited (there is no value to check);
+        // successful resolutions are held to the exact-truth standard.
+        let d = self.inner.resolve_fallible(p)?;
+        self.audit_exact(p, d, "resolve_fallible");
+        Ok(d)
+    }
+
     fn try_less(&mut self, x: Pair, y: Pair) -> Option<bool> {
         let v = self.inner.try_less(x, y);
         if let Some(b) = v {
@@ -386,5 +394,12 @@ mod tests {
     fn catches_wrong_resolved_values() {
         let mut r = checked_liar(Liar::new());
         let _ = r.resolve(Pair::new(0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "resolve_fallible: presented")]
+    fn audits_the_fallible_path_too() {
+        let mut r = checked_liar(Liar::new());
+        let _ = r.resolve_fallible(Pair::new(0, 3));
     }
 }

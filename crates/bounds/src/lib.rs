@@ -49,7 +49,9 @@ pub mod tri;
 pub mod tri_btree;
 
 pub use adm::{Adm, AdmUpdate};
-pub use bootstrap::{laesa_bootstrap, select_maxmin_pivots, Bootstrap};
+pub use bootstrap::{
+    laesa_bootstrap, select_maxmin_pivots, try_laesa_bootstrap, try_select_maxmin_pivots, Bootstrap,
+};
 #[cfg(feature = "paranoid")]
 pub use checked::CheckedResolver;
 pub use composite::Composite;

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use prox_core::{Metric, Oracle, Pair, PruneStats, SpecBounds};
+use prox_core::{Metric, Oracle, OracleError, Pair, PruneStats, SpecBounds};
 
 use crate::{BoundScheme, NoScheme};
 
@@ -41,6 +41,18 @@ pub trait DistanceResolver {
 
     /// Exact distance, calling the oracle if necessary.
     fn resolve(&mut self, p: Pair) -> f64;
+
+    /// Fallible twin of [`DistanceResolver::resolve`], for fault-aware
+    /// callers: resolution failures (`prox_core::OracleError`) surface as
+    /// values instead of panics, and a failed attempt records *nothing* —
+    /// the resolver's knowledge and stats advance only on success.
+    ///
+    /// The default forwards to `resolve`, which is correct for resolvers
+    /// that never touch a fallible oracle (test doubles, speculative
+    /// probes); oracle-backed resolvers override it.
+    fn resolve_fallible(&mut self, p: Pair) -> Result<f64, OracleError> {
+        Ok(self.resolve(p))
+    }
 
     /// Tries to decide `dist(x) < dist(y)` without the oracle.
     #[must_use = "a discarded verdict wastes the bound derivation"]
@@ -227,6 +239,86 @@ pub trait DistanceResolver {
             }
         }
     }
+
+    // ----- Fallible combinators ------------------------------------------
+    //
+    // Fault-aware twins of the re-authored IF statements above. Each one
+    // performs *exactly* the same bound probes and stats accounting as its
+    // infallible sibling — a run that never faults takes identical
+    // decisions with identical `PruneStats` — and propagates the first
+    // oracle failure instead of panicking.
+
+    /// Fallible [`DistanceResolver::less`].
+    fn less_fallible(&mut self, x: Pair, y: Pair) -> Result<bool, OracleError> {
+        match self.try_less(x, y) {
+            Some(b) => {
+                self.prune_stats_mut().decided_by_bounds += 1;
+                Ok(b)
+            }
+            None => {
+                self.prune_stats_mut().fell_through += 1;
+                Ok(self.resolve_fallible(x)? < self.resolve_fallible(y)?)
+            }
+        }
+    }
+
+    /// Fallible [`DistanceResolver::distance_if_less`].
+    fn distance_if_less_fallible(&mut self, x: Pair, v: f64) -> Result<Option<f64>, OracleError> {
+        match self.try_less_value(x, v) {
+            Some(false) => {
+                self.prune_stats_mut().decided_by_bounds += 1;
+                Ok(None)
+            }
+            Some(true) => {
+                self.prune_stats_mut().decided_by_bounds += 1;
+                Ok(Some(self.resolve_fallible(x)?))
+            }
+            None => {
+                self.prune_stats_mut().fell_through += 1;
+                let d = self.resolve_fallible(x)?;
+                Ok((d < v).then_some(d))
+            }
+        }
+    }
+
+    /// Fallible [`DistanceResolver::less_sum2`].
+    fn less_sum2_fallible(
+        &mut self,
+        x: (Pair, Pair),
+        y: (Pair, Pair),
+    ) -> Result<bool, OracleError> {
+        match self.try_less_sum2(x, y) {
+            Some(b) => {
+                self.prune_stats_mut().decided_by_bounds += 1;
+                Ok(b)
+            }
+            None => {
+                self.prune_stats_mut().fell_through += 1;
+                let lhs = self.resolve_fallible(x.0)? + self.resolve_fallible(x.1)?;
+                let rhs = self.resolve_fallible(y.0)? + self.resolve_fallible(y.1)?;
+                Ok(lhs < rhs)
+            }
+        }
+    }
+
+    /// Fallible [`DistanceResolver::distance_if_leq`].
+    fn distance_if_leq_fallible(&mut self, x: Pair, v: f64) -> Result<Option<f64>, OracleError> {
+        match self.try_leq_value(x, v) {
+            Some(false) => {
+                self.prune_stats_mut().decided_by_bounds += 1;
+                Ok(None)
+            }
+            Some(true) => {
+                self.prune_stats_mut().decided_by_bounds += 1;
+                Ok(Some(self.resolve_fallible(x)?))
+            }
+            None => {
+                self.prune_stats_mut().fell_through += 1;
+                let d = self.resolve_fallible(x)?;
+                Ok((d <= v).then_some(d))
+            }
+        }
+    }
 }
 
 /// A [`BoundScheme`] wired to an [`Oracle`].
@@ -334,6 +426,20 @@ impl<'o, M: Metric, S: BoundScheme> DistanceResolver for BoundResolver<'o, M, S>
         self.scheme.record(p, d);
         self.stats.resolved += 1;
         d
+    }
+
+    fn resolve_fallible(&mut self, p: Pair) -> Result<f64, OracleError> {
+        if let Some(d) = self.scheme.known(p) {
+            self.stats.served_known += 1;
+            return Ok(d);
+        }
+        // Record and count only on success: a faulted attempt must leave
+        // the resolver exactly as it was, so a resumed run re-pays nothing
+        // and observes nothing.
+        let d = self.oracle.try_call_pair(p)?;
+        self.scheme.record(p, d);
+        self.stats.resolved += 1;
+        Ok(d)
     }
 
     fn try_less(&mut self, x: Pair, y: Pair) -> Option<bool> {
@@ -571,5 +677,47 @@ mod tests {
         assert_eq!(v.try_sum_less_value(&terms, 1.0), None);
         assert_eq!(v.try_sum_less_value(&terms, 2.5), Some(true));
         assert_eq!(oracle.calls(), 0);
+    }
+
+    #[test]
+    fn fallible_path_matches_infallible_accounting() {
+        let run = |fallible: bool| {
+            let oracle = line_oracle(11);
+            let mut r = BoundResolver::new(&oracle, TriScheme::new(11, 1.0));
+            let d = if fallible {
+                r.resolve_fallible(Pair::new(0, 5)).expect("no faults")
+            } else {
+                r.resolve(Pair::new(0, 5))
+            };
+            let lt = if fallible {
+                r.less_fallible(Pair::new(0, 2), Pair::new(0, 6))
+                    .expect("no faults")
+            } else {
+                r.less(Pair::new(0, 2), Pair::new(0, 6))
+            };
+            (d, lt, oracle.calls(), r.prune_stats())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn failed_resolution_records_nothing() {
+        use prox_core::{CallBudget, OracleError};
+        let scale = 1.0 / 10.0;
+        let oracle = Oracle::new(FnMetric::new(11, 1.0, move |a: u32, b: u32| {
+            (f64::from(a) - f64::from(b)).abs() * scale
+        }))
+        .with_budget(CallBudget::calls(1));
+        let mut r = BoundResolver::new(&oracle, TriScheme::new(11, 1.0));
+        assert_eq!(r.resolve_fallible(Pair::new(0, 5)), Ok(0.5));
+        let err = r
+            .resolve_fallible(Pair::new(0, 7))
+            .expect_err("budget of 1 call");
+        assert_eq!(err, OracleError::BudgetExhausted { calls: 1 });
+        assert_eq!(r.prune_stats().resolved, 1, "failed attempt not counted");
+        assert_eq!(r.known(Pair::new(0, 7)), None, "nothing recorded");
+        // The already-resolved pair is still served for free.
+        assert_eq!(r.resolve_fallible(Pair::new(0, 5)), Ok(0.5));
+        assert_eq!(r.prune_stats().served_known, 1);
     }
 }

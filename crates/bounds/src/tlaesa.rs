@@ -2,11 +2,11 @@
 
 use std::collections::HashMap;
 
-use prox_core::invariant::InvariantExt;
-use prox_core::{Metric, ObjectId, Oracle, Pair};
+use prox_core::invariant::{expect_ok, InvariantExt};
+use prox_core::{Metric, ObjectId, Oracle, OracleError, Pair};
 
 use crate::laesa::pivot_list_bounds;
-use crate::{select_maxmin_pivots, BoundScheme};
+use crate::{try_select_maxmin_pivots, BoundScheme};
 
 /// Landmark rows **plus** a recursively-built pivot tree.
 ///
@@ -43,9 +43,23 @@ impl Tlaesa {
     /// All oracle calls made here are counted on `oracle` (the scheme's
     /// bootstrap cost); [`Tlaesa::construction_calls`] reports the total.
     pub fn build<M: Metric>(oracle: &Oracle<M>, k: usize, leaf_size: usize, seed: u64) -> Self {
+        expect_ok(
+            Self::try_build(oracle, k, leaf_size, seed),
+            "Tlaesa::build on the infallible path",
+        )
+    }
+
+    /// Fallible twin of [`Tlaesa::build`]: a fault or budget error from the
+    /// oracle aborts construction cleanly instead of panicking.
+    pub fn try_build<M: Metric>(
+        oracle: &Oracle<M>,
+        k: usize,
+        leaf_size: usize,
+        seed: u64,
+    ) -> Result<Self, OracleError> {
         let n = oracle.n();
         let start_calls = oracle.calls();
-        let bootstrap = select_maxmin_pivots(oracle, k, seed);
+        let bootstrap = try_select_maxmin_pivots(oracle, k, seed)?;
 
         fn note(
             resolved: &mut HashMap<u64, f64>,
@@ -93,6 +107,7 @@ impl Tlaesa {
         // Iterative DFS over (representative, members, dist-to-rep) frames.
         let mut stack = vec![(root_rep, members, root_dists)];
         while let Some((rep, members, dists)) = stack.pop() {
+            // integer, not a float decision; lint: allow(L3)
             if members.len() <= leaf_size {
                 continue;
             }
@@ -116,11 +131,12 @@ impl Tlaesa {
                 let d2 = match resolved.get(&pair.key()) {
                     Some(&d) => d,
                     None => {
-                        let d = oracle.call_pair(pair);
+                        let d = oracle.try_call_pair(pair)?;
                         note(&mut resolved, &mut lists, rep2, x, d);
                         d
                     }
                 };
+                // any partition is a valid tree; lint: allow(L3)
                 if dists[i] <= d2 {
                     left.0.push(x);
                     left.1.push(dists[i]);
@@ -137,13 +153,13 @@ impl Tlaesa {
             }
         }
 
-        Tlaesa {
+        Ok(Tlaesa {
             n,
             max_distance: oracle.max_distance(),
             lists,
             resolved,
             construction_calls: oracle.calls() - start_calls,
-        }
+        })
     }
 
     /// Oracle calls spent building prototypes + tree (the bootstrap cost).
@@ -213,6 +229,7 @@ impl BoundScheme for Tlaesa {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::select_maxmin_pivots;
     use prox_core::FnMetric;
 
     fn line_oracle(n: usize) -> Oracle<FnMetric<impl Fn(ObjectId, ObjectId) -> f64>> {

@@ -1,0 +1,263 @@
+//! Checkpoint/resume for long oracle runs.
+//!
+//! A budget-killed or crashed run must never re-pay for distances it
+//! already resolved. This module layers a *resume manifest* on top of the
+//! [`crate::persist`] line format: a checkpoint file is a normal
+//! resolved-distance cache (readable by [`crate::load_known`]) whose
+//! `#! key=value` comment lines record what the run was (`algo`,
+//! `dataset`, `n`, `seed`, …) so a resume can refuse a mismatched file
+//! instead of silently poisoning its bound scheme.
+//!
+//! Files are written atomically (temp file + rename): a crash mid-write
+//! leaves the previous checkpoint intact, never a truncated one.
+//! [`Checkpointer`] adds the cadence policy — snapshot every `every`
+//! newly resolved pairs.
+
+use std::fs;
+use std::io::{self, BufRead, Write};
+use std::path::{Path, PathBuf};
+
+use crate::{load_known, save_known, Pair};
+
+/// A parsed checkpoint: the manifest plus the resolved-distance set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// `key=value` manifest entries, in file order.
+    pub manifest: Vec<(String, String)>,
+    /// The resolved distances, exactly as [`crate::load_known`] returns
+    /// them.
+    pub known: Vec<(Pair, f64)>,
+}
+
+impl Checkpoint {
+    /// The first manifest value stored under `key`, if any.
+    pub fn manifest_value(&self, key: &str) -> Option<&str> {
+        self.manifest
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Writes a checkpoint: manifest comment lines followed by the standard
+/// resolved-distance cache format. Returns the number of edges written.
+///
+/// Manifest keys and values must not contain newlines or `=` in the key;
+/// offending entries are rejected with `InvalidInput`.
+pub fn save_checkpoint<W: Write>(
+    mut w: W,
+    manifest: &[(String, String)],
+    edges: impl IntoIterator<Item = (Pair, f64)>,
+) -> io::Result<usize> {
+    for (k, v) in manifest {
+        let clean = !k.is_empty()
+            && !k.contains('=')
+            && !k.contains('\n')
+            && !v.contains('\n')
+            && k.trim() == k;
+        if !clean {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("bad manifest entry {k:?}={v:?}"),
+            ));
+        }
+        writeln!(w, "#! {k}={v}")?;
+    }
+    save_known(w, edges)
+}
+
+/// Reads a checkpoint written by [`save_checkpoint`].
+///
+/// Plain caches load too (empty manifest): the manifest lines are `#`
+/// comments, so the two formats are one format.
+pub fn load_checkpoint<R: BufRead>(mut r: R) -> io::Result<Checkpoint> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
+    let mut manifest = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.trim().strip_prefix("#!") {
+            if let Some((k, v)) = rest.split_once('=') {
+                manifest.push((k.trim().to_string(), v.trim().to_string()));
+            }
+        }
+    }
+    let known = load_known(text.as_bytes())?;
+    Ok(Checkpoint { manifest, known })
+}
+
+/// Atomically writes a checkpoint file: the bytes land in `<path>.tmp`
+/// and are renamed over `path` only once complete.
+pub fn write_checkpoint_file(
+    path: &Path,
+    manifest: &[(String, String)],
+    edges: impl IntoIterator<Item = (Pair, f64)>,
+) -> io::Result<usize> {
+    let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+    let count = {
+        let mut w = io::BufWriter::new(fs::File::create(&tmp)?);
+        let count = save_checkpoint(&mut w, manifest, edges)?;
+        w.flush()?;
+        count
+    };
+    fs::rename(&tmp, path)?;
+    Ok(count)
+}
+
+/// Reads a checkpoint file written by [`write_checkpoint_file`].
+pub fn read_checkpoint_file(path: &Path) -> io::Result<Checkpoint> {
+    load_checkpoint(io::BufReader::new(fs::File::open(path)?))
+}
+
+/// Cadence policy for periodic checkpointing: snapshot once `every`
+/// *new* resolutions have accrued since the last save.
+#[derive(Clone, Debug)]
+pub struct Checkpointer {
+    path: PathBuf,
+    every: u64,
+    last_saved: u64,
+    saves: u64,
+}
+
+impl Checkpointer {
+    /// Checkpoints to `path` every `every` new resolutions (`every` is
+    /// clamped to at least 1).
+    pub fn new(path: impl Into<PathBuf>, every: u64) -> Self {
+        Checkpointer {
+            path: path.into(),
+            every: every.max(1),
+            last_saved: 0,
+            saves: 0,
+        }
+    }
+
+    /// The checkpoint path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether `resolved` total resolutions warrant a snapshot.
+    pub fn due(&self, resolved: u64) -> bool {
+        resolved >= self.last_saved.saturating_add(self.every)
+    }
+
+    /// Starts the cadence from `resolved` without writing a file — for
+    /// knowledge that predates this checkpointer (preloads, bootstraps):
+    /// only *new* resolutions should count toward the next snapshot.
+    pub fn mark_saved(&mut self, resolved: u64) {
+        self.last_saved = resolved;
+    }
+
+    /// Snapshots if due; returns whether a file was written.
+    pub fn maybe_save(
+        &mut self,
+        resolved: u64,
+        manifest: &[(String, String)],
+        edges: impl IntoIterator<Item = (Pair, f64)>,
+    ) -> io::Result<bool> {
+        if !self.due(resolved) {
+            return Ok(false);
+        }
+        self.save_now(resolved, manifest, edges)?;
+        Ok(true)
+    }
+
+    /// Snapshots unconditionally (e.g. on budget exhaustion or at exit).
+    pub fn save_now(
+        &mut self,
+        resolved: u64,
+        manifest: &[(String, String)],
+        edges: impl IntoIterator<Item = (Pair, f64)>,
+    ) -> io::Result<usize> {
+        let count = write_checkpoint_file(&self.path, manifest, edges)?;
+        self.last_saved = resolved;
+        self.saves += 1;
+        Ok(count)
+    }
+
+    /// Snapshots taken so far.
+    pub fn saves(&self) -> u64 {
+        self.saves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_edges() -> Vec<(Pair, f64)> {
+        vec![(Pair::new(0, 1), 0.5), (Pair::new(2, 7), 1.0 / 3.0)]
+    }
+
+    fn sample_manifest() -> Vec<(String, String)> {
+        vec![
+            ("algo".into(), "knng".into()),
+            ("n".into(), "200".into()),
+            ("seed".into(), "42".into()),
+        ]
+    }
+
+    #[test]
+    fn roundtrips_manifest_and_edges() {
+        let mut buf = Vec::new();
+        let n = save_checkpoint(&mut buf, &sample_manifest(), sample_edges()).expect("write");
+        assert_eq!(n, 2);
+        let ck = load_checkpoint(&buf[..]).expect("read");
+        assert_eq!(ck.manifest, sample_manifest());
+        assert_eq!(ck.known, sample_edges());
+        assert_eq!(ck.manifest_value("seed"), Some("42"));
+        assert_eq!(ck.manifest_value("missing"), None);
+    }
+
+    #[test]
+    fn checkpoints_are_plain_caches_to_load_known() {
+        let mut buf = Vec::new();
+        save_checkpoint(&mut buf, &sample_manifest(), sample_edges()).expect("write");
+        let back = load_known(&buf[..]).expect("cache-compatible");
+        assert_eq!(back, sample_edges());
+    }
+
+    #[test]
+    fn plain_caches_load_with_empty_manifest() {
+        let mut buf = Vec::new();
+        save_known(&mut buf, sample_edges()).expect("write");
+        let ck = load_checkpoint(&buf[..]).expect("read");
+        assert!(ck.manifest.is_empty());
+        assert_eq!(ck.known, sample_edges());
+    }
+
+    #[test]
+    fn rejects_unserializable_manifest_entries() {
+        for (k, v) in [("a=b", "x"), ("", "x"), ("k", "two\nlines"), (" pad", "x")] {
+            let m = vec![(k.to_string(), v.to_string())];
+            let err = save_checkpoint(Vec::new(), &m, sample_edges())
+                .expect_err("bad manifest entry must be rejected");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic_over_previous_content() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("prox-ckpt-test-{}.csv", std::process::id()));
+        write_checkpoint_file(&path, &sample_manifest(), sample_edges()).expect("write");
+        // Overwrite with a second snapshot; the temp file must be gone.
+        write_checkpoint_file(&path, &sample_manifest(), sample_edges()).expect("rewrite");
+        assert!(!PathBuf::from(format!("{}.tmp", path.display())).exists());
+        let ck = read_checkpoint_file(&path).expect("read");
+        assert_eq!(ck.known, sample_edges());
+        fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn checkpointer_honours_cadence() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("prox-ckpt-cadence-{}.csv", std::process::id()));
+        let mut ck = Checkpointer::new(&path, 10);
+        assert!(!ck.maybe_save(5, &[], sample_edges()).expect("io"));
+        assert!(ck.maybe_save(10, &[], sample_edges()).expect("io"));
+        assert!(!ck.maybe_save(15, &[], sample_edges()).expect("io"));
+        assert!(ck.maybe_save(20, &[], sample_edges()).expect("io"));
+        assert_eq!(ck.saves(), 2);
+        fs::remove_file(&path).expect("cleanup");
+    }
+}

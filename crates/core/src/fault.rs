@@ -1,0 +1,416 @@
+//! Fault model for the expensive oracle: error taxonomy, deterministic
+//! fault injection, retry/backoff policies, and hard call budgets.
+//!
+//! The paper treats every distance resolution as a remote, billed
+//! operation — and remote operations fail. This module models that
+//! reality without giving up reproducibility:
+//!
+//! * [`OracleError`] — why a resolution failed (transient glitch, timeout,
+//!   exhausted budget, permanent misuse).
+//! * [`FaultInjector`] — a *stateless* seeded fault schedule: whether the
+//!   `k`-th attempt at a pair faults is a pure hash of
+//!   `(seed, pair, attempt)`, so the injected-fault sequence is identical
+//!   no matter how work is interleaved across threads or runs.
+//! * [`RetryPolicy`] — exponential backoff with deterministic jitter.
+//!   Waits are charged as *virtual time* next to `cost_per_call`; nothing
+//!   ever sleeps.
+//! * [`CallBudget`] — hard guards on total calls and virtual deadline;
+//!   exceeding either turns the next call into
+//!   [`OracleError::BudgetExhausted`] instead of silently continuing to
+//!   spend.
+//! * [`FaultStats`] — the accounting (faults seen, retries paid, backoff
+//!   time charged).
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::Pair;
+
+/// Why an oracle resolution failed.
+///
+/// The taxonomy matters to callers: [`OracleError::is_retryable`] faults
+/// may succeed on a later attempt (the oracle's own [`RetryPolicy`]
+/// already retried them `attempts` times before surfacing the error),
+/// while `BudgetExhausted` and `Permanent` never will.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum OracleError {
+    /// A transient fault (dropped connection, 5xx, …) survived every
+    /// configured retry.
+    Transient {
+        /// The pair whose resolution failed.
+        pair: Pair,
+        /// Attempts made (initial call + retries).
+        attempts: u32,
+    },
+    /// The call timed out on every configured retry.
+    Timeout {
+        /// The pair whose resolution failed.
+        pair: Pair,
+        /// Attempts made (initial call + retries).
+        attempts: u32,
+    },
+    /// The call budget or virtual-time deadline ran out *before* this
+    /// attempt was issued; the attempt was not billed.
+    BudgetExhausted {
+        /// Calls billed when the budget tripped.
+        calls: u64,
+    },
+    /// The request itself is invalid and no retry can fix it
+    /// (e.g. asking for a self-distance on the fallible path).
+    Permanent {
+        /// What was wrong with the request.
+        reason: &'static str,
+    },
+}
+
+impl OracleError {
+    /// Whether a fresh attempt could plausibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            OracleError::Transient { .. } | OracleError::Timeout { .. }
+        )
+    }
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::Transient { pair, attempts } => write!(
+                f,
+                "transient oracle fault on pair ({}, {}) after {attempts} attempt(s)",
+                pair.lo(),
+                pair.hi()
+            ),
+            OracleError::Timeout { pair, attempts } => write!(
+                f,
+                "oracle timeout on pair ({}, {}) after {attempts} attempt(s)",
+                pair.lo(),
+                pair.hi()
+            ),
+            OracleError::BudgetExhausted { calls } => {
+                write!(f, "oracle budget exhausted after {calls} call(s)")
+            }
+            OracleError::Permanent { reason } => write!(f, "permanent oracle error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// The flavour of an injected fault (pre-retry, pre-taxonomy).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A transient failure.
+    Transient,
+    /// A timeout.
+    Timeout,
+}
+
+/// splitmix64 finalizer — the same mixer [`crate::TinyRng`] uses, applied
+/// statelessly so a fault decision is a pure function of its inputs.
+fn mix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` with 53 bits of precision from a hash value.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Stateless hash of `(seed, pair key, attempt)`.
+fn hash3(seed: u64, key: u64, attempt: u64) -> u64 {
+    mix64(mix64(mix64(seed) ^ key) ^ attempt)
+}
+
+/// A deterministic fault schedule.
+///
+/// Whether attempt `k` at pair `p` faults is `hash(seed, p, k) < rate` —
+/// no mutable state, no draw order. Two runs with the same seed inject
+/// the *same* faults at the same `(pair, attempt)` coordinates, even when
+/// `--threads N` reorders the work, and a pair's schedule is unaffected
+/// by how many other pairs were resolved before it.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct FaultInjector {
+    rate: f64,
+    timeout_share: f64,
+    seed: u64,
+}
+
+impl FaultInjector {
+    /// A schedule faulting each attempt independently with probability
+    /// `rate` (clamped to `[0, 1]`), split evenly between transient
+    /// faults and timeouts.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        FaultInjector {
+            rate: rate.clamp(0.0, 1.0),
+            timeout_share: 0.5,
+            seed,
+        }
+    }
+
+    /// Sets the fraction of injected faults that present as timeouts.
+    pub fn with_timeout_share(mut self, share: f64) -> Self {
+        self.timeout_share = share.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The per-attempt fault probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The schedule seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault injected at `(pair, attempt)`, if any. Pure: same inputs,
+    /// same answer, forever.
+    pub fn fault_at(&self, p: Pair, attempt: u32) -> Option<FaultKind> {
+        let h = hash3(self.seed, p.key(), u64::from(attempt));
+        if unit(h) >= self.rate {
+            return None;
+        }
+        // Independent bits decide the flavour.
+        if unit(mix64(h)) < self.timeout_share {
+            Some(FaultKind::Timeout)
+        } else {
+            Some(FaultKind::Transient)
+        }
+    }
+}
+
+/// Retry with exponential backoff and deterministic jitter.
+///
+/// Backoff is *charged, not slept*: the oracle adds each wait to its
+/// virtual clock (next to `cost_per_call`), so completion-time figures
+/// account for retries without burning wall clock. Jitter is a pure hash
+/// of `(seed, pair, attempt)` — reproducible like everything else here.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Multiplier per subsequent retry.
+    pub factor: f64,
+    /// Cap on the exponential term (jitter may exceed it by `< base`).
+    pub max_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: the first fault surfaces immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base: Duration::ZERO,
+            factor: 2.0,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// `max_retries` retries with a 100 ms base doubling up to 10 s.
+    pub fn standard(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            base: Duration::from_millis(100),
+            factor: 2.0,
+            max_backoff: Duration::from_secs(10),
+        }
+    }
+
+    /// The virtual wait before retry number `attempt + 1` of `pair`:
+    /// `min(base × factor^attempt, max_backoff)` plus jitter in
+    /// `[0, base)`.
+    pub fn backoff(&self, seed: u64, p: Pair, attempt: u32) -> Duration {
+        let exp = self.base.as_secs_f64() * self.factor.powi(attempt.min(1_000) as i32);
+        let capped = exp.min(self.max_backoff.as_secs_f64());
+        let jitter = unit(hash3(seed ^ 0x006A_7717_5EED, p.key(), u64::from(attempt)))
+            * self.base.as_secs_f64();
+        Duration::try_from_secs_f64(capped + jitter).unwrap_or(Duration::MAX)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// Hard spending guards, checked *before* each attempt is billed.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CallBudget {
+    /// Maximum billed calls (attempts, not unique pairs).
+    pub max_calls: Option<u64>,
+    /// Virtual-time deadline (call cost + backoff).
+    pub deadline: Option<Duration>,
+}
+
+impl CallBudget {
+    /// No limits (the default).
+    pub fn unlimited() -> Self {
+        CallBudget::default()
+    }
+
+    /// Limits total billed calls.
+    pub fn calls(max_calls: u64) -> Self {
+        CallBudget {
+            max_calls: Some(max_calls),
+            ..CallBudget::default()
+        }
+    }
+
+    /// Limits total virtual time.
+    pub fn deadline(deadline: Duration) -> Self {
+        CallBudget {
+            deadline: Some(deadline),
+            ..CallBudget::default()
+        }
+    }
+
+    /// Adds a virtual-time deadline to an existing budget.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Whether the budget imposes no limits at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_calls.is_none() && self.deadline.is_none()
+    }
+}
+
+/// Fault-path accounting, split out from [`crate::OracleStats`] so the
+/// clean-path counters keep their exact historical meaning.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Faults injected (each billed as a call).
+    pub faults_injected: u64,
+    /// Retries issued in response to faults.
+    pub retries: u64,
+    /// Virtual backoff time charged for those retries.
+    pub backoff_time: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_a_pure_function() {
+        let inj = FaultInjector::new(0.3, 42);
+        for a in 0..20u32 {
+            for b in (a + 1)..20u32 {
+                let p = Pair::new(a, b);
+                for attempt in 0..5 {
+                    assert_eq!(inj.fault_at(p, attempt), inj.fault_at(p, attempt));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rate_zero_never_faults_rate_one_always() {
+        let never = FaultInjector::new(0.0, 7);
+        let always = FaultInjector::new(1.0, 7);
+        for a in 0..10u32 {
+            let p = Pair::new(a, a + 1);
+            assert_eq!(never.fault_at(p, 0), None);
+            assert!(always.fault_at(p, 0).is_some());
+        }
+    }
+
+    #[test]
+    fn rate_is_roughly_respected() {
+        let inj = FaultInjector::new(0.25, 99);
+        let mut faults = 0u32;
+        let total = 4_000u32;
+        for i in 0..total {
+            let p = Pair::new(i, i + 1);
+            if inj.fault_at(p, 0).is_some() {
+                faults += 1;
+            }
+        }
+        let observed = f64::from(faults) / f64::from(total);
+        assert!(
+            (observed - 0.25).abs() < 0.05,
+            "observed fault rate {observed}"
+        );
+    }
+
+    #[test]
+    fn timeout_share_extremes() {
+        let all_timeouts = FaultInjector::new(1.0, 3).with_timeout_share(1.0);
+        let no_timeouts = FaultInjector::new(1.0, 3).with_timeout_share(0.0);
+        for i in 0..20u32 {
+            let p = Pair::new(i, i + 5);
+            assert_eq!(all_timeouts.fault_at(p, 0), Some(FaultKind::Timeout));
+            assert_eq!(no_timeouts.fault_at(p, 0), Some(FaultKind::Transient));
+        }
+    }
+
+    #[test]
+    fn seeds_give_different_schedules() {
+        let a = FaultInjector::new(0.5, 1);
+        let b = FaultInjector::new(0.5, 2);
+        let differs = (0..200u32).any(|i| {
+            let p = Pair::new(i, i + 1);
+            a.fault_at(p, 0) != b.fault_at(p, 0)
+        });
+        assert!(differs, "distinct seeds should disagree somewhere");
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy::standard(10);
+        let p = Pair::new(0, 1);
+        let b0 = policy.backoff(42, p, 0);
+        let b3 = policy.backoff(42, p, 3);
+        assert!(b3 > b0, "exponential growth: {b0:?} vs {b3:?}");
+        // Attempt 30 would be 100ms × 2^30 ≈ 29 hours uncapped.
+        let capped = policy.backoff(42, p, 30);
+        assert!(capped <= policy.max_backoff + policy.base);
+        // Deterministic.
+        assert_eq!(policy.backoff(42, p, 3), policy.backoff(42, p, 3));
+    }
+
+    #[test]
+    fn budget_constructors() {
+        assert!(CallBudget::unlimited().is_unlimited());
+        let b = CallBudget::calls(100);
+        assert_eq!(b.max_calls, Some(100));
+        assert!(!b.is_unlimited());
+        let d = CallBudget::deadline(Duration::from_secs(1));
+        assert_eq!(d.deadline, Some(Duration::from_secs(1)));
+        let both = CallBudget::calls(5).with_deadline(Duration::from_secs(2));
+        assert!(!both.is_unlimited());
+    }
+
+    #[test]
+    fn error_taxonomy_retryability() {
+        let p = Pair::new(1, 2);
+        assert!(OracleError::Transient {
+            pair: p,
+            attempts: 1
+        }
+        .is_retryable());
+        assert!(OracleError::Timeout {
+            pair: p,
+            attempts: 2
+        }
+        .is_retryable());
+        assert!(!OracleError::BudgetExhausted { calls: 9 }.is_retryable());
+        assert!(!OracleError::Permanent { reason: "x" }.is_retryable());
+        // Display is human-readable and mentions the coordinates.
+        let msg = OracleError::Transient {
+            pair: p,
+            attempts: 3,
+        }
+        .to_string();
+        assert!(msg.contains("(1, 2)") && msg.contains("3 attempt"));
+    }
+}

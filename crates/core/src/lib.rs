@@ -15,7 +15,13 @@
 //! * [`OracleStats`] / [`PruneStats`] — the accounting that the paper's
 //!   tables and figures are made of (distance calls, saved comparisons,
 //!   CPU overhead vs. oracle time).
+//! * [`fault`] / [`checkpoint`] — the robustness layer: a deterministic
+//!   fault model with retry/backoff and budgets for the oracle, and
+//!   checkpoint/resume so an interrupted run never re-pays for a
+//!   distance it already resolved.
 
+pub mod checkpoint;
+pub mod fault;
 pub mod invariant;
 pub mod metric;
 pub mod oracle;
@@ -25,6 +31,11 @@ pub mod rng;
 pub mod spec;
 pub mod stats;
 
+pub use checkpoint::{
+    load_checkpoint, read_checkpoint_file, save_checkpoint, write_checkpoint_file, Checkpoint,
+    Checkpointer,
+};
+pub use fault::{CallBudget, FaultInjector, FaultKind, FaultStats, OracleError, RetryPolicy};
 pub use metric::{FnMetric, MatrixMetric, Metric, MetricCheck};
 pub use oracle::Oracle;
 pub use pair::{Pair, PairMap};

@@ -3,6 +3,8 @@
 use std::cell::Cell;
 use std::time::Duration;
 
+use crate::fault::{CallBudget, FaultInjector, FaultKind, FaultStats, OracleError, RetryPolicy};
+use crate::invariant::expect_ok;
 use crate::{Metric, ObjectId, OracleStats, Pair};
 
 /// The sole gateway between an algorithm and the ground-truth metric.
@@ -15,6 +17,18 @@ use crate::{Metric, ObjectId, OracleStats, Pair};
 /// (measured CPU time + virtual oracle time) separately, exactly as the
 /// paper separates "CPU overhead" from oracle time.
 ///
+/// # Faults, retries, budgets
+///
+/// A real oracle (web API, billed service) is fallible. [`Oracle::try_call`]
+/// is the fallible resolution path: with a [`FaultInjector`] configured it
+/// replays a deterministic per-`(pair, attempt)` fault schedule, retries
+/// according to the [`RetryPolicy`] (charging exponential backoff as
+/// virtual time — no sleeps), and enforces the [`CallBudget`] before every
+/// attempt. With no injector and no budget, `try_call` is a single
+/// always-taken branch away from the historical infallible fast path.
+/// Every attempt — faulted or not — is billed to the call counter; the
+/// *unique-pair* spend is tracked by resolvers (`PruneStats::resolved`).
+///
 /// Interior mutability (`Cell`) keeps `call` usable through `&Oracle`, so an
 /// oracle can be shared by a resolver and a bootstrap routine without
 /// plumbing `&mut` everywhere.
@@ -22,6 +36,12 @@ pub struct Oracle<M> {
     metric: M,
     calls: Cell<u64>,
     cost_per_call: Duration,
+    faults: Option<FaultInjector>,
+    retry: RetryPolicy,
+    budget: CallBudget,
+    faults_injected: Cell<u64>,
+    retries: Cell<u64>,
+    backoff: Cell<Duration>,
 }
 
 impl<M: Metric> Oracle<M> {
@@ -36,7 +56,31 @@ impl<M: Metric> Oracle<M> {
             metric,
             calls: Cell::new(0),
             cost_per_call,
+            faults: None,
+            retry: RetryPolicy::none(),
+            budget: CallBudget::unlimited(),
+            faults_injected: Cell::new(0),
+            retries: Cell::new(0),
+            backoff: Cell::new(Duration::ZERO),
         }
+    }
+
+    /// Attaches a deterministic fault schedule.
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Sets the retry policy applied when an injected fault is retryable.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets hard call-count / virtual-deadline guards.
+    pub fn with_budget(mut self, budget: CallBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Number of objects in the underlying space.
@@ -53,17 +97,100 @@ impl<M: Metric> Oracle<M> {
     ///
     /// # Panics
     ///
-    /// Panics if `a == b`: self-distances are known to be zero a priori and
-    /// calling the oracle for one is always an algorithmic bug.
+    /// Panics (through the audited [`crate::invariant`] route) if `a == b`
+    /// — self-distances are known to be zero a priori and calling the
+    /// oracle for one is always an algorithmic bug — or if a configured
+    /// fault schedule or budget makes the call fail; fault-aware callers
+    /// must use [`Oracle::try_call`].
     pub fn call(&self, a: ObjectId, b: ObjectId) -> f64 {
-        assert_ne!(a, b, "oracle called for a self-distance");
-        self.calls.set(self.calls.get() + 1);
-        self.metric.distance(a, b)
+        crate::invariant!(a != b, "oracle called for a self-distance (object {a})");
+        if self.faults.is_none() && self.budget.is_unlimited() {
+            self.calls.set(self.calls.get() + 1);
+            return self.metric.distance(a, b);
+        }
+        expect_ok(
+            self.try_call_slow(Pair::new(a, b)),
+            "infallible oracle path hit a fault",
+        )
     }
 
     /// [`Oracle::call`] keyed by a canonical [`Pair`].
     pub fn call_pair(&self, p: Pair) -> f64 {
         self.call(p.lo(), p.hi())
+    }
+
+    /// Fallible distance resolution: the fault-aware twin of
+    /// [`Oracle::call`].
+    ///
+    /// With no fault schedule and no budget this is the same counted
+    /// metric lookup as `call`. Otherwise each attempt is budget-checked,
+    /// billed, and run against the deterministic fault schedule; retryable
+    /// faults are retried up to [`RetryPolicy::max_retries`] times with
+    /// backoff charged as virtual time, and the final failure (if any) is
+    /// reported as an [`OracleError`] instead of a panic.
+    pub fn try_call(&self, a: ObjectId, b: ObjectId) -> Result<f64, OracleError> {
+        if a == b {
+            return Err(OracleError::Permanent {
+                reason: "oracle called for a self-distance",
+            });
+        }
+        if self.faults.is_none() && self.budget.is_unlimited() {
+            self.calls.set(self.calls.get() + 1);
+            return Ok(self.metric.distance(a, b));
+        }
+        self.try_call_slow(Pair::new(a, b))
+    }
+
+    /// [`Oracle::try_call`] keyed by a canonical [`Pair`].
+    pub fn try_call_pair(&self, p: Pair) -> Result<f64, OracleError> {
+        self.try_call(p.lo(), p.hi())
+    }
+
+    /// The retry loop behind `try_call` when faults or budgets are live.
+    fn try_call_slow(&self, p: Pair) -> Result<f64, OracleError> {
+        let mut attempt = 0u32;
+        loop {
+            if let Some(max) = self.budget.max_calls {
+                if self.calls.get() >= max {
+                    return Err(OracleError::BudgetExhausted {
+                        calls: self.calls.get(),
+                    });
+                }
+            }
+            if let Some(deadline) = self.budget.deadline {
+                if self.virtual_time() >= deadline {
+                    return Err(OracleError::BudgetExhausted {
+                        calls: self.calls.get(),
+                    });
+                }
+            }
+            // Every attempt is billed, faulted or not: the provider
+            // charges for the request either way.
+            self.calls.set(self.calls.get() + 1);
+            match self.faults.as_ref().and_then(|f| f.fault_at(p, attempt)) {
+                None => return Ok(self.metric.distance(p.lo(), p.hi())),
+                Some(kind) => {
+                    self.faults_injected.set(self.faults_injected.get() + 1);
+                    if attempt >= self.retry.max_retries {
+                        return Err(match kind {
+                            FaultKind::Transient => OracleError::Transient {
+                                pair: p,
+                                attempts: attempt + 1,
+                            },
+                            FaultKind::Timeout => OracleError::Timeout {
+                                pair: p,
+                                attempts: attempt + 1,
+                            },
+                        });
+                    }
+                    let seed = self.faults.as_ref().map_or(0, FaultInjector::seed);
+                    let wait = self.retry.backoff(seed, p, attempt);
+                    self.backoff.set(self.backoff.get().saturating_add(wait));
+                    self.retries.set(self.retries.get() + 1);
+                    attempt += 1;
+                }
+            }
+        }
     }
 
     /// Total calls made so far.
@@ -76,12 +203,18 @@ impl<M: Metric> Oracle<M> {
         self.cost_per_call
     }
 
+    /// The configured spending guards.
+    pub fn budget(&self) -> CallBudget {
+        self.budget
+    }
+
     /// Total virtual time spent in the oracle: `calls × cost_per_call`
-    /// (computed in `f64`, so call counts beyond `u32::MAX` keep scaling
-    /// instead of silently capping).
+    /// plus any retry backoff (computed in `f64`, so call counts beyond
+    /// `u32::MAX` keep scaling instead of silently capping).
     pub fn virtual_time(&self) -> Duration {
         Duration::try_from_secs_f64(self.cost_per_call.as_secs_f64() * self.calls.get() as f64)
             .unwrap_or(Duration::MAX)
+            .saturating_add(self.backoff.get())
     }
 
     /// Snapshot of the counters.
@@ -92,10 +225,23 @@ impl<M: Metric> Oracle<M> {
         }
     }
 
-    /// Resets the call counter (e.g. to separate a bootstrap phase from the
-    /// algorithm proper, as the tables' `Bootstrap` column does).
+    /// Snapshot of the fault-path counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            faults_injected: self.faults_injected.get(),
+            retries: self.retries.get(),
+            backoff_time: self.backoff.get(),
+        }
+    }
+
+    /// Resets the call and fault counters (e.g. to separate a bootstrap
+    /// phase from the algorithm proper, as the tables' `Bootstrap` column
+    /// does).
     pub fn reset(&self) {
         self.calls.set(0);
+        self.faults_injected.set(0);
+        self.retries.set(0);
+        self.backoff.set(Duration::ZERO);
     }
 
     /// Consumes the oracle, returning the wrapped metric.
@@ -140,6 +286,18 @@ mod tests {
     }
 
     #[test]
+    fn fallible_path_reports_self_distance_as_permanent() {
+        let o = Oracle::new(unit_metric(4));
+        assert_eq!(
+            o.try_call(2, 2),
+            Err(OracleError::Permanent {
+                reason: "oracle called for a self-distance",
+            })
+        );
+        assert_eq!(o.calls(), 0, "a rejected request is not billed");
+    }
+
+    #[test]
     fn virtual_time_accrues() {
         let o = Oracle::with_cost(unit_metric(4), Duration::from_millis(10));
         for _ in 0..7 {
@@ -155,5 +313,95 @@ mod tests {
         let o = Oracle::new(m);
         assert_eq!(o.call(1, 2), 0.3);
         assert_eq!(o.call(2, 1), 0.3);
+    }
+
+    #[test]
+    fn try_call_matches_call_without_faults() {
+        let m = FnMetric::new(3, 1.0, |a, b| f64::from(a + b) / 10.0);
+        let o = Oracle::new(m);
+        assert_eq!(o.try_call(1, 2), Ok(0.3));
+        assert_eq!(o.calls(), 1);
+        assert_eq!(o.fault_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn retries_recover_from_transient_faults() {
+        let o = Oracle::new(unit_metric(64))
+            .with_faults(FaultInjector::new(0.5, 7))
+            .with_retry(RetryPolicy::standard(40));
+        for a in 0..20u32 {
+            let d = o.try_call(a, a + 1).expect("40 retries at rate 0.5");
+            assert_eq!(d, 0.5);
+        }
+        let fs = o.fault_stats();
+        assert!(fs.faults_injected > 0, "rate 0.5 must fault somewhere");
+        assert_eq!(
+            fs.retries, fs.faults_injected,
+            "every fault was retried (none exhausted the policy)"
+        );
+        assert!(fs.backoff_time > Duration::ZERO);
+        assert_eq!(o.calls(), 20 + fs.faults_injected, "attempts are billed");
+    }
+
+    #[test]
+    fn fault_without_retries_surfaces_the_error() {
+        let o = Oracle::new(unit_metric(64)).with_faults(FaultInjector::new(1.0, 9));
+        let err = o.try_call(0, 1).expect_err("rate 1.0, no retries");
+        assert!(err.is_retryable());
+        assert_eq!(o.calls(), 1, "the failed attempt is still billed");
+    }
+
+    #[test]
+    fn call_budget_trips_before_billing() {
+        let o = Oracle::new(unit_metric(64)).with_budget(CallBudget::calls(3));
+        assert!(o.try_call(0, 1).is_ok());
+        assert!(o.try_call(1, 2).is_ok());
+        assert!(o.try_call(2, 3).is_ok());
+        assert_eq!(
+            o.try_call(3, 4),
+            Err(OracleError::BudgetExhausted { calls: 3 })
+        );
+        assert_eq!(o.calls(), 3, "the rejected attempt was not billed");
+    }
+
+    #[test]
+    fn deadline_guards_the_virtual_clock() {
+        let o = Oracle::with_cost(unit_metric(64), Duration::from_millis(10))
+            .with_budget(CallBudget::deadline(Duration::from_millis(25)));
+        assert!(o.try_call(0, 1).is_ok());
+        assert!(o.try_call(1, 2).is_ok());
+        assert!(o.try_call(2, 3).is_ok(), "virtual clock at 20 ms < 25 ms");
+        assert_eq!(
+            o.try_call(3, 4),
+            Err(OracleError::BudgetExhausted { calls: 3 })
+        );
+    }
+
+    #[test]
+    fn fault_schedule_is_reproducible() {
+        let run = || {
+            let o = Oracle::new(unit_metric(64))
+                .with_faults(FaultInjector::new(0.3, 11))
+                .with_retry(RetryPolicy::standard(20));
+            for a in 0..30u32 {
+                o.try_call(a, a + 1).expect("retries suffice");
+            }
+            (o.calls(), o.fault_stats(), o.virtual_time())
+        };
+        assert_eq!(run(), run(), "same seed, same schedule, same accounting");
+    }
+
+    #[test]
+    fn reset_clears_fault_counters() {
+        let o = Oracle::new(unit_metric(64))
+            .with_faults(FaultInjector::new(0.9, 5))
+            .with_retry(RetryPolicy::standard(30));
+        for a in 0..5u32 {
+            o.try_call(a, a + 1).expect("retries suffice");
+        }
+        o.reset();
+        assert_eq!(o.calls(), 0);
+        assert_eq!(o.fault_stats(), FaultStats::default());
+        assert_eq!(o.virtual_time(), Duration::ZERO);
     }
 }

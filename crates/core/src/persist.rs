@@ -10,6 +10,7 @@
 //! The format is deliberately plain text: diffable, greppable, and free of
 //! serialization dependencies.
 
+use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 
 use crate::Pair;
@@ -32,9 +33,13 @@ pub fn save_known<W: Write>(
 /// Reads a `lo,hi,distance` stream written by [`save_known`].
 ///
 /// Returns an `InvalidData` error on malformed lines, ids that are not
-/// `u32`, self-loops, negative or non-finite distances.
+/// `u32`, self-loops, negative or non-finite distances, or a pair that
+/// appears twice with *conflicting* distances (a corrupted or merged
+/// cache; trusting either copy could poison every downstream bound).
+/// Bit-identical repeats are deduplicated silently.
 pub fn load_known<R: BufRead>(r: R) -> io::Result<Vec<(Pair, f64)>> {
     let mut out = Vec::new();
+    let mut seen: HashMap<u64, f64> = HashMap::new();
     for (lineno, line) in r.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
@@ -69,7 +74,15 @@ pub fn load_known<R: BufRead>(r: R) -> io::Result<Vec<(Pair, f64)>> {
         if !d.is_finite() || d < 0.0 {
             return Err(bad("distance must be finite and non-negative"));
         }
-        out.push((Pair::new(a, b), d));
+        let p = Pair::new(a, b);
+        match seen.get(&p.key()) {
+            Some(&prev) if prev.to_bits() == d.to_bits() => continue,
+            Some(_) => return Err(bad("conflicting duplicate pair")),
+            None => {
+                seen.insert(p.key(), d);
+                out.push((p, d));
+            }
+        }
     }
     Ok(out)
 }
@@ -119,5 +132,23 @@ mod tests {
     fn canonicalizes_pair_order() {
         let back = load_known("9,4,0.25\n".as_bytes()).expect("read");
         assert_eq!(back[0].0.ends(), (4, 9));
+    }
+
+    #[test]
+    fn dedupes_bit_identical_repeats() {
+        let back = load_known("0,1,0.5\n1,0,0.5\n0,1,0.5\n".as_bytes()).expect("read");
+        assert_eq!(back, vec![(Pair::new(0, 1), 0.5)]);
+    }
+
+    #[test]
+    fn rejects_conflicting_duplicate_pairs() {
+        let err = load_known("0,1,0.5\n2,3,0.25\n1,0,0.75\n".as_bytes())
+            .expect_err("conflicting repeat must not load");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("line 3") && msg.contains("conflicting duplicate pair"),
+            "unexpected message: {msg}"
+        );
     }
 }

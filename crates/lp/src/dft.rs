@@ -303,6 +303,21 @@ impl<'o, M: Metric> DistanceResolver for DftResolver<'o, M> {
         d
     }
 
+    fn resolve_fallible(&mut self, p: Pair) -> Result<f64, prox_core::OracleError> {
+        if let Some(d) = self.known_d(p) {
+            self.stats.served_known += 1;
+            return Ok(d);
+        }
+        // As in `resolve`, but a faulted attempt leaves the knowledge set,
+        // the LP cache, and the stats untouched.
+        let d = self.oracle.try_call_pair(p)?;
+        self.known.insert(p.key(), d);
+        self.cache = None; // knowledge changed; rebuild lazily
+        self.screen.record(p, d);
+        self.stats.resolved += 1;
+        Ok(d)
+    }
+
     fn try_less(&mut self, x: Pair, y: Pair) -> Option<bool> {
         if x == y {
             return Some(false);

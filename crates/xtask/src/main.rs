@@ -1,7 +1,7 @@
 //! `cargo xtask` — repo-specific checks that `rustc`/`clippy` cannot express.
 //!
 //! ```text
-//! cargo xtask lint        # enforce L1–L4 across the workspace
+//! cargo xtask lint        # enforce L1–L6 across the workspace
 //! ```
 //!
 //! The rules and their rationale live in `docs/INVARIANTS.md`; the

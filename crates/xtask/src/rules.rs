@@ -1,4 +1,4 @@
-//! The lint rules (`L1`–`L5`) enforcing the oracle-call discipline.
+//! The lint rules (`L1`–`L6`) enforcing the oracle-call discipline.
 //!
 //! Every rule works on the masked code produced by [`crate::lexer::scan`],
 //! skips `#[cfg(test)]` blocks (test code is exempt), and honours an escape
@@ -13,13 +13,14 @@
 //! | L3 | `try_*` bodies in `crates/bounds` + `crates/lp` | raw float comparisons with no `DECISION_EPS`/eps margin |
 //! | L4 | library crates | `unwrap` / `expect` / `panic!` (use `prox_core::invariant`) |
 //! | L5 | everywhere except `prox-exec` | `std::thread` (threading goes through `ExecPool` so determinism stays centralised) |
+//! | L6 | library crates | discarding a fallible oracle result via `.ok()` / `let _ =` (an `OracleError` must propagate or be handled, never vanish) |
 
 use crate::lexer::{line_starts, match_brace, scan, test_line_ranges};
 
 /// One finding, addressable as `file:line`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id: `"L1"` … `"L5"`.
+    /// Rule id: `"L1"` … `"L6"`.
     pub rule: &'static str,
     /// Workspace-relative path with forward slashes.
     pub file: String,
@@ -47,7 +48,7 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
     if !rules_for(rel).iter().any(|&r| r) {
         return Vec::new();
     }
-    let [l1, l2, l3, l4, l5] = rules_for(rel);
+    let [l1, l2, l3, l4, l5, l6] = rules_for(rel);
     let scanned = scan(src);
     let masked_lines: Vec<&str> = scanned.masked.lines().collect();
     let comment_lines: Vec<&str> = scanned.comments.lines().collect();
@@ -162,19 +163,29 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                     .to_string(),
             );
         }
+        if l6 && discards_fallible_result(code) && !allowed(line, "L6") {
+            push(
+                "L6",
+                line,
+                "fallible oracle result discarded via `.ok()`/`let _ =`; an \
+                 `OracleError` must propagate with `?` or be matched — \
+                 swallowing it desynchronises budgets and fault accounting"
+                    .to_string(),
+            );
+        }
     }
     out
 }
 
-/// Which of `[L1, L2, L3, L4, L5]` apply to this path.
-fn rules_for(rel: &str) -> [bool; 5] {
+/// Which of `[L1, L2, L3, L4, L5, L6]` apply to this path.
+fn rules_for(rel: &str) -> [bool; 6] {
     // Only non-test library/tool sources are linted at all.
     let linted = rel.ends_with(".rs")
         && (rel.starts_with("crates/") || rel.starts_with("src/"))
         && rel.contains("/src/")
         && !rel.starts_with("crates/xtask/");
     if !linted {
-        return [false; 5];
+        return [false; 6];
     }
     let in_crate = |c: &str| rel.starts_with(&format!("crates/{c}/"));
     let l1 = !in_crate("core") && !in_crate("datasets");
@@ -186,7 +197,24 @@ fn rules_for(rel: &str) -> [bool; 5] {
         !in_crate("bench") && !rel.contains("/src/bin/") && rel != "crates/core/src/invariant.rs";
     // L5: `prox-exec` owns all threading; everything else goes through it.
     let l5 = !in_crate("exec");
-    [l1, l2, l3, l4, l5]
+    // L6: same scope as L4 — harness code may deliberately drop errors
+    // (e.g. best-effort checkpoint writes), library code never may.
+    let l6 = l4;
+    [l1, l2, l3, l4, l5, l6]
+}
+
+/// Producer calls whose `Result` carries an `OracleError`.
+const FALLIBLE_PRODUCERS: [&str; 4] = [".try_call(", ".try_call_pair(", "_fallible(", ".try_run("];
+
+/// True when a line both produces a fallible oracle result and visibly
+/// throws it away (`.ok()`, `let _ =`, or `.unwrap_or*` defaulting).
+fn discards_fallible_result(code: &str) -> bool {
+    if !FALLIBLE_PRODUCERS.iter().any(|p| code.contains(p)) {
+        return false;
+    }
+    let discards_binding =
+        code.trim_start().starts_with("let _ =") || code.trim_start().starts_with("let _: ");
+    discards_binding || code.contains(".ok()") || code.contains(".unwrap_or")
 }
 
 /// 1-based inclusive line ranges of `fn try_*` bodies in masked source.
@@ -379,6 +407,37 @@ mod tests {
         let allowed =
             "fn f() {\n    // introspection only; lint: allow(L5)\n    std::thread::panicking();\n}\n";
         assert!(lint_source("crates/datasets/src/x.rs", allowed).is_empty());
+    }
+
+    // ---------------------------------------------------------------- L6
+
+    #[test]
+    fn l6_flags_discarded_fallible_results() {
+        let src = "fn f(r: &mut dyn DistanceResolver) {\n    let d = r.resolve_fallible(p).ok();\n    let _ = o.try_call(a, b);\n    let v = o.try_call_pair(p).unwrap_or(1.0);\n}\n";
+        let vs = lint_source("crates/bounds/src/x.rs", src);
+        assert_eq!(lines(&vs, "L6"), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn l6_accepts_propagation_and_handling() {
+        let src = "fn f() -> Result<f64, OracleError> {\n    let d = r.resolve_fallible(p)?;\n    match o.try_call(a, b) {\n        Ok(v) => Ok(v + d),\n        Err(e) => Err(e),\n    }\n}\n";
+        assert!(lint_source("crates/algos/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l6_exempts_harness_tests_and_allow_annotation() {
+        let src = "fn f() { let _ = o.try_call(a, b); }\n";
+        assert!(lint_source("crates/bench/src/runner.rs", src).is_empty());
+        assert!(lint_source("crates/algos/tests/t.rs", src).is_empty());
+        let allowed = "fn f() {\n    // probe only, error handled upstream; lint: allow(L6)\n    let _ = o.try_call(a, b);\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn l6_ignores_infallible_ok_usage() {
+        // `.ok()` on something that is not a fallible oracle producer.
+        let src = "fn f() { let d = text.parse::<f64>().ok(); }\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
     }
 
     // ----------------------------------------------------------- plumbing
