@@ -19,6 +19,7 @@ use prox_bounds::DistanceResolver;
 use prox_core::invariant::{expect_ok, InvariantExt};
 use prox_core::{ObjectId, OracleError, Pair, SpecBounds};
 use prox_exec::ExecPool;
+use prox_obs::{emit_to, PhaseGuard, TraceEvent};
 
 use crate::speculate::leq_verdict;
 
@@ -111,6 +112,9 @@ fn sweep<R: DistanceResolver + ?Sized>(
     cands: &[(f64, bool, ObjectId)],
     snap: Option<&SourceSpec>,
 ) -> Result<Vec<(ObjectId, f64)>, OracleError> {
+    // One "query" phase per source sweep, shared by the sequential and
+    // committed paths so traces agree at any thread count (I8).
+    let _phase = PhaseGuard::enter(resolver.trace_sink(), "query");
     let mut heap: BinaryHeap<Neighbor> = BinaryHeap::with_capacity(k + 1);
     for &(key, known, v) in cands {
         let worst = heap.peek().copied();
@@ -275,7 +279,16 @@ fn knn_query_committed<R: DistanceResolver + ?Sized>(
         merged
     };
 
-    sweep(resolver, u, k, &cands, Some(snap))
+    // Under observation the snapshot-verdict short-circuit is skipped: it
+    // decides candidates without emitting the `BoundProbe` the sequential
+    // sweep would, so traces/metrics would differ by thread count. The
+    // bypass is sound — snapshot verdicts only mirror what the live
+    // `distance_if_leq` decides anyway (bounds tighten monotonically), so
+    // oracle calls and `PruneStats` are unchanged; only the short-circuit
+    // optimization is forgone.
+    let observed = resolver.trace_sink().is_some() || resolver.obs_metrics().is_some();
+    let snap = (!observed).then_some(snap);
+    sweep(resolver, u, k, &cands, snap)
 }
 
 /// Builds the full kNN graph by running [`knn_query`] for every object.
@@ -323,6 +336,11 @@ pub fn try_knn_graph_pool<R: DistanceResolver + ?Sized>(
     k: usize,
     pool: &ExecPool,
 ) -> Result<KnnGraph, OracleError> {
+    // Semantic phase marker around the whole construction, shared by the
+    // sequential-fallback and speculative paths.
+    let trace = resolver.trace_sink();
+    let _phase = PhaseGuard::enter(trace.clone(), "build");
+
     let n = resolver.n();
     if pool.threads() <= 1 || n < 2 || resolver.spec().is_none() {
         return (0..n as ObjectId)
@@ -336,6 +354,13 @@ pub fn try_knn_graph_pool<R: DistanceResolver + ?Sized>(
     while start < n {
         let end = (start + batch).min(n);
         let gen = resolver.generation();
+        emit_to(
+            trace.as_ref(),
+            TraceEvent::Speculate {
+                generation: gen,
+                items: (end - start) as u32,
+            },
+        );
         let specs: Vec<SourceSpec> = {
             let spec = resolver
                 .spec()
@@ -353,6 +378,13 @@ pub fn try_knn_graph_pool<R: DistanceResolver + ?Sized>(
                 gen,
             )?);
         }
+        emit_to(
+            trace.as_ref(),
+            TraceEvent::Commit {
+                generation: gen,
+                reused: (end - start) as u32,
+            },
+        );
         start = end;
     }
     Ok(out)

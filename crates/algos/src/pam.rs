@@ -5,8 +5,10 @@ use prox_core::invariant::{expect_ok, InvariantExt};
 use prox_core::{ObjectId, OracleError};
 use prox_exec::ExecPool;
 
+use prox_obs::{emit_to, PhaseGuard, TraceEvent};
+
 use crate::medoid::{swap_delta, try_assign, try_swap_delta};
-use crate::speculate::SpecProbe;
+use crate::speculate::{commit_delta, SpecDelta, SpecProbe};
 use crate::{Clustering, TinyRng};
 
 /// PAM configuration.
@@ -84,6 +86,13 @@ pub fn try_pam_pool<R: DistanceResolver + ?Sized>(
     params: PamParams,
     pool: &ExecPool,
 ) -> Result<Clustering, OracleError> {
+    // Semantic phase marker; the guard closes the phase even on a fault
+    // abort. Observation handles are resolved once, up front.
+    let trace = resolver.trace_sink();
+    let traced = trace.is_some();
+    let metered = resolver.obs_metrics().is_some();
+    let _phase = PhaseGuard::enter(trace.clone(), "build");
+
     let n = resolver.n();
     let l = params.l.clamp(1, n);
     let mut rng = TinyRng::new(params.seed);
@@ -124,18 +133,26 @@ pub fn try_pam_pool<R: DistanceResolver + ?Sized>(
 
             let end = (idx + batch).min(cands.len());
             let gen0 = resolver.generation();
-            let speculated: Vec<Option<(f64, prox_core::PruneStats)>> = {
+            emit_to(
+                trace.as_ref(),
+                TraceEvent::Speculate {
+                    generation: gen0,
+                    items: (end - idx) as u32,
+                },
+            );
+            let speculated: Vec<Option<(f64, SpecDelta)>> = {
                 let spec = resolver
                     .spec()
                     .expect_invariant("spec() checked at enable; nothing revokes it");
                 let (meds, nr, cs) = (&medoids, &near, &cands);
                 pool.map_indexed(end - idx, |j| {
                     let (i, h) = cs[idx + j];
-                    let mut probe = SpecProbe::new(spec);
+                    let mut probe = SpecProbe::observed(spec, traced, metered);
                     let delta = swap_delta(&mut probe, meds, nr, i, h);
-                    (!probe.poisoned()).then(|| (delta, probe.stats()))
+                    (!probe.poisoned()).then(|| (delta, probe.into_delta()))
                 })
             };
+            let mut batch_reused = 0u32;
             for (j, sr) in speculated.into_iter().enumerate() {
                 let (i, h) = cands[idx + j];
                 spec_total += 1;
@@ -143,10 +160,13 @@ pub fn try_pam_pool<R: DistanceResolver + ?Sized>(
                     // Complete speculation + untouched generation: the live
                     // scan would see the snapshot state verbatim, take the
                     // same branches, and leave the state unchanged (nothing
-                    // resolves), so the value and stat deltas stand as-is.
-                    Some((delta, stats)) if resolver.generation() == gen0 => {
+                    // resolves), so the value, stat, and trace deltas stand
+                    // as-is. Discarded deltas are dropped whole — their
+                    // buffered events never reach the sink.
+                    Some((delta, sd)) if resolver.generation() == gen0 => {
                         spec_reused += 1;
-                        resolver.prune_stats_mut().merge(&stats);
+                        batch_reused += 1;
+                        commit_delta(resolver, &sd);
                         delta
                     }
                     _ => try_swap_delta(resolver, &medoids, &near, i, h)?,
@@ -156,6 +176,13 @@ pub fn try_pam_pool<R: DistanceResolver + ?Sized>(
                     best = Some((i, h));
                 }
             }
+            emit_to(
+                trace.as_ref(),
+                TraceEvent::Commit {
+                    generation: gen0,
+                    reused: batch_reused,
+                },
+            );
             idx = end;
             // Deterministic adaptive cutoff: once enough evidence shows the
             // scan keeps resolving (so speculation keeps getting discarded),

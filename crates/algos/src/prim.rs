@@ -3,6 +3,7 @@
 use prox_bounds::DistanceResolver;
 use prox_core::invariant::{expect_ok, InvariantExt};
 use prox_core::{ObjectId, OracleError, Pair};
+use prox_obs::PhaseGuard;
 
 use crate::Mst;
 
@@ -37,6 +38,8 @@ pub fn prim_mst<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Mst {
 
 /// Fallible [`prim_mst`]: surfaces oracle faults instead of panicking.
 pub fn try_prim_mst<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Result<Mst, OracleError> {
+    // Semantic phase marker; the guard closes the phase even on a fault.
+    let _phase = PhaseGuard::enter(resolver.trace_sink(), "build");
     let n = resolver.n();
     assert!(n >= 1, "empty space has no MST");
     let mut in_tree = vec![false; n];

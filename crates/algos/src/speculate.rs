@@ -21,6 +21,7 @@
 
 use prox_bounds::{DistanceResolver, DECISION_EPS};
 use prox_core::{Pair, PruneStats, SpecBounds, SpecScratch};
+use prox_obs::{quantize_width, Metrics, ProbeKind, ProbeVerdict, TraceEvent};
 
 /// The decision function of `BoundResolver::try_leq_value`, applied to
 /// snapshot bounds. Returning `Some(_)` from stale bounds is sound by
@@ -51,15 +52,31 @@ pub(crate) struct SpecProbe<'a> {
     scratch: SpecScratch,
     stats: PruneStats,
     poisoned: bool,
+    /// Buffer trace events / metric samples instead of emitting them: a
+    /// worker must not touch the (non-`Sync`) live sink. The committer
+    /// replays the buffer via [`commit_delta`] iff the evaluation is
+    /// reused, and simply drops it otherwise — never double-emitted.
+    traced: bool,
+    metered: bool,
+    events: Vec<TraceEvent>,
+    metrics: Metrics,
 }
 
 impl<'a> SpecProbe<'a> {
-    pub(crate) fn new(spec: &'a dyn SpecBounds) -> Self {
+    /// A probe that buffers observation side effects for commit-time
+    /// replay. `traced`/`metered` mirror whether the live resolver has a
+    /// trace sink / metrics registry attached, so a committed buffer is
+    /// byte-identical to what live evaluation would have emitted.
+    pub(crate) fn observed(spec: &'a dyn SpecBounds, traced: bool, metered: bool) -> Self {
         SpecProbe {
             spec,
             scratch: spec.new_scratch(),
             stats: PruneStats::default(),
             poisoned: false,
+            traced,
+            metered,
+            events: Vec::new(),
+            metrics: Metrics::new(),
         }
     }
 
@@ -69,14 +86,67 @@ impl<'a> SpecProbe<'a> {
         self.poisoned
     }
 
-    /// Stat deltas accumulated by this probe, to be merged into the live
-    /// resolver if the evaluation is committed.
-    pub(crate) fn stats(&self) -> PruneStats {
-        self.stats
+    /// Everything the committer must apply atomically if it reuses this
+    /// evaluation: stat deltas, buffered trace events, metric samples.
+    pub(crate) fn into_delta(self) -> SpecDelta {
+        SpecDelta {
+            stats: self.stats,
+            events: self.events,
+            metrics: self.metrics,
+        }
     }
 
     fn bounds(&mut self, x: Pair) -> (f64, f64) {
         self.spec.spec_bounds(x, &mut self.scratch)
+    }
+
+    /// Mirrors `BoundResolver::note_probe` into the local buffers.
+    fn note_probe(&mut self, x: Pair, lb: f64, ub: f64, kind: ProbeKind, verdict: ProbeVerdict) {
+        if self.traced {
+            self.events.push(TraceEvent::BoundProbe {
+                lo: x.lo(),
+                hi: x.hi(),
+                lb,
+                ub,
+                verdict,
+                kind,
+                scheme: self.spec.spec_label(),
+            });
+        }
+        if self.metered {
+            self.metrics.observe("probe.width", quantize_width(ub - lb));
+        }
+    }
+
+    #[inline]
+    fn observing(&self) -> bool {
+        self.traced || self.metered
+    }
+}
+
+/// The atomically-committable outcome of one speculative evaluation.
+/// `Send`, so workers can return it across the pool boundary.
+pub(crate) struct SpecDelta {
+    pub(crate) stats: PruneStats,
+    pub(crate) events: Vec<TraceEvent>,
+    pub(crate) metrics: Metrics,
+}
+
+/// Applies a speculative delta to the live resolver in one step: stats
+/// merge, buffered trace events replayed in evaluation order, metric
+/// samples folded in. Committing everything here (instead of merging
+/// `PruneStats` at the call site) keeps the three views consistent — a
+/// trace, the metrics registry, and `PruneStats` never disagree about a
+/// committed speculation.
+pub(crate) fn commit_delta<R: DistanceResolver + ?Sized>(resolver: &mut R, delta: &SpecDelta) {
+    resolver.prune_stats_mut().merge(&delta.stats);
+    if let Some(sink) = resolver.trace_sink() {
+        for &ev in &delta.events {
+            sink.emit(ev);
+        }
+    }
+    if let Some(m) = resolver.obs_metrics() {
+        m.merge_from(&delta.metrics);
     }
 }
 
@@ -108,33 +178,68 @@ impl DistanceResolver for SpecProbe<'_> {
     fn try_less(&mut self, x: Pair, y: Pair) -> Option<bool> {
         let (lx, ux) = self.bounds(x);
         let (ly, uy) = self.bounds(y);
-        if ux < ly - DECISION_EPS {
+        let out = if ux < ly - DECISION_EPS {
             Some(true)
         } else if lx >= uy + DECISION_EPS {
             Some(false)
         } else {
             None
+        };
+        if self.observing() {
+            let verdict = match out {
+                Some(true) => ProbeVerdict::DecidedUb,
+                Some(false) => ProbeVerdict::DecidedLb,
+                None => ProbeVerdict::Inconclusive,
+            };
+            self.note_probe(x, lx, ux, ProbeKind::Less, verdict);
         }
+        out
     }
 
     fn try_less_value(&mut self, x: Pair, v: f64) -> Option<bool> {
         let (lb, ub) = self.bounds(x);
         if lb == ub {
             // Exactly-known value: compare as the oracle would, no margin.
+            if self.observing() {
+                self.note_probe(x, lb, ub, ProbeKind::LessValue, ProbeVerdict::Known);
+            }
             return Some(lb < v);
         }
-        if ub < v - DECISION_EPS {
+        let out = if ub < v - DECISION_EPS {
             Some(true)
         } else if lb >= v + DECISION_EPS {
             Some(false)
         } else {
             None
+        };
+        if self.observing() {
+            let verdict = match out {
+                Some(true) => ProbeVerdict::DecidedUb,
+                Some(false) => ProbeVerdict::DecidedLb,
+                None => ProbeVerdict::Inconclusive,
+            };
+            self.note_probe(x, lb, ub, ProbeKind::LessValue, verdict);
         }
+        out
     }
 
     fn try_leq_value(&mut self, x: Pair, v: f64) -> Option<bool> {
         let (lb, ub) = self.bounds(x);
-        leq_verdict(lb, ub, v)
+        let out = leq_verdict(lb, ub, v);
+        if self.observing() {
+            let verdict = if lb == ub {
+                // Known fast path, mirroring the live resolver. lint: allow(L3)
+                ProbeVerdict::Known
+            } else {
+                match out {
+                    Some(true) => ProbeVerdict::DecidedUb,
+                    Some(false) => ProbeVerdict::DecidedLb,
+                    None => ProbeVerdict::Inconclusive,
+                }
+            };
+            self.note_probe(x, lb, ub, ProbeKind::LeqValue, verdict);
+        }
+        out
     }
 
     fn try_less_sum2(&mut self, x: (Pair, Pair), y: (Pair, Pair)) -> Option<bool> {
@@ -142,13 +247,22 @@ impl DistanceResolver for SpecProbe<'_> {
         let (lx1, ux1) = self.bounds(x.1);
         let (ly0, uy0) = self.bounds(y.0);
         let (ly1, uy1) = self.bounds(y.1);
-        if ux0 + ux1 < ly0 + ly1 - DECISION_EPS {
+        let out = if ux0 + ux1 < ly0 + ly1 - DECISION_EPS {
             Some(true)
         } else if lx0 + lx1 >= uy0 + uy1 + DECISION_EPS {
             Some(false)
         } else {
             None
+        };
+        if self.observing() {
+            let verdict = match out {
+                Some(true) => ProbeVerdict::DecidedUb,
+                Some(false) => ProbeVerdict::DecidedLb,
+                None => ProbeVerdict::Inconclusive,
+            };
+            self.note_probe(x.0, lx0 + lx1, ux0 + ux1, ProbeKind::Sum2, verdict);
         }
+        out
     }
 
     fn lower_bound_hint(&mut self, x: Pair) -> f64 {
@@ -196,7 +310,7 @@ mod tests {
         }
         let mut live = BoundResolver::new(&oracle, tri.clone());
         let spec = tri.spec().expect("Tri provides a snapshot");
-        let mut probe = SpecProbe::new(spec);
+        let mut probe = SpecProbe::observed(spec, false, false);
 
         for v in [0.3, 0.5, 0.55, 0.7] {
             let p = Pair::new(0, 6); // bounds [0.4, 0.6] from the triangle
@@ -213,6 +327,73 @@ mod tests {
         assert!(!probe.poisoned());
         probe.resolve(Pair::new(3, 7));
         assert!(probe.poisoned());
+    }
+
+    #[test]
+    fn discarded_speculation_emits_nothing_committed_emits_once() {
+        use prox_obs::{JsonlSink, TraceSink};
+        use std::rc::Rc;
+
+        let sink = Rc::new(JsonlSink::in_memory());
+        let metrics = Rc::new(Metrics::new());
+        let oracle = line_oracle(11)
+            .with_trace(Rc::<JsonlSink>::clone(&sink) as Rc<dyn TraceSink>)
+            .with_metrics(Rc::clone(&metrics));
+        // Feed the line metric's exact values (d(i, j) = |i - j| / 10)
+        // directly, so the feed itself emits no trace events.
+        let mut tri = TriScheme::new(11, 1.0);
+        tri.record(Pair::new(0, 5), 0.5);
+        tri.record(Pair::new(5, 6), 0.1);
+        let mut live = BoundResolver::new(&oracle, tri.clone());
+
+        // Both comparisons are decided by bounds alone (pair (0,6) has
+        // bounds [0.4, 0.6] from the recorded triangle), so the probe
+        // never resolves — a complete, commit-eligible speculation.
+        let run_probe = || {
+            let spec = tri.spec().expect("Tri provides a snapshot");
+            let mut probe = SpecProbe::observed(spec, true, true);
+            assert_eq!(probe.distance_if_leq(Pair::new(0, 6), 0.3), None);
+            assert_eq!(probe.distance_if_less(Pair::new(0, 6), 0.2), None);
+            assert!(!probe.poisoned());
+            probe.into_delta()
+        };
+
+        // Discarded: the buffered events and samples are simply dropped.
+        let discarded = run_probe();
+        assert_eq!(discarded.events.len(), 2);
+        drop(discarded);
+        assert_eq!(
+            sink.emitted(),
+            0,
+            "no events leak from a discarded speculation"
+        );
+        assert_eq!(metrics.histogram_count("probe.width"), 0);
+        assert_eq!(live.prune_stats(), PruneStats::default());
+
+        // Committed: everything lands exactly once, atomically.
+        let delta = run_probe();
+        commit_delta(&mut live, &delta);
+        assert_eq!(sink.emitted(), 2, "buffered events replay once at commit");
+        assert_eq!(metrics.histogram_count("probe.width"), 2);
+        assert_eq!(live.prune_stats().decided_by_bounds, 2);
+
+        // The buffered events are byte-identical to live emission: replay
+        // the same probes on the live resolver and compare the stream.
+        let before = sink.contents().expect("mem sink");
+        assert_eq!(live.distance_if_leq(Pair::new(0, 6), 0.3), None);
+        assert_eq!(live.distance_if_less(Pair::new(0, 6), 0.2), None);
+        let after = sink.contents().expect("mem sink");
+        let fresh: Vec<&str> = after[before.len()..].lines().collect();
+        let replayed: Vec<String> = before
+            .lines()
+            .map(|l| {
+                // Same payload, later sequence numbers.
+                let (seq, rest) = l.split_once(',').expect("seq field first");
+                let n: u64 = seq["{\"seq\":".len()..].parse().expect("seq number");
+                format!("{{\"seq\":{},{rest}", n + 2)
+            })
+            .collect();
+        assert_eq!(fresh, replayed, "buffered == live emission, shifted by seq");
     }
 
     #[test]

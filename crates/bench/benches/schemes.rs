@@ -179,11 +179,55 @@ fn bench_oracle_fault_layer(b: &mut Bench) {
     });
 }
 
+/// DESIGN.md §10 ablation: cost of the observation layer on the oracle hot
+/// path. `disabled` is an oracle with no sink or registry attached — it
+/// must be indistinguishable from `oracle_fault_layer/clean` (the zero-cost
+/// disabled path); `null_sink`, `ring_sink`, and `metrics` price the
+/// per-call emission into each observer.
+fn bench_oracle_trace_layer(b: &mut Bench) {
+    use std::rc::Rc;
+
+    let n = 256;
+    let metric = ClusteredPlane::default().metric(n, SEED);
+    let queries: Vec<Pair> = Pair::all(n).step_by(13).take(1024).collect();
+
+    let disabled = Oracle::new(&*metric);
+    b.bench("oracle_trace_layer", "disabled", || {
+        for &q in &queries {
+            black_box(disabled.call_pair(q));
+        }
+    });
+
+    let nulled = Oracle::new(&*metric)
+        .with_trace(Rc::new(prox_obs::NullSink::new()) as Rc<dyn prox_obs::TraceSink>);
+    b.bench("oracle_trace_layer", "null_sink", || {
+        for &q in &queries {
+            black_box(nulled.call_pair(q));
+        }
+    });
+
+    let ringed = Oracle::new(&*metric)
+        .with_trace(Rc::new(prox_obs::RingSink::new(4096)) as Rc<dyn prox_obs::TraceSink>);
+    b.bench("oracle_trace_layer", "ring_sink", || {
+        for &q in &queries {
+            black_box(ringed.call_pair(q));
+        }
+    });
+
+    let metered = Oracle::new(&*metric).with_metrics(Rc::new(prox_obs::Metrics::new()));
+    b.bench("oracle_trace_layer", "metrics", || {
+        for &q in &queries {
+            black_box(metered.call_pair(q));
+        }
+    });
+}
+
 fn main() {
     let mut b = Bench::named("schemes");
     bench_queries(&mut b);
     bench_updates(&mut b);
     bench_tri_adjacency(&mut b);
     bench_oracle_fault_layer(&mut b);
+    bench_oracle_trace_layer(&mut b);
     b.finish();
 }

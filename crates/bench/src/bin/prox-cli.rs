@@ -31,6 +31,7 @@
 //! ```
 
 use std::process::ExitCode;
+use std::rc::Rc;
 use std::time::Duration;
 
 use prox_algos::{
@@ -39,7 +40,7 @@ use prox_algos::{
     DistanceResolver, PamParams,
 };
 use prox_bench::runner::{
-    log_landmarks, set_oracle_config, try_run_plugged_cached, OracleConfig, Plug,
+    log_landmarks, set_oracle_config, try_run_plugged_observed, OracleConfig, Plug, RunObservers,
 };
 use prox_bench::CheckpointingResolver;
 use prox_core::{
@@ -47,6 +48,7 @@ use prox_core::{
     Metric, OracleError, Pair, RetryPolicy,
 };
 use prox_datasets::by_name;
+use prox_obs::{summarize, JsonlSink, Metrics, TraceSink};
 
 struct Args {
     algo: String,
@@ -69,6 +71,9 @@ struct Args {
     checkpoint: Option<(String, u64)>,
     /// `--resume FILE`.
     resume: Option<String>,
+    /// `--trace FILE` (or the `trace` subcommand's `--out FILE`): write a
+    /// structured JSONL event trace of the run.
+    trace: Option<String>,
 }
 
 fn usage() -> ExitCode {
@@ -79,7 +84,9 @@ fn usage() -> ExitCode {
          \x20       [--landmarks K] [--seed S] [--k 5] [--l 10]\n\
          \x20       [--oracle-cost-ms MS] [--cache FILE] [--threads N]\n\
          \x20       [--faults RATE[:SEED]] [--retry N[:BASE_MS]] [--budget CALLS]\n\
-         \x20       [--checkpoint FILE[:EVERY]] [--resume FILE]"
+         \x20       [--checkpoint FILE[:EVERY]] [--resume FILE] [--trace FILE.jsonl]\n\
+         \x20  prox-cli trace <algo> [same flags] [--out FILE.jsonl]\n\
+         \x20  prox-cli report <FILE.jsonl>"
     );
     ExitCode::FAILURE
 }
@@ -94,7 +101,14 @@ fn split_opt<A: std::str::FromStr, B: std::str::FromStr>(s: &str) -> Option<(A, 
 
 fn parse() -> Option<Args> {
     let mut argv = std::env::args().skip(1);
-    let algo = argv.next()?;
+    let mut algo = argv.next()?;
+    // `prox-cli trace <algo> ...` is `<algo> ... --trace trace.jsonl`
+    // with a subcommand spelling; `--out` overrides the default path.
+    let mut trace = None;
+    if algo == "trace" {
+        algo = argv.next()?;
+        trace = Some("trace.jsonl".to_string());
+    }
     let mut a = Args {
         algo,
         dataset: "sf".into(),
@@ -111,6 +125,7 @@ fn parse() -> Option<Args> {
         budget: None,
         checkpoint: None,
         resume: None,
+        trace,
     };
     while let Some(flag) = argv.next() {
         let mut val = || argv.next();
@@ -147,6 +162,7 @@ fn parse() -> Option<Args> {
                 a.checkpoint = Some((path, every.unwrap_or(256)));
             }
             "--resume" => a.resume = Some(val()?),
+            "--trace" | "--out" => a.trace = Some(val()?),
             // 0 = one per core. Results and oracle-call counts are
             // identical at any thread count (speculate/commit protocol).
             "--threads" => prox_exec::set_global_threads(val()?.parse().ok()?),
@@ -159,7 +175,34 @@ fn parse() -> Option<Args> {
     Some(a)
 }
 
+/// `prox-cli report FILE.jsonl`: summarize a trace written by `--trace`.
+fn report(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("[report] read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match summarize(&text) {
+        Ok(summary) => {
+            print!("{}", summary.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("[report] {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("report") {
+        return match std::env::args().nth(2) {
+            Some(path) => report(&path),
+            None => usage(),
+        };
+    }
     let Some(args) = parse() else {
         return usage();
     };
@@ -282,6 +325,28 @@ fn main() -> ExitCode {
     .map(|(k, v)| (k.to_string(), v))
     .collect();
 
+    // Observation handles for `--trace`: a JSONL sink plus a metrics
+    // registry, both shared with the run via `Rc`.
+    let mut observers = RunObservers::default();
+    let mut trace_sink: Option<Rc<JsonlSink>> = None;
+    let mut trace_metrics: Option<Rc<Metrics>> = None;
+    if let Some(path) = &args.trace {
+        match JsonlSink::create(path) {
+            Ok(sink) => {
+                let sink = Rc::new(sink);
+                let metrics = Rc::new(Metrics::new());
+                observers.trace = Some(Rc::<JsonlSink>::clone(&sink) as Rc<dyn TraceSink>);
+                observers.metrics = Some(Rc::clone(&metrics));
+                trace_sink = Some(sink);
+                trace_metrics = Some(metrics);
+            }
+            Err(e) => {
+                eprintln!("[trace] create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let seed = args.seed;
     let run_out = {
         let algo = args.algo.clone();
@@ -394,13 +459,14 @@ fn main() -> ExitCode {
                 other => unreachable!("validated algorithm name: {other}"),
             }
         };
-        try_run_plugged_cached(
+        try_run_plugged_observed(
             args.plug,
             &*metric,
             landmarks,
             args.seed,
             &preload,
             args.cache.is_some() || args.checkpoint.is_some(),
+            observers.clone(),
             run,
         )
     };
@@ -436,6 +502,35 @@ fn main() -> ExitCode {
         ) {
             Ok(count) => eprintln!("[checkpoint] saved {count} resolved distances to {path}"),
             Err(e) => eprintln!("[checkpoint] write {path}: {e}"),
+        }
+    }
+    if let (Some(path), Some(sink)) = (&args.trace, &trace_sink) {
+        sink.flush();
+        if sink.io_errors() > 0 {
+            eprintln!("[trace] {path}: {} write error(s)", sink.io_errors());
+        }
+        // Consistency guarantee: the billed-call total recovered from the
+        // trace must equal the oracle's own accounting, exactly.
+        let verified = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| summarize(&text).map_err(|e| e.to_string()));
+        match verified {
+            Ok(s) if s.billed_calls == result.total_calls() => eprintln!(
+                "[trace] {} events -> {path}; billed calls {} match oracle accounting",
+                sink.emitted(),
+                s.billed_calls
+            ),
+            Ok(s) => eprintln!(
+                "[trace] WARNING: trace bills {} calls but the oracle accounted {}",
+                s.billed_calls,
+                result.total_calls()
+            ),
+            Err(e) => eprintln!("[trace] verify {path}: {e}"),
+        }
+        if let Some(m) = &trace_metrics {
+            if !m.is_empty() {
+                eprint!("{}", m.render());
+            }
         }
     }
 

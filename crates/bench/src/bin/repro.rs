@@ -11,6 +11,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use prox_bench::experiments;
+use prox_bench::runner::set_trace_dir;
 use prox_bench::{set_oracle_config, OracleConfig, Scale};
 use prox_core::{CallBudget, FaultInjector, RetryPolicy};
 
@@ -22,6 +23,8 @@ fn usage() -> ExitCode {
     eprintln!("       [--faults RATE[:SEED]] [--retry N[:BASE_MS]] [--budget CALLS]");
     eprintln!("       (fault knobs apply to every oracle; outputs stay identical — I6 —");
     eprintln!("        while billed call counts grow by exactly the injected faults)");
+    eprintln!("       [--trace-dir DIR] writes one JSONL trace per oracle under");
+    eprintln!("        DIR/<experiment-id>/run-NNNN.jsonl (see `prox-cli report`)");
     ExitCode::FAILURE
 }
 
@@ -42,9 +45,17 @@ fn main() -> ExitCode {
     let mut scale = Scale::Small;
     let mut ids: Vec<String> = Vec::new();
     let mut oracle_cfg: Option<OracleConfig> = None;
+    let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--trace-dir" => match it.next() {
+                Some(dir) => trace_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--trace-dir needs a directory");
+                    return usage();
+                }
+            },
             "--scale" => match it.next().as_deref() {
                 Some("small") => scale = Scale::Small,
                 Some("full") => scale = Scale::Full,
@@ -120,6 +131,16 @@ fn main() -> ExitCode {
     for id in &ids {
         match experiments::by_id(id) {
             Some(e) => {
+                // Per-figure traces: every oracle this experiment builds
+                // writes its own numbered JSONL file under DIR/<id>/.
+                if let Some(dir) = &trace_dir {
+                    let fig_dir = dir.join(id);
+                    if let Err(e) = std::fs::create_dir_all(&fig_dir) {
+                        eprintln!("[repro] create {}: {e}", fig_dir.display());
+                        return ExitCode::FAILURE;
+                    }
+                    set_trace_dir(Some(fig_dir));
+                }
                 eprintln!("[repro] running {id} ({:?} scale)…", scale);
                 let t = std::time::Instant::now();
                 (e.run)(scale);
@@ -131,5 +152,6 @@ fn main() -> ExitCode {
             }
         }
     }
+    set_trace_dir(None);
     ExitCode::SUCCESS
 }

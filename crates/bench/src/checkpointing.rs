@@ -64,7 +64,12 @@ impl<'a> CheckpointingResolver<'a> {
         let mut edges = Vec::new();
         self.inner.export_known(&mut edges);
         match self.ckpt.save_now(resolved, &self.manifest, edges) {
-            Ok(_) => {}
+            Ok(_) => {
+                prox_obs::emit_to(
+                    self.inner.trace_sink().as_ref(),
+                    prox_obs::TraceEvent::CheckpointWrite { resolved },
+                );
+            }
             Err(e) => {
                 self.io_errors += 1;
                 eprintln!("[checkpoint] write {}: {e}", self.ckpt.path().display());
@@ -144,6 +149,12 @@ impl DistanceResolver for CheckpointingResolver<'_> {
     }
     fn spec(&self) -> Option<&dyn SpecBounds> {
         self.inner.spec()
+    }
+    fn trace_sink(&self) -> Option<std::rc::Rc<dyn prox_obs::TraceSink>> {
+        self.inner.trace_sink()
+    }
+    fn obs_metrics(&self) -> Option<std::rc::Rc<prox_obs::Metrics>> {
+        self.inner.obs_metrics()
     }
 }
 

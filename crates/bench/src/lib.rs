@@ -21,7 +21,7 @@ pub mod table;
 pub use checkpointing::CheckpointingResolver;
 pub use runner::{
     clear_oracle_config, oracle_config, parallel_cells, run_plugged, set_oracle_config,
-    try_run_plugged_cached, OracleConfig, Plug, RunResult,
+    try_run_plugged_cached, try_run_plugged_observed, OracleConfig, Plug, RunObservers, RunResult,
 };
 pub use table::Table;
 

@@ -1,6 +1,7 @@
 //! Shared plumbing: build a resolver for any plug-in, run an algorithm,
 //! collect the accounting.
 
+use std::rc::Rc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -10,6 +11,7 @@ use prox_bounds::{
 };
 use prox_core::{CallBudget, FaultInjector, FaultStats, Metric, Oracle, OracleError, RetryPolicy};
 use prox_lp::DftResolver;
+use prox_obs::{Metrics, PhaseGuard, TraceSink};
 
 /// The plug-in configurations the experiments compare.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -67,6 +69,37 @@ pub struct OracleConfig {
 }
 
 static ORACLE_CONFIG: Mutex<Option<OracleConfig>> = Mutex::new(None);
+
+/// Process-wide trace directory: when set, every oracle the runner builds
+/// (without explicit [`RunObservers`]) writes its own numbered JSONL trace
+/// file here. `Rc` sinks cannot cross threads, so the *path* is global and
+/// each run constructs its own sink. The counter lives with the path so
+/// switching directories restarts numbering at `run-0000`.
+static TRACE_DIR: Mutex<Option<(std::path::PathBuf, u64)>> = Mutex::new(None);
+
+/// Routes every subsequent runner-built oracle's trace to a numbered file
+/// under `dir` (`None` turns tracing back off). Used by the repro harness
+/// to emit per-figure traces: each figure gets its own directory.
+pub fn set_trace_dir(dir: Option<std::path::PathBuf>) {
+    *TRACE_DIR.lock().expect("trace dir lock") = dir.map(|d| (d, 0));
+}
+
+/// The next numbered sink under the installed trace directory, if any.
+/// Creation failures are reported and disable nothing else — a broken
+/// trace target must not kill the run it observes.
+fn next_trace_sink() -> Option<Rc<dyn TraceSink>> {
+    let mut guard = TRACE_DIR.lock().expect("trace dir lock");
+    let (dir, seq) = guard.as_mut()?;
+    let path = dir.join(format!("run-{seq:04}.jsonl"));
+    *seq += 1;
+    match prox_obs::JsonlSink::create(&path) {
+        Ok(sink) => Some(Rc::new(sink)),
+        Err(e) => {
+            eprintln!("[trace] create {}: {e}", path.display());
+            None
+        }
+    }
+}
 
 /// Installs the fault/retry/budget configuration used by every oracle the
 /// runner builds from now on (process-wide).
@@ -164,6 +197,47 @@ pub fn try_run_plugged_cached<T>(
     export: bool,
     algo: impl FnOnce(&mut dyn DistanceResolver) -> T,
 ) -> Result<CachedRun<T>, OracleError> {
+    try_run_plugged_observed(
+        plug,
+        metric,
+        landmarks,
+        seed,
+        preload,
+        export,
+        RunObservers::default(),
+        algo,
+    )
+}
+
+/// Observation handles attached to the oracle a runner builds: a trace
+/// sink and/or a metrics registry (both optional; the default observes
+/// nothing and keeps the oracle's fast path). `Rc` handles cannot ride
+/// the process-wide [`OracleConfig`] (it lives behind a `Mutex`), so
+/// observed runs take them as an explicit argument instead.
+#[derive(Clone, Default)]
+pub struct RunObservers {
+    /// Structured-event sink for the run's trace.
+    pub trace: Option<Rc<dyn TraceSink>>,
+    /// Metrics registry (`oracle.calls`, `probe.width`, ...).
+    pub metrics: Option<Rc<Metrics>>,
+}
+
+/// [`try_run_plugged_cached`] with observation: the oracle is built with
+/// the given trace sink / metrics registry attached, and everything up to
+/// the algorithm closure (landmark bootstrap, pivot-tree build, cache
+/// preload) runs inside a `"bootstrap"` phase so reports can split the
+/// call trajectory by phase.
+#[allow(clippy::too_many_arguments)] // lint: allow(L3) — mirrors the cached entry plus observers
+pub fn try_run_plugged_observed<T>(
+    plug: Plug,
+    metric: &(dyn Metric + Send + Sync),
+    landmarks: usize,
+    seed: u64,
+    preload: &[(prox_core::Pair, f64)],
+    export: bool,
+    observers: RunObservers,
+    algo: impl FnOnce(&mut dyn DistanceResolver) -> T,
+) -> Result<CachedRun<T>, OracleError> {
     let n = metric.len();
     let mut oracle = Oracle::new(metric);
     if let Some(cfg) = oracle_config() {
@@ -172,8 +246,19 @@ pub fn try_run_plugged_cached<T>(
             oracle = oracle.with_faults(f);
         }
     }
+    let mut observers = observers;
+    if observers.trace.is_none() {
+        observers.trace = next_trace_sink();
+    }
+    if let Some(t) = observers.trace.clone() {
+        oracle = oracle.with_trace(t);
+    }
+    if let Some(m) = observers.metrics.clone() {
+        oracle = oracle.with_metrics(m);
+    }
     let oracle = oracle;
     let mut result = RunResult::default();
+    let boot_phase = PhaseGuard::enter(observers.trace.clone(), "bootstrap");
 
     macro_rules! finish {
         ($resolver:expr) => {{
@@ -182,6 +267,7 @@ pub fn try_run_plugged_cached<T>(
                 resolver.preload(p, d);
             }
             result.bootstrap_calls = oracle.calls();
+            drop(boot_phase);
             let t = Instant::now();
             let out = algo(&mut resolver);
             result.wall = t.elapsed();

@@ -255,6 +255,18 @@ impl<R: DistanceResolver, F: Fn(Pair) -> f64> DistanceResolver for CheckedResolv
     fn spec(&self) -> Option<&dyn SpecBounds> {
         self.inner.spec()
     }
+
+    // Observation handles forward untouched: the audit layer emits no
+    // events of its own (its oracle calls go through the `truth` closure,
+    // not the metered path), so a paranoid run traces identically to an
+    // unchecked one.
+    fn trace_sink(&self) -> Option<std::rc::Rc<dyn prox_obs::TraceSink>> {
+        self.inner.trace_sink()
+    }
+
+    fn obs_metrics(&self) -> Option<std::rc::Rc<prox_obs::Metrics>> {
+        self.inner.obs_metrics()
+    }
 }
 
 #[cfg(test)]

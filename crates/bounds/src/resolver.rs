@@ -1,8 +1,10 @@
 //! The resolver framework: re-authored IF statements (§3 of the paper).
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use prox_core::{Metric, Oracle, OracleError, Pair, PruneStats, SpecBounds};
+use prox_obs::{quantize_width, Metrics, ProbeKind, ProbeVerdict, TraceEvent, TraceSink};
 
 use crate::{BoundScheme, NoScheme};
 
@@ -162,6 +164,19 @@ pub trait DistanceResolver {
     /// exactly those decisions (same [`DECISION_EPS`] margins, same known
     /// fast paths).
     fn spec(&self) -> Option<&dyn SpecBounds> {
+        None
+    }
+
+    /// The trace sink this resolver emits [`TraceEvent::BoundProbe`]
+    /// events into, if any. Wrapper resolvers forward to the inner
+    /// resolver so speculation helpers can discover the sink through any
+    /// layering; `None` (the default) means untraced.
+    fn trace_sink(&self) -> Option<Rc<dyn TraceSink>> {
+        None
+    }
+
+    /// The metrics registry this resolver observes into, if any.
+    fn obs_metrics(&self) -> Option<Rc<Metrics>> {
         None
     }
 
@@ -335,6 +350,11 @@ pub struct BoundResolver<'o, M: Metric, S: BoundScheme> {
     /// [`PruneStats`]: the cache must not change any observable accounting.
     bcache: HashMap<u64, (f64, f64, u64)>,
     cache_on: bool,
+    /// Observation handles, cloned from the oracle once at construction
+    /// ("checked once per resolver construction"): the disabled hot path
+    /// tests a pre-resolved `Option` discriminant and nothing else.
+    trace: Option<Rc<dyn TraceSink>>,
+    metrics: Option<Rc<Metrics>>,
 }
 
 impl<'o, M: Metric, S: BoundScheme> BoundResolver<'o, M, S> {
@@ -348,11 +368,39 @@ impl<'o, M: Metric, S: BoundScheme> BoundResolver<'o, M, S> {
         );
         let cache_on = scheme.bounds_cacheable();
         BoundResolver {
+            trace: oracle.trace(),
+            metrics: oracle.metrics(),
             oracle,
             scheme,
             stats: PruneStats::default(),
             bcache: HashMap::new(),
             cache_on,
+        }
+    }
+
+    /// True when a probe needs to be observed (traced or metered).
+    #[inline]
+    fn observing(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+
+    /// Emits one [`TraceEvent::BoundProbe`] and its width sample. One
+    /// event per `try_*` invocation, keyed by the probe's primary pair.
+    #[cold]
+    fn note_probe(&self, x: Pair, lb: f64, ub: f64, kind: ProbeKind, verdict: ProbeVerdict) {
+        if let Some(t) = &self.trace {
+            t.emit(TraceEvent::BoundProbe {
+                lo: x.lo(),
+                hi: x.hi(),
+                lb,
+                ub,
+                verdict,
+                kind,
+                scheme: self.scheme.name(),
+            });
+        }
+        if let Some(m) = &self.metrics {
+            m.observe("probe.width", quantize_width(ub - lb));
         }
     }
 
@@ -445,44 +493,77 @@ impl<'o, M: Metric, S: BoundScheme> DistanceResolver for BoundResolver<'o, M, S>
     fn try_less(&mut self, x: Pair, y: Pair) -> Option<bool> {
         let (lx, ux) = self.cached_bounds(x);
         let (ly, uy) = self.cached_bounds(y);
-        if ux < ly - DECISION_EPS {
+        let out = if ux < ly - DECISION_EPS {
             Some(true) // dist(x) <= ub(x) < lb(y) <= dist(y)
         } else if lx >= uy + DECISION_EPS {
             Some(false) // dist(x) >= lb(x) >= ub(y) >= dist(y)
         } else {
             None
+        };
+        if self.observing() {
+            let verdict = match out {
+                Some(true) => ProbeVerdict::DecidedUb,
+                Some(false) => ProbeVerdict::DecidedLb,
+                None => ProbeVerdict::Inconclusive,
+            };
+            self.note_probe(x, lx, ux, ProbeKind::Less, verdict);
         }
+        out
     }
 
     fn try_less_value(&mut self, x: Pair, v: f64) -> Option<bool> {
         let (lb, ub) = self.cached_bounds(x);
         if lb == ub {
+            if self.observing() {
+                self.note_probe(x, lb, ub, ProbeKind::LessValue, ProbeVerdict::Known);
+            }
             // Exactly known (recorded) values carry no derivation noise,
             // so this compares as the oracle itself would. lint: allow(L3)
             return Some(lb < v);
         }
-        if ub < v - DECISION_EPS {
+        let out = if ub < v - DECISION_EPS {
             Some(true)
         } else if lb >= v + DECISION_EPS {
             Some(false)
         } else {
             None
+        };
+        if self.observing() {
+            let verdict = match out {
+                Some(true) => ProbeVerdict::DecidedUb,
+                Some(false) => ProbeVerdict::DecidedLb,
+                None => ProbeVerdict::Inconclusive,
+            };
+            self.note_probe(x, lb, ub, ProbeKind::LessValue, verdict);
         }
+        out
     }
 
     fn try_leq_value(&mut self, x: Pair, v: f64) -> Option<bool> {
         let (lb, ub) = self.cached_bounds(x);
         if lb == ub {
+            if self.observing() {
+                self.note_probe(x, lb, ub, ProbeKind::LeqValue, ProbeVerdict::Known);
+            }
             // Exactly known value: compare as the oracle would. lint: allow(L3)
             return Some(lb <= v);
         }
-        if ub <= v - DECISION_EPS {
+        let out = if ub <= v - DECISION_EPS {
             Some(true)
         } else if lb > v + DECISION_EPS {
             Some(false)
         } else {
             None
+        };
+        if self.observing() {
+            let verdict = match out {
+                Some(true) => ProbeVerdict::DecidedUb,
+                Some(false) => ProbeVerdict::DecidedLb,
+                None => ProbeVerdict::Inconclusive,
+            };
+            self.note_probe(x, lb, ub, ProbeKind::LeqValue, verdict);
         }
+        out
     }
 
     fn try_less_sum2(&mut self, x: (Pair, Pair), y: (Pair, Pair)) -> Option<bool> {
@@ -492,13 +573,24 @@ impl<'o, M: Metric, S: BoundScheme> DistanceResolver for BoundResolver<'o, M, S>
         let (ly1, uy1) = self.cached_bounds(y.1);
         // A small safety margin absorbs the rounding of summed bounds; the
         // near-tie cases fall through and are compared exactly.
-        if ux0 + ux1 < ly0 + ly1 - DECISION_EPS {
+        let out = if ux0 + ux1 < ly0 + ly1 - DECISION_EPS {
             Some(true)
         } else if lx0 + lx1 >= uy0 + uy1 + DECISION_EPS {
             Some(false)
         } else {
             None
+        };
+        if self.observing() {
+            let verdict = match out {
+                Some(true) => ProbeVerdict::DecidedUb,
+                Some(false) => ProbeVerdict::DecidedLb,
+                None => ProbeVerdict::Inconclusive,
+            };
+            // The event is keyed by the lead pair of the left sum and
+            // carries the summed interval of that side.
+            self.note_probe(x.0, lx0 + lx1, ux0 + ux1, ProbeKind::Sum2, verdict);
         }
+        out
     }
 
     fn lower_bound_hint(&mut self, x: Pair) -> f64 {
@@ -535,6 +627,14 @@ impl<'o, M: Metric, S: BoundScheme> DistanceResolver for BoundResolver<'o, M, S>
 
     fn spec(&self) -> Option<&dyn SpecBounds> {
         self.scheme.spec()
+    }
+
+    fn trace_sink(&self) -> Option<Rc<dyn TraceSink>> {
+        self.trace.clone()
+    }
+
+    fn obs_metrics(&self) -> Option<Rc<Metrics>> {
+        self.metrics.clone()
     }
 }
 
@@ -698,6 +798,51 @@ mod tests {
             (d, lt, oracle.calls(), r.prune_stats())
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn probes_are_traced_one_event_per_try() {
+        use prox_obs::{summarize, JsonlSink};
+        let sink = Rc::new(JsonlSink::in_memory());
+        let make = || {
+            let scale = 1.0 / 10.0;
+            FnMetric::new(11, 1.0, move |a: ObjectId, b: ObjectId| {
+                (f64::from(a) - f64::from(b)).abs() * scale
+            })
+        };
+        let oracle = Oracle::new(make()).with_trace(Rc::<JsonlSink>::clone(&sink));
+        let mut r = BoundResolver::new(&oracle, TriScheme::new(11, 1.0));
+        r.resolve(Pair::new(0, 5)); // 0.5
+        r.resolve(Pair::new(5, 6)); // -> d(0,6) in [0.4, 0.6]
+        r.resolve(Pair::new(0, 2)); // 0.2 exact
+        assert!(r.less(Pair::new(0, 2), Pair::new(0, 6))); // decided
+        assert_eq!(r.distance_if_less(Pair::new(0, 6), 0.3), None); // decided
+        assert_eq!(r.distance_if_leq(Pair::new(0, 2), 0.2), Some(0.2)); // known
+        assert!(r.less(Pair::new(0, 7), Pair::new(0, 8))); // falls through
+
+        let s = summarize(&sink.contents().expect("mem sink")).expect("valid trace");
+        let stats = r.prune_stats();
+        assert_eq!(
+            s.probes,
+            stats.comparisons(),
+            "one BoundProbe per comparison attempt"
+        );
+        assert_eq!(s.billed_calls, oracle.calls(), "calls reconcile too");
+        let tri = s.prune.iter().find(|p| p.scheme == "Tri").expect("Tri row");
+        assert_eq!(
+            tri.known + tri.lb + tri.ub,
+            stats.decided_by_bounds,
+            "decided verdicts reconcile with PruneStats"
+        );
+        assert_eq!(tri.open, stats.fell_through);
+    }
+
+    #[test]
+    fn untraced_resolver_reports_no_sink() {
+        let oracle = line_oracle(4);
+        let r = BoundResolver::vanilla(&oracle);
+        assert!(r.trace_sink().is_none());
+        assert!(r.obs_metrics().is_none());
     }
 
     #[test]

@@ -227,6 +227,11 @@ impl SpecBounds for Splub {
             s.dij_b.dist(),
         )
     }
+
+    fn spec_label(&self) -> &'static str {
+        // Must match `BoundScheme::name` for trace byte-identity (I8).
+        "SPLUB"
+    }
 }
 
 #[cfg(test)]

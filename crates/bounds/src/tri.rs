@@ -142,6 +142,11 @@ impl SpecBounds for TriScheme {
     fn spec_bounds(&self, p: Pair, _scratch: &mut SpecScratch) -> (f64, f64) {
         self.bounds_ro(p)
     }
+
+    fn spec_label(&self) -> &'static str {
+        // Must match `BoundScheme::name` for trace byte-identity (I8).
+        "Tri"
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,10 @@
 //! The metered distance oracle.
 
 use std::cell::Cell;
+use std::rc::Rc;
 use std::time::Duration;
+
+use prox_obs::{emit_to, CallOutcome, Metrics, TraceEvent, TraceSink};
 
 use crate::fault::{CallBudget, FaultInjector, FaultKind, FaultStats, OracleError, RetryPolicy};
 use crate::invariant::expect_ok;
@@ -42,6 +45,12 @@ pub struct Oracle<M> {
     faults_injected: Cell<u64>,
     retries: Cell<u64>,
     backoff: Cell<Duration>,
+    /// Optional structured-event sink (prox-obs). When `None` — the
+    /// default — `call`/`try_call` keep the historical two-branch fast
+    /// path; resolvers clone this handle once at construction.
+    trace: Option<Rc<dyn TraceSink>>,
+    /// Optional metrics registry, attached and cloned the same way.
+    metrics: Option<Rc<Metrics>>,
 }
 
 impl<M: Metric> Oracle<M> {
@@ -62,6 +71,8 @@ impl<M: Metric> Oracle<M> {
             faults_injected: Cell::new(0),
             retries: Cell::new(0),
             backoff: Cell::new(Duration::ZERO),
+            trace: None,
+            metrics: None,
         }
     }
 
@@ -81,6 +92,32 @@ impl<M: Metric> Oracle<M> {
     pub fn with_budget(mut self, budget: CallBudget) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Attaches a trace sink. Every subsequent attempt (billed or
+    /// budget-denied) emits an [`TraceEvent::OracleCall`]; retries and
+    /// exhausted calls emit [`TraceEvent::Retry`] / [`TraceEvent::Fault`].
+    pub fn with_trace(mut self, trace: Rc<dyn TraceSink>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Attaches a metrics registry (`oracle.calls`, `oracle.faults`,
+    /// `oracle.retry_depth`, ...).
+    pub fn with_metrics(mut self, metrics: Rc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached trace sink, if any. Resolvers clone this once at
+    /// construction so their hot paths test a pre-resolved `Option`.
+    pub fn trace(&self) -> Option<Rc<dyn TraceSink>> {
+        self.trace.clone()
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<Rc<Metrics>> {
+        self.metrics.clone()
     }
 
     /// Number of objects in the underlying space.
@@ -104,7 +141,7 @@ impl<M: Metric> Oracle<M> {
     /// must use [`Oracle::try_call`].
     pub fn call(&self, a: ObjectId, b: ObjectId) -> f64 {
         crate::invariant!(a != b, "oracle called for a self-distance (object {a})");
-        if self.faults.is_none() && self.budget.is_unlimited() {
+        if self.observers_off() {
             self.calls.set(self.calls.get() + 1);
             return self.metric.distance(a, b);
         }
@@ -134,11 +171,22 @@ impl<M: Metric> Oracle<M> {
                 reason: "oracle called for a self-distance",
             });
         }
-        if self.faults.is_none() && self.budget.is_unlimited() {
+        if self.observers_off() {
             self.calls.set(self.calls.get() + 1);
             return Ok(self.metric.distance(a, b));
         }
         self.try_call_slow(Pair::new(a, b))
+    }
+
+    /// True when nothing — fault schedule, budget, trace, metrics —
+    /// needs to observe individual attempts, so the historical one-line
+    /// fast path is exact.
+    #[inline]
+    fn observers_off(&self) -> bool {
+        self.faults.is_none()
+            && self.budget.is_unlimited()
+            && self.trace.is_none()
+            && self.metrics.is_none()
     }
 
     /// [`Oracle::try_call`] keyed by a canonical [`Pair`].
@@ -146,32 +194,92 @@ impl<M: Metric> Oracle<M> {
         self.try_call(p.lo(), p.hi())
     }
 
-    /// The retry loop behind `try_call` when faults or budgets are live.
+    /// The retry loop behind `try_call` when faults, budgets, or
+    /// observers are live.
     fn try_call_slow(&self, p: Pair) -> Result<f64, OracleError> {
+        let (lo, hi) = (p.lo(), p.hi());
+        let attempt_ns = self.cost_per_call.as_nanos() as u64;
         let mut attempt = 0u32;
         loop {
-            if let Some(max) = self.budget.max_calls {
-                if self.calls.get() >= max {
-                    return Err(OracleError::BudgetExhausted {
-                        calls: self.calls.get(),
-                    });
+            let denied = self
+                .budget
+                .max_calls
+                .is_some_and(|max| self.calls.get() >= max)
+                || self
+                    .budget
+                    .deadline
+                    .is_some_and(|deadline| self.virtual_time() >= deadline);
+            if denied {
+                // Denied before billing: traced with the `Budget` outcome
+                // so a report can exclude it from the billed-call total.
+                emit_to(
+                    self.trace.as_ref(),
+                    TraceEvent::OracleCall {
+                        lo,
+                        hi,
+                        attempt,
+                        outcome: CallOutcome::Budget,
+                        virtual_ns: 0,
+                    },
+                );
+                if let Some(m) = &self.metrics {
+                    m.inc("oracle.budget_denied", 1);
                 }
-            }
-            if let Some(deadline) = self.budget.deadline {
-                if self.virtual_time() >= deadline {
-                    return Err(OracleError::BudgetExhausted {
-                        calls: self.calls.get(),
-                    });
-                }
+                return Err(OracleError::BudgetExhausted {
+                    calls: self.calls.get(),
+                });
             }
             // Every attempt is billed, faulted or not: the provider
             // charges for the request either way.
             self.calls.set(self.calls.get() + 1);
+            if let Some(m) = &self.metrics {
+                m.inc("oracle.calls", 1);
+            }
             match self.faults.as_ref().and_then(|f| f.fault_at(p, attempt)) {
-                None => return Ok(self.metric.distance(p.lo(), p.hi())),
+                None => {
+                    emit_to(
+                        self.trace.as_ref(),
+                        TraceEvent::OracleCall {
+                            lo,
+                            hi,
+                            attempt,
+                            outcome: CallOutcome::Ok,
+                            virtual_ns: attempt_ns,
+                        },
+                    );
+                    if let Some(m) = &self.metrics {
+                        m.observe("oracle.retry_depth", u64::from(attempt));
+                    }
+                    return Ok(self.metric.distance(lo, hi));
+                }
                 Some(kind) => {
                     self.faults_injected.set(self.faults_injected.get() + 1);
+                    emit_to(
+                        self.trace.as_ref(),
+                        TraceEvent::OracleCall {
+                            lo,
+                            hi,
+                            attempt,
+                            outcome: match kind {
+                                FaultKind::Transient => CallOutcome::Transient,
+                                FaultKind::Timeout => CallOutcome::Timeout,
+                            },
+                            virtual_ns: attempt_ns,
+                        },
+                    );
+                    if let Some(m) = &self.metrics {
+                        m.inc("oracle.faults", 1);
+                    }
                     if attempt >= self.retry.max_retries {
+                        emit_to(
+                            self.trace.as_ref(),
+                            TraceEvent::Fault {
+                                lo,
+                                hi,
+                                attempts: attempt + 1,
+                                timeout: matches!(kind, FaultKind::Timeout),
+                            },
+                        );
                         return Err(match kind {
                             FaultKind::Transient => OracleError::Transient {
                                 pair: p,
@@ -187,6 +295,20 @@ impl<M: Metric> Oracle<M> {
                     let wait = self.retry.backoff(seed, p, attempt);
                     self.backoff.set(self.backoff.get().saturating_add(wait));
                     self.retries.set(self.retries.get() + 1);
+                    let backoff_ns = wait.as_nanos() as u64;
+                    emit_to(
+                        self.trace.as_ref(),
+                        TraceEvent::Retry {
+                            lo,
+                            hi,
+                            attempt,
+                            backoff_ns,
+                        },
+                    );
+                    if let Some(m) = &self.metrics {
+                        m.inc("oracle.retries", 1);
+                        m.observe("oracle.backoff_ns", backoff_ns);
+                    }
                     attempt += 1;
                 }
             }
@@ -389,6 +511,82 @@ mod tests {
             (o.calls(), o.fault_stats(), o.virtual_time())
         };
         assert_eq!(run(), run(), "same seed, same schedule, same accounting");
+    }
+
+    #[test]
+    fn trace_bills_exactly_the_call_counter() {
+        use prox_obs::JsonlSink;
+        let sink = Rc::new(JsonlSink::in_memory());
+        let o = Oracle::new(unit_metric(64))
+            .with_faults(FaultInjector::new(0.4, 3))
+            .with_retry(RetryPolicy::standard(40))
+            .with_trace(Rc::<JsonlSink>::clone(&sink));
+        for a in 0..15u32 {
+            o.try_call(a, a + 1).expect("retries suffice");
+        }
+        let s = prox_obs::summarize(&sink.contents().expect("mem sink")).expect("valid");
+        assert_eq!(
+            s.billed_calls,
+            o.calls(),
+            "trace reconciles with OracleStats"
+        );
+        assert_eq!(s.faults_injected, o.fault_stats().faults_injected);
+        assert_eq!(s.retries, o.fault_stats().retries);
+        assert_eq!(
+            s.backoff_ns as u128,
+            o.fault_stats().backoff_time.as_nanos(),
+            "backoff is virtual and fully traced"
+        );
+    }
+
+    #[test]
+    fn trace_alone_does_not_change_accounting() {
+        use prox_obs::NullSink;
+        let plain = Oracle::new(unit_metric(8));
+        let traced = Oracle::new(unit_metric(8)).with_trace(Rc::new(NullSink::new()));
+        for o in [&plain, &traced] {
+            assert_eq!(o.call(0, 1), 0.5);
+            assert_eq!(o.try_call(1, 2), Ok(0.5));
+        }
+        assert_eq!(plain.calls(), traced.calls());
+        assert_eq!(plain.virtual_time(), traced.virtual_time());
+        assert_eq!(traced.trace().expect("attached").emitted(), 2);
+    }
+
+    #[test]
+    fn budget_denial_is_traced_unbilled() {
+        use prox_obs::JsonlSink;
+        let sink = Rc::new(JsonlSink::in_memory());
+        let o = Oracle::new(unit_metric(8))
+            .with_budget(CallBudget::calls(1))
+            .with_trace(Rc::<JsonlSink>::clone(&sink));
+        assert!(o.try_call(0, 1).is_ok());
+        assert!(o.try_call(1, 2).is_err());
+        let s = prox_obs::summarize(&sink.contents().expect("mem sink")).expect("valid");
+        assert_eq!(s.billed_calls, 1);
+        assert_eq!(s.budget_denied, 1);
+        assert_eq!(o.calls(), 1);
+    }
+
+    #[test]
+    fn metrics_registry_mirrors_counters() {
+        use prox_obs::Metrics;
+        let m = Rc::new(Metrics::new());
+        let o = Oracle::new(unit_metric(64))
+            .with_faults(FaultInjector::new(0.5, 7))
+            .with_retry(RetryPolicy::standard(40))
+            .with_metrics(Rc::clone(&m));
+        for a in 0..10u32 {
+            o.try_call(a, a + 1).expect("retries suffice");
+        }
+        assert_eq!(m.counter("oracle.calls"), o.calls());
+        assert_eq!(m.counter("oracle.faults"), o.fault_stats().faults_injected);
+        assert_eq!(m.counter("oracle.retries"), o.fault_stats().retries);
+        assert_eq!(
+            m.histogram_count("oracle.retry_depth"),
+            10,
+            "one depth sample per successful logical call"
+        );
     }
 
     #[test]

@@ -85,6 +85,14 @@ pub trait SpecBounds: Sync {
         SpecScratch::none()
     }
 
+    /// Display label for trace events emitted against this snapshot.
+    /// Must equal the live scheme's `BoundScheme::name()` so buffered
+    /// speculative `BoundProbe` events are byte-identical to the events
+    /// the live resolver would have emitted (I8).
+    fn spec_label(&self) -> &'static str {
+        "scheme"
+    }
+
     /// `(lower, upper)` bounds for `p` at the snapshot; `(d, d)` when known.
     fn spec_bounds(&self, p: Pair, scratch: &mut SpecScratch) -> (f64, f64);
 }

@@ -14,9 +14,19 @@ pub struct OracleStats {
 impl OracleStats {
     /// Percentage of calls saved relative to a baseline run, the paper's
     /// `Save (%)` measure: `100 · (baseline − ours) / baseline`.
+    ///
+    /// A zero-call baseline makes the ratio undefined. Two free runs are
+    /// trivially "0 % saved", but reporting `0.0` when *we* paid calls a
+    /// free baseline didn't would silently hide an infinite regression —
+    /// that case returns `f64::NAN` so downstream tables render it as
+    /// not-a-number instead of a plausible figure.
     pub fn save_percent_vs(&self, baseline: &OracleStats) -> f64 {
         if baseline.calls == 0 {
-            0.0
+            if self.calls == 0 {
+                0.0
+            } else {
+                f64::NAN
+            }
         } else {
             100.0 * (baseline.calls as f64 - self.calls as f64) / baseline.calls as f64
         }
@@ -90,6 +100,25 @@ mod tests {
     fn save_percent_zero_baseline() {
         let s = OracleStats::default();
         assert_eq!(s.save_percent_vs(&OracleStats::default()), 0.0);
+    }
+
+    #[test]
+    fn save_percent_zero_baseline_with_spend_is_nan() {
+        let ours = OracleStats {
+            calls: 7,
+            virtual_time: Duration::ZERO,
+        };
+        assert!(
+            ours.save_percent_vs(&OracleStats::default()).is_nan(),
+            "paying calls against a free baseline has no defined save ratio"
+        );
+        // The plain branch is unaffected: spending more than the baseline
+        // reports a negative save, not NaN.
+        let baseline = OracleStats {
+            calls: 5,
+            virtual_time: Duration::ZERO,
+        };
+        assert_eq!(ours.save_percent_vs(&baseline), -40.0);
     }
 
     #[test]

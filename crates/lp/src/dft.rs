@@ -282,6 +282,18 @@ impl<'o, M: Metric> DistanceResolver for DftResolver<'o, M> {
         self.n
     }
 
+    // The DFT resolver decides comparisons through the LP feasibility
+    // test, not interval probes, so it emits no `BoundProbe` events of
+    // its own; forwarding the oracle's handles still gets every oracle
+    // attempt traced/metered and lets phase guards find the sink.
+    fn trace_sink(&self) -> Option<std::rc::Rc<dyn prox_obs::TraceSink>> {
+        self.oracle.trace()
+    }
+
+    fn obs_metrics(&self) -> Option<std::rc::Rc<prox_obs::Metrics>> {
+        self.oracle.metrics()
+    }
+
     fn max_distance(&self) -> f64 {
         self.max_distance
     }

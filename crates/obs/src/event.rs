@@ -1,0 +1,365 @@
+//! Typed trace events and their JSONL encoding.
+//!
+//! Events are small `Copy` values carrying object ids as raw `u32`s (the
+//! crate sits below `prox-core`, so it cannot name `Pair`). Every field is
+//! *logical*: attempt counters, virtual nanoseconds, bound values — never
+//! wall-clock time — so an emitted stream is a pure function of the
+//! workload and seed.
+//!
+//! Events split into two classes (see [`EventClass`]):
+//!
+//! - **Semantic** events describe *what was decided*: oracle attempts,
+//!   bound probes, faults, retries, checkpoints, phase markers. A correct
+//!   speculate/commit implementation produces the identical semantic
+//!   stream at any thread count.
+//! - **Execution** events describe *how the work was scheduled*
+//!   (speculation batches and their commit outcomes). They are inherently
+//!   thread-dependent and are excluded from sinks by default so the
+//!   default trace stays byte-identical across `--threads N`.
+
+/// Outcome of one billed (or budget-denied) oracle attempt.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CallOutcome {
+    /// The attempt returned a distance.
+    Ok,
+    /// A transient fault was injected; the caller may retry.
+    Transient,
+    /// A timeout fault was injected; the caller may retry.
+    Timeout,
+    /// The call budget refused the attempt *before billing*.
+    Budget,
+}
+
+impl CallOutcome {
+    /// Whether this attempt was billed against `OracleStats::calls`.
+    /// Budget denials happen before billing and must be excluded when a
+    /// report reconciles the trace against the oracle's counters.
+    pub fn billed(self) -> bool {
+        !matches!(self, CallOutcome::Budget)
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            CallOutcome::Ok => "ok",
+            CallOutcome::Transient => "transient",
+            CallOutcome::Timeout => "timeout",
+            CallOutcome::Budget => "budget",
+        }
+    }
+}
+
+/// How a bound probe was settled.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ProbeVerdict {
+    /// The pair's distance was already certified (`lb == ub`).
+    Known,
+    /// The lower bound alone decided the comparison.
+    DecidedLb,
+    /// The upper bound alone decided the comparison.
+    DecidedUb,
+    /// The bound interval straddled the threshold; the caller falls
+    /// through to an exact resolution.
+    Inconclusive,
+}
+
+impl ProbeVerdict {
+    fn name(self) -> &'static str {
+        match self {
+            ProbeVerdict::Known => "known",
+            ProbeVerdict::DecidedLb => "lb",
+            ProbeVerdict::DecidedUb => "ub",
+            ProbeVerdict::Inconclusive => "open",
+        }
+    }
+}
+
+/// Which comparison primitive issued a bound probe.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// `try_less(x, y)` — pair-vs-pair.
+    Less,
+    /// `try_less_value(x, v)` — pair-vs-constant, strict.
+    LessValue,
+    /// `try_leq_value(x, v)` — pair-vs-constant, non-strict.
+    LeqValue,
+    /// `try_less_sum2` — sum-of-two vs sum-of-two.
+    Sum2,
+}
+
+impl ProbeKind {
+    fn name(self) -> &'static str {
+        match self {
+            ProbeKind::Less => "less",
+            ProbeKind::LessValue => "less_value",
+            ProbeKind::LeqValue => "leq_value",
+            ProbeKind::Sum2 => "sum2",
+        }
+    }
+}
+
+/// Determinism class of an event; see the module docs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EventClass {
+    /// Identical at any thread count (I8).
+    Semantic,
+    /// Scheduling detail; varies with thread count. Filtered out by
+    /// default, before sequence numbers are assigned.
+    Execution,
+}
+
+/// One structured trace event. Object pairs are carried as `(lo, hi)`
+/// raw ids with `lo <= hi`, matching `prox_core::Pair`'s canonical form.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// One oracle attempt (billed unless `outcome == Budget`).
+    OracleCall {
+        lo: u32,
+        hi: u32,
+        /// 0-based attempt index within one logical call.
+        attempt: u32,
+        outcome: CallOutcome,
+        /// Virtual cost accrued by this attempt, in nanoseconds.
+        virtual_ns: u64,
+    },
+    /// One bound-based comparison attempt by a resolver.
+    BoundProbe {
+        lo: u32,
+        hi: u32,
+        lb: f64,
+        ub: f64,
+        verdict: ProbeVerdict,
+        kind: ProbeKind,
+        /// `BoundScheme::name()` of the deciding scheme.
+        scheme: &'static str,
+    },
+    /// A speculation batch was launched (execution class).
+    Speculate {
+        generation: u64,
+        /// Number of speculative work items in the batch.
+        items: u32,
+    },
+    /// A speculation batch was committed (execution class).
+    Commit {
+        generation: u64,
+        /// How many speculative results were reused verbatim.
+        reused: u32,
+    },
+    /// A logical call gave up after exhausting its retry allowance.
+    Fault {
+        lo: u32,
+        hi: u32,
+        /// Total attempts billed before giving up.
+        attempts: u32,
+        /// True for timeout faults, false for transient faults.
+        timeout: bool,
+    },
+    /// A faulted attempt is about to be retried after virtual backoff.
+    Retry {
+        lo: u32,
+        hi: u32,
+        /// The attempt index that faulted (the retry is `attempt + 1`).
+        attempt: u32,
+        backoff_ns: u64,
+    },
+    /// A checkpoint snapshot was written successfully.
+    CheckpointWrite {
+        /// Resolutions covered by the snapshot.
+        resolved: u64,
+    },
+    /// An algorithm phase began (`bootstrap` / `build` / `query` / ...).
+    PhaseEnter { name: &'static str },
+    /// The matching phase ended.
+    PhaseExit { name: &'static str },
+}
+
+impl TraceEvent {
+    /// Determinism class of this event.
+    pub fn class(self) -> EventClass {
+        match self {
+            TraceEvent::Speculate { .. } | TraceEvent::Commit { .. } => EventClass::Execution,
+            _ => EventClass::Semantic,
+        }
+    }
+
+    /// Short machine name used as the `ev` field in JSONL.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceEvent::OracleCall { .. } => "oracle_call",
+            TraceEvent::BoundProbe { .. } => "bound_probe",
+            TraceEvent::Speculate { .. } => "speculate",
+            TraceEvent::Commit { .. } => "commit",
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Retry { .. } => "retry",
+            TraceEvent::CheckpointWrite { .. } => "checkpoint",
+            TraceEvent::PhaseEnter { .. } => "phase_enter",
+            TraceEvent::PhaseExit { .. } => "phase_exit",
+        }
+    }
+
+    /// Appends the one-line JSONL encoding of this event (with its
+    /// assigned sequence number) to `out`, including the trailing
+    /// newline. Floats are rendered with Rust's shortest-roundtrip
+    /// `Display`, which is deterministic across platforms.
+    pub fn write_jsonl(self, seq: u64, out: &mut String) {
+        use std::fmt::Write;
+        let ev = self.name();
+        // Infallible: writing to a String cannot fail.
+        let _ = write!(out, "{{\"seq\":{seq},\"ev\":\"{ev}\"");
+        match self {
+            TraceEvent::OracleCall {
+                lo,
+                hi,
+                attempt,
+                outcome,
+                virtual_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"lo\":{lo},\"hi\":{hi},\"attempt\":{attempt},\"outcome\":\"{}\",\"virtual_ns\":{virtual_ns}",
+                    outcome.name()
+                );
+            }
+            TraceEvent::BoundProbe {
+                lo,
+                hi,
+                lb,
+                ub,
+                verdict,
+                kind,
+                scheme,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"lo\":{lo},\"hi\":{hi},\"lb\":{lb},\"ub\":{ub},\"verdict\":\"{}\",\"kind\":\"{}\",\"scheme\":\"{scheme}\"",
+                    verdict.name(),
+                    kind.name()
+                );
+            }
+            TraceEvent::Speculate { generation, items } => {
+                let _ = write!(out, ",\"gen\":{generation},\"items\":{items}");
+            }
+            TraceEvent::Commit { generation, reused } => {
+                let _ = write!(out, ",\"gen\":{generation},\"reused\":{reused}");
+            }
+            TraceEvent::Fault {
+                lo,
+                hi,
+                attempts,
+                timeout,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"lo\":{lo},\"hi\":{hi},\"attempts\":{attempts},\"timeout\":{timeout}"
+                );
+            }
+            TraceEvent::Retry {
+                lo,
+                hi,
+                attempt,
+                backoff_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"lo\":{lo},\"hi\":{hi},\"attempt\":{attempt},\"backoff_ns\":{backoff_ns}"
+                );
+            }
+            TraceEvent::CheckpointWrite { resolved } => {
+                let _ = write!(out, ",\"resolved\":{resolved}");
+            }
+            TraceEvent::PhaseEnter { name } | TraceEvent::PhaseExit { name } => {
+                let _ = write!(out, ",\"name\":\"{name}\"");
+            }
+        }
+        out.push_str("}\n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_split_semantic_from_execution() {
+        assert_eq!(
+            TraceEvent::Speculate {
+                generation: 3,
+                items: 8
+            }
+            .class(),
+            EventClass::Execution
+        );
+        assert_eq!(
+            TraceEvent::Commit {
+                generation: 3,
+                reused: 7
+            }
+            .class(),
+            EventClass::Execution
+        );
+        assert_eq!(
+            TraceEvent::PhaseEnter { name: "build" }.class(),
+            EventClass::Semantic
+        );
+        assert_eq!(
+            TraceEvent::OracleCall {
+                lo: 0,
+                hi: 1,
+                attempt: 0,
+                outcome: CallOutcome::Ok,
+                virtual_ns: 0
+            }
+            .class(),
+            EventClass::Semantic
+        );
+    }
+
+    #[test]
+    fn jsonl_encoding_is_stable() {
+        let mut s = String::new();
+        TraceEvent::OracleCall {
+            lo: 3,
+            hi: 17,
+            attempt: 1,
+            outcome: CallOutcome::Transient,
+            virtual_ns: 1_500_000,
+        }
+        .write_jsonl(42, &mut s);
+        assert_eq!(
+            s,
+            "{\"seq\":42,\"ev\":\"oracle_call\",\"lo\":3,\"hi\":17,\"attempt\":1,\
+             \"outcome\":\"transient\",\"virtual_ns\":1500000}\n"
+        );
+
+        s.clear();
+        TraceEvent::BoundProbe {
+            lo: 0,
+            hi: 5,
+            lb: 0.25,
+            ub: 0.5,
+            verdict: ProbeVerdict::Inconclusive,
+            kind: ProbeKind::LeqValue,
+            scheme: "Tri",
+        }
+        .write_jsonl(7, &mut s);
+        assert_eq!(
+            s,
+            "{\"seq\":7,\"ev\":\"bound_probe\",\"lo\":0,\"hi\":5,\"lb\":0.25,\"ub\":0.5,\
+             \"verdict\":\"open\",\"kind\":\"leq_value\",\"scheme\":\"Tri\"}\n"
+        );
+
+        s.clear();
+        TraceEvent::PhaseEnter { name: "bootstrap" }.write_jsonl(0, &mut s);
+        assert_eq!(
+            s,
+            "{\"seq\":0,\"ev\":\"phase_enter\",\"name\":\"bootstrap\"}\n"
+        );
+    }
+
+    #[test]
+    fn budget_outcome_is_unbilled() {
+        assert!(CallOutcome::Ok.billed());
+        assert!(CallOutcome::Transient.billed());
+        assert!(CallOutcome::Timeout.billed());
+        assert!(!CallOutcome::Budget.billed());
+    }
+}

@@ -1,0 +1,33 @@
+//! # prox-obs — deterministic tracing + metrics for proximity runs
+//!
+//! A zero-dependency structured-event layer observing every oracle
+//! call, bound decision, fault/retry, checkpoint and phase transition
+//! in the workspace. Design goals, in order:
+//!
+//! 1. **Determinism (I8).** A trace is a pure function of the workload
+//!    and seed: events carry logical sequence numbers and virtual time,
+//!    never wall time, and thread-dependent scheduling detail
+//!    (speculate/commit) is filtered out *before* sequence assignment
+//!    unless explicitly requested. The committed trace of a parallel
+//!    run is byte-identical to the sequential one.
+//! 2. **Zero cost when off.** Instrumented hot paths test one
+//!    `Option` discriminant captured at resolver construction; the
+//!    disabled path allocates nothing and is pinned by a
+//!    `BENCH_schemes.json` microbench entry.
+//! 3. **Consistency with existing counters.** Billed `OracleCall`
+//!    events reconcile exactly with `OracleStats::calls`; `BoundProbe`
+//!    verdicts reconcile with `PruneStats`.
+//!
+//! The crate sits *below* `prox-core` (events carry raw `u32` object
+//! ids) so every layer — core, bounds, algos, bench — can emit through
+//! the same sinks.
+
+mod event;
+mod metrics;
+mod report;
+mod sink;
+
+pub use event::{CallOutcome, EventClass, ProbeKind, ProbeVerdict, TraceEvent};
+pub use metrics::{quantize_width, Metrics, HISTO_BUCKETS};
+pub use report::{summarize, PhaseRow, PruneRow, TraceSummary, TrajPoint};
+pub use sink::{emit_to, JsonlSink, NullSink, PhaseGuard, RingSink, TraceSink};

@@ -1,0 +1,225 @@
+//! A static metrics registry: named counters and log2-bucketed
+//! histograms.
+//!
+//! Names are `&'static str` so registration is free and the registry is
+//! an ordered map (deterministic render order). Like trace sinks, the
+//! registry takes `&self` with interior mutability and never crosses a
+//! thread boundary: speculative workers accumulate into a private
+//! `Metrics` and the committer merges the delta with
+//! [`Metrics::merge_from`] iff the speculation is accepted.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Bucket count for log2 histograms: bucket 0 holds the value 0 and
+/// bucket `b >= 1` holds values in `[2^(b-1), 2^b)`; `u64::MAX` lands in
+/// bucket 64.
+pub const HISTO_BUCKETS: usize = 65;
+
+enum Metric {
+    Counter(u64),
+    Histo(Box<[u64; HISTO_BUCKETS]>),
+}
+
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Quantizes a bound-interval width (distances live in `[0, 1]` after
+/// metric normalization) to integer nano-units for histogramming.
+pub fn quantize_width(w: f64) -> u64 {
+    (w.clamp(0.0, 1.0) * 1e9) as u64
+}
+
+/// An ordered registry of counters and log2 histograms.
+#[derive(Default)]
+pub struct Metrics {
+    inner: RefCell<BTreeMap<&'static str, Metric>>,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to counter `name`, creating it at zero first.
+    pub fn inc(&self, name: &'static str, by: u64) {
+        let mut m = self.inner.borrow_mut();
+        match m.entry(name).or_insert(Metric::Counter(0)) {
+            Metric::Counter(c) => *c += by,
+            // Name already registered as a histogram: drop the sample
+            // rather than panic inside instrumentation.
+            Metric::Histo(_) => {}
+        }
+    }
+
+    /// Records `value` into histogram `name`, creating it empty first.
+    pub fn observe(&self, name: &'static str, value: u64) {
+        let mut m = self.inner.borrow_mut();
+        match m
+            .entry(name)
+            .or_insert_with(|| Metric::Histo(Box::new([0; HISTO_BUCKETS])))
+        {
+            Metric::Histo(h) => h[bucket_of(value)] += 1,
+            Metric::Counter(_) => {}
+        }
+    }
+
+    /// Current value of counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.inner.borrow().get(name) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Bucket contents of histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<[u64; HISTO_BUCKETS]> {
+        match self.inner.borrow().get(name) {
+            Some(Metric::Histo(h)) => Some(**h),
+            _ => None,
+        }
+    }
+
+    /// Total samples recorded into histogram `name` (0 if absent).
+    pub fn histogram_count(&self, name: &str) -> u64 {
+        self.histogram(name).map(|h| h.iter().sum()).unwrap_or(0)
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Folds every counter and histogram bucket of `other` into `self`.
+    /// This is the commit-time merge for speculative deltas: the whole
+    /// delta lands atomically with the speculation's `PruneStats`.
+    pub fn merge_from(&self, other: &Metrics) {
+        let theirs = other.inner.borrow();
+        let mut ours = self.inner.borrow_mut();
+        for (name, metric) in theirs.iter() {
+            match metric {
+                Metric::Counter(c) => match ours.entry(name).or_insert(Metric::Counter(0)) {
+                    Metric::Counter(mine) => *mine += c,
+                    Metric::Histo(_) => {}
+                },
+                Metric::Histo(h) => match ours
+                    .entry(name)
+                    .or_insert_with(|| Metric::Histo(Box::new([0; HISTO_BUCKETS])))
+                {
+                    Metric::Histo(mine) => {
+                        for (m, t) in mine.iter_mut().zip(h.iter()) {
+                            *m += t;
+                        }
+                    }
+                    Metric::Counter(_) => {}
+                },
+            }
+        }
+    }
+
+    /// Renders the registry as an aligned text table. Histograms print
+    /// their sample count followed by non-empty `2^k` buckets.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let m = self.inner.borrow();
+        let width = m.keys().map(|k| k.len()).max().unwrap_or(6).max(6);
+        let mut out = String::new();
+        let _ = writeln!(out, "{:width$}  value", "metric");
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name:width$}  {c}");
+                }
+                Metric::Histo(h) => {
+                    let total: u64 = h.iter().sum();
+                    let _ = write!(out, "{name:width$}  n={total}");
+                    for (b, count) in h.iter().enumerate().filter(|(_, c)| **c > 0) {
+                        if b == 0 {
+                            let _ = write!(out, " [0]={count}");
+                        } else {
+                            let _ = write!(out, " [2^{}]={count}", b - 1);
+                        }
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn counters_and_histograms_register_lazily() {
+        let m = Metrics::new();
+        assert!(m.is_empty());
+        m.inc("oracle.calls", 2);
+        m.inc("oracle.calls", 3);
+        m.observe("retry.depth", 0);
+        m.observe("retry.depth", 4);
+        assert_eq!(m.counter("oracle.calls"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        let h = m.histogram("retry.depth").unwrap();
+        assert_eq!(h[0], 1);
+        assert_eq!(h[3], 1);
+        assert_eq!(m.histogram_count("retry.depth"), 2);
+        assert!(m.histogram("oracle.calls").is_none());
+    }
+
+    #[test]
+    fn merge_folds_counters_and_buckets() {
+        let a = Metrics::new();
+        a.inc("x", 1);
+        a.observe("h", 8);
+        let b = Metrics::new();
+        b.inc("x", 2);
+        b.inc("y", 7);
+        b.observe("h", 8);
+        b.observe("h", 0);
+        a.merge_from(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 7);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h[bucket_of(8)], 2);
+        assert_eq!(h[0], 1);
+    }
+
+    #[test]
+    fn width_quantization_clamps() {
+        assert_eq!(quantize_width(0.0), 0);
+        assert_eq!(quantize_width(-1.0), 0);
+        assert_eq!(quantize_width(1.0), 1_000_000_000);
+        assert_eq!(quantize_width(2.0), 1_000_000_000);
+        assert_eq!(quantize_width(0.5), 500_000_000);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_ordered() {
+        let m = Metrics::new();
+        m.inc("z.last", 1);
+        m.inc("a.first", 2);
+        m.observe("m.h", 3);
+        let r = m.render();
+        let a = r.find("a.first").unwrap();
+        let mh = r.find("m.h").unwrap();
+        let z = r.find("z.last").unwrap();
+        assert!(a < mh && mh < z, "BTreeMap order: {r}");
+        assert!(r.contains("n=1 [2^1]=1"), "histogram render: {r}");
+    }
+}

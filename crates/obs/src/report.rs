@@ -1,0 +1,472 @@
+//! Offline trace analysis: parse a JSONL trace back into per-phase
+//! call/comparison accounting, a prune breakdown, a fault/retry summary
+//! and a call trajectory.
+//!
+//! The parser is a hand-rolled field extractor specialized to the flat,
+//! one-object-per-line format [`crate::event::TraceEvent::write_jsonl`]
+//! produces (the workspace is dependency-free, so there is no serde).
+//! It is strict about what it needs and tolerant of extra fields, so
+//! traces from newer writers still summarize.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of sample rows in the call trajectory (deciles + endpoint).
+const TRAJECTORY_POINTS: u64 = 10;
+
+/// Extracts the raw text of field `key` from a single JSONL line.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat_len = key.len() + 3; // "key":
+    let mut search = 0;
+    loop {
+        let at = line[search..].find('"')? + search;
+        let rest = &line[at + 1..];
+        if rest.starts_with(key) && rest[key.len()..].starts_with("\":") {
+            let val = rest[key.len() + 2..].trim_start();
+            return if let Some(stripped) = val.strip_prefix('"') {
+                stripped.find('"').map(|end| &stripped[..end])
+            } else {
+                let end = val.find([',', '}']).unwrap_or(val.len());
+                Some(val[..end].trim_end())
+            };
+        }
+        // Skip past this quoted token (key or string value) and retry.
+        let close = rest.find('"')? + at + 2;
+        search = close;
+        if search + pat_len > line.len() {
+            return None;
+        }
+    }
+}
+
+fn u64_field(line: &str, key: &str, lineno: usize) -> Result<u64, String> {
+    let raw = field(line, key).ok_or_else(|| format!("line {lineno}: missing field \"{key}\""))?;
+    raw.parse::<u64>()
+        .map_err(|_| format!("line {lineno}: field \"{key}\" is not an integer: {raw:?}"))
+}
+
+/// Per-phase accounting row. A phase name that is entered repeatedly
+/// (e.g. `query`, once per source) accumulates into a single row.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PhaseRow {
+    pub name: String,
+    /// Times the phase was entered.
+    pub enters: u64,
+    /// Billed oracle attempts while the phase was innermost.
+    pub calls: u64,
+    /// Bound probes (comparison attempts) while innermost.
+    pub probes: u64,
+    /// Probes answered from certified distances (`lb == ub`).
+    pub known: u64,
+    /// Probes decided by a strict bound (lb or ub verdict).
+    pub decided: u64,
+    /// Probes that fell through to exact resolution.
+    pub fell_through: u64,
+}
+
+/// Prune breakdown row: how one scheme's probes were settled.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PruneRow {
+    pub scheme: String,
+    pub known: u64,
+    pub lb: u64,
+    pub ub: u64,
+    pub open: u64,
+}
+
+/// One sample of the cumulative calls-vs-comparisons trajectory.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub struct TrajPoint {
+    /// Events consumed when the sample was taken.
+    pub events: u64,
+    pub probes: u64,
+    pub calls: u64,
+}
+
+/// Aggregated view of one trace. Produced by [`summarize`].
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Total events in the trace.
+    pub events: u64,
+    /// Billed oracle attempts (`outcome != "budget"`). With retries off
+    /// this equals `OracleStats::calls`; with faults on it still does,
+    /// because every retried attempt is billed.
+    pub billed_calls: u64,
+    /// Attempts denied by the call budget before billing.
+    pub budget_denied: u64,
+    /// Virtual nanoseconds accrued by billed attempts.
+    pub virtual_ns: u64,
+    /// Bound probes (comparison attempts).
+    pub probes: u64,
+    /// Attempts that drew an injected fault (transient or timeout).
+    pub faults_injected: u64,
+    /// Retry events (each faulted attempt that was retried).
+    pub retries: u64,
+    /// Logical calls that exhausted their retry allowance.
+    pub gave_up: u64,
+    /// Virtual backoff accrued across retries.
+    pub backoff_ns: u64,
+    /// Checkpoint snapshots written.
+    pub checkpoints: u64,
+    /// Per-phase rows, in first-entered order.
+    pub phases: Vec<PhaseRow>,
+    /// Prune breakdown per scheme, name-sorted.
+    pub prune: Vec<PruneRow>,
+    /// Cumulative trajectory sampled at event-count deciles.
+    pub trajectory: Vec<TrajPoint>,
+}
+
+impl TraceSummary {
+    /// Sum of billed calls attributed to some phase (calls made outside
+    /// any open phase are counted in `billed_calls` only).
+    pub fn phase_calls_total(&self) -> u64 {
+        self.phases.iter().map(|p| p.calls).sum()
+    }
+
+    /// Renders the summary as the text report `prox-cli report` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "trace summary: {} events", self.events);
+        let _ = writeln!(
+            out,
+            "  oracle: {} billed calls, {} virtual ns{}",
+            self.billed_calls,
+            self.virtual_ns,
+            if self.budget_denied > 0 {
+                format!(", {} budget-denied", self.budget_denied)
+            } else {
+                String::new()
+            }
+        );
+        let _ = writeln!(
+            out,
+            "  comparisons: {} probes ({:.2} calls per comparison)",
+            self.probes,
+            if self.probes == 0 {
+                0.0
+            } else {
+                self.billed_calls as f64 / self.probes as f64
+            }
+        );
+
+        if !self.phases.is_empty() {
+            let _ = writeln!(out, "\nper-phase (calls vs comparisons):");
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                "phase", "enters", "calls", "probes", "decided", "fell"
+            );
+            for p in &self.phases {
+                let _ = writeln!(
+                    out,
+                    "  {:<12} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                    p.name, p.enters, p.calls, p.probes, p.decided, p.fell_through
+                );
+            }
+        }
+
+        if !self.prune.is_empty() {
+            let _ = writeln!(out, "\nprune breakdown (probe verdicts per scheme):");
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>8} {:>8} {:>8} {:>10}",
+                "scheme", "known", "by-LB", "by-UB", "fell-thru"
+            );
+            for r in &self.prune {
+                let _ = writeln!(
+                    out,
+                    "  {:<8} {:>8} {:>8} {:>8} {:>10}",
+                    r.scheme, r.known, r.lb, r.ub, r.open
+                );
+            }
+        }
+
+        if self.faults_injected + self.retries + self.gave_up + self.checkpoints > 0 {
+            let _ = writeln!(out, "\nfault/retry summary:");
+            let _ = writeln!(
+                out,
+                "  {} faulted attempts, {} retries, {} gave up, {} backoff ns, {} checkpoints",
+                self.faults_injected, self.retries, self.gave_up, self.backoff_ns, self.checkpoints
+            );
+        }
+
+        if self.trajectory.len() > 1 {
+            let _ = writeln!(out, "\ncall trajectory (cumulative):");
+            let _ = writeln!(out, "  {:>8} {:>10} {:>10}", "events", "probes", "calls");
+            for t in &self.trajectory {
+                let _ = writeln!(out, "  {:>8} {:>10} {:>10}", t.events, t.probes, t.calls);
+            }
+        }
+        out
+    }
+}
+
+/// Parses JSONL trace text into a [`TraceSummary`].
+pub fn summarize(text: &str) -> Result<TraceSummary, String> {
+    let total_events = text.lines().filter(|l| !l.trim().is_empty()).count() as u64;
+    let mut s = TraceSummary {
+        events: total_events,
+        ..TraceSummary::default()
+    };
+
+    let mut phase_order: Vec<String> = Vec::new();
+    let mut phase_rows: BTreeMap<String, PhaseRow> = BTreeMap::new();
+    let mut phase_stack: Vec<String> = Vec::new();
+    let mut prune: BTreeMap<String, PruneRow> = BTreeMap::new();
+
+    let mut seen = 0u64;
+    let mut next_sample = 0u64;
+    let mut trajectory = Vec::new();
+    let mut sample_at = |seen: u64, probes: u64, calls: u64, next: &mut u64| {
+        if seen >= *next {
+            trajectory.push(TrajPoint {
+                events: seen,
+                probes,
+                calls,
+            });
+            while *next <= seen {
+                *next += (total_events / TRAJECTORY_POINTS).max(1);
+            }
+        }
+    };
+
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let ev = field(line, "ev").ok_or_else(|| format!("line {lineno}: missing field \"ev\""))?;
+        match ev {
+            "oracle_call" => {
+                let outcome = field(line, "outcome")
+                    .ok_or_else(|| format!("line {lineno}: missing field \"outcome\""))?;
+                if outcome == "budget" {
+                    s.budget_denied += 1;
+                } else {
+                    s.billed_calls += 1;
+                    s.virtual_ns += u64_field(line, "virtual_ns", lineno)?;
+                    if let Some(p) = phase_stack.last().and_then(|top| phase_rows.get_mut(top)) {
+                        p.calls += 1;
+                    }
+                    if outcome != "ok" {
+                        s.faults_injected += 1;
+                    }
+                }
+            }
+            "bound_probe" => {
+                s.probes += 1;
+                let verdict = field(line, "verdict")
+                    .ok_or_else(|| format!("line {lineno}: missing field \"verdict\""))?;
+                let scheme = field(line, "scheme").unwrap_or("?");
+                let row = prune.entry(scheme.to_string()).or_insert_with(|| PruneRow {
+                    scheme: scheme.to_string(),
+                    ..PruneRow::default()
+                });
+                if let Some(p) = phase_stack.last().and_then(|top| phase_rows.get_mut(top)) {
+                    p.probes += 1;
+                }
+                let phase = phase_stack.last().and_then(|top| phase_rows.get_mut(top));
+                match verdict {
+                    "known" => {
+                        row.known += 1;
+                        if let Some(p) = phase {
+                            p.known += 1;
+                        }
+                    }
+                    "lb" => {
+                        row.lb += 1;
+                        if let Some(p) = phase {
+                            p.decided += 1;
+                        }
+                    }
+                    "ub" => {
+                        row.ub += 1;
+                        if let Some(p) = phase {
+                            p.decided += 1;
+                        }
+                    }
+                    "open" => {
+                        row.open += 1;
+                        if let Some(p) = phase {
+                            p.fell_through += 1;
+                        }
+                    }
+                    other => {
+                        return Err(format!("line {lineno}: unknown verdict {other:?}"));
+                    }
+                }
+            }
+            "retry" => {
+                s.retries += 1;
+                s.backoff_ns += u64_field(line, "backoff_ns", lineno)?;
+            }
+            "fault" => {
+                s.gave_up += 1;
+            }
+            "checkpoint" => {
+                s.checkpoints += 1;
+            }
+            "phase_enter" => {
+                let name = field(line, "name")
+                    .ok_or_else(|| format!("line {lineno}: missing field \"name\""))?;
+                if !phase_rows.contains_key(name) {
+                    phase_order.push(name.to_string());
+                }
+                let row = phase_rows
+                    .entry(name.to_string())
+                    .or_insert_with(|| PhaseRow {
+                        name: name.to_string(),
+                        ..PhaseRow::default()
+                    });
+                row.enters += 1;
+                phase_stack.push(name.to_string());
+            }
+            "phase_exit" => {
+                let name = field(line, "name")
+                    .ok_or_else(|| format!("line {lineno}: missing field \"name\""))?;
+                match phase_stack.pop() {
+                    Some(top) if top == name => {}
+                    Some(top) => {
+                        return Err(format!(
+                            "line {lineno}: phase_exit {name:?} does not match open phase {top:?}"
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "line {lineno}: phase_exit {name:?} with no open phase"
+                        ));
+                    }
+                }
+            }
+            "speculate" | "commit" => {}
+            other => {
+                return Err(format!("line {lineno}: unknown event {other:?}"));
+            }
+        }
+        seen += 1;
+        sample_at(seen, s.probes, s.billed_calls, &mut next_sample);
+    }
+
+    if trajectory.last().map(|t| t.events) != Some(seen) && seen > 0 {
+        trajectory.push(TrajPoint {
+            events: seen,
+            probes: s.probes,
+            calls: s.billed_calls,
+        });
+    }
+    s.trajectory = trajectory;
+    s.phases = phase_order
+        .into_iter()
+        .filter_map(|name| phase_rows.remove(&name))
+        .collect();
+    s.prune = prune.into_values().collect();
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+{\"seq\":0,\"ev\":\"phase_enter\",\"name\":\"bootstrap\"}
+{\"seq\":1,\"ev\":\"oracle_call\",\"lo\":0,\"hi\":1,\"attempt\":0,\"outcome\":\"ok\",\"virtual_ns\":100}
+{\"seq\":2,\"ev\":\"phase_exit\",\"name\":\"bootstrap\"}
+{\"seq\":3,\"ev\":\"phase_enter\",\"name\":\"build\"}
+{\"seq\":4,\"ev\":\"bound_probe\",\"lo\":0,\"hi\":2,\"lb\":0.1,\"ub\":0.3,\"verdict\":\"ub\",\"kind\":\"less\",\"scheme\":\"Tri\"}
+{\"seq\":5,\"ev\":\"bound_probe\",\"lo\":0,\"hi\":3,\"lb\":0.1,\"ub\":0.9,\"verdict\":\"open\",\"kind\":\"less\",\"scheme\":\"Tri\"}
+{\"seq\":6,\"ev\":\"oracle_call\",\"lo\":0,\"hi\":3,\"attempt\":0,\"outcome\":\"transient\",\"virtual_ns\":100}
+{\"seq\":7,\"ev\":\"retry\",\"lo\":0,\"hi\":3,\"attempt\":0,\"backoff_ns\":500}
+{\"seq\":8,\"ev\":\"oracle_call\",\"lo\":0,\"hi\":3,\"attempt\":1,\"outcome\":\"ok\",\"virtual_ns\":100}
+{\"seq\":9,\"ev\":\"bound_probe\",\"lo\":1,\"hi\":3,\"lb\":0.2,\"ub\":0.2,\"verdict\":\"known\",\"kind\":\"leq_value\",\"scheme\":\"SPLUB\"}
+{\"seq\":10,\"ev\":\"checkpoint\",\"resolved\":2}
+{\"seq\":11,\"ev\":\"phase_exit\",\"name\":\"build\"}
+";
+
+    #[test]
+    fn summarize_accounts_every_dimension() {
+        let s = summarize(SAMPLE).expect("valid trace");
+        assert_eq!(s.events, 12);
+        assert_eq!(s.billed_calls, 3);
+        assert_eq!(s.virtual_ns, 300);
+        assert_eq!(s.probes, 3);
+        assert_eq!(s.faults_injected, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.backoff_ns, 500);
+        assert_eq!(s.gave_up, 0);
+        assert_eq!(s.checkpoints, 1);
+
+        assert_eq!(s.phases.len(), 2);
+        assert_eq!(s.phases[0].name, "bootstrap");
+        assert_eq!(s.phases[0].calls, 1);
+        assert_eq!(s.phases[0].probes, 0);
+        assert_eq!(s.phases[1].name, "build");
+        assert_eq!(s.phases[1].calls, 2);
+        assert_eq!(s.phases[1].probes, 3);
+        assert_eq!(s.phases[1].decided, 1);
+        assert_eq!(s.phases[1].known, 1);
+        assert_eq!(s.phases[1].fell_through, 1);
+
+        assert_eq!(s.prune.len(), 2);
+        assert_eq!(s.prune[0].scheme, "SPLUB");
+        assert_eq!(s.prune[0].known, 1);
+        assert_eq!(s.prune[1].scheme, "Tri");
+        assert_eq!(s.prune[1].ub, 1);
+        assert_eq!(s.prune[1].open, 1);
+
+        let last = s.trajectory.last().unwrap();
+        assert_eq!(last.events, 12);
+        assert_eq!(last.calls, 3);
+        assert_eq!(last.probes, 3);
+    }
+
+    #[test]
+    fn budget_denied_attempts_are_not_billed() {
+        let text = "{\"seq\":0,\"ev\":\"oracle_call\",\"lo\":0,\"hi\":1,\"attempt\":0,\
+                    \"outcome\":\"budget\",\"virtual_ns\":0}\n";
+        let s = summarize(text).expect("valid");
+        assert_eq!(s.billed_calls, 0);
+        assert_eq!(s.budget_denied, 1);
+    }
+
+    #[test]
+    fn mismatched_phase_exit_is_an_error() {
+        let text = "{\"seq\":0,\"ev\":\"phase_enter\",\"name\":\"a\"}\n\
+                    {\"seq\":1,\"ev\":\"phase_exit\",\"name\":\"b\"}\n";
+        let err = summarize(text).unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
+        let text2 = "{\"seq\":0,\"ev\":\"phase_exit\",\"name\":\"b\"}\n";
+        assert!(summarize(text2).unwrap_err().contains("no open phase"));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_numbers() {
+        let err = summarize("{\"seq\":0}\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = summarize("{\"seq\":0,\"ev\":\"oracle_call\"}\n").unwrap_err();
+        assert!(err.contains("outcome"), "{err}");
+        let err = summarize("{\"seq\":0,\"ev\":\"wat\"}\n").unwrap_err();
+        assert!(err.contains("unknown event"), "{err}");
+    }
+
+    #[test]
+    fn field_extractor_handles_string_values_containing_keys() {
+        // A string value that *contains* another key must not confuse
+        // the extractor.
+        let line = "{\"ev\":\"phase_enter\",\"name\":\"ev\"}";
+        assert_eq!(field(line, "ev"), Some("phase_enter"));
+        assert_eq!(field(line, "name"), Some("ev"));
+        assert_eq!(field(line, "missing"), None);
+    }
+
+    #[test]
+    fn render_mentions_each_section() {
+        let s = summarize(SAMPLE).expect("valid trace");
+        let r = s.render();
+        assert!(r.contains("per-phase"));
+        assert!(r.contains("prune breakdown"));
+        assert!(r.contains("fault/retry summary"));
+        assert!(r.contains("call trajectory"));
+        assert!(r.contains("bootstrap"));
+        assert!(r.contains("SPLUB"));
+    }
+}

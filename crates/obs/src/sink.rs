@@ -1,0 +1,379 @@
+//! Trace sinks: where events go.
+//!
+//! A [`TraceSink`] assigns each *accepted* event a monotone logical
+//! sequence number, starting at 0. Filtering (execution-class events are
+//! rejected unless the sink opts in) happens **before** sequence
+//! assignment, so the default, semantic-only stream numbers its events
+//! identically whether or not speculation ran — the key step in the I8
+//! determinism argument (see DESIGN.md §10).
+//!
+//! Sinks take `&self` and use interior mutability instead of requiring
+//! `&mut`: emission sites sit behind shared references (resolvers hold
+//! `Rc<dyn TraceSink>` clones of the oracle's sink). Sinks are *not*
+//! `Sync` and never cross threads — speculative workers buffer events
+//! locally and the sequential committer replays accepted buffers, so
+//! only one thread ever emits.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::rc::Rc;
+
+use crate::event::{EventClass, TraceEvent};
+
+/// A destination for trace events. See the module docs for the
+/// filtering/sequencing contract.
+pub trait TraceSink {
+    /// Offers an event to the sink. The sink either accepts it (assigning
+    /// the next sequence number) or filters it (no number consumed).
+    fn emit(&self, ev: TraceEvent);
+
+    /// Number of events accepted so far — equivalently, the sequence
+    /// number the next accepted event will receive.
+    fn emitted(&self) -> u64;
+
+    /// Whether this sink records execution-class events
+    /// ([`TraceEvent::Speculate`] / [`TraceEvent::Commit`]). Defaults to
+    /// false so traces stay thread-count independent.
+    fn wants_execution(&self) -> bool {
+        false
+    }
+
+    /// Flushes any buffered output. A no-op for in-memory sinks.
+    fn flush(&self) {}
+}
+
+/// Emits `ev` into `sink` if one is attached. The disabled path is a
+/// single `Option` discriminant test.
+#[inline]
+pub fn emit_to(sink: Option<&Rc<dyn TraceSink>>, ev: TraceEvent) {
+    if let Some(s) = sink {
+        s.emit(ev);
+    }
+}
+
+fn accepts(exec: bool, ev: TraceEvent) -> bool {
+    exec || ev.class() == EventClass::Semantic
+}
+
+/// Counts accepted events, stores nothing. Exists so the enabled-path
+/// overhead of the instrumentation itself can be benchmarked without
+/// any storage cost.
+#[derive(Default)]
+pub struct NullSink {
+    seq: Cell<u64>,
+    exec: bool,
+}
+
+impl NullSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Also counts execution-class events.
+    pub fn with_execution(mut self) -> Self {
+        self.exec = true;
+        self
+    }
+}
+
+impl TraceSink for NullSink {
+    fn emit(&self, ev: TraceEvent) {
+        if accepts(self.exec, ev) {
+            self.seq.set(self.seq.get() + 1);
+        }
+    }
+    fn emitted(&self) -> u64 {
+        self.seq.get()
+    }
+    fn wants_execution(&self) -> bool {
+        self.exec
+    }
+}
+
+/// Keeps the last `cap` accepted events (with their sequence numbers)
+/// in memory. Suited to tests and post-mortem inspection of the tail.
+pub struct RingSink {
+    cap: usize,
+    seq: Cell<u64>,
+    buf: RefCell<VecDeque<(u64, TraceEvent)>>,
+    exec: bool,
+}
+
+impl RingSink {
+    pub fn new(cap: usize) -> Self {
+        RingSink {
+            cap,
+            seq: Cell::new(0),
+            buf: RefCell::new(VecDeque::with_capacity(cap.min(1024))),
+            exec: false,
+        }
+    }
+
+    /// Also records execution-class events.
+    pub fn with_execution(mut self) -> Self {
+        self.exec = true;
+        self
+    }
+
+    /// The retained tail, oldest first.
+    pub fn events(&self) -> Vec<(u64, TraceEvent)> {
+        self.buf.borrow().iter().copied().collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&self, ev: TraceEvent) {
+        if !accepts(self.exec, ev) {
+            return;
+        }
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
+        let mut buf = self.buf.borrow_mut();
+        if self.cap == 0 {
+            return;
+        }
+        if buf.len() == self.cap {
+            buf.pop_front();
+        }
+        buf.push_back((seq, ev));
+    }
+    fn emitted(&self) -> u64 {
+        self.seq.get()
+    }
+    fn wants_execution(&self) -> bool {
+        self.exec
+    }
+}
+
+enum JsonlWriter {
+    File(BufWriter<File>),
+    Mem(Vec<u8>),
+}
+
+/// Streams accepted events as JSON Lines, either to a file or to an
+/// in-memory buffer (for tests and byte-identity comparisons).
+pub struct JsonlSink {
+    w: RefCell<JsonlWriter>,
+    seq: Cell<u64>,
+    exec: bool,
+    io_errors: Cell<u64>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) a JSONL trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let f = File::create(path)?;
+        Ok(JsonlSink {
+            w: RefCell::new(JsonlWriter::File(BufWriter::new(f))),
+            seq: Cell::new(0),
+            exec: false,
+            io_errors: Cell::new(0),
+        })
+    }
+
+    /// An in-memory JSONL sink; read the stream back with
+    /// [`JsonlSink::contents`].
+    pub fn in_memory() -> Self {
+        JsonlSink {
+            w: RefCell::new(JsonlWriter::Mem(Vec::new())),
+            seq: Cell::new(0),
+            exec: false,
+            io_errors: Cell::new(0),
+        }
+    }
+
+    /// Also records execution-class events (opt-in; breaks cross-thread
+    /// byte identity by design).
+    pub fn with_execution(mut self) -> Self {
+        self.exec = true;
+        self
+    }
+
+    /// The JSONL text accumulated so far (in-memory sinks only).
+    pub fn contents(&self) -> Option<String> {
+        match &*self.w.borrow() {
+            JsonlWriter::Mem(buf) => Some(String::from_utf8_lossy(buf).into_owned()),
+            JsonlWriter::File(_) => None,
+        }
+    }
+
+    /// Write errors swallowed during emission (a broken trace file must
+    /// not abort the run it observes).
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors.get()
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn emit(&self, ev: TraceEvent) {
+        if !accepts(self.exec, ev) {
+            return;
+        }
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
+        let mut line = String::with_capacity(96);
+        ev.write_jsonl(seq, &mut line);
+        match &mut *self.w.borrow_mut() {
+            JsonlWriter::Mem(buf) => buf.extend_from_slice(line.as_bytes()),
+            JsonlWriter::File(f) => {
+                if f.write_all(line.as_bytes()).is_err() {
+                    self.io_errors.set(self.io_errors.get() + 1);
+                }
+            }
+        }
+    }
+    fn emitted(&self) -> u64 {
+        self.seq.get()
+    }
+    fn wants_execution(&self) -> bool {
+        self.exec
+    }
+    fn flush(&self) {
+        if let JsonlWriter::File(f) = &mut *self.w.borrow_mut() {
+            if f.flush().is_err() {
+                self.io_errors.set(self.io_errors.get() + 1);
+            }
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// RAII phase marker: emits [`TraceEvent::PhaseEnter`] on construction
+/// and the matching [`TraceEvent::PhaseExit`] on drop, so early returns
+/// (including fault aborts via `?`) still close the phase.
+pub struct PhaseGuard {
+    sink: Option<Rc<dyn TraceSink>>,
+    name: &'static str,
+}
+
+impl PhaseGuard {
+    pub fn enter(sink: Option<Rc<dyn TraceSink>>, name: &'static str) -> Self {
+        if let Some(s) = &sink {
+            s.emit(TraceEvent::PhaseEnter { name });
+        }
+        PhaseGuard { sink, name }
+    }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if let Some(s) = &self.sink {
+            s.emit(TraceEvent::PhaseExit { name: self.name });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CallOutcome, TraceEvent};
+
+    fn call(lo: u32, hi: u32) -> TraceEvent {
+        TraceEvent::OracleCall {
+            lo,
+            hi,
+            attempt: 0,
+            outcome: CallOutcome::Ok,
+            virtual_ns: 10,
+        }
+    }
+
+    #[test]
+    fn execution_events_are_filtered_before_sequencing() {
+        let sink = JsonlSink::in_memory();
+        sink.emit(call(0, 1));
+        sink.emit(TraceEvent::Speculate {
+            generation: 1,
+            items: 4,
+        });
+        sink.emit(call(0, 2));
+        let text = sink.contents().unwrap();
+        // The speculate event consumed no sequence number: the two calls
+        // are numbered 0 and 1 with no gap.
+        assert!(text.contains("\"seq\":0,\"ev\":\"oracle_call\""));
+        assert!(text.contains("\"seq\":1,\"ev\":\"oracle_call\""));
+        assert!(!text.contains("speculate"));
+        assert_eq!(sink.emitted(), 2);
+    }
+
+    #[test]
+    fn execution_opt_in_records_speculation() {
+        let sink = JsonlSink::in_memory().with_execution();
+        sink.emit(TraceEvent::Speculate {
+            generation: 1,
+            items: 4,
+        });
+        sink.emit(TraceEvent::Commit {
+            generation: 1,
+            reused: 4,
+        });
+        let text = sink.contents().unwrap();
+        assert!(text.contains("\"seq\":0,\"ev\":\"speculate\",\"gen\":1,\"items\":4"));
+        assert!(text.contains("\"seq\":1,\"ev\":\"commit\",\"gen\":1,\"reused\":4"));
+    }
+
+    #[test]
+    fn ring_sink_keeps_the_tail() {
+        let sink = RingSink::new(2);
+        sink.emit(call(0, 1));
+        sink.emit(call(0, 2));
+        sink.emit(call(0, 3));
+        let evs = sink.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].0, 1);
+        assert_eq!(evs[1].0, 2);
+        assert_eq!(evs[1].1, call(0, 3));
+        assert_eq!(sink.emitted(), 3);
+    }
+
+    #[test]
+    fn null_sink_only_counts() {
+        let sink = NullSink::new();
+        sink.emit(call(0, 1));
+        sink.emit(TraceEvent::Speculate {
+            generation: 0,
+            items: 1,
+        });
+        assert_eq!(sink.emitted(), 1);
+        assert_eq!(NullSink::new().with_execution().emitted(), 0);
+    }
+
+    #[test]
+    fn phase_guard_closes_on_drop() {
+        let sink: Rc<dyn TraceSink> = Rc::new(JsonlSink::in_memory());
+        {
+            let _g = PhaseGuard::enter(Some(Rc::clone(&sink)), "build");
+            sink.emit(call(0, 1));
+        }
+        // Downcast via contents on the concrete type is not possible
+        // through the trait object; count instead.
+        assert_eq!(sink.emitted(), 3, "enter + call + exit");
+    }
+
+    #[test]
+    fn jsonl_file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("prox-obs-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("t.jsonl");
+        {
+            let sink = JsonlSink::create(&path).expect("create");
+            sink.emit(call(1, 2));
+            assert_eq!(sink.io_errors(), 0);
+        } // Drop flushes.
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(
+            text,
+            "{\"seq\":0,\"ev\":\"oracle_call\",\"lo\":1,\"hi\":2,\"attempt\":0,\
+             \"outcome\":\"ok\",\"virtual_ns\":10}\n"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

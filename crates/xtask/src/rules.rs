@@ -1,4 +1,4 @@
-//! The lint rules (`L1`–`L6`) enforcing the oracle-call discipline.
+//! The lint rules (`L1`–`L7`) enforcing the oracle-call discipline.
 //!
 //! Every rule works on the masked code produced by [`crate::lexer::scan`],
 //! skips `#[cfg(test)]` blocks (test code is exempt), and honours an escape
@@ -14,13 +14,14 @@
 //! | L4 | library crates | `unwrap` / `expect` / `panic!` (use `prox_core::invariant`) |
 //! | L5 | everywhere except `prox-exec` | `std::thread` (threading goes through `ExecPool` so determinism stays centralised) |
 //! | L6 | library crates | discarding a fallible oracle result via `.ok()` / `let _ =` (an `OracleError` must propagate or be handled, never vanish) |
+//! | L7 | library crates | direct `println!` / `eprintln!` output (observability goes through `prox-obs` sinks so traces stay deterministic and machine-readable) |
 
 use crate::lexer::{line_starts, match_brace, scan, test_line_ranges};
 
 /// One finding, addressable as `file:line`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id: `"L1"` … `"L6"`.
+    /// Rule id: `"L1"` … `"L7"`.
     pub rule: &'static str,
     /// Workspace-relative path with forward slashes.
     pub file: String,
@@ -48,7 +49,7 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
     if !rules_for(rel).iter().any(|&r| r) {
         return Vec::new();
     }
-    let [l1, l2, l3, l4, l5, l6] = rules_for(rel);
+    let [l1, l2, l3, l4, l5, l6, l7] = rules_for(rel);
     let scanned = scan(src);
     let masked_lines: Vec<&str> = scanned.masked.lines().collect();
     let comment_lines: Vec<&str> = scanned.comments.lines().collect();
@@ -163,6 +164,16 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                     .to_string(),
             );
         }
+        if l7 && ["println!", "print!("].iter().any(|p| code.contains(p)) && !allowed(line, "L7") {
+            push(
+                "L7",
+                line,
+                "direct `println!`/`eprintln!` in library code; emit a \
+                 `prox-obs` trace event or metric instead so observability \
+                 stays deterministic and machine-readable"
+                    .to_string(),
+            );
+        }
         if l6 && discards_fallible_result(code) && !allowed(line, "L6") {
             push(
                 "L6",
@@ -177,15 +188,15 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
     out
 }
 
-/// Which of `[L1, L2, L3, L4, L5, L6]` apply to this path.
-fn rules_for(rel: &str) -> [bool; 6] {
+/// Which of `[L1, L2, L3, L4, L5, L6, L7]` apply to this path.
+fn rules_for(rel: &str) -> [bool; 7] {
     // Only non-test library/tool sources are linted at all.
     let linted = rel.ends_with(".rs")
         && (rel.starts_with("crates/") || rel.starts_with("src/"))
         && rel.contains("/src/")
         && !rel.starts_with("crates/xtask/");
     if !linted {
-        return [false; 6];
+        return [false; 7];
     }
     let in_crate = |c: &str| rel.starts_with(&format!("crates/{c}/"));
     let l1 = !in_crate("core") && !in_crate("datasets");
@@ -200,7 +211,10 @@ fn rules_for(rel: &str) -> [bool; 6] {
     // L6: same scope as L4 — harness code may deliberately drop errors
     // (e.g. best-effort checkpoint writes), library code never may.
     let l6 = l4;
-    [l1, l2, l3, l4, l5, l6]
+    // L7: same scope again — bins and the bench harness talk to humans on
+    // stdout/stderr; library crates report through `prox-obs` instead.
+    let l7 = l4;
+    [l1, l2, l3, l4, l5, l6, l7]
 }
 
 /// Producer calls whose `Result` carries an `OracleError`.
@@ -438,6 +452,36 @@ mod tests {
         // `.ok()` on something that is not a fallible oracle producer.
         let src = "fn f() { let d = text.parse::<f64>().ok(); }\n";
         assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    // ---------------------------------------------------------------- L7
+
+    #[test]
+    fn l7_flags_println_and_eprintln_in_library_code() {
+        let src = "fn f() {\n    println!(\"x = {x}\");\n    eprintln!(\"warn\");\n    eprint!(\"partial\");\n}\n";
+        let vs = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(lines(&vs, "L7"), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn l7_exempts_bins_bench_tests_and_allow_annotation() {
+        let src = "fn f() { println!(\"hello\"); }\n";
+        assert!(lint_source("crates/bench/src/table.rs", src).is_empty());
+        assert!(lint_source("crates/bench/src/bin/repro.rs", src).is_empty());
+        assert!(lint_source("crates/algos/tests/t.rs", src).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { println!(\"dbg\"); }\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", in_test).is_empty());
+        let allowed =
+            "fn f() {\n    // panic replay note, no sink reachable; lint: allow(L7)\n    eprintln!(\"replay\");\n}\n";
+        assert!(lint_source("crates/datasets/src/x.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn l7_ignores_strings_and_doc_comments() {
+        let in_string = "fn f() { let s = \"println!(not real)\"; }\n";
+        assert!(lint_source("crates/core/src/x.rs", in_string).is_empty());
+        let in_doc = "/// Example: `println!(\"{d}\")` is forbidden here.\nfn f() {}\n";
+        assert!(lint_source("crates/core/src/x.rs", in_doc).is_empty());
     }
 
     // ----------------------------------------------------------- plumbing
