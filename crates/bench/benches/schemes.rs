@@ -222,6 +222,61 @@ fn bench_oracle_trace_layer(b: &mut Bench) {
     });
 }
 
+/// DESIGN.md §11 ablation: cost of the untrusted-oracle trust layer.
+/// `disabled` is a plain oracle with no injector or auditor — it must be
+/// indistinguishable from `oracle_trace_layer/clean` (same zero-cost
+/// detached-path discipline as §9/§10); `corrupt_rate0` prices the
+/// per-call corruption schedule hash alone; `audited_vote1` adds the
+/// detection-mode sandwich check on every resolution, and
+/// `audited_vote3` pays full first-to-3 voting.
+fn bench_oracle_trust_layer(b: &mut Bench) {
+    use prox_bounds::{AuditPolicy, BoundResolver, DistanceResolver};
+    use prox_core::CorruptionInjector;
+
+    let n = 256;
+    let metric = ClusteredPlane::default().metric(n, SEED);
+    let queries: Vec<Pair> = Pair::all(n).step_by(13).take(1024).collect();
+
+    let clean = Oracle::new(&*metric);
+    b.bench("oracle_trust_layer", "disabled", || {
+        for &q in &queries {
+            black_box(clean.call_pair(q));
+        }
+    });
+
+    let rate0 = Oracle::new(&*metric).with_corruption(CorruptionInjector::new(0.0, SEED));
+    b.bench("oracle_trust_layer", "corrupt_rate0", || {
+        for &q in &queries {
+            black_box(rate0.call_pair(q));
+        }
+    });
+
+    // Audited cells build a fresh resolver per iteration: the resolver
+    // memoizes resolutions, so a reused one would price cache hits, not
+    // the audit. The un-audited `vanilla_baseline` cell prices that same
+    // construction + resolve loop without an auditor, so the audit cost
+    // is the delta against it.
+    let oracle = Oracle::new(&*metric);
+    b.bench("oracle_trust_layer", "vanilla_baseline", || {
+        let mut r = BoundResolver::vanilla(&oracle);
+        for &q in &queries {
+            black_box(r.resolve(q));
+        }
+    });
+    b.bench("oracle_trust_layer", "audited_vote1", || {
+        let mut r = BoundResolver::vanilla(&oracle).with_audit(AuditPolicy::detect_only());
+        for &q in &queries {
+            black_box(r.resolve(q));
+        }
+    });
+    b.bench("oracle_trust_layer", "audited_vote3", || {
+        let mut r = BoundResolver::vanilla(&oracle).with_audit(AuditPolicy::vote(3, 3));
+        for &q in &queries {
+            black_box(r.resolve(q));
+        }
+    });
+}
+
 fn main() {
     let mut b = Bench::named("schemes");
     bench_queries(&mut b);
@@ -229,5 +284,6 @@ fn main() {
     bench_tri_adjacency(&mut b);
     bench_oracle_fault_layer(&mut b);
     bench_oracle_trace_layer(&mut b);
+    bench_oracle_trust_layer(&mut b);
     b.finish();
 }

@@ -29,6 +29,20 @@
 //!     --faults 0.05 --retry 3 --budget 20000 --checkpoint run.ckpt
 //! prox-cli prim --dataset sf --n 300 --plug tri --resume run.ckpt
 //! ```
+//!
+//! Untrusted oracles (DESIGN.md §11): `--corrupt RATE[:SEED]` injects
+//! deterministic *value* corruptions (the oracle lies instead of
+//! failing), `--vote K[:N]` audits every resolution by deterministic
+//! first-to-K majority voting, and `--corrupt` without `--vote` runs in
+//! detection mode — accepted values are checked against the certified
+//! bound sandwich and escalated to a vote only on a proven
+//! inconsistency. `--lenient-load` salvages the verified prefix of a
+//! damaged `--cache`/`--resume` file instead of refusing it:
+//!
+//! ```text
+//! prox-cli prim --dataset sf --n 300 --plug tri --corrupt 0.05 --vote 3
+//! prox-cli prim --dataset sf --n 300 --plug tri --resume run.ckpt --lenient-load
+//! ```
 
 use std::process::ExitCode;
 use std::rc::Rc;
@@ -44,8 +58,9 @@ use prox_bench::runner::{
 };
 use prox_bench::CheckpointingResolver;
 use prox_core::{
-    load_known, read_checkpoint_file, save_known, write_checkpoint_file, CallBudget, FaultInjector,
-    Metric, OracleError, Pair, RetryPolicy,
+    load_known, load_known_lenient, read_checkpoint_file, read_checkpoint_file_lenient, save_known,
+    write_checkpoint_file, CallBudget, CorruptionInjector, FaultInjector, Metric, OracleError,
+    Pair, RetryPolicy,
 };
 use prox_datasets::by_name;
 use prox_obs::{summarize, JsonlSink, Metrics, TraceSink};
@@ -67,10 +82,18 @@ struct Args {
     retry: Option<(u32, Option<u64>)>,
     /// `--budget CALLS`.
     budget: Option<u64>,
+    /// `--corrupt RATE[:SEED]` (seed defaults to `--seed`).
+    corrupt: Option<(f64, Option<u64>)>,
+    /// `--vote K[:N]` (`K` alone means first-to-K with no extra pool,
+    /// i.e. `K:K`).
+    vote: Option<(u32, u32)>,
     /// `--checkpoint FILE[:EVERY]`.
     checkpoint: Option<(String, u64)>,
     /// `--resume FILE`.
     resume: Option<String>,
+    /// `--lenient-load`: salvage the verified prefix of a damaged
+    /// `--cache` or `--resume` file instead of aborting.
+    lenient_load: bool,
     /// `--trace FILE` (or the `trace` subcommand's `--out FILE`): write a
     /// structured JSONL event trace of the run.
     trace: Option<String>,
@@ -84,7 +107,9 @@ fn usage() -> ExitCode {
          \x20       [--landmarks K] [--seed S] [--k 5] [--l 10]\n\
          \x20       [--oracle-cost-ms MS] [--cache FILE] [--threads N]\n\
          \x20       [--faults RATE[:SEED]] [--retry N[:BASE_MS]] [--budget CALLS]\n\
-         \x20       [--checkpoint FILE[:EVERY]] [--resume FILE] [--trace FILE.jsonl]\n\
+         \x20       [--corrupt RATE[:SEED]] [--vote K[:N]]\n\
+         \x20       [--checkpoint FILE[:EVERY]] [--resume FILE] [--lenient-load]\n\
+         \x20       [--trace FILE.jsonl]\n\
          \x20  prox-cli trace <algo> [same flags] [--out FILE.jsonl]\n\
          \x20  prox-cli report <FILE.jsonl>"
     );
@@ -123,8 +148,11 @@ fn parse() -> Option<Args> {
         faults: None,
         retry: None,
         budget: None,
+        corrupt: None,
+        vote: None,
         checkpoint: None,
         resume: None,
+        lenient_load: false,
         trace,
     };
     while let Some(flag) = argv.next() {
@@ -154,14 +182,73 @@ fn parse() -> Option<Args> {
             "--l" => a.l = val()?.parse().ok()?,
             "--oracle-cost-ms" => a.oracle_cost_ms = val()?.parse().ok()?,
             "--cache" => a.cache = Some(val()?),
-            "--faults" => a.faults = Some(split_opt(&val()?)?),
-            "--retry" => a.retry = Some(split_opt(&val()?)?),
-            "--budget" => a.budget = Some(val()?.parse().ok()?),
+            "--faults" => {
+                let raw = val()?;
+                let Some((rate, seed)) = split_opt::<f64, u64>(&raw) else {
+                    eprintln!("--faults expects RATE[:SEED], got {raw:?}");
+                    return None;
+                };
+                if !rate.is_finite() || rate <= 0.0 || rate > 1.0 {
+                    eprintln!("--faults rate must be a probability in (0, 1], got {rate}");
+                    return None;
+                }
+                a.faults = Some((rate, seed));
+            }
+            "--retry" => {
+                let raw = val()?;
+                let Some((n, base_ms)) = split_opt::<u32, u64>(&raw) else {
+                    eprintln!("--retry expects N[:BASE_MS], got {raw:?}");
+                    return None;
+                };
+                if n == 0 {
+                    eprintln!("--retry 0 retries nothing; drop the flag instead");
+                    return None;
+                }
+                a.retry = Some((n, base_ms));
+            }
+            "--budget" => {
+                let raw = val()?;
+                let Ok(calls) = raw.parse::<u64>() else {
+                    eprintln!("--budget expects a call count, got {raw:?}");
+                    return None;
+                };
+                if calls == 0 {
+                    eprintln!("--budget 0 forbids every oracle call; nothing could run");
+                    return None;
+                }
+                a.budget = Some(calls);
+            }
+            "--corrupt" => {
+                let raw = val()?;
+                let Some((rate, seed)) = split_opt::<f64, u64>(&raw) else {
+                    eprintln!("--corrupt expects RATE[:SEED], got {raw:?}");
+                    return None;
+                };
+                if !rate.is_finite() || rate <= 0.0 || rate > 1.0 {
+                    eprintln!("--corrupt rate must be a probability in (0, 1], got {rate}");
+                    return None;
+                }
+                a.corrupt = Some((rate, seed));
+            }
+            "--vote" => {
+                let raw = val()?;
+                let Some((k, n)) = split_opt::<u32, u32>(&raw) else {
+                    eprintln!("--vote expects K[:N], got {raw:?}");
+                    return None;
+                };
+                let n = n.unwrap_or(k);
+                if k == 0 || n < k {
+                    eprintln!("--vote needs N >= K >= 1, got K={k}, N={n}");
+                    return None;
+                }
+                a.vote = Some((k, n));
+            }
             "--checkpoint" => {
                 let (path, every): (String, Option<u64>) = split_opt(&val()?)?;
                 a.checkpoint = Some((path, every.unwrap_or(256)));
             }
             "--resume" => a.resume = Some(val()?),
+            "--lenient-load" => a.lenient_load = true,
             "--trace" | "--out" => a.trace = Some(val()?),
             // 0 = one per core. Results and oracle-call counts are
             // identical at any thread count (speculate/commit protocol).
@@ -233,9 +320,14 @@ fn main() -> ExitCode {
     let metric = dataset.metric(args.n, args.seed);
     let landmarks = args.landmarks.unwrap_or_else(|| log_landmarks(args.n));
 
-    // Install the fault/retry/budget knobs on every oracle the runner
-    // builds (bootstrap included — landmark calls can fault too).
-    if args.faults.is_some() || args.retry.is_some() || args.budget.is_some() {
+    // Install the fault/retry/budget/corruption knobs on every oracle the
+    // runner builds (bootstrap included — landmark calls can fault too).
+    let wants_oracle_config = args.faults.is_some()
+        || args.retry.is_some()
+        || args.budget.is_some()
+        || args.corrupt.is_some()
+        || args.vote.is_some();
+    if wants_oracle_config {
         let retry = match args.retry {
             Some((n, base_ms)) => {
                 let mut p = RetryPolicy::standard(n);
@@ -254,12 +346,36 @@ fn main() -> ExitCode {
             budget: args
                 .budget
                 .map_or_else(CallBudget::unlimited, CallBudget::calls),
+            corrupt: args
+                .corrupt
+                .map(|(rate, seed)| CorruptionInjector::new(rate, seed.unwrap_or(args.seed))),
+            vote: args.vote,
         });
     }
 
-    // Pre-load a resolved-distance cache, if any.
+    // Pre-load a resolved-distance cache, if any. Under `--lenient-load`
+    // a partially corrupted cache still contributes its clean lines
+    // (each dropped line reported with its line number) instead of
+    // aborting the run.
     let mut preload: Vec<(Pair, f64)> = match &args.cache {
         Some(path) => match std::fs::File::open(path) {
+            Ok(f) if args.lenient_load => match load_known_lenient(std::io::BufReader::new(f)) {
+                Ok(report) => {
+                    for err in &report.errors {
+                        eprintln!("[cache] {path}: {err}");
+                    }
+                    eprintln!(
+                        "[cache] loaded {} resolved distances from {path} ({} line(s) dropped)",
+                        report.loaded.len(),
+                        report.skipped
+                    );
+                    report.loaded
+                }
+                Err(e) => {
+                    eprintln!("[cache] {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
             Ok(f) => match load_known(std::io::BufReader::new(f)) {
                 Ok(edges) => {
                     eprintln!(
@@ -269,7 +385,7 @@ fn main() -> ExitCode {
                     edges
                 }
                 Err(e) => {
-                    eprintln!("[cache] {path}: {e}");
+                    eprintln!("[cache] {path}: {e} (use --lenient-load to salvage)");
                     return ExitCode::FAILURE;
                 }
             },
@@ -284,7 +400,20 @@ fn main() -> ExitCode {
     // A checkpoint from a budget-killed (or completed) earlier run: its
     // manifest must describe the same problem, its pairs preload for free.
     if let Some(path) = &args.resume {
-        match read_checkpoint_file(std::path::Path::new(path)) {
+        let loaded = if args.lenient_load {
+            read_checkpoint_file_lenient(std::path::Path::new(path)).map(|rec| {
+                if rec.recovered {
+                    eprintln!(
+                        "[resume] {path}: salvaged verified prefix, {} damaged line(s) dropped",
+                        rec.dropped_lines
+                    );
+                }
+                rec.checkpoint
+            })
+        } else {
+            read_checkpoint_file(std::path::Path::new(path))
+        };
+        match loaded {
             Ok(ckpt) => {
                 for (key, want) in [
                     ("dataset", args.dataset.as_str()),
@@ -308,7 +437,12 @@ fn main() -> ExitCode {
                 preload.extend(ckpt.known);
             }
             Err(e) => {
-                eprintln!("[resume] {path}: {e}");
+                let hint = if args.lenient_load {
+                    ""
+                } else {
+                    " (use --lenient-load to salvage the verified prefix)"
+                };
+                eprintln!("[resume] {path}: {e}{hint}");
                 return ExitCode::FAILURE;
             }
         }
@@ -555,11 +689,23 @@ fn main() -> ExitCode {
         result.bootstrap_calls,
         result.algo_calls
     );
-    if args.faults.is_some() || args.retry.is_some() || args.budget.is_some() {
+    if wants_oracle_config {
         let f = result.fault_stats;
         println!(
             "fault path   : {} faults injected, {} retries, {:.3?} virtual backoff",
             f.faults_injected, f.retries, f.backoff_time
+        );
+    }
+    if args.corrupt.is_some() || args.vote.is_some() {
+        let c = result.corruption;
+        println!(
+            "audit        : {} corruptions injected; {} detected, {} repaired, {} retracted, \
+             {} re-queries billed",
+            result.fault_stats.corruptions_injected,
+            c.detected,
+            c.repaired,
+            c.retracted,
+            c.requeries
         );
     }
     println!(

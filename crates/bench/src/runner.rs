@@ -6,10 +6,13 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use prox_bounds::{
-    try_laesa_bootstrap, Adm, AdmUpdate, BoundResolver, DistanceResolver, Laesa, Splub, Tlaesa,
-    TriScheme,
+    try_laesa_bootstrap, Adm, AdmUpdate, AuditPolicy, BoundResolver, CorruptionStats,
+    DistanceResolver, Laesa, Splub, Tlaesa, TriScheme,
 };
-use prox_core::{CallBudget, FaultInjector, FaultStats, Metric, Oracle, OracleError, RetryPolicy};
+use prox_core::{
+    CallBudget, CorruptionInjector, FaultInjector, FaultStats, Metric, Oracle, OracleError,
+    RetryPolicy,
+};
 use prox_lp::DftResolver;
 use prox_obs::{Metrics, PhaseGuard, TraceSink};
 
@@ -66,6 +69,32 @@ pub struct OracleConfig {
     pub retry: RetryPolicy,
     /// Hard call/deadline guards.
     pub budget: CallBudget,
+    /// Deterministic value corruption (None = truthful oracle). See
+    /// `prox_core::CorruptionInjector` and the audit layer in
+    /// `prox_bounds::audit`.
+    pub corrupt: Option<CorruptionInjector>,
+    /// Consistency audit `(k, n)` vote attached to every resolver the
+    /// runner builds (`None` = trust the oracle; `(1, 1)` = sandwich
+    /// detection only; `k >= 2` = vote-confirm every fresh resolution).
+    pub vote: Option<(u32, u32)>,
+}
+
+impl OracleConfig {
+    /// True when this configuration requires resolver-level auditing
+    /// (corruption injected or a vote requested).
+    pub fn wants_audit(&self) -> bool {
+        self.corrupt.is_some() || self.vote.is_some()
+    }
+
+    /// The audit policy this configuration implies, if any: an explicit
+    /// `--vote`, or detection-only when corruption is injected without one.
+    pub fn audit_policy(&self) -> Option<AuditPolicy> {
+        match (self.vote, self.corrupt) {
+            (Some((k, n)), _) => Some(AuditPolicy::vote(k, n)),
+            (None, Some(_)) => Some(AuditPolicy::detect_only()),
+            (None, None) => None,
+        }
+    }
 }
 
 static ORACLE_CONFIG: Mutex<Option<OracleConfig>> = Mutex::new(None);
@@ -131,6 +160,8 @@ pub struct RunResult {
     pub bootstrap_wall: Duration,
     /// Fault-path accounting (all zero for a clean oracle).
     pub fault_stats: FaultStats,
+    /// Corruption-audit accounting (all zero without `--corrupt`/`--vote`).
+    pub corruption: CorruptionStats,
 }
 
 impl RunResult {
@@ -239,11 +270,33 @@ pub fn try_run_plugged_observed<T>(
     algo: impl FnOnce(&mut dyn DistanceResolver) -> T,
 ) -> Result<CachedRun<T>, OracleError> {
     let n = metric.len();
+    let cfg = oracle_config();
+    let audit_policy = cfg.as_ref().and_then(OracleConfig::audit_policy);
+    if audit_policy.is_some() {
+        // Bootstrapped / landmark plugs call the oracle outside the
+        // audited resolver (LAESA rows, pivot trees), and the DFT resolver
+        // bypasses `BoundResolver` entirely — none of them can be defended
+        // against a lying oracle, so refuse instead of silently producing
+        // unaudited results.
+        let auditable = matches!(
+            plug,
+            Plug::Vanilla | Plug::TriNb | Plug::Splub | Plug::Adm | Plug::AdmSinglePass
+        );
+        if !auditable {
+            return Err(OracleError::Permanent {
+                reason: "corruption auditing requires a bootstrap-free bound plug \
+                         (vanilla, tri-nb, splub, or adm)",
+            });
+        }
+    }
     let mut oracle = Oracle::new(metric);
-    if let Some(cfg) = oracle_config() {
+    if let Some(cfg) = cfg {
         oracle = oracle.with_retry(cfg.retry).with_budget(cfg.budget);
         if let Some(f) = cfg.faults {
             oracle = oracle.with_faults(f);
+        }
+        if let Some(c) = cfg.corrupt {
+            oracle = oracle.with_corruption(c);
         }
     }
     let mut observers = observers;
@@ -273,6 +326,7 @@ pub fn try_run_plugged_observed<T>(
             result.wall = t.elapsed();
             result.algo_calls = oracle.calls() - result.bootstrap_calls;
             result.fault_stats = oracle.fault_stats();
+            result.corruption = resolver.corruption_stats();
             let mut exported = Vec::new();
             if export {
                 resolver.export_known(&mut exported);
@@ -281,15 +335,29 @@ pub fn try_run_plugged_observed<T>(
         }};
     }
 
+    // Attaches the configured audit policy to a `BoundResolver`; a no-op
+    // expression wrapper when auditing is off.
+    macro_rules! audited {
+        ($r:expr) => {{
+            match audit_policy {
+                Some(p) => $r.with_audit(p),
+                None => $r,
+            }
+        }};
+    }
+
     let boot_t = Instant::now();
     match plug {
         Plug::Vanilla => {
             result.bootstrap_wall = boot_t.elapsed();
-            finish!(BoundResolver::vanilla(&oracle))
+            finish!(audited!(BoundResolver::vanilla(&oracle)))
         }
         Plug::TriNb => {
             result.bootstrap_wall = boot_t.elapsed();
-            finish!(BoundResolver::new(&oracle, TriScheme::new(n, 1.0)))
+            finish!(audited!(BoundResolver::new(
+                &oracle,
+                TriScheme::new(n, 1.0)
+            )))
         }
         Plug::TriBoot => {
             let boot = try_laesa_bootstrap(&oracle, landmarks, seed)?;
@@ -300,18 +368,18 @@ pub fn try_run_plugged_observed<T>(
         }
         Plug::Splub => {
             result.bootstrap_wall = boot_t.elapsed();
-            finish!(BoundResolver::new(&oracle, Splub::new(n, 1.0)))
+            finish!(audited!(BoundResolver::new(&oracle, Splub::new(n, 1.0))))
         }
         Plug::Adm => {
             result.bootstrap_wall = boot_t.elapsed();
-            finish!(BoundResolver::new(&oracle, Adm::new(n, 1.0)))
+            finish!(audited!(BoundResolver::new(&oracle, Adm::new(n, 1.0))))
         }
         Plug::AdmSinglePass => {
             result.bootstrap_wall = boot_t.elapsed();
-            finish!(BoundResolver::new(
+            finish!(audited!(BoundResolver::new(
                 &oracle,
                 Adm::with_update(n, 1.0, AdmUpdate::SinglePass)
-            ))
+            )))
         }
         Plug::Laesa => {
             let boot = try_laesa_bootstrap(&oracle, landmarks, seed)?;
@@ -373,6 +441,7 @@ mod tests {
             wall: Duration::from_millis(5),
             bootstrap_wall: Duration::from_millis(1),
             fault_stats: FaultStats::default(),
+            corruption: CorruptionStats::default(),
         };
         let t = r.completion_time(Duration::from_millis(10));
         assert_eq!(t, Duration::from_millis(5 + 1 + 1000));

@@ -1,0 +1,162 @@
+//! End-to-end `prox-cli` flag validation: malformed, zero, or NaN values
+//! for the oracle knobs must be rejected with a specific message *and*
+//! the usage hint — never silently fall through to a default parse.
+//! Also exercises the audited-run and `--lenient-load` happy paths.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_prox-cli"))
+        .args(args)
+        .output()
+        .expect("spawn prox-cli");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Every rejected flag must explain itself and then show the usage
+/// block, so the user learns the expected shape without a second try.
+fn assert_rejected(args: &[&str], expected_msg: &str) {
+    let (ok, _, stderr) = run(args);
+    assert!(!ok, "{args:?} must fail, stderr: {stderr}");
+    assert!(
+        stderr.contains(expected_msg),
+        "{args:?}: stderr {stderr:?} missing {expected_msg:?}"
+    );
+    assert!(
+        stderr.contains("usage: prox-cli"),
+        "{args:?}: rejection must include the usage hint, got {stderr:?}"
+    );
+}
+
+#[test]
+fn faults_flag_rejects_zero_nan_and_garbage() {
+    assert_rejected(
+        &["prim", "--faults", "0"],
+        "--faults rate must be a probability in (0, 1]",
+    );
+    assert_rejected(
+        &["prim", "--faults", "NaN"],
+        "--faults rate must be a probability in (0, 1]",
+    );
+    assert_rejected(
+        &["prim", "--faults", "1.5"],
+        "--faults rate must be a probability in (0, 1]",
+    );
+    assert_rejected(
+        &["prim", "--faults", "0.5:x"],
+        "--faults expects RATE[:SEED]",
+    );
+    assert_rejected(
+        &["prim", "--faults", "lots"],
+        "--faults expects RATE[:SEED]",
+    );
+}
+
+#[test]
+fn retry_and_budget_flags_reject_zero_and_garbage() {
+    assert_rejected(&["prim", "--retry", "0"], "--retry 0 retries nothing");
+    assert_rejected(&["prim", "--retry", "x"], "--retry expects N[:BASE_MS]");
+    assert_rejected(&["prim", "--budget", "0"], "--budget 0 forbids");
+    assert_rejected(
+        &["prim", "--budget", "many"],
+        "--budget expects a call count",
+    );
+}
+
+#[test]
+fn corrupt_flag_rejects_zero_nan_and_garbage() {
+    assert_rejected(
+        &["prim", "--corrupt", "0"],
+        "--corrupt rate must be a probability in (0, 1]",
+    );
+    assert_rejected(
+        &["prim", "--corrupt", "NaN"],
+        "--corrupt rate must be a probability in (0, 1]",
+    );
+    assert_rejected(
+        &["prim", "--corrupt", "0.5:"],
+        "--corrupt expects RATE[:SEED]",
+    );
+}
+
+#[test]
+fn vote_flag_rejects_zero_and_inverted_pools() {
+    assert_rejected(&["prim", "--vote", "0"], "--vote needs N >= K >= 1");
+    assert_rejected(&["prim", "--vote", "3:2"], "--vote needs N >= K >= 1");
+    assert_rejected(&["prim", "--vote", "two"], "--vote expects K[:N]");
+}
+
+#[test]
+fn audited_run_reports_corruption_accounting() {
+    let (ok, stdout, stderr) = run(&[
+        "prim",
+        "--dataset",
+        "sf",
+        "--n",
+        "40",
+        "--plug",
+        "tri-nb",
+        "--corrupt",
+        "0.05:20210620",
+        "--vote",
+        "3",
+    ]);
+    assert!(ok, "audited run must succeed, stderr: {stderr}");
+    assert!(stdout.contains("MST weight"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("audit        :") && stdout.contains("re-queries billed"),
+        "audited runs must print the corruption accounting, got {stdout}"
+    );
+}
+
+#[test]
+fn lenient_load_salvages_a_damaged_cache() {
+    let dir = std::env::temp_dir().join(format!("prox-cli-lenient-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let cache = dir.join("dists.csv");
+    let cache_str = cache.to_str().expect("utf8 path");
+
+    // Build a genuine cache first, then damage one line of it.
+    let base = &[
+        "prim",
+        "--dataset",
+        "sf",
+        "--n",
+        "30",
+        "--plug",
+        "tri-nb",
+        "--cache",
+        cache_str,
+    ];
+    let (ok, _, stderr) = run(base);
+    assert!(ok, "cache-building run failed: {stderr}");
+    let mut text = std::fs::read_to_string(&cache).expect("read cache");
+    text.push_str("7,7,oops\n");
+    std::fs::write(&cache, text).expect("rewrite cache");
+
+    // Strict load refuses the file and points at the escape hatch.
+    let (ok, _, stderr) = run(base);
+    assert!(!ok, "strict load must refuse a damaged cache");
+    assert!(
+        stderr.contains("use --lenient-load to salvage"),
+        "stderr: {stderr}"
+    );
+
+    // Lenient load drops the damaged line, keeps the rest, and the run
+    // completes.
+    let mut lenient = base.to_vec();
+    lenient.push("--lenient-load");
+    let (ok, stdout, stderr) = run(&lenient);
+    assert!(ok, "lenient run failed: {stderr}");
+    assert!(stdout.contains("MST weight"), "stdout: {stdout}");
+    assert!(
+        stderr.contains("1 line(s) dropped"),
+        "lenient load must report the dropped line, got {stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,99 @@
+//! Harness-level corruption auditing: a value-corrupted, vote-audited run
+//! produces byte-identical output to a clean run (invariant I9), bills its
+//! re-queries honestly, and refuses plugs that cannot be defended.
+//!
+//! Own integration-test binary because `set_oracle_config` is
+//! process-wide; a local lock serializes the tests that touch it.
+
+use std::sync::Mutex;
+
+use prox_algos::prim_mst;
+use prox_bench::{
+    clear_oracle_config, run_plugged, set_oracle_config, try_run_plugged_cached, OracleConfig, Plug,
+};
+use prox_core::{CallBudget, CorruptionInjector, OracleError, RetryPolicy};
+use prox_datasets::{ClusteredPlane, Dataset};
+
+static CONFIG_LOCK: Mutex<()> = Mutex::new(());
+
+fn corrupt_config(rate: f64, seed: u64, vote: Option<(u32, u32)>) -> OracleConfig {
+    OracleConfig {
+        faults: None,
+        retry: RetryPolicy::none(),
+        budget: CallBudget::unlimited(),
+        corrupt: Some(CorruptionInjector::new(rate, seed)),
+        vote,
+    }
+}
+
+#[test]
+fn corrupted_vote_run_matches_clean_run_and_bills_requeries() {
+    let _g = CONFIG_LOCK.lock().expect("config lock");
+    let metric = ClusteredPlane::default().metric(60, 9);
+
+    clear_oracle_config();
+    let (clean_mst, clean) = run_plugged(Plug::TriNb, &*metric, 0, 3, |r| prim_mst(r));
+    assert_eq!(clean.fault_stats.corruptions_injected, 0);
+
+    set_oracle_config(corrupt_config(0.05, 20210620, Some((3, 3))));
+    let (mst, res) = run_plugged(Plug::TriNb, &*metric, 0, 3, |r| prim_mst(r));
+    clear_oracle_config();
+
+    assert_eq!(
+        mst.edge_keys(),
+        clean_mst.edge_keys(),
+        "I9: vote-audited output must equal the clean output"
+    );
+    assert_eq!(
+        mst.total_weight.to_bits(),
+        clean_mst.total_weight.to_bits(),
+        "I9: byte-identical weight"
+    );
+    assert!(
+        res.fault_stats.corruptions_injected > 0,
+        "rate 0.05 must fire on this workload"
+    );
+    assert_eq!(
+        res.corruption.detected, res.fault_stats.corruptions_injected,
+        "every injected corruption is detected, none invented"
+    );
+    assert_eq!(
+        res.total_calls(),
+        clean.total_calls() + res.corruption.requeries,
+        "re-queries are billed exactly on top of the clean cost"
+    );
+    assert_eq!(res.corruption.retracted, 0, "voting never records a lie");
+}
+
+#[test]
+fn corruption_refuses_unauditable_plugs() {
+    let _g = CONFIG_LOCK.lock().expect("config lock");
+    let metric = ClusteredPlane::default().metric(30, 9);
+    set_oracle_config(corrupt_config(0.05, 7, None));
+    for plug in [Plug::TriBoot, Plug::Laesa, Plug::Tlaesa, Plug::Dft] {
+        let err = try_run_plugged_cached(plug, &*metric, 4, 3, &[], false, |r| prim_mst(r))
+            .map(|_| ())
+            .expect_err("unauditable plug must refuse a corrupt oracle");
+        assert!(
+            matches!(err, OracleError::Permanent { reason } if reason.contains("bootstrap-free")),
+            "got {err:?}"
+        );
+    }
+    clear_oracle_config();
+}
+
+#[test]
+fn corrupt_without_vote_defaults_to_detection_mode() {
+    let _g = CONFIG_LOCK.lock().expect("config lock");
+    let metric = ClusteredPlane::default().metric(40, 9);
+    // Rate 0 injects nothing; detection mode then adds zero overhead and
+    // zero detections — the audited run is bit-identical to clean.
+    clear_oracle_config();
+    let (clean_mst, clean) = run_plugged(Plug::Splub, &*metric, 0, 3, |r| prim_mst(r));
+    set_oracle_config(corrupt_config(0.0, 1, None));
+    let (mst, res) = run_plugged(Plug::Splub, &*metric, 0, 3, |r| prim_mst(r));
+    clear_oracle_config();
+    assert_eq!(mst.edge_keys(), clean_mst.edge_keys());
+    assert_eq!(res.total_calls(), clean.total_calls());
+    assert_eq!(res.corruption, Default::default());
+}

@@ -1,0 +1,171 @@
+//! Consistency auditing for *untrusted* oracles (value-corruption defence).
+//!
+//! The fault layer in `prox_core::fault` models oracles that **lie**: a
+//! [`prox_core::CorruptionInjector`] deterministically perturbs a fraction
+//! of returned distances. This module is the counter-measure. It rests on
+//! one observation the whole workspace is built around: every accepted
+//! distance lives inside a *certified sandwich* — the `[TLB, TUB]` interval
+//! the bound scheme derives from previously accepted values via the
+//! triangle inequality. A fresh value outside that sandwich is a **proven
+//! inconsistency**: no metric can simultaneously satisfy the recorded
+//! distances and the new one, so at least one oracle answer was wrong. The
+//! witness is the triangle (or path) that produced the violated bound.
+//!
+//! Two defence levels, selected by [`AuditPolicy`]:
+//!
+//! * **Detection mode** (`vote_k == 1`). Every fresh value is checked
+//!   against its sandwich. A violation is counted, traced
+//!   (`TraceEvent::Corruption`), the pair quarantined, and the value
+//!   re-queried under a trusted 2-of-n vote. If the *trusted* value also
+//!   violates the sandwich, an earlier silently-accepted value must have
+//!   been the lie, and the resolver sweeps every recorded edge,
+//!   re-verifying each by vote and retracting the poisoned ones
+//!   ([`crate::BoundScheme::retract`]). Detection mode is cheap (zero
+//!   extra calls until a lie is caught) but *incomplete*: a lie inside the
+//!   sandwich passes.
+//! * **Voting mode** (`vote_k >= 2`). Every fresh resolution queries
+//!   independent replicas until `vote_k` of them agree bit-for-bit; the
+//!   agreed value is accepted, disagreeing replicas are counted as
+//!   detections. Because the corruption schedule is a pure function of
+//!   `(pair, replica)` and changes the bits of the value whenever it
+//!   fires, a corrupted replica can never reach quorum against clean
+//!   replicas, so voting restores *exactness*: invariant **I9** pins the
+//!   audited run's outputs byte-identical to a clean run's.
+//!
+//! Re-queries are billed honestly — each replica call goes through the
+//! same counted, budgeted oracle path — and accumulated in
+//! [`CorruptionStats::requeries`] so `billed(corrupt) == billed(clean) +
+//! requeries` can be asserted exactly.
+
+use std::collections::HashMap;
+
+use prox_core::invariant;
+use prox_core::Pair;
+
+/// Upper bound on replicas queried for one pair in a single vote. Reaching
+/// it means the oracle disagrees with itself faster than any plausible
+/// corruption rate allows; continuing would burn budget forever.
+pub const VOTE_CAP: u32 = 256;
+
+/// How the resolver audits accepted values. See the module docs for the
+/// two modes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AuditPolicy {
+    /// Bit-exact agreements required to accept a value (`1` = accept the
+    /// first answer, audit it against the bound sandwich).
+    pub vote_k: u32,
+    /// Nominal replica pool. Purely descriptive for first-to-k voting
+    /// (the vote escalates past `n` when corruption clusters), but kept
+    /// for reporting and CLI symmetry; must satisfy `n >= k`.
+    pub vote_n: u32,
+}
+
+impl AuditPolicy {
+    /// Sandwich auditing only: accept first answers, prove lies post-hoc.
+    pub fn detect_only() -> Self {
+        AuditPolicy {
+            vote_k: 1,
+            vote_n: 1,
+        }
+    }
+
+    /// `k`-of-`n` voting on every fresh resolution.
+    pub fn vote(k: u32, n: u32) -> Self {
+        invariant!(
+            k >= 1 && n >= k,
+            "vote policy requires n >= k >= 1 (got k={k}, n={n})"
+        );
+        AuditPolicy {
+            vote_k: k,
+            vote_n: n,
+        }
+    }
+
+    /// True when every fresh resolution is vote-confirmed.
+    pub fn always_votes(&self) -> bool {
+        self.vote_k >= 2
+    }
+}
+
+/// Counters for the audit machinery, reconciled exactly by the I9 tests:
+/// under voting, `detected` equals the number of injected-and-observed
+/// corruptions, and `requeries` equals the billed-call overhead versus a
+/// clean run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CorruptionStats {
+    /// Values proven wrong — sandwich violations plus vote losers.
+    pub detected: u64,
+    /// Trusted replacements recorded after a detection.
+    pub repaired: u64,
+    /// Previously *accepted* values withdrawn from the bound scheme during
+    /// a poisoned-state sweep.
+    pub retracted: u64,
+    /// Oracle calls beyond the one a clean, unaudited run would have paid
+    /// for the same resolutions.
+    pub requeries: u64,
+}
+
+/// Per-resolver audit state: the policy, the counters, and the quarantine
+/// cursor — the next fresh replica index per pair, so re-queries after a
+/// detection never re-read the replica that lied.
+#[derive(Clone, Debug)]
+pub struct AuditState {
+    pub(crate) policy: AuditPolicy,
+    pub(crate) stats: CorruptionStats,
+    pub(crate) next_replica: HashMap<u64, u32>,
+}
+
+impl AuditState {
+    pub(crate) fn new(policy: AuditPolicy) -> Self {
+        AuditState {
+            policy,
+            stats: CorruptionStats::default(),
+            next_replica: HashMap::new(),
+        }
+    }
+
+    /// First unqueried replica index for `p`.
+    pub(crate) fn cursor(&self, p: Pair) -> u32 {
+        self.next_replica.get(&p.key()).copied().unwrap_or(0)
+    }
+
+    /// Advances the cursor after a vote consumed replicas `[from, to)`.
+    pub(crate) fn advance(&mut self, p: Pair, to: u32) {
+        self.next_replica.insert(p.key(), to);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_constructors() {
+        assert_eq!(AuditPolicy::detect_only(), AuditPolicy::vote(1, 1));
+        assert!(!AuditPolicy::detect_only().always_votes());
+        assert!(AuditPolicy::vote(2, 3).always_votes());
+        assert_eq!(AuditPolicy::vote(3, 3).vote_n, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= k >= 1")]
+    fn zero_k_is_rejected() {
+        let _ = AuditPolicy::vote(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= k >= 1")]
+    fn n_below_k_is_rejected() {
+        let _ = AuditPolicy::vote(3, 2);
+    }
+
+    #[test]
+    fn cursor_tracks_quarantine() {
+        let mut a = AuditState::new(AuditPolicy::detect_only());
+        let p = Pair::new(0, 1);
+        assert_eq!(a.cursor(p), 0);
+        a.advance(p, 3);
+        assert_eq!(a.cursor(p), 3);
+        assert_eq!(a.cursor(Pair::new(0, 2)), 0, "per-pair cursors");
+    }
+}

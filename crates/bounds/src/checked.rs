@@ -230,6 +230,10 @@ impl<R: DistanceResolver, F: Fn(Pair) -> f64> DistanceResolver for CheckedResolv
         }
     }
 
+    fn corruption_stats(&self) -> crate::CorruptionStats {
+        self.inner.corruption_stats()
+    }
+
     fn prune_stats(&self) -> PruneStats {
         self.inner.prune_stats()
     }

@@ -36,6 +36,7 @@
 //! re-authoring the paper prescribes (§3).
 
 pub mod adm;
+pub mod audit;
 pub mod bootstrap;
 #[cfg(feature = "paranoid")]
 pub mod checked;
@@ -49,6 +50,7 @@ pub mod tri;
 pub mod tri_btree;
 
 pub use adm::{Adm, AdmUpdate};
+pub use audit::{AuditPolicy, CorruptionStats, VOTE_CAP};
 pub use bootstrap::{
     laesa_bootstrap, select_maxmin_pivots, try_laesa_bootstrap, try_select_maxmin_pivots, Bootstrap,
 };

@@ -3,9 +3,14 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use prox_core::invariant;
+use prox_core::invariant::{expect_ok, expect_some};
 use prox_core::{Metric, Oracle, OracleError, Pair, PruneStats, SpecBounds};
-use prox_obs::{quantize_width, Metrics, ProbeKind, ProbeVerdict, TraceEvent, TraceSink};
+use prox_obs::{
+    quantize_width, CorruptionAction, Metrics, ProbeKind, ProbeVerdict, TraceEvent, TraceSink,
+};
 
+use crate::audit::{AuditPolicy, AuditState, CorruptionStats, VOTE_CAP};
 use crate::{BoundScheme, NoScheme};
 
 /// Rounding margin applied to every bound-based decision.
@@ -131,6 +136,13 @@ pub trait DistanceResolver {
     /// Appends every pair whose exact distance this resolver can certify —
     /// the payload to persist for the next run.
     fn export_known(&self, out: &mut Vec<(Pair, f64)>);
+
+    /// Corruption-audit counters. Non-zero only for resolvers that carry
+    /// the untrusted-oracle audit layer (see `crate::audit`); the default
+    /// — all zero — is correct for resolvers that trust their oracle.
+    fn corruption_stats(&self) -> CorruptionStats {
+        CorruptionStats::default()
+    }
 
     /// Pruning counters.
     fn prune_stats(&self) -> PruneStats;
@@ -355,6 +367,9 @@ pub struct BoundResolver<'o, M: Metric, S: BoundScheme> {
     /// tests a pre-resolved `Option` discriminant and nothing else.
     trace: Option<Rc<dyn TraceSink>>,
     metrics: Option<Rc<Metrics>>,
+    /// Untrusted-oracle defence (`None` = the oracle is trusted and every
+    /// fresh value is accepted as-is). See `crate::audit`.
+    audit: Option<AuditState>,
 }
 
 impl<'o, M: Metric, S: BoundScheme> BoundResolver<'o, M, S> {
@@ -375,7 +390,177 @@ impl<'o, M: Metric, S: BoundScheme> BoundResolver<'o, M, S> {
             stats: PruneStats::default(),
             bcache: HashMap::new(),
             cache_on,
+            audit: None,
         }
+    }
+
+    /// Enables the untrusted-oracle audit layer: sandwich-checking every
+    /// accepted value (and, with `policy.vote_k >= 2`, vote-confirming
+    /// every fresh resolution). See `crate::audit` for the trust model.
+    pub fn with_audit(mut self, policy: AuditPolicy) -> Self {
+        self.audit = Some(AuditState::new(policy));
+        self
+    }
+
+    fn audit_mut(&mut self) -> &mut AuditState {
+        expect_some(self.audit.as_mut(), "audited path without audit state")
+    }
+
+    /// Emits one [`TraceEvent::Corruption`]. For vote losers `lb == ub ==`
+    /// the winning value; for sandwich violations they are the violated
+    /// certified interval.
+    #[cold]
+    fn note_corruption(&self, p: Pair, action: CorruptionAction, value: f64, lb: f64, ub: f64) {
+        if let Some(t) = &self.trace {
+            t.emit(TraceEvent::Corruption {
+                lo: p.lo(),
+                hi: p.hi(),
+                action,
+                value,
+                lb,
+                ub,
+            });
+        }
+    }
+
+    /// First-to-`k` bit-exact vote over fresh replicas of `p`. The agreed
+    /// value is returned; every disagreeing replica is counted and traced
+    /// as a detection (the deterministic corruption schedule changes the
+    /// bits whenever it fires, so a corrupted replica cannot reach quorum
+    /// against clean ones). The per-pair quarantine cursor advances past
+    /// all queried replicas, and calls beyond the first accumulate into
+    /// `CorruptionStats::requeries`.
+    fn voted_value(&mut self, p: Pair, k: u32) -> Result<f64, OracleError> {
+        let start = self.audit_mut().cursor(p);
+        let mut tallies: Vec<(u64, u32)> = Vec::new();
+        let mut queried: Vec<f64> = Vec::new();
+        let mut r = start;
+        let winner = loop {
+            invariant!(
+                r - start < VOTE_CAP,
+                "no {k} replicas of pair ({}, {}) agree within {VOTE_CAP} queries; \
+                 the oracle is unusable",
+                p.lo(),
+                p.hi()
+            );
+            let v = self.oracle.try_call_replica(p, r)?;
+            r += 1;
+            queried.push(v);
+            let bits = v.to_bits();
+            let count = match tallies.iter_mut().find(|(b, _)| *b == bits) {
+                Some((_, c)) => {
+                    *c += 1;
+                    *c
+                }
+                None => {
+                    tallies.push((bits, 1));
+                    1
+                }
+            };
+            if count >= k {
+                break v;
+            }
+        };
+        let a = self.audit_mut();
+        a.advance(p, r);
+        a.stats.requeries += u64::from(r - start - 1);
+        for v in queried {
+            if v.to_bits() != winner.to_bits() {
+                self.audit_mut().stats.detected += 1;
+                self.note_corruption(p, CorruptionAction::Detected, v, winner, winner);
+            }
+        }
+        Ok(winner)
+    }
+
+    /// Audited fresh resolution (`p` not yet known to the scheme).
+    /// Voting mode accepts only quorum values; detection mode accepts the
+    /// first answer iff it fits the certified `[TLB, TUB]` sandwich and
+    /// escalates — trusted re-vote, then at worst a full re-verification
+    /// sweep — when it does not.
+    fn resolve_audited(&mut self, p: Pair) -> Result<f64, OracleError> {
+        let policy = self.audit_mut().policy;
+        if policy.always_votes() {
+            let d = self.voted_value(p, policy.vote_k)?;
+            self.scheme.record(p, d);
+            self.stats.resolved += 1;
+            return Ok(d);
+        }
+        // Detection mode. The sandwich is certified by previously accepted
+        // values via the triangle inequality: a fresh value outside it is a
+        // *proven* lie (no metric satisfies both), the violated bound being
+        // the witness.
+        let (lb, ub) = self.cached_bounds(p);
+        let r0 = self.audit_mut().cursor(p);
+        let v = self.oracle.try_call_replica(p, r0)?;
+        self.audit_mut().advance(p, r0 + 1);
+        if v >= lb - DECISION_EPS && v <= ub + DECISION_EPS {
+            self.scheme.record(p, v);
+            self.stats.resolved += 1;
+            return Ok(v);
+        }
+        self.audit_mut().stats.detected += 1;
+        self.note_corruption(p, CorruptionAction::Detected, v, lb, ub);
+        // Quarantine + trusted re-query: the cursor already points past the
+        // lying replica, and 2-of-n agreement screens the replacement. The
+        // vote's first call is overhead too, hence the extra requery tick.
+        let trusted = self.voted_value(p, 2)?;
+        self.audit_mut().stats.requeries += 1;
+        let fits = trusted >= lb - DECISION_EPS && trusted <= ub + DECISION_EPS;
+        let (lb, ub) = if fits {
+            (lb, ub)
+        } else {
+            // The trusted value also violates the sandwich, so the sandwich
+            // itself descends from a lie accepted earlier. Re-verify every
+            // recorded edge, retract the poisoned ones, recompute.
+            self.repair_poisoned_state()?;
+            self.bcache.clear();
+            let (lb2, ub2) = self.scheme.bounds(p);
+            invariant!(
+                trusted >= lb2 - DECISION_EPS && trusted <= ub2 + DECISION_EPS,
+                "trusted value {trusted} for ({}, {}) still violates repaired bounds \
+                 [{lb2}, {ub2}]",
+                p.lo(),
+                p.hi()
+            );
+            (lb2, ub2)
+        };
+        self.audit_mut().stats.repaired += 1;
+        self.note_corruption(p, CorruptionAction::Repaired, trusted, lb, ub);
+        self.scheme.record(p, trusted);
+        self.stats.resolved += 1;
+        Ok(trusted)
+    }
+
+    /// Full-sweep repair: every recorded edge re-verified by trusted vote,
+    /// poisoned ones retracted ([`BoundScheme::retract`]) and replaced.
+    /// Call-quadratic by design — it runs only after a proven inconsistency
+    /// that the local quarantine could not explain, i.e. after detection
+    /// mode let a lie into the scheme.
+    fn repair_poisoned_state(&mut self) -> Result<(), OracleError> {
+        let k = self.audit_mut().policy.vote_k.max(2);
+        let mut known = Vec::new();
+        self.scheme.for_each_known(&mut |q, d| known.push((q, d)));
+        for (q, d) in known {
+            let truth = self.voted_value(q, k)?;
+            self.audit_mut().stats.requeries += 1;
+            if truth.to_bits() == d.to_bits() {
+                continue;
+            }
+            let withdrawn = self.scheme.retract(q);
+            invariant!(
+                withdrawn,
+                "scheme {} cannot retract a poisoned value; run with --vote K:N (K >= 2) \
+                 so lies never enter it",
+                self.scheme.name()
+            );
+            self.scheme.record(q, truth);
+            let a = self.audit_mut();
+            a.stats.retracted += 1;
+            a.stats.repaired += 1;
+            self.note_corruption(q, CorruptionAction::Retracted, d, truth, truth);
+        }
+        Ok(())
     }
 
     /// True when a probe needs to be observed (traced or metered).
@@ -470,6 +655,12 @@ impl<'o, M: Metric, S: BoundScheme> DistanceResolver for BoundResolver<'o, M, S>
             self.stats.served_known += 1;
             return d;
         }
+        if self.audit.is_some() {
+            return expect_ok(
+                self.resolve_audited(p),
+                "infallible audited path hit a fault",
+            );
+        }
         let d = self.oracle.call_pair(p);
         self.scheme.record(p, d);
         self.stats.resolved += 1;
@@ -480,6 +671,9 @@ impl<'o, M: Metric, S: BoundScheme> DistanceResolver for BoundResolver<'o, M, S>
         if let Some(d) = self.scheme.known(p) {
             self.stats.served_known += 1;
             return Ok(d);
+        }
+        if self.audit.is_some() {
+            return self.resolve_audited(p);
         }
         // Record and count only on success: a faulted attempt must leave
         // the resolver exactly as it was, so a resumed run re-pays nothing
@@ -607,6 +801,10 @@ impl<'o, M: Metric, S: BoundScheme> DistanceResolver for BoundResolver<'o, M, S>
 
     fn export_known(&self, out: &mut Vec<(Pair, f64)>) {
         self.scheme.for_each_known(&mut |p, d| out.push((p, d)));
+    }
+
+    fn corruption_stats(&self) -> CorruptionStats {
+        self.audit.as_ref().map(|a| a.stats).unwrap_or_default()
     }
 
     fn prune_stats(&self) -> PruneStats {
@@ -843,6 +1041,205 @@ mod tests {
         let r = BoundResolver::vanilla(&oracle);
         assert!(r.trace_sink().is_none());
         assert!(r.obs_metrics().is_none());
+    }
+
+    #[test]
+    fn voting_restores_exactness_under_corruption() {
+        use prox_core::CorruptionInjector;
+        let n = 24;
+        let scale = 1.0 / (n as f64 - 1.0);
+        let truth = move |p: Pair| (f64::from(p.lo()) - f64::from(p.hi())).abs() * scale;
+        let pairs: Vec<Pair> = Pair::all(n).step_by(7).collect();
+
+        // Clean baseline.
+        let clean = line_oracle(n);
+        let mut cr = BoundResolver::new(&clean, TriScheme::new(n, 1.0));
+        for &p in &pairs {
+            assert_eq!(cr.resolve(p), truth(p));
+        }
+        let clean_billed = clean.calls();
+
+        // Corrupted oracle + 3-vote audit: byte-identical results, honest
+        // billing, and exact detection accounting.
+        let oracle = line_oracle(n).with_corruption(CorruptionInjector::new(0.3, 42));
+        let mut r =
+            BoundResolver::new(&oracle, TriScheme::new(n, 1.0)).with_audit(AuditPolicy::vote(3, 3));
+        for &p in &pairs {
+            assert_eq!(r.resolve(p).to_bits(), truth(p).to_bits(), "{p:?}");
+        }
+        let stats = r.corruption_stats();
+        assert!(
+            oracle.corruptions_injected() > 0,
+            "rate 0.3 must fire on this workload"
+        );
+        assert_eq!(
+            stats.detected,
+            oracle.corruptions_injected(),
+            "every injected corruption loses its vote and is detected"
+        );
+        assert_eq!(
+            oracle.calls(),
+            clean_billed + stats.requeries,
+            "re-queries are billed honestly"
+        );
+        assert_eq!(stats.retracted, 0, "voting never lets a lie be recorded");
+        // Exported knowledge is truth-exact.
+        let mut known = Vec::new();
+        r.export_known(&mut known);
+        for (p, d) in known {
+            assert_eq!(d.to_bits(), truth(p).to_bits());
+        }
+    }
+
+    #[test]
+    fn clean_vote_pays_exactly_k_replicas() {
+        let oracle = line_oracle(11);
+        let mut r = BoundResolver::new(&oracle, TriScheme::new(11, 1.0))
+            .with_audit(AuditPolicy::vote(3, 3));
+        assert_eq!(r.resolve(Pair::new(0, 5)), 0.5);
+        assert_eq!(oracle.calls(), 3, "first-to-3 with a clean oracle");
+        assert_eq!(r.corruption_stats().requeries, 2);
+        assert_eq!(r.corruption_stats().detected, 0);
+        // Known pairs are served without further votes.
+        assert_eq!(r.resolve(Pair::new(0, 5)), 0.5);
+        assert_eq!(oracle.calls(), 3);
+    }
+
+    #[test]
+    fn detection_mode_catches_sandwich_violations() {
+        use prox_core::CorruptionInjector;
+        let truth: f64 = 6.0 * (1.0 / 10.0); // the oracle's own arithmetic for d(0,6)
+        let mut caught = None;
+        for seed in 0..300 {
+            let oracle = line_oracle(11).with_corruption(CorruptionInjector::new(0.5, seed));
+            let mut r = BoundResolver::new(&oracle, TriScheme::new(11, 1.0))
+                .with_audit(AuditPolicy::detect_only());
+            // Certified sandwich for (0,6): [0.4, 0.6] via the 0/5/6 triangle.
+            r.preload(Pair::new(0, 5), 0.5);
+            r.preload(Pair::new(5, 6), 0.1);
+            let d = r.resolve(Pair::new(0, 6));
+            let stats = r.corruption_stats();
+            if stats.detected >= 1 && stats.retracted == 0 {
+                assert_eq!(d.to_bits(), truth.to_bits(), "repaired to truth");
+                assert_eq!(stats.repaired, 1, "one trusted replacement");
+                assert!(stats.requeries >= 2, "quarantine re-queried by vote");
+                assert_eq!(
+                    oracle.calls(),
+                    1 + stats.requeries,
+                    "a clean run resolves (0,6) in one call"
+                );
+                caught = Some(seed);
+                break;
+            }
+        }
+        assert!(
+            caught.is_some(),
+            "no seed in 0..300 produced an out-of-sandwich replica-0 corruption"
+        );
+    }
+
+    #[test]
+    fn detection_mode_accepts_clean_values_for_free() {
+        let oracle = line_oracle(11);
+        let mut r = BoundResolver::new(&oracle, TriScheme::new(11, 1.0))
+            .with_audit(AuditPolicy::detect_only());
+        r.resolve(Pair::new(0, 5));
+        r.resolve(Pair::new(5, 6));
+        r.resolve(Pair::new(0, 6));
+        assert_eq!(oracle.calls(), 3, "zero audit overhead without lies");
+        assert_eq!(r.corruption_stats(), Default::default());
+    }
+
+    #[test]
+    fn poisoned_state_sweep_retracts_and_repairs() {
+        use prox_core::CorruptionInjector;
+        // A lie accepted under a trivial sandwich poisons later sandwiches;
+        // when the trusted re-query still violates them, the resolver must
+        // sweep, retract the poisoned edge, and end truth-exact.
+        let mut swept = None;
+        for seed in 0..2000 {
+            let inj = CorruptionInjector::new(0.5, seed);
+            // Pre-filter: (0,5) corrupt at replica 0 (the lie that gets
+            // in), (5,6) and (0,6) clean at replica 0 (so the detection
+            // fires on a *true* value and the trusted vote re-confirms it).
+            if inj.corruption_at(Pair::new(0, 5), 0).is_none()
+                || inj.corruption_at(Pair::new(5, 6), 0).is_some()
+                || inj.corruption_at(Pair::new(0, 6), 0).is_some()
+            {
+                continue;
+            }
+            let oracle = line_oracle(11).with_corruption(inj);
+            let mut r = BoundResolver::new(&oracle, TriScheme::new(11, 1.0))
+                .with_audit(AuditPolicy::detect_only());
+            r.resolve(Pair::new(0, 5)); // lie enters: sandwich is [0, 1]
+            r.resolve(Pair::new(5, 6)); // clean 0.1, no triangle yet
+            let d = r.resolve(Pair::new(0, 6));
+            let stats = r.corruption_stats();
+            if stats.retracted >= 1 {
+                let scale: f64 = 1.0 / 10.0;
+                assert_eq!(d.to_bits(), (6.0 * scale).to_bits());
+                assert_eq!(
+                    r.known(Pair::new(0, 5)),
+                    Some(5.0 * scale),
+                    "poisoned edge replaced by the trusted value"
+                );
+                assert_eq!(r.known(Pair::new(5, 6)), Some(1.0 * scale));
+                assert!(stats.detected >= 1);
+                assert!(stats.repaired >= 2, "sweep repair + local repair");
+                swept = Some(seed);
+                break;
+            }
+        }
+        assert!(
+            swept.is_some(),
+            "no seed in 0..2000 exercised the poisoned-state sweep"
+        );
+    }
+
+    #[test]
+    fn fallible_audited_path_matches_infallible() {
+        use prox_core::CorruptionInjector;
+        let run = |fallible: bool| {
+            let oracle = line_oracle(11).with_corruption(CorruptionInjector::new(0.4, 9));
+            let mut r = BoundResolver::new(&oracle, TriScheme::new(11, 1.0))
+                .with_audit(AuditPolicy::vote(2, 3));
+            let mut out = Vec::new();
+            for p in Pair::all(11).step_by(5) {
+                let d = if fallible {
+                    r.resolve_fallible(p).expect("no fail-stop faults")
+                } else {
+                    r.resolve(p)
+                };
+                out.push(d.to_bits());
+            }
+            (out, oracle.calls(), r.corruption_stats())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn corruption_events_reconcile_with_stats() {
+        use prox_core::CorruptionInjector;
+        use prox_obs::{summarize, JsonlSink};
+        let sink = Rc::new(JsonlSink::in_memory());
+        let scale = 1.0 / 10.0;
+        let oracle = Oracle::new(FnMetric::new(11, 1.0, move |a: ObjectId, b: ObjectId| {
+            (f64::from(a) - f64::from(b)).abs() * scale
+        }))
+        .with_corruption(CorruptionInjector::new(0.3, 42))
+        .with_trace(Rc::<JsonlSink>::clone(&sink));
+        let mut r = BoundResolver::new(&oracle, TriScheme::new(11, 1.0))
+            .with_audit(AuditPolicy::vote(3, 3));
+        for p in Pair::all(11).step_by(3) {
+            r.resolve(p);
+        }
+        let s = summarize(&sink.contents().expect("mem sink")).expect("valid trace");
+        let stats = r.corruption_stats();
+        assert!(stats.detected > 0, "workload must trip the injector");
+        assert_eq!(s.corruption_detected, stats.detected);
+        assert_eq!(s.corruption_repaired, stats.repaired);
+        assert_eq!(s.corruption_retracted, stats.retracted);
+        assert_eq!(s.billed_calls, oracle.calls());
     }
 
     #[test]

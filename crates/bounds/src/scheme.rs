@@ -50,6 +50,25 @@ pub trait BoundScheme {
     /// Absorbs a resolved distance (the UPDATE problem).
     fn record(&mut self, p: Pair, d: f64);
 
+    /// Withdraws a previously recorded distance, returning `true` on
+    /// success. This is the inverse UPDATE needed by the untrusted-oracle
+    /// audit path: when a recorded value is *proven* corrupt (it violates a
+    /// certified triangle-inequality sandwich), every bound derivable
+    /// through it is poisoned and the value must be removed before a
+    /// trusted replacement is recorded. After `retract(p)`, `known(p)`
+    /// is `None` and `generation()` has advanced, so stamp-gated caches
+    /// drop anything derived from the poisoned state.
+    ///
+    /// The default, `false`, declares the scheme *irreversible* — schemes
+    /// whose internal state cannot soundly forget a value (ADM's matrix
+    /// closure, LAESA's pivot rows baked in at bootstrap) must refuse, and
+    /// callers fall back to always-vote mode, which never records an
+    /// unaudited value in the first place.
+    fn retract(&mut self, p: Pair) -> bool {
+        let _ = p;
+        false
+    }
+
     /// Number of distances recorded so far.
     #[must_use]
     fn m(&self) -> usize;
@@ -109,6 +128,7 @@ pub struct NoScheme {
     n: usize,
     max_distance: f64,
     resolved: HashMap<u64, f64>,
+    retractions: u64,
 }
 
 impl NoScheme {
@@ -118,6 +138,7 @@ impl NoScheme {
             n,
             max_distance,
             resolved: HashMap::new(),
+            retractions: 0,
         }
     }
 }
@@ -141,11 +162,25 @@ impl BoundScheme for NoScheme {
     fn record(&mut self, p: Pair, d: f64) {
         self.resolved.insert(p.key(), d);
     }
+    fn retract(&mut self, p: Pair) -> bool {
+        if self.resolved.remove(&p.key()).is_some() {
+            self.retractions += 1;
+            true
+        } else {
+            false
+        }
+    }
     fn m(&self) -> usize {
         self.resolved.len()
     }
     fn name(&self) -> &'static str {
         "NoScheme"
+    }
+    fn generation(&self) -> u64 {
+        // `m()` alone would *decrease* across a retraction; counting each
+        // retraction twice (one removal + the slot it vacated) keeps the
+        // counter monotone through retract-then-re-record cycles.
+        self.resolved.len() as u64 + 2 * self.retractions
     }
     fn for_each_known(&self, f: &mut dyn FnMut(Pair, f64)) {
         for (&key, &d) in &self.resolved {
@@ -169,6 +204,23 @@ mod tests {
         assert_eq!(s.known(p), Some(0.4));
         assert_eq!(s.m(), 1);
         assert_eq!(s.bounds(Pair::new(2, 3)), (0.0, 1.0));
+    }
+
+    #[test]
+    fn noscheme_retract_forgets_and_stays_monotone() {
+        let mut s = NoScheme::new(4, 1.0);
+        let p = Pair::new(0, 1);
+        s.record(p, 0.4);
+        let gen = s.generation();
+        assert!(s.retract(p));
+        assert_eq!(s.known(p), None);
+        assert_eq!(s.bounds(p), (0.0, 1.0));
+        assert!(s.generation() > gen, "retraction advances the generation");
+        let gen = s.generation();
+        s.record(p, 0.35);
+        assert_eq!(s.known(p), Some(0.35));
+        assert!(s.generation() > gen);
+        assert!(!s.retract(Pair::new(2, 3)), "unknown pair refuses");
     }
 
     #[test]

@@ -139,6 +139,13 @@ impl BoundScheme for Splub {
         self.graph.insert(p, d);
     }
 
+    fn retract(&mut self, p: Pair) -> bool {
+        // Removal bumps the graph generation, so the `(source, generation)`
+        // tags on both cached Dijkstra trees miss and the next query
+        // recomputes shortest paths without the poisoned edge.
+        self.graph.remove(p).is_some()
+    }
+
     fn m(&self) -> usize {
         self.graph.m()
     }
@@ -293,6 +300,25 @@ mod tests {
         s.record(p(0, 2), 0.6);
         assert_eq!(s.bounds(p(0, 2)), (0.6, 0.6));
         assert_eq!(s.m(), 1);
+    }
+
+    #[test]
+    fn retract_invalidates_cached_shortest_paths() {
+        // Chain 0 -0.2- 1 -0.2- 2 -0.2- 3 gives ub(0,3)=0.6; the same query
+        // again after retracting the middle edge must not reuse the stale
+        // Dijkstra trees (they are keyed by graph generation).
+        let mut s = Splub::new(4, 1.0);
+        s.record(p(0, 1), 0.2);
+        s.record(p(1, 2), 0.2);
+        s.record(p(2, 3), 0.2);
+        assert!((s.bounds(p(0, 3)).1 - 0.6).abs() < 1e-12);
+        assert!(s.retract(p(1, 2)));
+        assert_eq!(s.known(p(1, 2)), None);
+        assert_eq!(s.bounds(p(0, 3)), (0.0, 1.0), "path broken, trees rebuilt");
+        // Repair with a different value; the new path is used.
+        s.record(p(1, 2), 0.1);
+        assert!((s.bounds(p(0, 3)).1 - 0.5).abs() < 1e-12);
+        assert!(!s.retract(p(0, 3)), "never-recorded pair refuses");
     }
 
     #[test]

@@ -85,6 +85,13 @@ impl BoundScheme for TriScheme {
         self.graph.insert(p, d);
     }
 
+    fn retract(&mut self, p: Pair) -> bool {
+        // Tri bounds are recomputed from adjacency on every query, so
+        // removing the edge (which stamps both endpoints) fully repairs the
+        // derivable state — no closure to unwind.
+        self.graph.remove(p).is_some()
+    }
+
     fn m(&self) -> usize {
         self.graph.m()
     }
@@ -199,6 +206,22 @@ mod tests {
         assert_eq!(s.bounds(p(0, 1)), (0.33, 0.33));
         assert_eq!(s.known(p(1, 0)), Some(0.33));
         assert_eq!(s.m(), 1);
+    }
+
+    #[test]
+    fn retract_reopens_bounds_derived_through_the_edge() {
+        let mut s = TriScheme::new(7, 1.0);
+        s.record(p(1, 3), 0.8);
+        s.record(p(3, 4), 0.1);
+        assert_ne!(s.bounds(p(1, 4)), (0.0, 1.0), "triangle bound active");
+        assert!(s.retract(p(1, 3)));
+        assert_eq!(s.known(p(1, 3)), None);
+        assert_eq!(s.bounds(p(1, 4)), (0.0, 1.0), "triangle gone");
+        assert!(!s.retract(p(1, 3)), "second retract refuses");
+        // Repaired value re-records cleanly.
+        s.record(p(1, 3), 0.75);
+        let (lb, ub) = s.bounds(p(1, 4));
+        assert!((lb - 0.65).abs() < 1e-12 && (ub - 0.85).abs() < 1e-12);
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //!   `k`-th attempt at a pair faults is a pure hash of
 //!   `(seed, pair, attempt)`, so the injected-fault sequence is identical
 //!   no matter how work is interleaved across threads or runs.
+//! * [`CorruptionInjector`] — the *value-fault* twin: instead of failing,
+//!   a corrupted call silently returns a wrong distance (scaled, offset,
+//!   or swapped with another pair's). Keyed by `(seed, pair, replica)`,
+//!   so re-querying the same pair as a fresh replica draws a fresh
+//!   corruption decision while retries of one replica stay consistent.
 //! * [`RetryPolicy`] — exponential backoff with deterministic jitter.
 //!   Waits are charged as *virtual time* next to `cost_per_call`; nothing
 //!   ever sleeps.
@@ -117,7 +122,7 @@ fn mix64(seed: u64) -> u64 {
 }
 
 /// Uniform `[0, 1)` with 53 bits of precision from a hash value.
-fn unit(h: u64) -> f64 {
+pub(crate) fn unit(h: u64) -> f64 {
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
@@ -181,6 +186,89 @@ impl FaultInjector {
         } else {
             Some(FaultKind::Transient)
         }
+    }
+}
+
+/// The shape of an injected *value* corruption: the call "succeeds" but
+/// the returned distance is wrong.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum ValueFaultKind {
+    /// The true distance multiplied by a factor in `[0.25, 1.75)`.
+    Scale {
+        /// Unit-interval magnitude draw for the factor.
+        magnitude: f64,
+    },
+    /// The true distance shifted by up to half of `max_distance` either
+    /// way.
+    Offset {
+        /// Unit-interval magnitude draw for the shift.
+        magnitude: f64,
+    },
+    /// The distance of a *different* pair sharing one endpoint — the
+    /// classic crowdsourcing mix-up, and the hardest to spot because the
+    /// wrong value is itself a legitimate metric distance.
+    PairSwap {
+        /// Hash value the oracle turns into the substitute endpoint.
+        pick: u64,
+    },
+}
+
+/// Domain-separation constant XORed into the seed so a corruption
+/// schedule never correlates with a [`FaultInjector`] fail-stop schedule
+/// sharing the same user seed.
+const CORRUPT_DOMAIN: u64 = 0x0BAD_04AC_1E5D_A7A1;
+
+/// A deterministic *value-corruption* schedule.
+///
+/// Whether replica `r` of pair `p` is corrupted — and how — is a pure
+/// hash of `(seed, p, r)`: byte-identical at any `--threads N`, and
+/// independent of the fail-stop schedule (distinct hash domain). The
+/// *replica* index, not the retry attempt, keys the draw: retries of one
+/// logical request return the same (possibly corrupt) answer, while an
+/// audit-triggered re-query is a fresh replica with an independent draw
+/// — exactly the k-of-n voting model of the weak-oracle literature.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CorruptionInjector {
+    rate: f64,
+    seed: u64,
+}
+
+impl CorruptionInjector {
+    /// A schedule corrupting each `(pair, replica)` independently with
+    /// probability `rate` (clamped to `[0, 1]`), split evenly across the
+    /// three [`ValueFaultKind`] shapes.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        CorruptionInjector {
+            rate: rate.clamp(0.0, 1.0),
+            seed,
+        }
+    }
+
+    /// The per-replica corruption probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The schedule seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The value fault injected at `(pair, replica)`, if any. Pure: same
+    /// inputs, same answer, forever.
+    pub fn corruption_at(&self, p: Pair, replica: u32) -> Option<ValueFaultKind> {
+        let h = hash3(self.seed ^ CORRUPT_DOMAIN, p.key(), u64::from(replica));
+        if unit(h) >= self.rate {
+            return None;
+        }
+        // Independent bits pick the shape and its magnitude.
+        let shape = mix64(h);
+        let magnitude = unit(mix64(shape));
+        Some(match shape % 3 {
+            0 => ValueFaultKind::Scale { magnitude },
+            1 => ValueFaultKind::Offset { magnitude },
+            _ => ValueFaultKind::PairSwap { pick: mix64(shape) },
+        })
     }
 }
 
@@ -294,6 +382,9 @@ pub struct FaultStats {
     pub retries: u64,
     /// Virtual backoff time charged for those retries.
     pub backoff_time: Duration,
+    /// Value corruptions injected: calls that "succeeded" but returned a
+    /// distance whose bits differ from the truth.
+    pub corruptions_injected: u64,
 }
 
 #[cfg(test)]
@@ -362,6 +453,75 @@ mod tests {
             a.fault_at(p, 0) != b.fault_at(p, 0)
         });
         assert!(differs, "distinct seeds should disagree somewhere");
+    }
+
+    #[test]
+    fn corruption_schedule_is_a_pure_function() {
+        let inj = CorruptionInjector::new(0.3, 42);
+        for a in 0..20u32 {
+            for b in (a + 1)..20u32 {
+                let p = Pair::new(a, b);
+                for replica in 0..5 {
+                    assert_eq!(inj.corruption_at(p, replica), inj.corruption_at(p, replica));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_rate_extremes() {
+        let never = CorruptionInjector::new(0.0, 7);
+        let always = CorruptionInjector::new(1.0, 7);
+        for a in 0..10u32 {
+            let p = Pair::new(a, a + 1);
+            assert_eq!(never.corruption_at(p, 0), None);
+            assert!(always.corruption_at(p, 0).is_some());
+        }
+    }
+
+    #[test]
+    fn corruption_replicas_draw_independently() {
+        // At rate 0.5 some pair must be corrupt at replica 0 and clean at
+        // replica 1 (or vice versa) — the property voting relies on.
+        let inj = CorruptionInjector::new(0.5, 3);
+        let differs = (0..200u32).any(|i| {
+            let p = Pair::new(i, i + 1);
+            inj.corruption_at(p, 0).is_some() != inj.corruption_at(p, 1).is_some()
+        });
+        assert!(differs, "replicas should disagree somewhere");
+    }
+
+    #[test]
+    fn corruption_domain_is_separated_from_fail_stop() {
+        // Same seed, full rates: the *shapes* drawn must not be a
+        // deterministic function of the fail-stop draw (distinct hash
+        // domains). Check the magnitudes differ from the fail-stop
+        // flavour split somewhere.
+        let faults = FaultInjector::new(0.5, 11);
+        let corrupt = CorruptionInjector::new(0.5, 11);
+        let differs = (0..200u32).any(|i| {
+            let p = Pair::new(i, i + 1);
+            faults.fault_at(p, 0).is_some() != corrupt.corruption_at(p, 0).is_some()
+        });
+        assert!(differs, "schedules must be independent");
+    }
+
+    #[test]
+    fn corruption_shapes_all_occur() {
+        let inj = CorruptionInjector::new(1.0, 5);
+        let (mut scale, mut offset, mut swap) = (0, 0, 0);
+        for i in 0..60u32 {
+            match inj.corruption_at(Pair::new(i, i + 1), 0) {
+                Some(ValueFaultKind::Scale { .. }) => scale += 1,
+                Some(ValueFaultKind::Offset { .. }) => offset += 1,
+                Some(ValueFaultKind::PairSwap { .. }) => swap += 1,
+                None => {}
+            }
+        }
+        assert!(
+            scale > 0 && offset > 0 && swap > 0,
+            "{scale}/{offset}/{swap}"
+        );
     }
 
     #[test]

@@ -16,11 +16,13 @@
 //!   tables and figures are made of (distance calls, saved comparisons,
 //!   CPU overhead vs. oracle time).
 //! * [`fault`] / [`checkpoint`] — the robustness layer: a deterministic
-//!   fault model with retry/backoff and budgets for the oracle, and
-//!   checkpoint/resume so an interrupted run never re-pays for a
-//!   distance it already resolved.
+//!   fault model (fail-stop *and* value-corruption) with retry/backoff
+//!   and budgets for the oracle, and checksummed checkpoint/resume so an
+//!   interrupted run never re-pays for a distance it already resolved —
+//!   and never trusts a torn or bit-flipped checkpoint.
 
 pub mod checkpoint;
+pub mod crc;
 pub mod fault;
 pub mod invariant;
 pub mod metric;
@@ -32,14 +34,18 @@ pub mod spec;
 pub mod stats;
 
 pub use checkpoint::{
-    load_checkpoint, read_checkpoint_file, save_checkpoint, write_checkpoint_file, Checkpoint,
-    Checkpointer,
+    load_checkpoint, load_checkpoint_lenient, read_checkpoint_file, read_checkpoint_file_lenient,
+    save_checkpoint, write_checkpoint_file, Checkpoint, CheckpointRecovery, Checkpointer,
 };
-pub use fault::{CallBudget, FaultInjector, FaultKind, FaultStats, OracleError, RetryPolicy};
+pub use crc::{crc32, Crc32};
+pub use fault::{
+    CallBudget, CorruptionInjector, FaultInjector, FaultKind, FaultStats, OracleError, RetryPolicy,
+    ValueFaultKind,
+};
 pub use metric::{FnMetric, MatrixMetric, Metric, MetricCheck};
 pub use oracle::Oracle;
 pub use pair::{Pair, PairMap};
-pub use persist::{load_known, save_known};
+pub use persist::{load_known, load_known_lenient, save_known, LoadReport};
 pub use rng::TinyRng;
 pub use spec::{SpecBounds, SpecScratch};
 pub use stats::{OracleStats, PruneStats};

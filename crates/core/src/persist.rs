@@ -30,13 +30,42 @@ pub fn save_known<W: Write>(
     Ok(count)
 }
 
+/// Parses one non-comment data line into a canonical edge, or explains
+/// (without line context) why it cannot be trusted.
+fn parse_line(trimmed: &str) -> Result<(Pair, f64), &'static str> {
+    let mut parts = trimmed.split(',');
+    let a: u32 = parts
+        .next()
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or("bad first id")?;
+    let b: u32 = parts
+        .next()
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or("bad second id")?;
+    let d: f64 = parts
+        .next()
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or("bad distance")?;
+    if parts.next().is_some() {
+        return Err("trailing fields");
+    }
+    if a == b {
+        return Err("self-loop");
+    }
+    if !d.is_finite() || d < 0.0 {
+        return Err("distance must be finite and non-negative");
+    }
+    Ok((Pair::new(a, b), d))
+}
+
 /// Reads a `lo,hi,distance` stream written by [`save_known`].
 ///
 /// Returns an `InvalidData` error on malformed lines, ids that are not
 /// `u32`, self-loops, negative or non-finite distances, or a pair that
 /// appears twice with *conflicting* distances (a corrupted or merged
 /// cache; trusting either copy could poison every downstream bound).
-/// Bit-identical repeats are deduplicated silently.
+/// Bit-identical repeats are deduplicated silently. Every error carries
+/// the 1-based line number and the offending line.
 pub fn load_known<R: BufRead>(r: R) -> io::Result<Vec<(Pair, f64)>> {
     let mut out = Vec::new();
     let mut seen: HashMap<u64, f64> = HashMap::new();
@@ -52,29 +81,7 @@ pub fn load_known<R: BufRead>(r: R) -> io::Result<Vec<(Pair, f64)>> {
                 format!("line {}: {msg}: {trimmed:?}", lineno + 1),
             )
         };
-        let mut parts = trimmed.split(',');
-        let a: u32 = parts
-            .next()
-            .and_then(|s| s.trim().parse().ok())
-            .ok_or_else(|| bad("bad first id"))?;
-        let b: u32 = parts
-            .next()
-            .and_then(|s| s.trim().parse().ok())
-            .ok_or_else(|| bad("bad second id"))?;
-        let d: f64 = parts
-            .next()
-            .and_then(|s| s.trim().parse().ok())
-            .ok_or_else(|| bad("bad distance"))?;
-        if parts.next().is_some() {
-            return Err(bad("trailing fields"));
-        }
-        if a == b {
-            return Err(bad("self-loop"));
-        }
-        if !d.is_finite() || d < 0.0 {
-            return Err(bad("distance must be finite and non-negative"));
-        }
-        let p = Pair::new(a, b);
+        let (p, d) = parse_line(trimmed).map_err(&bad)?;
         match seen.get(&p.key()) {
             Some(&prev) if prev.to_bits() == d.to_bits() => continue,
             Some(_) => return Err(bad("conflicting duplicate pair")),
@@ -85,6 +92,57 @@ pub fn load_known<R: BufRead>(r: R) -> io::Result<Vec<(Pair, f64)>> {
         }
     }
     Ok(out)
+}
+
+/// Outcome of a [`load_known_lenient`] pass: what loaded and what was
+/// dropped, with line-numbered context for every dropped line.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LoadReport {
+    /// The edges that parsed cleanly (first copy wins on conflicting
+    /// duplicates).
+    pub loaded: Vec<(Pair, f64)>,
+    /// Data lines dropped (malformed, invalid, or conflicting).
+    pub skipped: usize,
+    /// One `line N: reason: "text"` entry per dropped line, in order.
+    pub errors: Vec<String>,
+}
+
+/// Lenient twin of [`load_known`]: malformed or conflicting data lines
+/// are *counted and reported*, not fatal — the usable prefix of a
+/// partially corrupted cache still saves its oracle calls. I/O errors
+/// remain fatal (the reader itself is broken, nothing is trustworthy).
+///
+/// On a conflicting duplicate the first copy is kept: it was written
+/// earlier, so the later copy is the one a torn append or merge
+/// introduced.
+pub fn load_known_lenient<R: BufRead>(r: R) -> io::Result<LoadReport> {
+    let mut report = LoadReport::default();
+    let mut seen: HashMap<u64, f64> = HashMap::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let reject = |msg: &str, report: &mut LoadReport| {
+            report.skipped += 1;
+            report
+                .errors
+                .push(format!("line {}: {msg}: {trimmed:?}", lineno + 1));
+        };
+        match parse_line(trimmed) {
+            Ok((p, d)) => match seen.get(&p.key()) {
+                Some(&prev) if prev.to_bits() == d.to_bits() => continue,
+                Some(_) => reject("conflicting duplicate pair", &mut report),
+                None => {
+                    seen.insert(p.key(), d);
+                    report.loaded.push((p, d));
+                }
+            },
+            Err(msg) => reject(msg, &mut report),
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -150,5 +208,66 @@ mod tests {
             msg.contains("line 3") && msg.contains("conflicting duplicate pair"),
             "unexpected message: {msg}"
         );
+    }
+
+    #[test]
+    fn lenient_load_of_clean_file_matches_strict() {
+        let text = "# header\n0,1,0.5\n2,3,0.25\n";
+        let report = load_known_lenient(text.as_bytes()).expect("io ok");
+        assert_eq!(report.loaded, load_known(text.as_bytes()).expect("strict"));
+        assert_eq!(report.skipped, 0);
+        assert!(report.errors.is_empty());
+    }
+
+    #[test]
+    fn lenient_load_skips_truncated_tail() {
+        // A torn write cut the last line before its distance field.
+        let torn = "0,1,0.5\n2,3,0.25\n4,5";
+        let report = load_known_lenient(torn.as_bytes()).expect("io ok");
+        assert_eq!(report.loaded.len(), 2);
+        assert_eq!(report.skipped, 1);
+        assert!(report.errors[0].contains("line 3"), "{:?}", report.errors);
+        assert!(
+            report.errors[0].contains("bad distance"),
+            "{:?}",
+            report.errors
+        );
+    }
+
+    #[test]
+    fn lenient_load_skips_nan_distances() {
+        let text = "0,1,0.5\n2,3,NaN\n4,5,0.7\n";
+        let report = load_known_lenient(text.as_bytes()).expect("io ok");
+        assert_eq!(
+            report.loaded,
+            vec![(Pair::new(0, 1), 0.5), (Pair::new(4, 5), 0.7)]
+        );
+        assert_eq!(report.skipped, 1);
+        assert!(
+            report.errors[0].contains("line 2") && report.errors[0].contains("finite"),
+            "{:?}",
+            report.errors
+        );
+    }
+
+    #[test]
+    fn lenient_load_keeps_first_of_conflicting_duplicates() {
+        let text = "0,1,0.5\n1,0,0.75\n2,3,0.25\n";
+        let report = load_known_lenient(text.as_bytes()).expect("io ok");
+        assert_eq!(
+            report.loaded,
+            vec![(Pair::new(0, 1), 0.5), (Pair::new(2, 3), 0.25)]
+        );
+        assert_eq!(report.skipped, 1);
+        assert!(
+            report.errors[0].contains("line 2")
+                && report.errors[0].contains("conflicting duplicate pair"),
+            "{:?}",
+            report.errors
+        );
+        // Bit-identical repeats still dedupe silently.
+        let report = load_known_lenient("0,1,0.5\n1,0,0.5\n".as_bytes()).expect("io ok");
+        assert_eq!(report.loaded.len(), 1);
+        assert_eq!(report.skipped, 0);
     }
 }

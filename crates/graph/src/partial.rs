@@ -119,6 +119,31 @@ impl PartialGraph {
         }
     }
 
+    /// Removes a previously recorded edge, returning its distance. Exists
+    /// for the untrusted-oracle audit path: a recorded value proven
+    /// inconsistent with the triangle inequality must be *retracted* before
+    /// a trusted replacement is inserted, since every bound derived through
+    /// the poisoned edge is suspect. Bumps the generation and stamps both
+    /// endpoints so stamp-gated consumers (bound caches, speculative
+    /// snapshots) refuse anything derived before the retraction.
+    pub fn remove(&mut self, p: Pair) -> Option<f64> {
+        let (a, b) = p.ends();
+        let i = self.adj[a as usize]
+            .binary_search_by_key(&b, |&(id, _)| id)
+            .ok()?;
+        let (_, d) = self.adj[a as usize].remove(i);
+        if let Ok(j) = self.adj[b as usize].binary_search_by_key(&a, |&(id, _)| id) {
+            self.adj[b as usize].remove(j);
+        }
+        if let Some(k) = self.edges.iter().position(|&(e, _)| e == p) {
+            self.edges.remove(k);
+        }
+        self.generation += 1;
+        self.node_stamp[a as usize] = self.generation;
+        self.node_stamp[b as usize] = self.generation;
+        Some(d)
+    }
+
     fn reserve_adj(list: &mut Vec<(ObjectId, f64)>) {
         if list.capacity() == list.len() {
             list.reserve(list.len().max(8));
@@ -243,6 +268,34 @@ mod tests {
         // Duplicate insert changes nothing.
         g.insert(p(0, 1), 0.5);
         assert_eq!(g.generation(), 2);
+    }
+
+    #[test]
+    fn remove_retracts_edge_and_bumps_generation() {
+        let mut g = PartialGraph::new(5);
+        g.insert(p(0, 1), 0.5);
+        g.insert(p(1, 2), 0.25);
+        g.insert(p(0, 2), 0.4);
+        let gen = g.generation();
+        assert_eq!(g.remove(p(0, 1)), Some(0.5));
+        assert_eq!(g.get(p(0, 1)), None);
+        assert_eq!(g.get(p(1, 0)), None, "symmetric removal");
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.generation(), gen + 1);
+        assert_eq!(g.node_stamp(0), gen + 1);
+        assert_eq!(g.node_stamp(1), gen + 1);
+        // Triangles through the retracted edge are gone.
+        let mut count = 0;
+        g.for_each_common_neighbor(1, 2, |_, _, _| count += 1);
+        assert_eq!(count, 0);
+        // Re-insert with a different (repaired) value is legal now.
+        assert!(g.insert(p(0, 1), 0.45));
+        assert_eq!(g.get(p(0, 1)), Some(0.45));
+        // Removing an unknown edge is a no-op that reports None.
+        assert_eq!(g.remove(p(3, 4)), None);
+        assert_eq!(g.generation(), gen + 2, "failed removal does not stamp");
     }
 
     #[test]

@@ -97,6 +97,29 @@ impl ProbeKind {
     }
 }
 
+/// What the consistency auditor did about a detected value corruption.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CorruptionAction {
+    /// A value outside its certified `[TLB, TUB]` sandwich (or a vote
+    /// loser) was caught before acceptance.
+    Detected,
+    /// A trusted replacement value was obtained by re-query voting.
+    Repaired,
+    /// A previously *recorded* value was proven poisoned and withdrawn
+    /// from the bound scheme.
+    Retracted,
+}
+
+impl CorruptionAction {
+    fn name(self) -> &'static str {
+        match self {
+            CorruptionAction::Detected => "detected",
+            CorruptionAction::Repaired => "repaired",
+            CorruptionAction::Retracted => "retracted",
+        }
+    }
+}
+
 /// Determinism class of an event; see the module docs.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum EventClass {
@@ -161,6 +184,25 @@ pub enum TraceEvent {
         attempt: u32,
         backoff_ns: u64,
     },
+    /// The consistency auditor acted on a value corruption. One event
+    /// per action: a detection records the rejected value against the
+    /// violated (or winning-vote) interval; a repair records the trusted
+    /// replacement; a retraction records the poisoned value withdrawn
+    /// from the scheme. Semantic class — the audit runs on the
+    /// sequential resolution path, so the stream is thread-invariant.
+    Corruption {
+        lo: u32,
+        hi: u32,
+        action: CorruptionAction,
+        /// The value the action is about (rejected, trusted, or
+        /// withdrawn, by action).
+        value: f64,
+        /// Lower edge of the evidence interval (certified TLB for a
+        /// sandwich violation; the vote winner for a vote loss).
+        lb: f64,
+        /// Upper edge of the evidence interval.
+        ub: f64,
+    },
     /// A checkpoint snapshot was written successfully.
     CheckpointWrite {
         /// Resolutions covered by the snapshot.
@@ -190,6 +232,7 @@ impl TraceEvent {
             TraceEvent::Commit { .. } => "commit",
             TraceEvent::Fault { .. } => "fault",
             TraceEvent::Retry { .. } => "retry",
+            TraceEvent::Corruption { .. } => "corruption",
             TraceEvent::CheckpointWrite { .. } => "checkpoint",
             TraceEvent::PhaseEnter { .. } => "phase_enter",
             TraceEvent::PhaseExit { .. } => "phase_exit",
@@ -261,6 +304,20 @@ impl TraceEvent {
                 let _ = write!(
                     out,
                     ",\"lo\":{lo},\"hi\":{hi},\"attempt\":{attempt},\"backoff_ns\":{backoff_ns}"
+                );
+            }
+            TraceEvent::Corruption {
+                lo,
+                hi,
+                action,
+                value,
+                lb,
+                ub,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"lo\":{lo},\"hi\":{hi},\"action\":\"{}\",\"value\":{value},\"lb\":{lb},\"ub\":{ub}",
+                    action.name()
                 );
             }
             TraceEvent::CheckpointWrite { resolved } => {
@@ -353,6 +410,37 @@ mod tests {
             s,
             "{\"seq\":0,\"ev\":\"phase_enter\",\"name\":\"bootstrap\"}\n"
         );
+    }
+
+    #[test]
+    fn corruption_event_encodes_and_is_semantic() {
+        let ev = TraceEvent::Corruption {
+            lo: 2,
+            hi: 9,
+            action: CorruptionAction::Detected,
+            value: 0.75,
+            lb: 0.1,
+            ub: 0.3,
+        };
+        assert_eq!(ev.class(), EventClass::Semantic);
+        let mut s = String::new();
+        ev.write_jsonl(5, &mut s);
+        assert_eq!(
+            s,
+            "{\"seq\":5,\"ev\":\"corruption\",\"lo\":2,\"hi\":9,\"action\":\"detected\",\
+             \"value\":0.75,\"lb\":0.1,\"ub\":0.3}\n"
+        );
+        let mut s = String::new();
+        TraceEvent::Corruption {
+            lo: 0,
+            hi: 1,
+            action: CorruptionAction::Retracted,
+            value: 0.5,
+            lb: 0.25,
+            ub: 0.25,
+        }
+        .write_jsonl(0, &mut s);
+        assert!(s.contains("\"action\":\"retracted\""));
     }
 
     #[test]

@@ -108,6 +108,13 @@ pub struct TraceSummary {
     pub backoff_ns: u64,
     /// Checkpoint snapshots written.
     pub checkpoints: u64,
+    /// Value corruptions the consistency auditor caught (sandwich
+    /// violations plus vote losers).
+    pub corruption_detected: u64,
+    /// Detected corruptions replaced by a trusted re-query value.
+    pub corruption_repaired: u64,
+    /// Recorded values proven poisoned and withdrawn from the scheme.
+    pub corruption_retracted: u64,
     /// Per-phase rows, in first-entered order.
     pub phases: Vec<PhaseRow>,
     /// Prune breakdown per scheme, name-sorted.
@@ -187,6 +194,15 @@ impl TraceSummary {
                 out,
                 "  {} faulted attempts, {} retries, {} gave up, {} backoff ns, {} checkpoints",
                 self.faults_injected, self.retries, self.gave_up, self.backoff_ns, self.checkpoints
+            );
+        }
+
+        if self.corruption_detected + self.corruption_repaired + self.corruption_retracted > 0 {
+            let _ = writeln!(out, "\ncorruption audit:");
+            let _ = writeln!(
+                out,
+                "  {} detected, {} repaired, {} retracted",
+                self.corruption_detected, self.corruption_repaired, self.corruption_retracted
             );
         }
 
@@ -306,6 +322,20 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
             "checkpoint" => {
                 s.checkpoints += 1;
             }
+            "corruption" => {
+                let action = field(line, "action")
+                    .ok_or_else(|| format!("line {lineno}: missing field \"action\""))?;
+                match action {
+                    "detected" => s.corruption_detected += 1,
+                    "repaired" => s.corruption_repaired += 1,
+                    "retracted" => s.corruption_retracted += 1,
+                    other => {
+                        return Err(format!(
+                            "line {lineno}: unknown corruption action {other:?}"
+                        ));
+                    }
+                }
+            }
             "phase_enter" => {
                 let name = field(line, "name")
                     .ok_or_else(|| format!("line {lineno}: missing field \"name\""))?;
@@ -417,6 +447,34 @@ mod tests {
         assert_eq!(last.events, 12);
         assert_eq!(last.calls, 3);
         assert_eq!(last.probes, 3);
+    }
+
+    #[test]
+    fn corruption_events_are_counted_by_action() {
+        let text = "\
+{\"seq\":0,\"ev\":\"corruption\",\"lo\":0,\"hi\":1,\"action\":\"detected\",\"value\":0.9,\"lb\":0.1,\"ub\":0.2}
+{\"seq\":1,\"ev\":\"corruption\",\"lo\":0,\"hi\":1,\"action\":\"detected\",\"value\":0.8,\"lb\":0.1,\"ub\":0.2}
+{\"seq\":2,\"ev\":\"corruption\",\"lo\":0,\"hi\":1,\"action\":\"repaired\",\"value\":0.15,\"lb\":0.1,\"ub\":0.2}
+{\"seq\":3,\"ev\":\"corruption\",\"lo\":2,\"hi\":3,\"action\":\"retracted\",\"value\":0.7,\"lb\":0.3,\"ub\":0.3}
+";
+        let s = summarize(text).expect("valid");
+        assert_eq!(s.corruption_detected, 2);
+        assert_eq!(s.corruption_repaired, 1);
+        assert_eq!(s.corruption_retracted, 1);
+        let r = s.render();
+        assert!(r.contains("corruption audit"), "{r}");
+        assert!(r.contains("2 detected, 1 repaired, 1 retracted"), "{r}");
+        // A clean trace renders no corruption section.
+        assert!(!summarize(SAMPLE)
+            .expect("valid")
+            .render()
+            .contains("corruption"));
+        // Unknown actions are malformed, like unknown events.
+        let bad = "{\"seq\":0,\"ev\":\"corruption\",\"lo\":0,\"hi\":1,\"action\":\"wat\",\
+                   \"value\":0.1,\"lb\":0.1,\"ub\":0.2}\n";
+        assert!(summarize(bad)
+            .unwrap_err()
+            .contains("unknown corruption action"));
     }
 
     #[test]

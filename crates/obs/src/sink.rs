@@ -151,6 +151,7 @@ impl TraceSink for RingSink {
 enum JsonlWriter {
     File(BufWriter<File>),
     Mem(Vec<u8>),
+    Custom(Box<dyn Write>),
 }
 
 /// Streams accepted events as JSON Lines, either to a file or to an
@@ -185,6 +186,18 @@ impl JsonlSink {
         }
     }
 
+    /// Streams to an arbitrary writer (tests inject failing writers to
+    /// exercise the error-counting path; callers can wrap sockets or
+    /// pipes). Buffer externally if throughput matters.
+    pub fn to_writer(w: Box<dyn Write>) -> Self {
+        JsonlSink {
+            w: RefCell::new(JsonlWriter::Custom(w)),
+            seq: Cell::new(0),
+            exec: false,
+            io_errors: Cell::new(0),
+        }
+    }
+
     /// Also records execution-class events (opt-in; breaks cross-thread
     /// byte identity by design).
     pub fn with_execution(mut self) -> Self {
@@ -196,7 +209,7 @@ impl JsonlSink {
     pub fn contents(&self) -> Option<String> {
         match &*self.w.borrow() {
             JsonlWriter::Mem(buf) => Some(String::from_utf8_lossy(buf).into_owned()),
-            JsonlWriter::File(_) => None,
+            JsonlWriter::File(_) | JsonlWriter::Custom(_) => None,
         }
     }
 
@@ -216,13 +229,16 @@ impl TraceSink for JsonlSink {
         self.seq.set(seq + 1);
         let mut line = String::with_capacity(96);
         ev.write_jsonl(seq, &mut line);
-        match &mut *self.w.borrow_mut() {
-            JsonlWriter::Mem(buf) => buf.extend_from_slice(line.as_bytes()),
-            JsonlWriter::File(f) => {
-                if f.write_all(line.as_bytes()).is_err() {
-                    self.io_errors.set(self.io_errors.get() + 1);
-                }
+        let wrote = match &mut *self.w.borrow_mut() {
+            JsonlWriter::Mem(buf) => {
+                buf.extend_from_slice(line.as_bytes());
+                Ok(())
             }
+            JsonlWriter::File(f) => f.write_all(line.as_bytes()),
+            JsonlWriter::Custom(w) => w.write_all(line.as_bytes()),
+        };
+        if wrote.is_err() {
+            self.io_errors.set(self.io_errors.get() + 1);
         }
     }
     fn emitted(&self) -> u64 {
@@ -232,10 +248,13 @@ impl TraceSink for JsonlSink {
         self.exec
     }
     fn flush(&self) {
-        if let JsonlWriter::File(f) = &mut *self.w.borrow_mut() {
-            if f.flush().is_err() {
-                self.io_errors.set(self.io_errors.get() + 1);
-            }
+        let flushed = match &mut *self.w.borrow_mut() {
+            JsonlWriter::Mem(_) => Ok(()),
+            JsonlWriter::File(f) => f.flush(),
+            JsonlWriter::Custom(w) => w.flush(),
+        };
+        if flushed.is_err() {
+            self.io_errors.set(self.io_errors.get() + 1);
         }
     }
 }
@@ -318,6 +337,127 @@ mod tests {
         let text = sink.contents().unwrap();
         assert!(text.contains("\"seq\":0,\"ev\":\"speculate\",\"gen\":1,\"items\":4"));
         assert!(text.contains("\"seq\":1,\"ev\":\"commit\",\"gen\":1,\"reused\":4"));
+    }
+
+    /// Fails every write after the first `ok_writes`, but keeps
+    /// accepting flushes, mimicking a disk that filled up mid-run.
+    struct FailAfter {
+        ok_writes: usize,
+        seen: usize,
+    }
+
+    impl Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.seen += 1;
+            if self.seen > self.ok_writes {
+                Err(std::io::Error::other("disk full"))
+            } else {
+                Ok(buf.len())
+            }
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    struct BrokenPipe;
+
+    impl Write for BrokenPipe {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone"))
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_counts_write_errors_without_aborting() {
+        let sink = JsonlSink::to_writer(Box::new(FailAfter {
+            ok_writes: 2,
+            seen: 0,
+        }));
+        for i in 0..5 {
+            sink.emit(call(0, i + 1));
+        }
+        // Every event still gets a sequence number — a broken trace file
+        // must not perturb the run it observes — but the three writes
+        // past the failure point are counted.
+        assert_eq!(sink.emitted(), 5);
+        assert_eq!(sink.io_errors(), 3);
+        sink.flush();
+        assert_eq!(sink.io_errors(), 3, "flush on this writer succeeds");
+    }
+
+    #[test]
+    fn jsonl_sink_counts_flush_errors() {
+        let sink = JsonlSink::to_writer(Box::new(BrokenPipe));
+        sink.emit(call(0, 1));
+        assert_eq!(sink.io_errors(), 1);
+        sink.flush();
+        assert_eq!(sink.io_errors(), 2);
+        // Filtered events never touch the writer and cost no error.
+        sink.emit(TraceEvent::Speculate {
+            generation: 0,
+            items: 1,
+        });
+        assert_eq!(sink.io_errors(), 2);
+        assert_eq!(sink.emitted(), 1);
+        // Drop flushes once more; must not panic on a dead writer.
+        drop(sink);
+    }
+
+    #[test]
+    fn full_writer_keeps_mem_sink_infallible() {
+        let sink = JsonlSink::in_memory();
+        for i in 0..100 {
+            sink.emit(call(0, i + 1));
+        }
+        assert_eq!(sink.io_errors(), 0);
+        assert_eq!(sink.contents().unwrap().lines().count(), 100);
+        assert!(JsonlSink::to_writer(Box::new(Vec::new()))
+            .contents()
+            .is_none());
+    }
+
+    #[test]
+    fn ring_sink_wraparound_is_exact_over_many_events() {
+        let sink = RingSink::new(3);
+        for i in 0..10u32 {
+            sink.emit(call(0, i + 1));
+        }
+        let evs = sink.events();
+        // Exactly the last `cap` events survive, oldest first, with
+        // their original (global) sequence numbers intact.
+        assert_eq!(evs.len(), 3);
+        assert_eq!(
+            evs.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+        assert_eq!(evs[0].1, call(0, 8));
+        assert_eq!(evs[2].1, call(0, 10));
+        assert_eq!(sink.emitted(), 10);
+    }
+
+    #[test]
+    fn ring_sink_cap_zero_counts_but_stores_nothing() {
+        let sink = RingSink::new(0);
+        for i in 0..4u32 {
+            sink.emit(call(0, i + 1));
+        }
+        assert!(sink.events().is_empty());
+        assert_eq!(sink.emitted(), 4, "sequence numbers still advance");
+    }
+
+    #[test]
+    fn ring_sink_below_capacity_keeps_everything_in_order() {
+        let sink = RingSink::new(8);
+        sink.emit(call(0, 1));
+        sink.emit(call(0, 2));
+        let evs = sink.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0], (0, call(0, 1)));
+        assert_eq!(evs[1], (1, call(0, 2)));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `cargo xtask` — repo-specific checks that `rustc`/`clippy` cannot express.
 //!
 //! ```text
-//! cargo xtask lint        # enforce L1–L6 across the workspace
+//! cargo xtask lint        # enforce L1–L8 across the workspace
 //! ```
 //!
 //! The rules and their rationale live in `docs/INVARIANTS.md`; the
@@ -45,6 +45,20 @@ fn run_lint() -> ExitCode {
             .replace('\\', "/");
         scanned += 1;
         violations.extend(rules::lint_source(&rel, &text));
+    }
+
+    // L8 is cross-file: the trace-event emitter and the report summarizer
+    // must agree on the event-name vocabulary.
+    let event_path = root.join("crates/obs/src/event.rs");
+    let report_path = root.join("crates/obs/src/report.rs");
+    match (
+        std::fs::read_to_string(&event_path),
+        std::fs::read_to_string(&report_path),
+    ) {
+        (Ok(event_src), Ok(report_src)) => {
+            violations.extend(rules::lint_event_coverage(&event_src, &report_src));
+        }
+        _ => eprintln!("warning: obs event/report sources unreadable; L8 skipped"),
     }
 
     for v in &violations {

@@ -15,6 +15,7 @@
 //! | L5 | everywhere except `prox-exec` | `std::thread` (threading goes through `ExecPool` so determinism stays centralised) |
 //! | L6 | library crates | discarding a fallible oracle result via `.ok()` / `let _ =` (an `OracleError` must propagate or be handled, never vanish) |
 //! | L7 | library crates | direct `println!` / `eprintln!` output (observability goes through `prox-obs` sinks so traces stay deterministic and machine-readable) |
+//! | L8 | `crates/obs` | emitting a `TraceEvent` name the report summarizer never mentions (an event class `prox-cli report` would silently drop) — see [`lint_event_coverage`] |
 
 use crate::lexer::{line_starts, match_brace, scan, test_line_ranges};
 
@@ -184,6 +185,58 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                     .to_string(),
             );
         }
+    }
+    out
+}
+
+/// L8 — the trace-audit lint. Every event name `TraceEvent::name()` can
+/// emit (the `ev` field of the JSONL encoding) must appear *quoted* in
+/// the report summarizer, or `prox-cli report` silently drops that event
+/// class — exactly the failure mode the corruption audit exists to
+/// prevent. Cross-file by nature, so it runs once per workspace, not per
+/// file: pass the sources of `crates/obs/src/event.rs` and
+/// `crates/obs/src/report.rs`.
+pub fn lint_event_coverage(event_src: &str, report_src: &str) -> Vec<Violation> {
+    let src_lines: Vec<&str> = event_src.lines().collect();
+    let mut out = Vec::new();
+    for (line, name) in trace_event_names(event_src) {
+        let quoted = format!("\"{name}\"");
+        if !report_src.contains(&quoted) {
+            out.push(Violation {
+                rule: "L8",
+                file: "crates/obs/src/event.rs".to_string(),
+                line,
+                msg: format!(
+                    "trace event {name:?} is emitted but never mentioned in \
+                     crates/obs/src/report.rs; `prox-cli report` would silently \
+                     drop the whole event class"
+                ),
+                excerpt: src_lines.get(line - 1).unwrap_or(&"").trim().to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// The `(line, name)` pairs from `TraceEvent::name()`'s match arms:
+/// lines of the shape `TraceEvent::Variant { .. } => "name",`. Variant
+/// paths in other enums' `name()` impls (outcomes, verdicts, actions)
+/// are keys *inside* an event, not event classes, and are not collected.
+fn trace_event_names(event_src: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in event_src.lines().enumerate() {
+        let t = line.trim();
+        if !t.starts_with("TraceEvent::") {
+            continue;
+        }
+        let Some(arrow) = t.find("=> \"") else {
+            continue;
+        };
+        let rest = &t[arrow + 4..];
+        let Some(close) = rest.find('"') else {
+            continue;
+        };
+        out.push((idx + 1, rest[..close].to_string()));
     }
     out
 }
@@ -482,6 +535,55 @@ mod tests {
         assert!(lint_source("crates/core/src/x.rs", in_string).is_empty());
         let in_doc = "/// Example: `println!(\"{d}\")` is forbidden here.\nfn f() {}\n";
         assert!(lint_source("crates/core/src/x.rs", in_doc).is_empty());
+    }
+
+    // ---------------------------------------------------------------- L8
+
+    const EVENT_FIXTURE: &str = "impl TraceEvent {\n    pub fn name(self) -> &'static str {\n        match self {\n            TraceEvent::OracleCall { .. } => \"oracle_call\",\n            TraceEvent::Corruption { .. } => \"corruption\",\n        }\n    }\n}\n";
+
+    #[test]
+    fn l8_flags_event_names_missing_from_the_report() {
+        let report = "fn summarize(ev: &str) { match ev { \"oracle_call\" => {} _ => {} } }\n";
+        let vs = lint_event_coverage(EVENT_FIXTURE, report);
+        assert_eq!(lines(&vs, "L8"), vec![5]);
+        assert!(vs[0].msg.contains("\"corruption\""));
+        assert!(vs[0].render().contains("crates/obs/src/event.rs:5"));
+    }
+
+    #[test]
+    fn l8_passes_when_every_event_name_is_quoted_in_the_report() {
+        let report = "match ev { \"oracle_call\" => {} \"corruption\" => {} _ => {} }\n";
+        assert!(lint_event_coverage(EVENT_FIXTURE, report).is_empty());
+    }
+
+    #[test]
+    fn l8_ignores_field_name_enums_and_non_arm_lines() {
+        // Variant names of inner enums (CallOutcome etc.) are field
+        // values, not event classes; they must not be collected.
+        let with_inner = "impl CallOutcome {\n    fn name(self) -> &'static str {\n        match self {\n            CallOutcome::Ok => \"ok\",\n        }\n    }\n}\n";
+        assert!(lint_event_coverage(with_inner, "").is_empty());
+        let names = trace_event_names(EVENT_FIXTURE);
+        assert_eq!(
+            names,
+            vec![
+                (4, "oracle_call".to_string()),
+                (5, "corruption".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn l8_holds_on_the_real_sources() {
+        // The actual emitter/summarizer pair must stay in sync; this is
+        // the same check `cargo xtask lint` runs on the workspace.
+        let event_src = include_str!("../../obs/src/event.rs");
+        let report_src = include_str!("../../obs/src/report.rs");
+        let vs = lint_event_coverage(event_src, report_src);
+        assert!(vs.is_empty(), "{:?}", vs);
+        assert!(
+            trace_event_names(event_src).len() >= 10,
+            "the extractor must see every TraceEvent variant"
+        );
     }
 
     // ----------------------------------------------------------- plumbing
