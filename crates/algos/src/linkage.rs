@@ -70,7 +70,7 @@ impl Dendrogram {
             leaf_of.push(la); // representative leaf of the new cluster
         }
         // Compact the union-find roots into dense labels.
-        let mut label_of_root = std::collections::HashMap::new();
+        let mut label_of_root = std::collections::BTreeMap::new();
         let mut labels = Vec::with_capacity(self.n);
         for v in 0..self.n as ObjectId {
             let root = uf.find(v);

@@ -228,7 +228,7 @@ impl DistanceResolver for SpecProbe<'_> {
         let out = leq_verdict(lb, ub, v);
         if self.observing() {
             let verdict = if lb == ub {
-                // Known fast path, mirroring the live resolver. lint: allow(L3)
+                // Known fast path, mirroring the live resolver.
                 ProbeVerdict::Known
             } else {
                 match out {

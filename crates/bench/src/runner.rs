@@ -258,7 +258,7 @@ pub struct RunObservers {
 /// the algorithm closure (landmark bootstrap, pivot-tree build, cache
 /// preload) runs inside a `"bootstrap"` phase so reports can split the
 /// call trajectory by phase.
-#[allow(clippy::too_many_arguments)] // lint: allow(L3) — mirrors the cached entry plus observers
+#[allow(clippy::too_many_arguments)] // mirrors the cached entry plus observers
 pub fn try_run_plugged_observed<T>(
     plug: Plug,
     metric: &(dyn Metric + Send + Sync),

@@ -37,7 +37,7 @@
 //! [`CorruptionStats::requeries`] so `billed(corrupt) == billed(clean) +
 //! requeries` can be asserted exactly.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use prox_core::invariant;
 use prox_core::Pair;
@@ -112,7 +112,7 @@ pub struct CorruptionStats {
 pub struct AuditState {
     pub(crate) policy: AuditPolicy,
     pub(crate) stats: CorruptionStats,
-    pub(crate) next_replica: HashMap<u64, u32>,
+    pub(crate) next_replica: BTreeMap<u64, u32>,
 }
 
 impl AuditState {
@@ -120,7 +120,7 @@ impl AuditState {
         AuditState {
             policy,
             stats: CorruptionStats::default(),
-            next_replica: HashMap::new(),
+            next_replica: BTreeMap::new(),
         }
     }
 

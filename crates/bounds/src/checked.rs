@@ -22,7 +22,7 @@
 //! normal builds.
 
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use prox_core::invariant;
 use prox_core::{Pair, PruneStats, SpecBounds};
@@ -37,7 +37,7 @@ pub struct CheckedResolver<R, F> {
     inner: R,
     truth: F,
     /// Tightest `(lb, ub)` observed per pair, for the monotonicity audit.
-    tightest: HashMap<u64, (f64, f64)>,
+    tightest: BTreeMap<u64, (f64, f64)>,
     checks: Cell<u64>,
 }
 
@@ -47,7 +47,7 @@ impl<R: DistanceResolver, F: Fn(Pair) -> f64> CheckedResolver<R, F> {
         CheckedResolver {
             inner,
             truth,
-            tightest: HashMap::new(),
+            tightest: BTreeMap::new(),
             checks: Cell::new(0),
         }
     }

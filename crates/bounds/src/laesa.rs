@@ -1,6 +1,6 @@
 //! LAESA as a pair-bound scheme (baseline; Micó, Oncina, Vidal 1994).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use prox_core::Pair;
 
@@ -26,8 +26,8 @@ pub struct Laesa {
     max_distance: f64,
     rows: Vec<Box<[f64]>>,
     /// Maps an object to its pivot index, if it is one.
-    pivot_index: HashMap<u32, usize>,
-    resolved: HashMap<u64, f64>,
+    pivot_index: BTreeMap<u32, usize>,
+    resolved: BTreeMap<u64, f64>,
 }
 
 impl Laesa {
@@ -35,7 +35,7 @@ impl Laesa {
     /// pivot-row edges are pre-seeded into the resolved cache, so pairs
     /// involving a pivot are served exactly.
     pub fn new(max_distance: f64, bootstrap: &Bootstrap) -> Self {
-        let mut resolved = HashMap::new();
+        let mut resolved = BTreeMap::new();
         for (p, d) in bootstrap.edges() {
             resolved.insert(p.key(), d);
         }

@@ -1,6 +1,6 @@
 //! The resolver framework: re-authored IF statements (§3 of the paper).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use prox_core::invariant;
@@ -360,7 +360,7 @@ pub struct BoundResolver<'o, M: Metric, S: BoundScheme> {
     /// repeated SPLUB probes of one pair then cost a hash lookup instead
     /// of two Dijkstras. Hits and misses are deliberately *not* counted in
     /// [`PruneStats`]: the cache must not change any observable accounting.
-    bcache: HashMap<u64, (f64, f64, u64)>,
+    bcache: BTreeMap<u64, (f64, f64, u64)>,
     cache_on: bool,
     /// Observation handles, cloned from the oracle once at construction
     /// ("checked once per resolver construction"): the disabled hot path
@@ -388,7 +388,7 @@ impl<'o, M: Metric, S: BoundScheme> BoundResolver<'o, M, S> {
             oracle,
             scheme,
             stats: PruneStats::default(),
-            bcache: HashMap::new(),
+            bcache: BTreeMap::new(),
             cache_on,
             audit: None,
         }

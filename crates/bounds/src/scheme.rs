@@ -1,6 +1,6 @@
 //! The `BoundScheme` abstraction (the paper's BOUNDS + UPDATE problems).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use prox_core::{Pair, SpecBounds};
 
@@ -127,7 +127,7 @@ pub trait BoundScheme {
 pub struct NoScheme {
     n: usize,
     max_distance: f64,
-    resolved: HashMap<u64, f64>,
+    resolved: BTreeMap<u64, f64>,
     retractions: u64,
 }
 
@@ -137,7 +137,7 @@ impl NoScheme {
         NoScheme {
             n,
             max_distance,
-            resolved: HashMap::new(),
+            resolved: BTreeMap::new(),
             retractions: 0,
         }
     }

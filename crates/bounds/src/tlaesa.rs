@@ -1,6 +1,6 @@
 //! TLAESA as a pair-bound scheme (baseline; Micó, Oncina, Carrasco 1996).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use prox_core::invariant::{expect_ok, InvariantExt};
 use prox_core::{Metric, ObjectId, Oracle, OracleError, Pair};
@@ -34,7 +34,7 @@ pub struct Tlaesa {
     /// Per-object sorted `(pivot_object, distance)` lists: base prototypes
     /// plus every tree representative the object was compared against.
     lists: Vec<Vec<(ObjectId, f64)>>,
-    resolved: HashMap<u64, f64>,
+    resolved: BTreeMap<u64, f64>,
     construction_calls: u64,
 }
 
@@ -62,7 +62,7 @@ impl Tlaesa {
         let bootstrap = try_select_maxmin_pivots(oracle, k, seed)?;
 
         fn note(
-            resolved: &mut HashMap<u64, f64>,
+            resolved: &mut BTreeMap<u64, f64>,
             lists: &mut [Vec<(ObjectId, f64)>],
             a: ObjectId,
             b: ObjectId,
@@ -78,7 +78,7 @@ impl Tlaesa {
         }
 
         let mut lists: Vec<Vec<(ObjectId, f64)>> = vec![Vec::new(); n];
-        let mut resolved: HashMap<u64, f64> = HashMap::new();
+        let mut resolved: BTreeMap<u64, f64> = BTreeMap::new();
         for (t, &pv) in bootstrap.pivots.iter().enumerate() {
             for x in 0..n as ObjectId {
                 if x != pv {

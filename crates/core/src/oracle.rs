@@ -156,14 +156,7 @@ impl<M: Metric> Oracle<M> {
     /// must use [`Oracle::try_call`].
     pub fn call(&self, a: ObjectId, b: ObjectId) -> f64 {
         crate::invariant!(a != b, "oracle called for a self-distance (object {a})");
-        if self.observers_off() {
-            self.calls.set(self.calls.get() + 1);
-            return self.metric.distance(a, b);
-        }
-        expect_ok(
-            self.try_call_slow(Pair::new(a, b), 0),
-            "infallible oracle path hit a fault",
-        )
+        expect_ok(self.try_call(a, b), "infallible oracle path hit a fault")
     }
 
     /// [`Oracle::call`] keyed by a canonical [`Pair`].

@@ -10,7 +10,7 @@
 //! The format is deliberately plain text: diffable, greppable, and free of
 //! serialization dependencies.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, Write};
 
 use crate::Pair;
@@ -68,7 +68,7 @@ fn parse_line(trimmed: &str) -> Result<(Pair, f64), &'static str> {
 /// the 1-based line number and the offending line.
 pub fn load_known<R: BufRead>(r: R) -> io::Result<Vec<(Pair, f64)>> {
     let mut out = Vec::new();
-    let mut seen: HashMap<u64, f64> = HashMap::new();
+    let mut seen: BTreeMap<u64, f64> = BTreeMap::new();
     for (lineno, line) in r.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
@@ -117,7 +117,7 @@ pub struct LoadReport {
 /// introduced.
 pub fn load_known_lenient<R: BufRead>(r: R) -> io::Result<LoadReport> {
     let mut report = LoadReport::default();
-    let mut seen: HashMap<u64, f64> = HashMap::new();
+    let mut seen: BTreeMap<u64, f64> = BTreeMap::new();
     for (lineno, line) in r.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();

@@ -1,6 +1,6 @@
 //! The Direct Feasibility Test resolver (§2.2 of the paper).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use prox_bounds::{BoundScheme, DistanceResolver, Splub, DECISION_EPS};
 use prox_core::invariant::InvariantExt;
@@ -47,7 +47,7 @@ pub struct DftResolver<'o, M: Metric> {
     oracle: &'o Oracle<M>,
     n: usize,
     max_distance: f64,
-    known: HashMap<u64, f64>,
+    known: BTreeMap<u64, f64>,
     encoding: Encoding,
     stats: PruneStats,
     lp_solves: u64,
@@ -77,7 +77,7 @@ impl<'o, M: Metric> DftResolver<'o, M> {
             oracle,
             n: oracle.n(),
             max_distance: oracle.max_distance(),
-            known: HashMap::new(),
+            known: BTreeMap::new(),
             encoding,
             stats: PruneStats::default(),
             lp_solves: 0,

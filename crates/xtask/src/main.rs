@@ -1,110 +1,105 @@
 //! `cargo xtask` — repo-specific checks that `rustc`/`clippy` cannot express.
 //!
 //! ```text
-//! cargo xtask lint        # enforce L1–L8 across the workspace
+//! cargo xtask lint                      # enforce L1–L12 + stale-escape gate
+//! cargo xtask lint --allow-unused-allows  # grace mode: stale escapes warn only
+//! cargo xtask analyze                   # choke-point report on stdout
+//! cargo xtask analyze --json [PATH] --dot [PATH]   # plus graph dumps
 //! ```
 //!
 //! The rules and their rationale live in `docs/INVARIANTS.md`; the
-//! implementations (with fixture tests) are in [`rules`].
+//! implementations (with fixture tests) are in [`xtask::rules`], the item
+//! graph in [`xtask::graph`].
 
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
-mod lexer;
-mod rules;
+use xtask::{analyze, load_workspace_sources, rules, workspace_root};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => run_lint(),
+        Some("lint") => run_lint(args.iter().any(|a| a == "--allow-unused-allows")),
+        Some("analyze") => run_analyze(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask lint [--allow-unused-allows]");
+            eprintln!("       cargo xtask analyze [--json [PATH]] [--dot [PATH]]");
             ExitCode::from(2)
         }
     }
 }
 
-fn run_lint() -> ExitCode {
-    let root = workspace_root();
-    let mut files = Vec::new();
-    collect_rs_files(&root.join("crates"), &mut files);
-    collect_rs_files(&root.join("src"), &mut files);
-    files.sort();
+fn run_lint(allow_unused_allows: bool) -> ExitCode {
+    let t0 = Instant::now();
+    let files = load_workspace_sources(&workspace_root());
+    let lint = rules::lint_workspace(&files);
 
-    let mut violations = Vec::new();
-    let mut scanned = 0usize;
-    for path in &files {
-        let Ok(text) = std::fs::read_to_string(path) else {
-            eprintln!("warning: unreadable file {}", path.display());
-            continue;
-        };
-        let rel = path
-            .strip_prefix(&root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        scanned += 1;
-        violations.extend(rules::lint_source(&rel, &text));
-    }
-
-    // L8 is cross-file: the trace-event emitter and the report summarizer
-    // must agree on the event-name vocabulary.
-    let event_path = root.join("crates/obs/src/event.rs");
-    let report_path = root.join("crates/obs/src/report.rs");
-    match (
-        std::fs::read_to_string(&event_path),
-        std::fs::read_to_string(&report_path),
-    ) {
-        (Ok(event_src), Ok(report_src)) => {
-            violations.extend(rules::lint_event_coverage(&event_src, &report_src));
-        }
-        _ => eprintln!("warning: obs event/report sources unreadable; L8 skipped"),
-    }
-
-    for v in &violations {
+    for v in &lint.violations {
         println!("{}\n", v.render());
     }
-    if violations.is_empty() {
-        println!("xtask lint: {scanned} files scanned, no violations");
+    let mut failures = lint.violations.len();
+    for v in &lint.stale_escapes {
+        if allow_unused_allows {
+            println!(
+                "warning[stale-allow]: {}\n  --> {}:{}\n",
+                v.msg, v.file, v.line
+            );
+        } else {
+            println!("{}\n", v.render());
+            failures += 1;
+        }
+    }
+
+    let ms = t0.elapsed().as_millis();
+    if failures == 0 {
+        println!(
+            "xtask lint: {} files linted, {} items / {} edges in the graph, \
+             no violations ({ms} ms)",
+            lint.files_linted, lint.items, lint.edges
+        );
         ExitCode::SUCCESS
     } else {
         println!(
-            "xtask lint: {} violation(s) in {} file(s) ({} files scanned)",
-            violations.len(),
-            {
-                let mut fs: Vec<&str> = violations.iter().map(|v| v.file.as_str()).collect();
-                fs.dedup();
-                fs.len()
-            },
-            scanned
+            "xtask lint: {failures} finding(s) across {} files linted ({ms} ms)",
+            lint.files_linted
         );
         ExitCode::FAILURE
     }
 }
 
-/// The workspace root, two levels up from this crate's manifest.
-fn workspace_root() -> PathBuf {
-    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
-    manifest
-        .parent()
-        .and_then(Path::parent)
-        .unwrap_or(manifest)
-        .to_path_buf()
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "target") {
-                continue;
-            }
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
+fn run_analyze(args: &[String]) -> ExitCode {
+    // `--json` / `--dot` take an optional path; bare flags use defaults.
+    let path_for = |flag: &str, default: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == flag)?;
+        match args.get(i + 1) {
+            Some(next) if !next.starts_with("--") => Some(next.clone()),
+            _ => Some(default.to_string()),
         }
+    };
+    let json = path_for("--json", "item-graph.json");
+    let dot = path_for("--dot", "item-graph.dot");
+
+    let t0 = Instant::now();
+    let files = load_workspace_sources(&workspace_root());
+    let analysis = analyze::analyze(&files);
+    print!("{}", analysis.choke_report());
+
+    for (path, payload) in [
+        (&json, analysis.graph.to_json()),
+        (&dot, analysis.graph.to_dot()),
+    ] {
+        let Some(path) = path else { continue };
+        if let Err(e) = std::fs::write(path, payload) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    println!("xtask analyze: done in {} ms", t0.elapsed().as_millis());
+    if analysis.exposure.stale_allow.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: stale L9_ALLOWLIST entries (see report)");
+        ExitCode::FAILURE
     }
 }

@@ -1,10 +1,23 @@
-//! The lint rules (`L1`–`L7`) enforcing the oracle-call discipline.
+//! The lint rules (`L1`–`L12`) enforcing the oracle-call and determinism
+//! disciplines.
 //!
-//! Every rule works on the masked code produced by [`crate::lexer::scan`],
-//! skips `#[cfg(test)]` blocks (test code is exempt), and honours an escape
-//! hatch: a comment containing `lint: allow(L3)` (etc.) on the flagged line
-//! or the line directly above suppresses that rule there. Escapes are for
-//! *audited* sites — each one should say why it is sound.
+//! Rules come in two flavours:
+//!
+//! * **Lexical** (L1–L8, L10, L11) — per line of the masked code produced
+//!   by [`crate::lexer::scan`] (L8 is a cross-file vocabulary check).
+//! * **Graph** (L9, L12) — over the whole-workspace
+//!   [`crate::graph::ItemGraph`], so they can see call *chains* that no
+//!   single line reveals.
+//!
+//! Every rule skips `#[cfg(test)]` blocks (test code is exempt) and honours
+//! an escape hatch: a comment containing `lint: allow(L3)` (etc.) on the
+//! flagged line or the line directly above suppresses that rule there.
+//! Escapes are for *audited* sites — each one should say why it is sound —
+//! and an escape that suppresses nothing is itself reported (rule
+//! `stale-allow`, see [`lint_workspace`]) so dead annotations cannot
+//! accumulate. L9 additionally carries [`L9_ALLOWLIST`], the audited list
+//! of items that may sit on an oracle path outside the resolver choke
+//! point.
 //!
 //! | rule | scope | it forbids |
 //! |------|-------|------------|
@@ -16,13 +29,20 @@
 //! | L6 | library crates | discarding a fallible oracle result via `.ok()` / `let _ =` (an `OracleError` must propagate or be handled, never vanish) |
 //! | L7 | library crates | direct `println!` / `eprintln!` output (observability goes through `prox-obs` sinks so traces stay deterministic and machine-readable) |
 //! | L8 | `crates/obs` | emitting a `TraceEvent` name the report summarizer never mentions (an event class `prox-cli report` would silently drop) — see [`lint_event_coverage`] |
+//! | L9 | public APIs of `crates/algos` + `crates/bounds` (graph) | reaching `Oracle::call`/`call_pair` (or their `try_` forms) through any call chain that does not pass a `DistanceResolver` method — see [`oracle_exposure`] |
+//! | L10 | library crates | `HashMap`/`HashSet` (unpinned iteration order; use `BTreeMap`/`BTreeSet` so determinism invariants I5/I8/I9 hold by construction) |
+//! | L11 | everywhere except `crates/bench` | `Instant::now`/`SystemTime` (library code runs on virtual time; wall-clock belongs to the bench harness) |
+//! | L12 | library crates (graph) | an infallible `X` that re-implements its fallible twin `try_X` instead of delegating to it (the copies drift apart) |
 
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::graph::{Item, ItemGraph, Vis};
 use crate::lexer::{line_starts, match_brace, scan, test_line_ranges};
 
 /// One finding, addressable as `file:line`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id: `"L1"` … `"L7"`.
+    /// Rule id: `"L1"` … `"L12"`, or `"stale-allow"` for a dead escape.
     pub rule: &'static str,
     /// Workspace-relative path with forward slashes.
     pub file: String,
@@ -44,27 +64,92 @@ impl Violation {
     }
 }
 
-/// Lints one file. `rel` is the workspace-relative path (forward slashes);
-/// it decides which rules apply. Returns findings sorted by line.
+/// An escape-hatch annotation: `lint: allow(<rule>)` found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Escape {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line of the comment. It suppresses matching violations on
+    /// this line and the next.
+    pub line: usize,
+    /// The rule name inside the parentheses, e.g. `"L3"`.
+    pub rule: String,
+    /// The source line carrying the escape, trimmed.
+    pub excerpt: String,
+}
+
+/// Collects every `lint: allow(...)` escape in a file's comments,
+/// excluding `#[cfg(test)]` ranges (where no rule fires, so any escape is
+/// inert by construction).
+pub fn collect_escapes(rel: &str, src: &str) -> Vec<Escape> {
+    let scanned = scan(src);
+    let test_ranges = test_line_ranges(&scanned.masked);
+    let src_lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+    for (idx, comment) in scanned.comments.lines().enumerate() {
+        let line = idx + 1;
+        if test_ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi) {
+            continue;
+        }
+        let mut rest = comment;
+        while let Some(p) = rest.find("lint: allow(") {
+            let tail = &rest[p + "lint: allow(".len()..];
+            let Some(close) = tail.find(')') else { break };
+            out.push(Escape {
+                file: rel.to_string(),
+                line,
+                rule: tail[..close].to_string(),
+                excerpt: src_lines.get(line - 1).unwrap_or(&"").trim().to_string(),
+            });
+            rest = &tail[close + 1..];
+        }
+    }
+    out
+}
+
+/// Filters `raw` findings through `escapes`. Returns the surviving
+/// violations plus the indices (into `escapes`) that suppressed something.
+fn apply_escapes(raw: Vec<Violation>, escapes: &[Escape]) -> (Vec<Violation>, BTreeSet<usize>) {
+    let mut used = BTreeSet::new();
+    let kept = raw
+        .into_iter()
+        .filter(|v| {
+            let mut suppressed = false;
+            for (k, e) in escapes.iter().enumerate() {
+                if e.file == v.file
+                    && e.rule == v.rule
+                    && (e.line == v.line || e.line + 1 == v.line)
+                {
+                    used.insert(k);
+                    suppressed = true;
+                }
+            }
+            !suppressed
+        })
+        .collect();
+    (kept, used)
+}
+
+/// Lints one file (lexical rules only). `rel` is the workspace-relative
+/// path (forward slashes); it decides which rules apply. Returns findings
+/// sorted by line, with `lint: allow(...)` escapes already honoured.
 pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
+    let escapes = collect_escapes(rel, src);
+    apply_escapes(lexical_raw(rel, src), &escapes).0
+}
+
+/// The lexical rules (L1–L7, L10, L11) on one file, *before* escape
+/// filtering.
+fn lexical_raw(rel: &str, src: &str) -> Vec<Violation> {
     if !rules_for(rel).iter().any(|&r| r) {
         return Vec::new();
     }
-    let [l1, l2, l3, l4, l5, l6, l7] = rules_for(rel);
+    let [l1, l2, l3, l4, l5, l6, l7, l10, l11] = rules_for(rel);
     let scanned = scan(src);
     let masked_lines: Vec<&str> = scanned.masked.lines().collect();
-    let comment_lines: Vec<&str> = scanned.comments.lines().collect();
     let src_lines: Vec<&str> = src.lines().collect();
     let test_ranges = test_line_ranges(&scanned.masked);
     let in_test = |line: usize| test_ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi);
-    let allowed = |line: usize, rule: &str| {
-        let tag = format!("lint: allow({rule})");
-        let here = comment_lines
-            .get(line - 1)
-            .is_some_and(|c| c.contains(&tag));
-        let above = line >= 2 && comment_lines[line - 2].contains(&tag);
-        here || above
-    };
 
     let mut out = Vec::new();
     let mut push = |rule: &'static str, line: usize, msg: String| {
@@ -88,10 +173,7 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
         if in_test(line) {
             continue;
         }
-        if l1
-            && (code.contains(".distance(") || code.contains("::distance("))
-            && !allowed(line, "L1")
-        {
+        if l1 && (code.contains(".distance(") || code.contains("::distance(")) {
             push(
                 "L1",
                 line,
@@ -104,7 +186,6 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
             && [".call(", ".call_pair(", "::call(", "::call_pair("]
                 .iter()
                 .any(|p| code.contains(p))
-            && !allowed(line, "L2")
         {
             push(
                 "L2",
@@ -120,7 +201,6 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                 .any(|&(lo, hi)| lo <= line && line <= hi)
             && has_raw_comparison(code)
             && !mentions_epsilon(code)
-            && !allowed(line, "L3")
         {
             push(
                 "L3",
@@ -135,7 +215,6 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
             && [".unwrap()", ".expect(", "panic!", "unreachable!"]
                 .iter()
                 .any(|p| code.contains(p))
-            && !allowed(line, "L4")
         {
             push(
                 "L4",
@@ -154,7 +233,6 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
             ]
             .iter()
             .any(|p| code.contains(p))
-            && !allowed(line, "L5")
         {
             push(
                 "L5",
@@ -165,7 +243,7 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                     .to_string(),
             );
         }
-        if l7 && ["println!", "print!("].iter().any(|p| code.contains(p)) && !allowed(line, "L7") {
+        if l7 && ["println!", "print!("].iter().any(|p| code.contains(p)) {
             push(
                 "L7",
                 line,
@@ -175,13 +253,36 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                     .to_string(),
             );
         }
-        if l6 && discards_fallible_result(code) && !allowed(line, "L6") {
+        if l6 && discards_fallible_result(code) {
             push(
                 "L6",
                 line,
                 "fallible oracle result discarded via `.ok()`/`let _ =`; an \
                  `OracleError` must propagate with `?` or be matched — \
                  swallowing it desynchronises budgets and fault accounting"
+                    .to_string(),
+            );
+        }
+        if l10 && (code.contains("HashMap") || code.contains("HashSet")) {
+            push(
+                "L10",
+                line,
+                "`HashMap`/`HashSet` in library code; hash iteration order is \
+                 unpinned across runs and platforms — use `BTreeMap`/`BTreeSet` \
+                 so determinism invariants I5/I8/I9 hold by construction"
+                    .to_string(),
+            );
+        }
+        if l11
+            && ["Instant::now", "SystemTime"]
+                .iter()
+                .any(|p| code.contains(p))
+        {
+            push(
+                "L11",
+                line,
+                "wall-clock time outside `crates/bench`; library code runs on \
+                 virtual time so schedules and traces replay deterministically"
                     .to_string(),
             );
         }
@@ -241,15 +342,21 @@ fn trace_event_names(event_src: &str) -> Vec<(usize, String)> {
     out
 }
 
-/// Which of `[L1, L2, L3, L4, L5, L6, L7]` apply to this path.
-fn rules_for(rel: &str) -> [bool; 7] {
-    // Only non-test library/tool sources are linted at all.
-    let linted = rel.ends_with(".rs")
+/// True when `rel` is a lintable source path at all (library/tool sources;
+/// not tests, benches, or `xtask` itself). Shared by the lexical and the
+/// graph rules.
+pub fn linted_path(rel: &str) -> bool {
+    rel.ends_with(".rs")
         && (rel.starts_with("crates/") || rel.starts_with("src/"))
         && rel.contains("/src/")
-        && !rel.starts_with("crates/xtask/");
-    if !linted {
-        return [false; 7];
+        && !rel.starts_with("crates/xtask/")
+}
+
+/// Which of `[L1, L2, L3, L4, L5, L6, L7, L10, L11]` apply to this path.
+fn rules_for(rel: &str) -> [bool; 9] {
+    // Only non-test library/tool sources are linted at all.
+    if !linted_path(rel) {
+        return [false; 9];
     }
     let in_crate = |c: &str| rel.starts_with(&format!("crates/{c}/"));
     let l1 = !in_crate("core") && !in_crate("datasets");
@@ -267,7 +374,14 @@ fn rules_for(rel: &str) -> [bool; 7] {
     // L7: same scope again — bins and the bench harness talk to humans on
     // stdout/stderr; library crates report through `prox-obs` instead.
     let l7 = l4;
-    [l1, l2, l3, l4, l5, l6, l7]
+    // L10: library crates. Bins and the bench harness may use hash
+    // containers for presentation-only state; library iteration order is
+    // load-bearing for determinism (I5/I8/I9).
+    let l10 = !in_crate("bench") && !rel.contains("/src/bin/");
+    // L11: virtual time everywhere; only the bench harness measures the
+    // real wall clock (that is its job).
+    let l11 = !in_crate("bench");
+    [l1, l2, l3, l4, l5, l6, l7, l10, l11]
 }
 
 /// Producer calls whose `Result` carries an `OracleError`.
@@ -346,6 +460,338 @@ fn mentions_epsilon(code: &str) -> bool {
     ["DECISION_EPS", "EPS", "eps", "epsilon", "margin"]
         .iter()
         .any(|t| code.contains(t))
+}
+
+// --------------------------------------------------------------------------
+// Graph rules: L9 (oracle reachability) and L12 (fallible-twin drift).
+// --------------------------------------------------------------------------
+
+/// The audited L9 allowlist: items that may sit on an `Oracle::call*` path
+/// without being `DistanceResolver` methods. Every entry needs a reason.
+///
+/// * `bounds::bootstrap::try_select_maxmin_pivots` — pivot bootstrap; it
+///   *creates* the bound tables the resolver later consults, so by
+///   definition it runs before any resolver exists. Its oracle spend is
+///   counted and budgeted like any other (I1 accounting is in `Oracle`
+///   itself), and everything above it (`select_maxmin_pivots`,
+///   `laesa_bootstrap`, `Tlaesa::try_build`, …) funnels through this one
+///   audited fn.
+/// * `bounds::tlaesa::Tlaesa::try_build` — the TLAESA tree constructor;
+///   like the pivot bootstrap it pre-pays distances to *build* the bound
+///   structure the resolver will consult, so it runs before any resolver
+///   can exist. Its calls go through `try_call_pair` and are budgeted and
+///   fault-checked like every other oracle call.
+///
+/// The corruption audit (`BoundResolver::voted_value` /
+/// `resolve_audited`) also queries the oracle directly — deliberately, a
+/// vote must not trust cached bounds — but needs no entry: both fns are
+/// private and only reachable through the `DistanceResolver` methods, so
+/// they never surface as public exposure.
+pub const L9_ALLOWLIST: &[&str] = &[
+    "bounds::bootstrap::try_select_maxmin_pivots",
+    "bounds::tlaesa::Tlaesa::try_build",
+];
+
+/// The L9 analysis result: where the expensive calls live, where the choke
+/// points are, and which items can reach a sink *around* them.
+pub struct OracleExposure {
+    /// `Oracle::call` / `call_pair` / `try_call*` item ids.
+    pub sinks: Vec<usize>,
+    /// `DistanceResolver` methods (trait decl + every impl).
+    pub chokes: Vec<usize>,
+    /// Allowlisted item ids that actually exist in the graph.
+    pub allowed: Vec<usize>,
+    /// Allowlist entries matching no item — stale, must be pruned.
+    pub stale_allow: Vec<String>,
+    /// Every non-test, non-choke, non-allowlisted item that can reach a
+    /// sink through a chain with no choke/allowlisted intermediary, with
+    /// the offending chain rendered as `a -> b -> sink`.
+    pub exposed: Vec<(usize, String)>,
+}
+
+fn is_oracle_sink(it: &Item) -> bool {
+    it.krate == "core"
+        && it.container.as_deref() == Some("Oracle")
+        && matches!(
+            it.name.as_str(),
+            "call" | "call_pair" | "try_call" | "try_call_pair" | "try_call_replica"
+        )
+}
+
+fn is_choke(it: &Item) -> bool {
+    it.trait_of.as_deref() == Some("DistanceResolver")
+        || it.container.as_deref() == Some("DistanceResolver")
+}
+
+/// Computes the L9 exposure set: a reverse BFS from the oracle sinks that
+/// does **not** continue through choke or allowlisted nodes, so a caller is
+/// "exposed" exactly when some call chain reaches the oracle with no
+/// resolver in between.
+pub fn oracle_exposure(g: &ItemGraph, allowlist: &[&str]) -> OracleExposure {
+    let n = g.items.len();
+    let paths: Vec<String> = g.items.iter().map(Item::path).collect();
+    let sink: Vec<bool> = g.items.iter().map(is_oracle_sink).collect();
+    let choke: Vec<bool> = g.items.iter().map(is_choke).collect();
+    let allowed: Vec<bool> = paths
+        .iter()
+        .map(|p| allowlist.contains(&p.as_str()))
+        .collect();
+    let stale_allow: Vec<String> = allowlist
+        .iter()
+        .filter(|e| !paths.iter().any(|p| p == *e))
+        .map(|e| e.to_string())
+        .collect();
+
+    let mut visited = vec![false; n];
+    let mut next: Vec<Option<usize>> = vec![None; n];
+    let mut stack: Vec<usize> = (0..n).filter(|&v| sink[v] && !g.items[v].is_test).collect();
+    for &s in &stack {
+        visited[s] = true;
+    }
+    while let Some(v) = stack.pop() {
+        // A sink propagates to its callers; any other node propagates only
+        // if it is not itself a choke point or allowlisted.
+        if !sink[v] && (choke[v] || allowed[v]) {
+            continue;
+        }
+        for &e in &g.inc[v] {
+            let u = g.edges[e].from;
+            if !visited[u] && !g.items[u].is_test {
+                visited[u] = true;
+                next[u] = Some(v);
+                stack.push(u);
+            }
+        }
+    }
+
+    let chain = |mut v: usize| {
+        let mut s = paths[v].clone();
+        while let Some(nx) = next[v] {
+            s.push_str(" -> ");
+            s.push_str(&paths[nx]);
+            v = nx;
+        }
+        s
+    };
+    OracleExposure {
+        sinks: (0..n).filter(|&v| sink[v] && !g.items[v].is_test).collect(),
+        chokes: (0..n)
+            .filter(|&v| choke[v] && !g.items[v].is_test)
+            .collect(),
+        allowed: (0..n)
+            .filter(|&v| allowed[v] && !g.items[v].is_test)
+            .collect(),
+        stale_allow,
+        exposed: (0..n)
+            .filter(|&v| visited[v] && !sink[v] && !choke[v] && !allowed[v])
+            .map(|v| (v, chain(v)))
+            .collect(),
+    }
+}
+
+/// L9 — public APIs of `crates/algos`/`crates/bounds` must not be exposed.
+fn l9_violations(g: &ItemGraph, allowlist: &[&str]) -> Vec<Violation> {
+    let exposure = oracle_exposure(g, allowlist);
+    let mut out = Vec::new();
+    for (v, chain) in &exposure.exposed {
+        let it = &g.items[*v];
+        if it.vis != Vis::Pub || !matches!(it.krate.as_str(), "algos" | "bounds") {
+            continue;
+        }
+        out.push(Violation {
+            rule: "L9",
+            file: it.file.clone(),
+            line: it.line,
+            msg: format!(
+                "public `{}` reaches the oracle without passing a \
+                 `DistanceResolver` method: {chain}; route the call through \
+                 the resolver or add an audited `L9_ALLOWLIST` entry",
+                it.path()
+            ),
+            excerpt: it.path(),
+        });
+    }
+    for e in &exposure.stale_allow {
+        out.push(Violation {
+            rule: "L9",
+            file: "crates/xtask/src/rules.rs".to_string(),
+            line: 1,
+            msg: format!(
+                "stale `L9_ALLOWLIST` entry `{e}` matches no workspace item; \
+                 remove it or fix the path"
+            ),
+            excerpt: e.clone(),
+        });
+    }
+    out
+}
+
+/// L12 — for every same-scope pair (`X`, `try_X`), `X` must delegate to
+/// `try_X`: either a direct call edge, or a chain through another twin pair
+/// (`X -> Y` with `try_X -> try_Y` and `Y` delegating) as in
+/// `kruskal_mst -> kruskal_mst_with -> try_kruskal_mst_with`.
+fn l12_violations(g: &ItemGraph) -> Vec<Violation> {
+    // Same-scope twin index over non-test items: scope key -> item id.
+    let key = |it: &Item, name: &str| {
+        format!(
+            "{}|{}|{}|{}",
+            it.krate,
+            it.module.join("::"),
+            it.container.as_deref().unwrap_or(""),
+            name
+        )
+    };
+    let mut by_key: BTreeMap<String, usize> = BTreeMap::new();
+    for it in &g.items {
+        if !it.is_test {
+            by_key.entry(key(it, &it.name)).or_insert(it.id);
+        }
+    }
+    // twin_of[x] = the `try_x` item in x's scope, when both exist.
+    let mut twin_of: BTreeMap<usize, usize> = BTreeMap::new();
+    for it in &g.items {
+        if it.is_test || it.name.starts_with("try_") {
+            continue;
+        }
+        if let Some(&t) = by_key.get(&key(it, &format!("try_{}", it.name))) {
+            twin_of.insert(it.id, t);
+        }
+    }
+
+    fn delegates(
+        g: &ItemGraph,
+        x: usize,
+        t: usize,
+        twin_of: &BTreeMap<usize, usize>,
+        memo: &mut BTreeMap<(usize, usize), bool>,
+    ) -> bool {
+        if let Some(&r) = memo.get(&(x, t)) {
+            return r;
+        }
+        memo.insert((x, t), false); // cycle guard
+        let mut r = g.out[x].iter().any(|&e| g.edges[e].to == t);
+        if !r {
+            for &ex in &g.out[x] {
+                let y = g.edges[ex].to;
+                let Some(&ty) = twin_of.get(&y) else { continue };
+                if g.out[t].iter().any(|&et| g.edges[et].to == ty)
+                    && delegates(g, y, ty, twin_of, memo)
+                {
+                    r = true;
+                    break;
+                }
+            }
+        }
+        memo.insert((x, t), r);
+        r
+    }
+
+    let mut memo = BTreeMap::new();
+    let mut out = Vec::new();
+    for (&x, &t) in &twin_of {
+        let it = &g.items[x];
+        if !linted_path(&it.file)
+            || it.krate == "bench"
+            || it.file.contains("/src/bin/")
+            || delegates(g, x, t, &twin_of, &mut memo)
+        {
+            continue;
+        }
+        out.push(Violation {
+            rule: "L12",
+            file: it.file.clone(),
+            line: it.line,
+            msg: format!(
+                "`{}` has a fallible twin `try_{}` in the same scope but does \
+                 not delegate to it; wrap the `try_` form (e.g. via \
+                 `expect_ok`) so the two copies cannot drift",
+                it.path(),
+                it.name
+            ),
+            excerpt: it.path(),
+        });
+    }
+    out
+}
+
+/// The graph rules (L9 + L12), *before* escape filtering.
+pub fn lint_graph(g: &ItemGraph, l9_allowlist: &[&str]) -> Vec<Violation> {
+    let mut out = l9_violations(g, l9_allowlist);
+    out.extend(l12_violations(g));
+    out
+}
+
+// --------------------------------------------------------------------------
+// Whole-workspace driver.
+// --------------------------------------------------------------------------
+
+/// The result of linting a whole workspace snapshot.
+pub struct WorkspaceLint {
+    /// Rule violations (L1–L12) surviving escape filtering, in file order.
+    pub violations: Vec<Violation>,
+    /// `lint: allow(...)` escapes that suppressed nothing (rule
+    /// `stale-allow`) — gated by `--allow-unused-allows` in the CLI.
+    pub stale_escapes: Vec<Violation>,
+    /// How many files had at least one rule applied.
+    pub files_linted: usize,
+    /// Item-graph size, for the summary line.
+    pub items: usize,
+    pub edges: usize,
+}
+
+/// Lints a workspace snapshot (`(workspace-relative path, source)` pairs):
+/// lexical rules per file, L8 across `crates/obs`, and the graph rules over
+/// the item graph, with escape filtering and stale-escape detection.
+pub fn lint_workspace(files: &[(String, String)]) -> WorkspaceLint {
+    lint_workspace_with(files, L9_ALLOWLIST)
+}
+
+/// [`lint_workspace`] with an explicit L9 allowlist (tests use fixtures).
+pub fn lint_workspace_with(files: &[(String, String)], l9_allowlist: &[&str]) -> WorkspaceLint {
+    let mut raw = Vec::new();
+    let mut escapes = Vec::new();
+    let mut files_linted = 0usize;
+    for (rel, src) in files {
+        if rules_for(rel).iter().any(|&r| r) {
+            files_linted += 1;
+            raw.extend(lexical_raw(rel, src));
+            escapes.extend(collect_escapes(rel, src));
+        }
+    }
+    let find = |p: &str| files.iter().find(|(r, _)| r == p).map(|(_, s)| s.as_str());
+    if let (Some(ev), Some(rep)) = (
+        find("crates/obs/src/event.rs"),
+        find("crates/obs/src/report.rs"),
+    ) {
+        raw.extend(lint_event_coverage(ev, rep));
+    }
+    let g = ItemGraph::build(files);
+    raw.extend(lint_graph(&g, l9_allowlist));
+
+    let (violations, used) = apply_escapes(raw, &escapes);
+    let stale_escapes = escapes
+        .iter()
+        .enumerate()
+        .filter(|(k, _)| !used.contains(k))
+        .map(|(_, e)| Violation {
+            rule: "stale-allow",
+            file: e.file.clone(),
+            line: e.line,
+            msg: format!(
+                "`lint: allow({})` suppresses nothing here; the escape is \
+                 stale — remove it (or fix the rule name)",
+                e.rule
+            ),
+            excerpt: e.excerpt.clone(),
+        })
+        .collect();
+    WorkspaceLint {
+        violations,
+        stale_escapes,
+        files_linted,
+        items: g.items.len(),
+        edges: g.edges.len(),
+    }
 }
 
 #[cfg(test)]
@@ -595,5 +1041,219 @@ mod tests {
         assert!(lint_source("crates/bench/benches/schemes.rs", src).is_empty());
         assert!(lint_source("crates/xtask/src/rules.rs", src).is_empty());
         assert!(lint_source("README.md", src).is_empty());
+    }
+
+    // --------------------------------------------------------------- L10
+
+    #[test]
+    fn l10_flags_hash_containers_in_library_code() {
+        let src = "use std::collections::HashMap;\nfn f() {\n    let m: HashMap<u64, f64> = HashMap::new();\n    let s = std::collections::HashSet::new();\n}\n";
+        let vs = lint_source("crates/bounds/src/x.rs", src);
+        assert_eq!(lines(&vs, "L10"), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn l10_exempts_bench_bins_tests_and_allow_annotation() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(lint_source("crates/bench/src/runner.rs", src).is_empty());
+        assert!(lint_source("crates/bench/src/bin/repro.rs", src).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", in_test).is_empty());
+        let allowed =
+            "fn f() {\n    // key-lookup only, never iterated; lint: allow(L10)\n    let m = HashMap::new();\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", allowed).is_empty());
+    }
+
+    // --------------------------------------------------------------- L11
+
+    #[test]
+    fn l11_flags_wall_clock_outside_bench() {
+        let src =
+            "fn f() {\n    let t = std::time::Instant::now();\n    let s = SystemTime::now();\n}\n";
+        let vs = lint_source("crates/exec/src/pool.rs", src);
+        assert_eq!(lines(&vs, "L11"), vec![2, 3]);
+        assert!(lint_source("crates/bench/src/runner.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l11_respects_tests_and_allow_annotation() {
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { let t = Instant::now(); }\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", in_test).is_empty());
+        let allowed =
+            "fn f() {\n    // coarse jitter seed, not scheduling; lint: allow(L11)\n    let t = std::time::Instant::now();\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", allowed).is_empty());
+    }
+
+    // ------------------------------------------------- graph rules: L9
+
+    fn fixture(files: &[(&str, &str)]) -> Vec<(String, String)> {
+        files
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect()
+    }
+
+    /// Oracle + resolver skeleton shared by the graph-rule tests.
+    const ORACLE_SRC: &str = "pub struct Oracle;\nimpl Oracle {\n    pub fn call(&self) { expect_ok(self.try_call()) }\n    pub fn try_call(&self) {}\n    pub fn call_pair(&self) { expect_ok(self.try_call_pair()) }\n    pub fn try_call_pair(&self) {}\n}\npub fn expect_ok(x: u32) -> u32 { x }\n";
+    const RESOLVER_SRC: &str = "pub trait DistanceResolver {\n    fn try_less(&mut self, o: &Oracle) { o.try_call() }\n    fn less(&mut self, o: &Oracle) { expect_ok(self.try_less(o)) }\n}\n";
+
+    #[test]
+    fn l9_flags_a_public_leak_with_its_chain() {
+        let files = fixture(&[
+            ("crates/core/src/oracle.rs", ORACLE_SRC),
+            ("crates/bounds/src/resolver.rs", RESOLVER_SRC),
+            (
+                "crates/algos/src/leak.rs",
+                "pub fn leaky(o: &Oracle) { probe(o); }\nfn probe(o: &Oracle) { o.call(); }\n",
+            ),
+        ]);
+        let g = ItemGraph::build(&files);
+        let vs = lint_graph(&g, &[]);
+        let l9: Vec<&Violation> = vs.iter().filter(|v| v.rule == "L9").collect();
+        assert_eq!(l9.len(), 1, "{vs:?}");
+        assert_eq!(l9[0].file, "crates/algos/src/leak.rs");
+        assert_eq!(l9[0].line, 1);
+        assert!(l9[0]
+            .msg
+            .contains("algos::leak::leaky -> algos::leak::probe -> core::oracle::Oracle::call"));
+    }
+
+    #[test]
+    fn l9_accepts_resolver_guarded_paths() {
+        let files = fixture(&[
+            ("crates/core/src/oracle.rs", ORACLE_SRC),
+            ("crates/bounds/src/resolver.rs", RESOLVER_SRC),
+            (
+                "crates/algos/src/clean.rs",
+                "pub fn clean(r: &mut dyn DistanceResolver, o: &Oracle) { r.less(o); }\n",
+            ),
+        ]);
+        let g = ItemGraph::build(&files);
+        assert!(lint_graph(&g, &[]).iter().all(|v| v.rule != "L9"));
+    }
+
+    #[test]
+    fn l9_allowlist_sanctions_audited_paths_and_flags_stale_entries() {
+        let files = fixture(&[
+            ("crates/core/src/oracle.rs", ORACLE_SRC),
+            ("crates/bounds/src/resolver.rs", RESOLVER_SRC),
+            (
+                "crates/bounds/src/bootstrap.rs",
+                "pub fn bootstrap(o: &Oracle) { try_pick(o); }\npub fn try_pick(o: &Oracle) { o.try_call(); }\n",
+            ),
+        ]);
+        let g = ItemGraph::build(&files);
+        // Unallowed: both bootstrap fns are exposed.
+        assert_eq!(
+            lint_graph(&g, &[])
+                .iter()
+                .filter(|v| v.rule == "L9")
+                .count(),
+            2
+        );
+        // Allowlisting the audited choke fn sanctions everything above it.
+        let vs = lint_graph(&g, &["bounds::bootstrap::try_pick"]);
+        assert!(vs.iter().all(|v| v.rule != "L9"), "{vs:?}");
+        // A stale entry is itself a violation.
+        let vs = lint_graph(&g, &["bounds::bootstrap::try_pick", "bounds::gone::nope"]);
+        assert!(vs.iter().any(|v| v.rule == "L9" && v.msg.contains("stale")));
+    }
+
+    #[test]
+    fn l9_comment_escape_suppresses_via_lint_workspace() {
+        let files = fixture(&[
+            ("crates/core/src/oracle.rs", ORACLE_SRC),
+            ("crates/bounds/src/resolver.rs", RESOLVER_SRC),
+            (
+                "crates/algos/src/leak.rs",
+                "// audited one-off probe; lint: allow(L9)\npub fn leaky(o: &Oracle) { o.call(); }\n",
+            ),
+        ]);
+        let lint = lint_workspace_with(&files, &[]);
+        assert!(
+            lint.violations.iter().all(|v| v.rule != "L9"),
+            "{:?}",
+            lint.violations
+        );
+        assert!(lint.stale_escapes.is_empty());
+    }
+
+    // ------------------------------------------------ graph rules: L12
+
+    #[test]
+    fn l12_flags_a_non_delegating_twin() {
+        let files = fixture(&[(
+            "crates/algos/src/prim.rs",
+            "pub fn prim() { body(); }\npub fn try_prim() { body(); }\nfn body() {}\n",
+        )]);
+        let g = ItemGraph::build(&files);
+        let vs = lint_graph(&g, &[]);
+        let l12: Vec<&Violation> = vs.iter().filter(|v| v.rule == "L12").collect();
+        assert_eq!(l12.len(), 1, "{vs:?}");
+        assert_eq!(l12[0].line, 1);
+        assert!(l12[0].msg.contains("algos::prim::prim"));
+    }
+
+    #[test]
+    fn l12_accepts_direct_and_chained_delegation() {
+        let direct = fixture(&[(
+            "crates/algos/src/a.rs",
+            "pub fn mst() { expect_ok(try_mst()) }\npub fn try_mst() {}\nfn expect_ok(x: u32) -> u32 { x }\n",
+        )]);
+        let g = ItemGraph::build(&direct);
+        assert!(lint_graph(&g, &[]).iter().all(|v| v.rule != "L12"));
+        // kruskal-style: mst -> mst_with, try_mst -> try_mst_with, and the
+        // `_with` pair delegates — so `mst` counts as delegating too.
+        let chained = fixture(&[(
+            "crates/algos/src/b.rs",
+            "pub fn mst() { mst_with() }\npub fn mst_with() { expect_ok(try_mst_with()) }\npub fn try_mst() { try_mst_with() }\npub fn try_mst_with() {}\nfn expect_ok(x: u32) -> u32 { x }\n",
+        )]);
+        let g = ItemGraph::build(&chained);
+        let vs = lint_graph(&g, &[]);
+        assert!(vs.iter().all(|v| v.rule != "L12"), "{vs:?}");
+    }
+
+    #[test]
+    fn l12_exempts_tests_bench_and_comment_escape() {
+        let in_bench = fixture(&[(
+            "crates/bench/src/runner.rs",
+            "pub fn run() { body(); }\npub fn try_run() { body(); }\nfn body() {}\n",
+        )]);
+        let g = ItemGraph::build(&in_bench);
+        assert!(lint_graph(&g, &[]).iter().all(|v| v.rule != "L12"));
+        let escaped = fixture(&[(
+            "crates/algos/src/a.rs",
+            "// different semantics, not a wrapper; lint: allow(L12)\npub fn go() { body(); }\npub fn try_go() { body(); }\nfn body() {}\n",
+        )]);
+        let lint = lint_workspace_with(&escaped, &[]);
+        assert!(lint.violations.iter().all(|v| v.rule != "L12"));
+        assert!(lint.stale_escapes.is_empty());
+    }
+
+    // ------------------------------------------------------ stale escapes
+
+    #[test]
+    fn stale_escape_is_reported_and_used_escape_is_not() {
+        let files = fixture(&[(
+            "crates/core/src/x.rs",
+            "fn f() {\n    // lint: allow(L4)\n    x.unwrap();\n    // lint: allow(L7)\n    let y = 1;\n}\n",
+        )]);
+        let lint = lint_workspace_with(&files, &[]);
+        assert!(lint.violations.iter().all(|v| v.rule != "L4"));
+        assert_eq!(lint.stale_escapes.len(), 1, "{:?}", lint.stale_escapes);
+        assert_eq!(lint.stale_escapes[0].rule, "stale-allow");
+        assert_eq!(lint.stale_escapes[0].line, 4);
+        assert!(lint.stale_escapes[0].msg.contains("allow(L7)"));
+    }
+
+    #[test]
+    fn escapes_inside_cfg_test_are_inert_not_stale() {
+        let files = fixture(&[(
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    // lint: allow(L4)\n    fn f() { x.unwrap(); }\n}\n",
+        )]);
+        let lint = lint_workspace_with(&files, &[]);
+        assert!(lint.violations.is_empty());
+        assert!(lint.stale_escapes.is_empty());
     }
 }
