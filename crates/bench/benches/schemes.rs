@@ -3,11 +3,10 @@
 use std::hint::black_box;
 
 use prox_bench::microbench::Bench;
-use prox_bounds::{
-    laesa_bootstrap, Adm, BoundScheme, Laesa, Splub, Tlaesa, TriBTreeScheme, TriScheme,
-};
-use prox_core::{CallBudget, FaultInjector, Oracle, Pair, RetryPolicy};
+use prox_bounds::{laesa_bootstrap, Adm, BoundScheme, Laesa, Splub, Tlaesa, TriScheme};
+use prox_core::{CallBudget, FaultInjector, Oracle, Pair, QueryGoal, RetryPolicy};
 use prox_datasets::{ClusteredPlane, Dataset};
+use prox_graph::{Dijkstra, PartialGraph};
 
 const SEED: u64 = 20210620;
 
@@ -37,6 +36,18 @@ fn bench_queries(b: &mut Bench) {
         b.bench("bound_query", &format!("splub/{n}"), || {
             for &q in &queries {
                 black_box(splub.bounds(q));
+            }
+        });
+
+        // Cascade ablation: the same queries as goal-aware threshold
+        // probes. ADO/bidi-decisive answers are never memoized, so this
+        // cell prices the cascade tiers themselves, not the per-generation
+        // memo the plain `splub` cell settles into.
+        let mut splub_cascade = Splub::new(n, 1.0);
+        feed(&mut splub_cascade, &*metric, n);
+        b.bench("bound_query", &format!("splub_cascade/{n}"), || {
+            for &q in &queries {
+                black_box(splub_cascade.bounds_for_goal(q, QueryGoal::threshold(0.25)));
             }
         });
 
@@ -102,7 +113,10 @@ fn bench_updates(b: &mut Bench) {
     }
 }
 
-/// DESIGN.md ablation: sorted-`Vec` vs `BTreeMap` adjacency inside Tri.
+/// DESIGN.md ablation: the sorted-`Vec` adjacency inside Tri. (The losing
+/// `BTreeMap` variant was retired behind the `ablation` feature of
+/// `prox-bounds` once BENCH_schemes.json showed `sorted_vec` strictly
+/// winning; this cell remains as the reference point.)
 fn bench_tri_adjacency(b: &mut Bench) {
     let n = 512;
     let metric = ClusteredPlane::default().metric(n, SEED);
@@ -124,16 +138,36 @@ fn bench_tri_adjacency(b: &mut Bench) {
         }
         black_box(acc);
     });
-    b.bench("tri_adjacency", "btree", || {
-        let mut s = TriBTreeScheme::new(n, 1.0);
-        for &(p, d) in &edges {
-            s.record(p, d);
-        }
-        let mut acc = 0.0;
-        for &q in &queries {
-            acc += s.bounds(q).0;
-        }
-        black_box(acc);
+}
+
+/// DESIGN.md §13 ablation: cost of resetting Dijkstra scratch between runs.
+/// The scenario that motivated epoch stamping: a large object universe
+/// (`n = 4096`) whose *known* subgraph is a tiny component, so the search
+/// itself touches a handful of labels. `epoch` is the shipped scratch
+/// (O(touched) per run); `fill` adds the O(n) `dist.fill(INFINITY)` sweep
+/// the pre-epoch implementation paid before every run — the delta between
+/// the cells is the retired reset cost.
+fn bench_dijkstra_reset(b: &mut Bench) {
+    let n = 4096usize;
+    let mut g = PartialGraph::new(n);
+    // A 32-node chain: the only known component.
+    for v in 0..31u32 {
+        g.insert(Pair::new(v, v + 1), 0.01);
+    }
+
+    let mut dij = Dijkstra::new(n);
+    b.bench("dijkstra_reset", "epoch", || {
+        let d = dij.run(&g, 0);
+        black_box(d.get(31));
+    });
+
+    let mut dij_fill = Dijkstra::new(n);
+    let mut old_style_dist = vec![f64::INFINITY; n];
+    b.bench("dijkstra_reset", "fill", || {
+        old_style_dist.fill(f64::INFINITY);
+        black_box(old_style_dist[0]);
+        let d = dij_fill.run(&g, 0);
+        black_box(d.get(31));
     });
 }
 
@@ -282,6 +316,7 @@ fn main() {
     bench_queries(&mut b);
     bench_updates(&mut b);
     bench_tri_adjacency(&mut b);
+    bench_dijkstra_reset(&mut b);
     bench_oracle_fault_layer(&mut b);
     bench_oracle_trace_layer(&mut b);
     bench_oracle_trust_layer(&mut b);

@@ -97,6 +97,12 @@ struct Args {
     /// `--trace FILE` (or the `trace` subcommand's `--out FILE`): write a
     /// structured JSONL event trace of the run.
     trace: Option<String>,
+    /// `--metrics`: attach a metrics registry without a trace sink and
+    /// print it after the run. Unlike `--trace` this leaves the SPLUB
+    /// query cascade enabled, so the per-tier counters
+    /// (`splub_ado_decisive`, `splub_bidi_early_exit`,
+    /// `splub_full_fallback`) are live.
+    metrics: bool,
 }
 
 fn usage() -> ExitCode {
@@ -109,7 +115,7 @@ fn usage() -> ExitCode {
          \x20       [--faults RATE[:SEED]] [--retry N[:BASE_MS]] [--budget CALLS]\n\
          \x20       [--corrupt RATE[:SEED]] [--vote K[:N]]\n\
          \x20       [--checkpoint FILE[:EVERY]] [--resume FILE] [--lenient-load]\n\
-         \x20       [--trace FILE.jsonl]\n\
+         \x20       [--trace FILE.jsonl] [--metrics]\n\
          \x20  prox-cli trace <algo> [same flags] [--out FILE.jsonl]\n\
          \x20  prox-cli report <FILE.jsonl>"
     );
@@ -154,6 +160,7 @@ fn parse() -> Option<Args> {
         resume: None,
         lenient_load: false,
         trace,
+        metrics: false,
     };
     while let Some(flag) = argv.next() {
         let mut val = || argv.next();
@@ -250,6 +257,7 @@ fn parse() -> Option<Args> {
             "--resume" => a.resume = Some(val()?),
             "--lenient-load" => a.lenient_load = true,
             "--trace" | "--out" => a.trace = Some(val()?),
+            "--metrics" => a.metrics = true,
             // 0 = one per core. Results and oracle-call counts are
             // identical at any thread count (speculate/commit protocol).
             "--threads" => prox_exec::set_global_threads(val()?.parse().ok()?),
@@ -459,26 +467,30 @@ fn main() -> ExitCode {
     .map(|(k, v)| (k.to_string(), v))
     .collect();
 
-    // Observation handles for `--trace`: a JSONL sink plus a metrics
-    // registry, both shared with the run via `Rc`.
+    // Observation handles: `--trace` attaches a JSONL sink plus a metrics
+    // registry; `--metrics` attaches the registry alone (no sink), which
+    // keeps the SPLUB query cascade enabled so its per-tier counters read
+    // true. Both are shared with the run via `Rc`.
     let mut observers = RunObservers::default();
     let mut trace_sink: Option<Rc<JsonlSink>> = None;
-    let mut trace_metrics: Option<Rc<Metrics>> = None;
+    let mut run_metrics: Option<Rc<Metrics>> = None;
     if let Some(path) = &args.trace {
         match JsonlSink::create(path) {
             Ok(sink) => {
                 let sink = Rc::new(sink);
-                let metrics = Rc::new(Metrics::new());
                 observers.trace = Some(Rc::<JsonlSink>::clone(&sink) as Rc<dyn TraceSink>);
-                observers.metrics = Some(Rc::clone(&metrics));
                 trace_sink = Some(sink);
-                trace_metrics = Some(metrics);
             }
             Err(e) => {
                 eprintln!("[trace] create {path}: {e}");
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if args.trace.is_some() || args.metrics {
+        let metrics = Rc::new(Metrics::new());
+        observers.metrics = Some(Rc::clone(&metrics));
+        run_metrics = Some(metrics);
     }
 
     let seed = args.seed;
@@ -661,10 +673,11 @@ fn main() -> ExitCode {
             ),
             Err(e) => eprintln!("[trace] verify {path}: {e}"),
         }
-        if let Some(m) = &trace_metrics {
-            if !m.is_empty() {
-                eprint!("{}", m.render());
-            }
+    }
+    // Metrics render for both traced and metrics-only runs.
+    if let Some(m) = &run_metrics {
+        if !m.is_empty() {
+            eprint!("{}", m.render());
         }
     }
 
@@ -689,6 +702,20 @@ fn main() -> ExitCode {
         result.bootstrap_calls,
         result.algo_calls
     );
+    if let Some(m) = &run_metrics {
+        let (ado, bidi, full) = (
+            m.counter("splub_ado_decisive"),
+            m.counter("splub_bidi_early_exit"),
+            m.counter("splub_full_fallback"),
+        );
+        // Zero across the board means the cascade never ran (non-SPLUB
+        // plug, or disabled under `--trace` for byte-identity) — omit.
+        if ado + bidi + full > 0 {
+            println!(
+                "cascade      : {ado} ADO-decisive, {bidi} bidi early-exit, {full} full fallback"
+            );
+        }
+    }
     if wants_oracle_config {
         let f = result.fault_stats;
         println!(

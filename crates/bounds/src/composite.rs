@@ -2,6 +2,7 @@
 
 use prox_core::Pair;
 
+use crate::scheme::{GoalBounds, QueryGoal};
 use crate::BoundScheme;
 
 /// A scheme that answers with the **tighter** of two member schemes'
@@ -76,6 +77,37 @@ impl<A: BoundScheme, B: BoundScheme> BoundScheme for Composite<A, B> {
     fn for_each_known(&self, f: &mut dyn FnMut(Pair, f64)) {
         // Every record() reaches both members; member `a` is authoritative.
         self.a.for_each_known(f);
+    }
+
+    fn goal_aware(&self) -> bool {
+        self.a.goal_aware() || self.b.goal_aware()
+    }
+
+    fn bounds_for_goal(&mut self, p: Pair, goal: QueryGoal) -> GoalBounds {
+        // A member's decisive shortcut transfers to the composite: the
+        // combined exact sandwich is at least as tight as that member's, so
+        // a comparison the member's exact tier decides (which its Decisive
+        // certifies, guard band included) the intersection decides the same
+        // way — tightening can only move bounds *away* from the threshold
+        // on the decided side.
+        let ga = self.a.bounds_for_goal(p, goal);
+        if matches!(ga, GoalBounds::Decisive { .. }) {
+            return ga;
+        }
+        let gb = self.b.bounds_for_goal(p, goal);
+        if matches!(gb, GoalBounds::Decisive { .. }) {
+            return gb;
+        }
+        // Both exact: combine exactly as `bounds` does.
+        let (la, ua) = ga.bounds();
+        let (lb, ub) = gb.bounds();
+        let l = la.max(lb);
+        let u = ua.min(ub);
+        if l > u {
+            GoalBounds::Exact { lb: u, ub: u }
+        } else {
+            GoalBounds::Exact { lb: l, ub: u }
+        }
     }
 }
 

@@ -47,6 +47,7 @@ pub mod scheme;
 pub mod splub;
 pub mod tlaesa;
 pub mod tri;
+#[cfg(feature = "ablation")]
 pub mod tri_btree;
 
 pub use adm::{Adm, AdmUpdate};
@@ -59,8 +60,9 @@ pub use checked::CheckedResolver;
 pub use composite::Composite;
 pub use laesa::Laesa;
 pub use resolver::{BoundResolver, DistanceResolver, VanillaResolver, DECISION_EPS};
-pub use scheme::{BoundScheme, NoScheme};
+pub use scheme::{BoundScheme, CascadeTier, GoalBounds, NoScheme};
 pub use splub::Splub;
 pub use tlaesa::Tlaesa;
 pub use tri::TriScheme;
+#[cfg(feature = "ablation")]
 pub use tri_btree::TriBTreeScheme;

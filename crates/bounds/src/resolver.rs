@@ -5,12 +5,13 @@ use std::rc::Rc;
 
 use prox_core::invariant;
 use prox_core::invariant::{expect_ok, expect_some};
-use prox_core::{Metric, Oracle, OracleError, Pair, PruneStats, SpecBounds};
+use prox_core::{Metric, Oracle, OracleError, Pair, PruneStats, QueryGoal, SpecBounds};
 use prox_obs::{
     quantize_width, CorruptionAction, Metrics, ProbeKind, ProbeVerdict, TraceEvent, TraceSink,
 };
 
 use crate::audit::{AuditPolicy, AuditState, CorruptionStats, VOTE_CAP};
+use crate::scheme::{CascadeTier, GoalBounds};
 use crate::{BoundScheme, NoScheme};
 
 /// Rounding margin applied to every bound-based decision.
@@ -23,6 +24,19 @@ use crate::{BoundScheme, NoScheme};
 /// ulp-level noise; near-ties simply fall through and are compared exactly.
 /// Distances are normalized to `[0, 1]`, so an absolute margin suffices.
 pub const DECISION_EPS: f64 = 1e-12;
+
+/// Guard band for cascade-tier (goal-aware) decisions — see DESIGN.md §13.
+///
+/// The cascade's cheap tiers estimate bounds from *split* float sums
+/// (`dℓ[a] + dℓ[b]`, `df(u) + db(u)`) that can round a few ulps past the
+/// exact tier's left-folded path sums. A cascade tier may therefore claim a
+/// comparison against `v` decided only when its estimate clears `v` by this
+/// margin: since `CASCADE_EPS` minus the worst-case rounding slack still
+/// exceeds [`DECISION_EPS`], a cascade-decisive verdict is always the
+/// verdict the exact sandwich would give (for both `<` and `≤` probes).
+/// Near-threshold queries fall through to the exact tier, so the margin
+/// costs tightness, never correctness.
+pub const CASCADE_EPS: f64 = 1e-9;
 
 /// What a proximity algorithm is written against.
 ///
@@ -608,6 +622,132 @@ impl<'o, M: Metric, S: BoundScheme> BoundResolver<'o, M, S> {
         (lb, ub)
     }
 
+    /// True when threshold probes may route through the scheme's goal-aware
+    /// cascade ([`BoundScheme::bounds_for_goal`]). Traced runs bypass it:
+    /// cascade tiers report *relaxed* (still sound, same-verdict) sandwich
+    /// payloads, and committed traces pin the exact tier's `BoundProbe`
+    /// events byte-for-byte (I8). The cascade only ever changes where a
+    /// certified verdict comes from, never what it is.
+    #[inline]
+    fn cascade_on(&self) -> bool {
+        self.trace.is_none() && self.scheme.goal_aware()
+    }
+
+    /// Threshold probe through the cascade: the goal-aware sibling of the
+    /// exact-path bodies of `try_less_value` / `try_leq_value` (`leq`
+    /// selects which). Produces the identical verdict — exact results run
+    /// the identical decision function on identical bounds, and decisive
+    /// results are certified by the scheme to agree (checked here in debug
+    /// builds against a fresh exact sandwich).
+    fn try_value_via_cascade(&mut self, x: Pair, v: f64, leq: bool) -> Option<bool> {
+        // A fresh bcache entry *is* the exact sandwich; it outranks every
+        // cascade tier and keeps cache accounting identical to the exact
+        // path.
+        let cached = if self.cache_on {
+            self.bcache
+                .get(&x.key())
+                // Integer generation stamps, not distances. lint: allow(L3)
+                .and_then(|&(lb, ub, gen)| (self.scheme.pair_stamp(x) <= gen).then_some((lb, ub)))
+        } else {
+            None
+        };
+        let (lb, ub, decisive) = match cached {
+            Some((lb, ub)) => (lb, ub, false),
+            None => match self.scheme.bounds_for_goal(x, QueryGoal::threshold(v)) {
+                GoalBounds::Exact { lb, ub } => {
+                    if self.cache_on {
+                        self.bcache
+                            .insert(x.key(), (lb, ub, self.scheme.generation()));
+                    }
+                    (lb, ub, false)
+                }
+                GoalBounds::Decisive { lb, ub, tier } => {
+                    if let Some(m) = &self.metrics {
+                        m.inc(
+                            match tier {
+                                CascadeTier::Ado => "splub_ado_decisive",
+                                CascadeTier::Bidi => "splub_bidi_early_exit",
+                            },
+                            1,
+                        );
+                    }
+                    (lb, ub, true)
+                }
+            },
+        };
+        if !decisive {
+            if let Some(m) = &self.metrics {
+                m.inc("splub_full_fallback", 1);
+            }
+        }
+        let kind = if leq {
+            ProbeKind::LeqValue
+        } else {
+            ProbeKind::LessValue
+        };
+        if !decisive && lb == ub {
+            // Exactly known (or pinched-exact) values carry no derivation
+            // noise, so this compares as the oracle itself would — the same
+            // fast path as the exact probe bodies. lint: allow(L3)
+            let out = if leq { lb <= v } else { lb < v };
+            if self.observing() {
+                self.note_probe(x, lb, ub, kind, ProbeVerdict::Known);
+            }
+            return Some(out);
+        }
+        let out = if leq {
+            if ub <= v - DECISION_EPS {
+                Some(true)
+            } else if lb > v + DECISION_EPS {
+                Some(false)
+            } else {
+                None
+            }
+        } else if ub < v - DECISION_EPS {
+            Some(true)
+        } else if lb >= v + DECISION_EPS {
+            Some(false)
+        } else {
+            None
+        };
+        #[cfg(debug_assertions)]
+        if decisive {
+            debug_assert!(out.is_some(), "Decisive cascade result failed to decide");
+            let (le, ue) = self.scheme.bounds(x);
+            let exact = if le == ue {
+                // Same exactly-known fast path as above. lint: allow(L3)
+                Some(if leq { le <= v } else { le < v })
+            } else if leq {
+                if ue <= v - DECISION_EPS {
+                    Some(true)
+                } else if le > v + DECISION_EPS {
+                    Some(false)
+                } else {
+                    None
+                }
+            } else if ue < v - DECISION_EPS {
+                Some(true)
+            } else if le >= v + DECISION_EPS {
+                Some(false)
+            } else {
+                None
+            };
+            debug_assert_eq!(
+                out, exact,
+                "cascade verdict diverged from the exact tier for {x:?} at v={v}"
+            );
+        }
+        if self.observing() {
+            let verdict = match out {
+                Some(true) => ProbeVerdict::DecidedUb,
+                Some(false) => ProbeVerdict::DecidedLb,
+                None => ProbeVerdict::Inconclusive,
+            };
+            self.note_probe(x, lb, ub, kind, verdict);
+        }
+        out
+    }
+
     /// Read access to the scheme.
     pub fn scheme(&self) -> &S {
         &self.scheme
@@ -706,6 +846,9 @@ impl<'o, M: Metric, S: BoundScheme> DistanceResolver for BoundResolver<'o, M, S>
     }
 
     fn try_less_value(&mut self, x: Pair, v: f64) -> Option<bool> {
+        if self.cascade_on() {
+            return self.try_value_via_cascade(x, v, false);
+        }
         let (lb, ub) = self.cached_bounds(x);
         if lb == ub {
             if self.observing() {
@@ -734,6 +877,9 @@ impl<'o, M: Metric, S: BoundScheme> DistanceResolver for BoundResolver<'o, M, S>
     }
 
     fn try_leq_value(&mut self, x: Pair, v: f64) -> Option<bool> {
+        if self.cascade_on() {
+            return self.try_value_via_cascade(x, v, true);
+        }
         let (lb, ub) = self.cached_bounds(x);
         if lb == ub {
             if self.observing() {

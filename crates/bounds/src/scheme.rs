@@ -2,7 +2,57 @@
 
 use std::collections::BTreeMap;
 
+pub use prox_core::QueryGoal;
 use prox_core::{Pair, SpecBounds};
+
+/// Which cascade tier certified a goal-decisive answer (see
+/// [`BoundScheme::bounds_for_goal`] and DESIGN.md §13). Surfaced so the
+/// resolver can account per-tier hit metrics.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CascadeTier {
+    /// The approximate-distance-oracle prescreen decided the comparison.
+    Ado,
+    /// The bounded bidirectional search decided it.
+    Bidi,
+}
+
+/// Result of a goal-aware bound query.
+///
+/// `Exact` is the full sandwich, safe to cache and to serve for any later
+/// comparison. `Decisive` is a *relaxed* sandwich that nevertheless
+/// decides the comparison in [`QueryGoal::decisive_at`] with the same
+/// verdict the exact sandwich would give — valid only for that one
+/// comparison and never cacheable as exact bounds.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum GoalBounds {
+    /// A relaxed sandwich that decides the goal comparison; `tier` says
+    /// which shortcut produced it.
+    Decisive {
+        /// Relaxed lower bound (`lb ≤ exact lb`).
+        lb: f64,
+        /// Relaxed upper bound (`ub ≥ exact ub`).
+        ub: f64,
+        /// The tier that certified decisiveness.
+        tier: CascadeTier,
+    },
+    /// The exact sandwich, as [`BoundScheme::bounds`] would return.
+    Exact {
+        /// Exact lower bound.
+        lb: f64,
+        /// Exact upper bound.
+        ub: f64,
+    },
+}
+
+impl GoalBounds {
+    /// The `(lb, ub)` payload regardless of variant.
+    #[inline]
+    pub fn bounds(self) -> (f64, f64) {
+        match self {
+            GoalBounds::Decisive { lb, ub, .. } | GoalBounds::Exact { lb, ub } => (lb, ub),
+        }
+    }
+}
 
 /// A data structure that answers the paper's two problems:
 ///
@@ -115,6 +165,37 @@ pub trait BoundScheme {
     /// would cost more than the query.
     fn bounds_cacheable(&self) -> bool {
         false
+    }
+
+    /// True when [`BoundScheme::bounds_for_goal`] can do better than the
+    /// exact sandwich for threshold probes. Lets the resolver skip goal
+    /// construction entirely for the (majority of) schemes whose queries
+    /// are already cheap.
+    fn goal_aware(&self) -> bool {
+        false
+    }
+
+    /// Goal-aware bound query (the SPLUB cascade's entry point).
+    ///
+    /// # Contract
+    ///
+    /// When this returns [`GoalBounds::Decisive`] for a goal with
+    /// `decisive_at = Some(v)`, deciding the comparison from the relaxed
+    /// sandwich **must** yield the same verdict as deciding it from the
+    /// exact `bounds(p)` — for both the strict (`d < v`) and non-strict
+    /// (`d ≤ v`) probe, under the resolver's `DECISION_EPS` margins. The
+    /// relaxation satisfies `lb ≤ exact_lb` and `ub ≥ exact_ub` up to
+    /// float rounding, and decisive verdicts are only claimed outside a
+    /// `CASCADE_EPS` guard band that absorbs that rounding (DESIGN.md
+    /// §13 has the argument). Decisive results must never be cached or
+    /// served as exact bounds.
+    ///
+    /// The default computes the exact sandwich, which trivially satisfies
+    /// the contract.
+    fn bounds_for_goal(&mut self, p: Pair, goal: QueryGoal) -> GoalBounds {
+        let _ = goal;
+        let (lb, ub) = self.bounds(p);
+        GoalBounds::Exact { lb, ub }
     }
 }
 

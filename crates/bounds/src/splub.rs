@@ -1,10 +1,34 @@
-//! SPLUB — Shortest-Path based Lower and Upper Bounds (§4.1, Algorithm 1).
+//! SPLUB — Shortest-Path based Lower and Upper Bounds (§4.1, Algorithm 1),
+//! served through a three-tier query cascade (DESIGN.md §13).
+
+use std::collections::BTreeMap;
 
 use prox_core::invariant::InvariantExt;
 use prox_core::{ObjectId, Pair, SpecBounds, SpecScratch};
-use prox_graph::{Dijkstra, PartialGraph};
+use prox_graph::{Ado, Dijkstra, DistMap, PartialGraph};
 
+use crate::resolver::CASCADE_EPS;
+use crate::scheme::{CascadeTier, GoalBounds, QueryGoal};
 use crate::BoundScheme;
+
+/// Seed for the deterministic ADO landmark draw. Fixed so two SPLUB
+/// instances over the same record sequence build bitwise-identical
+/// sketches (I5: thread-count must not perturb anything observable).
+const ADO_SEED: u64 = 0x05EE_DAD0;
+
+/// `(source, generation, edge count)` of the shortest-path tree a Dijkstra
+/// scratch currently holds. The generation/edge-count pair is what makes
+/// *incremental repair* safe: when the graph has only grown since the tree
+/// was settled (no retraction in between), the appended suffix
+/// `edges()[m..]` is exactly the set of new edges, and a decrease-only
+/// Ramalingam–Reps repair from their endpoints reproduces the from-scratch
+/// tree bitwise (see `Dijkstra::repair`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct TreeTag {
+    src: ObjectId,
+    gen: u64,
+    m: usize,
+}
 
 /// The paper's exact, sparsity-sensitive bound algorithm.
 ///
@@ -23,16 +47,44 @@ use crate::BoundScheme;
 /// triangle inequality on paths, i.e. identical to what the `O(n²)`-update
 /// ADM baseline maintains — a property the cross-scheme test-suite checks on
 /// random instances.
+///
+/// # The query cascade
+///
+/// The exact tier is expensive, so queries route through cheaper tiers
+/// first (each may only *shortcut* the exact answer, never change it):
+///
+/// 1. **Per-generation memo** — the exact `(lb, ub)` for a pair is a pure
+///    function of the graph state, so repeat queries at an unchanged
+///    generation are a map lookup.
+/// 2. **ADO prescreen** (goal-aware queries only) — a deterministic
+///    landmark sketch ([`Ado`]) answers in `O(√n)` with a relaxed
+///    sandwich; when it clears the goal threshold by [`CASCADE_EPS`] the
+///    comparison is decided with the exact tier's verdict.
+/// 3. **Bounded bidirectional Dijkstra** (goal-aware queries only) — a
+///    meeting-point search with cutoff `v − CASCADE_EPS` certifies
+///    `d < v` from a real path long before either full tree settles.
+/// 4. **Exact tier** — two SSSP trees (incrementally repaired across pure
+///    growth) plus the wrap fold.
 pub struct Splub {
     graph: PartialGraph,
     max_distance: f64,
     dij_a: Dijkstra,
     dij_b: Dijkstra,
-    /// `(source, graph generation)` of the tree each scratch currently
-    /// holds. Consecutive queries sharing an endpoint (kNN sweeps probe
-    /// `(u, v)` for a fixed `u`) then pay one Dijkstra, not two.
-    src_a: Option<(ObjectId, u64)>,
-    src_b: Option<(ObjectId, u64)>,
+    tag_a: Option<TreeTag>,
+    tag_b: Option<TreeTag>,
+    /// Generation right after the most recent successful retraction; trees
+    /// settled before it must not be repaired incrementally (the retracted
+    /// edge may have carried their labels).
+    last_retract_gen: u64,
+    /// Exact `(lb, ub)` per pair key, valid only at `memo_gen`.
+    memo: BTreeMap<u64, (f64, f64)>,
+    memo_gen: u64,
+    /// Lazily (re)built landmark sketch for the cascade's prescreen tier.
+    ado: Option<Ado>,
+    /// Scratches for the bidirectional tier, separate from the exact
+    /// tier's cached trees so an early-exited search never clobbers them.
+    dij_bi_a: Dijkstra,
+    dij_bi_b: Dijkstra,
 }
 
 /// Per-worker scratch for speculative SPLUB bound queries: the same
@@ -54,14 +106,71 @@ impl Splub {
             max_distance,
             dij_a: Dijkstra::new(n),
             dij_b: Dijkstra::new(n),
-            src_a: None,
-            src_b: None,
+            tag_a: None,
+            tag_b: None,
+            last_retract_gen: 0,
+            memo: BTreeMap::new(),
+            memo_gen: 0,
+            ado: None,
+            dij_bi_a: Dijkstra::new(n),
+            dij_bi_b: Dijkstra::new(n),
         }
     }
 
     /// Read access to the underlying known-edge graph.
     pub fn graph(&self) -> &PartialGraph {
         &self.graph
+    }
+
+    /// Settles the shortest-path tree for `src` into `dij`, preferring an
+    /// incremental decrease-only repair of the tree already held when only
+    /// insertions happened since it was settled.
+    fn ensure_tree(
+        dij: &mut Dijkstra,
+        tag: &mut Option<TreeTag>,
+        graph: &PartialGraph,
+        src: ObjectId,
+        last_retract_gen: u64,
+    ) {
+        let gen = graph.generation();
+        let m = graph.m();
+        match *tag {
+            Some(t) if t.src == src && t.gen == gen => {}
+            Some(t) if t.src == src && t.gen < gen && last_retract_gen <= t.gen => {
+                // Pure growth since the tree settled: every generation bump
+                // was an insertion, so the appended edge-list suffix is the
+                // exact delta.
+                debug_assert_eq!(gen - t.gen, (m - t.m) as u64);
+                let new = graph.edges()[t.m..]
+                    .iter()
+                    .map(|&(p, w)| (p.lo(), p.hi(), w));
+                let _ = dij.repair(graph, new);
+                *tag = Some(TreeTag { src, gen, m });
+            }
+            _ => {
+                let _ = dij.run(graph, src);
+                *tag = Some(TreeTag { src, gen, m });
+            }
+        }
+    }
+
+    /// The landmark sketch for the current graph state, rebuilt lazily once
+    /// the live generation outruns the sketch by more than a window of `n`
+    /// generations (an `O(√n · (m + n log n))` build amortized over at
+    /// least `n` updates). A stale-within-window sketch is still *sound*
+    /// under growth — it only loses tightness (see the [`Ado`] docs);
+    /// retractions drop the sketch outright in [`BoundScheme::retract`].
+    fn ado_sketch(&mut self) -> &Ado {
+        let gen = self.graph.generation();
+        let window = self.graph.n() as u64;
+        let rebuild = match &self.ado {
+            Some(a) => gen.saturating_sub(a.generation()) > window,
+            None => true,
+        };
+        if rebuild {
+            self.ado = Some(Ado::build(&self.graph, self.max_distance, ADO_SEED));
+        }
+        self.ado.as_ref().expect_invariant("sketch built above")
     }
 }
 
@@ -72,19 +181,19 @@ fn wrap_bounds(
     graph: &PartialGraph,
     max_distance: f64,
     b: ObjectId,
-    sp_a: &[f64],
-    sp_b: &[f64],
+    sp_a: DistMap<'_>,
+    sp_b: DistMap<'_>,
 ) -> (f64, f64) {
     // TUB: shortest path a -> b (Equation 2), capped by the a-priori max.
-    let ub = max_distance.min(sp_a[b as usize]);
+    let ub = max_distance.min(sp_a.get(b));
 
     // TLB: wrap both shortest-path trees onto every known edge
     // (Equation 3). Unreachable endpoints contribute -inf and drop out.
     let mut lb = 0.0f64;
     for &(e, w) in graph.edges() {
-        let (k, l) = (e.lo() as usize, e.hi() as usize);
-        let via = w - (sp_a[k] + sp_b[l]);
-        let via_sym = w - (sp_a[l] + sp_b[k]);
+        let (k, l) = (e.lo(), e.hi());
+        let via = w - (sp_a.get(k) + sp_b.get(l));
+        let via_sym = w - (sp_a.get(l) + sp_b.get(k));
         let best = via.max(via_sym);
         if best > lb {
             lb = best;
@@ -113,26 +222,38 @@ impl BoundScheme for Splub {
         if let Some(d) = self.graph.get(p) {
             return (d, d);
         }
-        let (a, b) = p.ends();
-        // Re-run Dijkstra only when the cached tree is for another source
-        // or the graph has grown since (Dijkstra is deterministic, so a
-        // cached tree is bitwise what a re-run would produce).
         let gen = self.graph.generation();
-        if self.src_a != Some((a, gen)) {
-            self.dij_a.run(&self.graph, a);
-            self.src_a = Some((a, gen));
+        if self.memo_gen != gen {
+            self.memo.clear();
+            self.memo_gen = gen;
         }
-        if self.src_b != Some((b, gen)) {
-            self.dij_b.run(&self.graph, b);
-            self.src_b = Some((b, gen));
+        if let Some(&(lb, ub)) = self.memo.get(&p.key()) {
+            return (lb, ub);
         }
-        wrap_bounds(
+        let (a, b) = p.ends();
+        Self::ensure_tree(
+            &mut self.dij_a,
+            &mut self.tag_a,
+            &self.graph,
+            a,
+            self.last_retract_gen,
+        );
+        Self::ensure_tree(
+            &mut self.dij_b,
+            &mut self.tag_b,
+            &self.graph,
+            b,
+            self.last_retract_gen,
+        );
+        let (lb, ub) = wrap_bounds(
             &self.graph,
             self.max_distance,
             b,
-            self.dij_a.dist(),
-            self.dij_b.dist(),
-        )
+            self.dij_a.view(),
+            self.dij_b.view(),
+        );
+        self.memo.insert(p.key(), (lb, ub));
+        (lb, ub)
     }
 
     fn record(&mut self, p: Pair, d: f64) {
@@ -140,10 +261,17 @@ impl BoundScheme for Splub {
     }
 
     fn retract(&mut self, p: Pair) -> bool {
-        // Removal bumps the graph generation, so the `(source, generation)`
-        // tags on both cached Dijkstra trees miss and the next query
-        // recomputes shortest paths without the poisoned edge.
-        self.graph.remove(p).is_some()
+        // Removal bumps the graph generation, so the generation tags on both
+        // cached Dijkstra trees (and the memo) miss; marking the retraction
+        // generation also bars incremental repair across it, and the ADO
+        // sketch — sound only under pure growth — is dropped outright.
+        if self.graph.remove(p).is_some() {
+            self.last_retract_gen = self.graph.generation();
+            self.ado = None;
+            true
+        } else {
+            false
+        }
     }
 
     fn m(&self) -> usize {
@@ -174,6 +302,64 @@ impl BoundScheme for Splub {
 
     fn bounds_cacheable(&self) -> bool {
         true
+    }
+
+    fn goal_aware(&self) -> bool {
+        true
+    }
+
+    fn bounds_for_goal(&mut self, p: Pair, goal: QueryGoal) -> GoalBounds {
+        let Some(v) = goal.decisive_at else {
+            let (lb, ub) = self.bounds(p);
+            return GoalBounds::Exact { lb, ub };
+        };
+        if let Some(d) = self.graph.get(p) {
+            return GoalBounds::Exact { lb: d, ub: d };
+        }
+        // Memoized exact sandwich beats every tier.
+        if self.memo_gen == self.graph.generation() {
+            if let Some(&(lb, ub)) = self.memo.get(&p.key()) {
+                return GoalBounds::Exact { lb, ub };
+            }
+        }
+        let (a, b) = p.ends();
+
+        // Tier 1: ADO prescreen — O(√n) relaxed sandwich; decisive only
+        // outside the guard band (see CASCADE_EPS for why that implies the
+        // exact tier's verdict).
+        let (lh, uh) = self.ado_sketch().estimate(a, b);
+        if uh < v - CASCADE_EPS || lh > v + CASCADE_EPS {
+            return GoalBounds::Decisive {
+                lb: lh,
+                ub: uh,
+                tier: CascadeTier::Ado,
+            };
+        }
+
+        // Tier 2: bounded bidirectional search. Only the *true* side is
+        // reachable this way — a meeting point under the cutoff is a real
+        // path certifying d < v; absence of one certifies nothing.
+        let cutoff = v - CASCADE_EPS;
+        if cutoff > 0.0 {
+            if let Some(mu) = Dijkstra::run_bidirectional_bounded(
+                &mut self.dij_bi_a,
+                &mut self.dij_bi_b,
+                &self.graph,
+                a,
+                b,
+                cutoff,
+            ) {
+                return GoalBounds::Decisive {
+                    lb: 0.0,
+                    ub: self.max_distance.min(mu),
+                    tier: CascadeTier::Bidi,
+                };
+            }
+        }
+
+        // Tier 3: the exact sandwich (memoized inside `bounds`).
+        let (lb, ub) = self.bounds(p);
+        GoalBounds::Exact { lb, ub }
     }
 }
 
@@ -230,8 +416,8 @@ impl SpecBounds for Splub {
             &self.graph,
             self.max_distance,
             b,
-            s.dij_a.dist(),
-            s.dij_b.dist(),
+            s.dij_a.view(),
+            s.dij_b.view(),
         )
     }
 
@@ -244,6 +430,7 @@ impl SpecBounds for Splub {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prox_core::TinyRng;
 
     fn p(a: u32, b: u32) -> Pair {
         Pair::new(a, b)
@@ -330,5 +517,197 @@ mod tests {
         let (lb, _) = s.bounds(p(0, 2));
         assert!(lb >= 0.0);
         assert!((lb - 0.4).abs() < 1e-12, "|0.5-0.1| via wrap, got {lb}");
+    }
+
+    // ---- cascade / incremental-maintenance tests ------------------------
+
+    /// Random points in the unit square, scaled so distances fit `[0, 1]`
+    /// (the cascade's relaxations, like I1, need genuinely metric weights).
+    fn coords(n: usize, seed: u64) -> Vec<(f64, f64)> {
+        let mut rng = TinyRng::new(seed);
+        (0..n).map(|_| (rng.unit_f64(), rng.unit_f64())).collect()
+    }
+
+    fn euclid(c: &[(f64, f64)], q: Pair) -> f64 {
+        let (ax, ay) = c[q.lo() as usize];
+        let (bx, by) = c[q.hi() as usize];
+        (((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()) / std::f64::consts::SQRT_2
+    }
+
+    /// A deterministic metric record schedule: `m` distinct pairs with
+    /// Euclidean distances.
+    fn schedule(n: usize, m: usize, seed: u64) -> Vec<(Pair, f64)> {
+        let c = coords(n, seed);
+        let mut rng = TinyRng::new(seed ^ 0xABCD);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        while out.len() < m {
+            let a = rng.below(n) as u32;
+            let b = rng.below(n) as u32;
+            if a != b && seen.insert(Pair::new(a, b)) {
+                out.push((Pair::new(a, b), euclid(&c, Pair::new(a, b))));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn incremental_trees_match_fresh_scheme_bitwise() {
+        // Interleave records and queries; an instance that repairs its
+        // trees incrementally must stay bitwise identical to a fresh
+        // instance rebuilt from scratch at every step.
+        for seed in 0..6u64 {
+            let n = 24;
+            let sched = schedule(n, 60, 0x1AC + seed);
+            let mut inc = Splub::new(n, 1.0);
+            let mut rng = TinyRng::new(seed ^ 0xF00);
+            for (i, &(e, w)) in sched.iter().enumerate() {
+                inc.record(e, w);
+                for _ in 0..3 {
+                    let a = rng.below(n) as u32;
+                    let b = rng.below(n) as u32;
+                    if a == b {
+                        continue;
+                    }
+                    let q = Pair::new(a, b);
+                    let (li, ui) = inc.bounds(q);
+                    let mut fresh = Splub::new(n, 1.0);
+                    for &(e2, w2) in &sched[..=i] {
+                        fresh.record(e2, w2);
+                    }
+                    let (lf, uf) = fresh.bounds(q);
+                    assert_eq!(li.to_bits(), lf.to_bits(), "seed {seed} step {i} {q:?}");
+                    assert_eq!(ui.to_bits(), uf.to_bits(), "seed {seed} step {i} {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memo_serves_repeats_and_invalidates_on_record() {
+        let mut s = Splub::new(4, 1.0);
+        s.record(p(0, 1), 0.2);
+        s.record(p(1, 2), 0.2);
+        let first = s.bounds(p(0, 2));
+        assert_eq!(s.bounds(p(0, 2)), first, "repeat query is memo-served");
+        // A record changes the graph; the memo must not serve stale bounds.
+        s.record(p(2, 3), 0.2);
+        s.record(p(0, 3), 0.1);
+        let (_, ub) = s.bounds(p(0, 2));
+        assert!((ub - 0.3).abs() < 1e-12, "0-3-2 path 0.3, got {ub}");
+    }
+
+    #[test]
+    fn goal_without_threshold_is_exact() {
+        let mut s = Splub::new(4, 1.0);
+        s.record(p(0, 1), 0.2);
+        s.record(p(1, 2), 0.3);
+        let exact = s.bounds(p(0, 2));
+        match s.bounds_for_goal(p(0, 2), QueryGoal::exact()) {
+            GoalBounds::Exact { lb, ub } => assert_eq!((lb, ub), exact),
+            other => panic!("expected exact, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cascade_verdicts_match_exact_tier() {
+        // For every pair and a sweep of thresholds: whenever the cascade
+        // claims Decisive, deciding the comparison from its relaxed
+        // sandwich must agree with the exact sandwich for both the strict
+        // and non-strict probe under DECISION_EPS margins — and the
+        // relaxation must actually relax.
+        use crate::resolver::DECISION_EPS;
+        for seed in 0..4u64 {
+            let n = 20;
+            let mut s = Splub::new(n, 1.0);
+            for (e, w) in schedule(n, 50, 0xCA5 + seed) {
+                s.record(e, w);
+            }
+            for q in Pair::all(n) {
+                if s.known(q).is_some() {
+                    continue;
+                }
+                let (le, ue) = {
+                    let mut fresh = Splub::new(n, 1.0);
+                    for &(e, w) in s.graph().edges() {
+                        fresh.record(e, w);
+                    }
+                    fresh.bounds(q)
+                };
+                for v in [0.05, 0.15, 0.3, 0.5, 0.7, 0.9, ue, le] {
+                    if let GoalBounds::Decisive { lb, ub, .. } =
+                        s.bounds_for_goal(q, QueryGoal::threshold(v))
+                    {
+                        assert!(lb <= le + 1e-12 && ub >= ue - 1e-12, "not a relaxation");
+                        // try_less_value verdicts.
+                        let relaxed = if ub < v - DECISION_EPS {
+                            Some(true)
+                        } else if lb >= v + DECISION_EPS {
+                            Some(false)
+                        } else {
+                            None
+                        };
+                        let exact = if ue < v - DECISION_EPS {
+                            Some(true)
+                        } else if le >= v + DECISION_EPS {
+                            Some(false)
+                        } else {
+                            None
+                        };
+                        assert!(relaxed.is_some(), "Decisive must decide {q:?} v={v}");
+                        assert_eq!(relaxed, exact, "seed {seed} {q:?} v={v}");
+                        // try_leq_value verdicts (false side is strict >).
+                        let relaxed_leq = if ub <= v - DECISION_EPS {
+                            Some(true)
+                        } else if lb > v + DECISION_EPS {
+                            Some(false)
+                        } else {
+                            None
+                        };
+                        let exact_leq = if ue <= v - DECISION_EPS {
+                            Some(true)
+                        } else if le > v + DECISION_EPS {
+                            Some(false)
+                        } else {
+                            None
+                        };
+                        assert_eq!(relaxed_leq, exact_leq, "seed {seed} {q:?} v={v} (leq)");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_survives_retraction() {
+        let n = 16;
+        let mut s = Splub::new(n, 1.0);
+        let sched = schedule(n, 40, 0xDEAD);
+        for &(e, w) in &sched {
+            s.record(e, w);
+        }
+        // Warm the sketch, then poison and retract an edge.
+        let _ = s.bounds_for_goal(p(0, 1), QueryGoal::threshold(0.5));
+        let victim = sched[10].0;
+        assert!(s.retract(victim));
+        s.record(victim, sched[10].1);
+        // Verdicts after the retract+re-record cycle still match a fresh
+        // instance's exact sandwich.
+        let mut fresh = Splub::new(n, 1.0);
+        for &(e, w) in s.graph().edges() {
+            fresh.record(e, w);
+        }
+        for q in Pair::all(n).step_by(7) {
+            if s.known(q).is_some() {
+                continue;
+            }
+            let (le, ue) = fresh.bounds(q);
+            let got = s.bounds_for_goal(q, QueryGoal::threshold(0.4));
+            let (lb, ub) = got.bounds();
+            assert!(
+                lb <= le + 1e-12 && ub >= ue - 1e-12,
+                "{q:?}: unsound after retract"
+            );
+        }
     }
 }

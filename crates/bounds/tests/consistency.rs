@@ -8,8 +8,8 @@
 //! * Tri Scheme is never tighter than SPLUB (it explores a path subset);
 //! * recording collapses a pair's bounds to the exact value.
 
-use prox_bounds::{Adm, BoundScheme, Splub, TriScheme};
-use prox_core::{FnMetric, Metric, Pair};
+use prox_bounds::{Adm, BoundScheme, GoalBounds, Splub, TriScheme, DECISION_EPS};
+use prox_core::{FnMetric, Metric, Pair, QueryGoal};
 use prox_datasets::testgen::{property, PlanarInstance};
 
 #[test]
@@ -83,6 +83,124 @@ fn record_collapses_bounds() {
                 );
                 assert!(s.known(p).is_some());
             }
+        }
+    });
+}
+
+/// Interleaved update/query fuzz for SPLUB's incremental tree maintenance
+/// (DESIGN.md §13): across 1k random schedules, a long-lived SPLUB that
+/// repairs its shortest-path trees incrementally must stay **bitwise**
+/// identical to a from-scratch SPLUB rebuilt at every step, and both must
+/// agree with the ADM baseline to the cross-scheme tolerance (ADM reaches
+/// the same tightest bounds through a different float-operation order, so
+/// cross-*algorithm* equality is 1e-9, not bitwise — the same pin as
+/// `bounds_sound_and_tightness_ordered`).
+///
+/// The same sweep checks the cascade: at random thresholds, a Decisive
+/// answer from `bounds_for_goal` must decide the comparison exactly as the
+/// exact sandwich would (both `<` and `≤` probes, `DECISION_EPS` margins).
+#[test]
+fn interleaved_updates_incremental_equals_scratch_and_adm() {
+    property(0x5EED_0013, 1000, |rng| {
+        let inst = PlanarInstance::draw(rng, 4, 12, 1.0);
+        let n = inst.n();
+        let metric = inst.metric();
+
+        let mut live = Splub::new(n, 1.0);
+        let mut adm = Adm::new(n, 1.0);
+        let mut recorded: Vec<(Pair, f64)> = Vec::new();
+
+        for &(a, b) in &inst.edges {
+            let p = Pair::new(a, b);
+            let d = metric.distance(a, b);
+            live.record(p, d);
+            adm.record(p, d);
+            recorded.push((p, d));
+
+            for _ in 0..2 {
+                let qa = rng.below(n) as u32;
+                let qb = rng.below(n) as u32;
+                if qa == qb {
+                    continue;
+                }
+                let q = Pair::new(qa, qb);
+                let (li, ui) = live.bounds(q);
+                let mut scratch = Splub::new(n, 1.0);
+                for &(e, w) in &recorded {
+                    scratch.record(e, w);
+                }
+                let (ls, us) = scratch.bounds(q);
+                assert_eq!(
+                    li.to_bits(),
+                    ls.to_bits(),
+                    "{q:?}: incremental lb {li} != from-scratch {ls}"
+                );
+                assert_eq!(
+                    ui.to_bits(),
+                    us.to_bits(),
+                    "{q:?}: incremental ub {ui} != from-scratch {us}"
+                );
+                let (la, ua) = adm.bounds(q);
+                assert!((li - la).abs() < 1e-9, "{q:?}: splub lb {li} vs adm {la}");
+                assert!((ui - ua).abs() < 1e-9, "{q:?}: splub ub {ui} vs adm {ua}");
+
+                if live.known(q).is_none() {
+                    let v = rng.unit_f64();
+                    if let GoalBounds::Decisive { lb, ub, .. } =
+                        live.bounds_for_goal(q, QueryGoal::threshold(v))
+                    {
+                        for (relaxed, exact) in [
+                            (ub < v - DECISION_EPS, us < v - DECISION_EPS),
+                            (lb >= v + DECISION_EPS, ls >= v + DECISION_EPS),
+                            (ub <= v - DECISION_EPS, us <= v - DECISION_EPS),
+                            (lb > v + DECISION_EPS, ls > v + DECISION_EPS),
+                        ] {
+                            assert_eq!(
+                                relaxed, exact,
+                                "{q:?} v={v}: cascade verdict diverged from exact tier"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Retraction interleavings: retract + re-record cycles must leave an
+/// incremental SPLUB bitwise identical to a from-scratch rebuild (the
+/// repair path is barred across a retraction and the trees rebuilt).
+#[test]
+fn retract_schedules_keep_incremental_splub_bit_exact() {
+    property(0x5EED_0014, 200, |rng| {
+        let inst = PlanarInstance::draw(rng, 4, 10, 1.0);
+        if inst.edges.is_empty() {
+            return;
+        }
+        let n = inst.n();
+        let metric = inst.metric();
+
+        let mut live = Splub::new(n, 1.0);
+        for &(a, b) in &inst.edges {
+            live.record(Pair::new(a, b), metric.distance(a, b));
+        }
+        // A few retract / query / re-record rounds.
+        for _ in 0..4 {
+            let &(a, b) = &inst.edges[rng.below(inst.edges.len())];
+            let victim = Pair::new(a, b);
+            let had = live.known(victim).is_some();
+            assert_eq!(live.retract(victim), had);
+            for q in Pair::all(n).step_by(3) {
+                let (li, ui) = live.bounds(q);
+                let mut scratch = Splub::new(n, 1.0);
+                for &(e, w) in live.graph().edges() {
+                    scratch.record(e, w);
+                }
+                let (ls, us) = scratch.bounds(q);
+                assert_eq!(li.to_bits(), ls.to_bits(), "{q:?} lb after retract");
+                assert_eq!(ui.to_bits(), us.to_bits(), "{q:?} ub after retract");
+            }
+            live.record(victim, metric.distance(a, b));
         }
     });
 }

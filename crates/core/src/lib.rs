@@ -47,7 +47,7 @@ pub use oracle::Oracle;
 pub use pair::{Pair, PairMap};
 pub use persist::{load_known, load_known_lenient, save_known, LoadReport};
 pub use rng::TinyRng;
-pub use spec::{SpecBounds, SpecScratch};
+pub use spec::{QueryGoal, SpecBounds, SpecScratch};
 pub use stats::{OracleStats, PruneStats};
 
 /// Identifier of an object in a metric space: a dense index in `0..n`.

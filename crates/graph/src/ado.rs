@@ -1,0 +1,249 @@
+//! A deterministic Thorup–Zwick-style approximate distance oracle (ADO)
+//! over a partially-known graph.
+//!
+//! SPLUB's exact tier answers a bound query with two full SSSP runs. The
+//! ADO instead precomputes full SSSP labels from `⌈√n⌉` deterministic
+//! landmarks; a query then costs `O(√n)`:
+//!
+//! * upper estimate `û(a,b) = min(max_d, min_ℓ dℓ[a] + dℓ[b])` — every
+//!   candidate routes a real walk `a → ℓ → b`, so `û` can never undercut
+//!   the shortest-path upper bound (in real arithmetic; callers compare
+//!   against a rounding-slack margin, see `CASCADE_EPS`);
+//! * lower estimate `l̂(a,b) = max_ℓ wrap[ℓ] − dℓ[a] − dℓ[b]` clamped to
+//!   `[0, û]`, where `wrap[ℓ] = max_{(k,l,w)} w − dℓ[k] − dℓ[l]` folds the
+//!   per-landmark edge maximum at build time — each candidate relaxes the
+//!   exact wrap bound `w − sp(a,k) − sp(b,l)` through the landmark triangle
+//!   `sp(a,k) ≤ dℓ[a] + dℓ[k]`, so `l̂` can never exceed it.
+//!
+//! Staleness is one-sided: under pure *growth* of the known graph, old
+//! `dℓ` labels are still upper bounds on current shortest paths and old
+//! wrap folds still cite present edges, so a stale sketch stays sound and
+//! only loses tightness. A *retraction* breaks both directions (the cited
+//! edge may have been a lie), so owners must drop the sketch immediately
+//! on retract and may otherwise rebuild lazily per generation window.
+//!
+//! Determinism: landmarks come from a seeded [`TinyRng`], SSSP visit order
+//! is fully tie-broken, and the wrap fold walks the insertion-ordered edge
+//! list — two builds over the same graph state are bitwise identical.
+
+use prox_core::{ObjectId, TinyRng};
+
+use crate::{Dijkstra, PartialGraph};
+
+/// Landmark-sketch distance oracle; see the module docs.
+pub struct Ado {
+    landmarks: Vec<ObjectId>,
+    /// `dist[ℓi][v]`: SSSP labels from `landmarks[ℓi]` (`INFINITY` where
+    /// unreached), materialized at build time.
+    dist: Vec<Vec<f64>>,
+    /// `wrap[ℓi]`: the per-landmark fold of the wrap lower bound over the
+    /// known edges (`-INFINITY` when no edge contributes).
+    wrap: Vec<f64>,
+    max_distance: f64,
+    /// Graph generation the sketch was built at (owners use it to age the
+    /// sketch out after a generation window).
+    generation: u64,
+}
+
+impl Ado {
+    /// Builds the sketch for the current state of `graph`. Allocates its
+    /// own SSSP scratch so callers' cached trees are untouched.
+    pub fn build(graph: &PartialGraph, max_distance: f64, seed: u64) -> Ado {
+        let n = graph.n();
+        let l = ((n as f64).sqrt().ceil() as usize).clamp(1, n.max(1));
+        let landmarks = TinyRng::new(seed).distinct(l, n);
+
+        let mut dij = Dijkstra::new(n);
+        let mut dist = Vec::with_capacity(landmarks.len());
+        let mut wrap = Vec::with_capacity(landmarks.len());
+        for &lm in &landmarks {
+            let d = dij.run(graph, lm);
+            let labels: Vec<f64> = (0..n as ObjectId).map(|v| d.get(v)).collect();
+            let mut fold = f64::NEG_INFINITY;
+            for &(p, w) in graph.edges() {
+                // (k,l) and (l,k) collapse to the same expression, so one
+                // candidate per edge suffices.
+                let cand = w - labels[p.lo() as usize] - labels[p.hi() as usize];
+                if cand > fold {
+                    fold = cand;
+                }
+            }
+            dist.push(labels);
+            wrap.push(fold);
+        }
+        Ado {
+            landmarks,
+            dist,
+            wrap,
+            max_distance,
+            generation: graph.generation(),
+        }
+    }
+
+    /// Generation of the graph this sketch was built from.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The landmark set (ascending, deterministic for a fixed seed).
+    #[inline]
+    pub fn landmarks(&self) -> &[ObjectId] {
+        &self.landmarks
+    }
+
+    /// `(l̂, û)` for the pair `(a, b)` — a valid relaxation of the exact
+    /// SPLUB sandwich: `l̂ ≤ TLB ≤ d ≤ TUB ≤ û` up to float rounding.
+    pub fn estimate(&self, a: ObjectId, b: ObjectId) -> (f64, f64) {
+        let (ai, bi) = (a as usize, b as usize);
+        let mut ub = self.max_distance;
+        let mut lb = f64::NEG_INFINITY;
+        for (d, &w) in self.dist.iter().zip(&self.wrap) {
+            let through = d[ai] + d[bi];
+            if through < ub {
+                ub = through;
+            }
+            // `w` is finite or -inf; -inf - inf = -inf, so no NaN can form.
+            let under = w - d[ai] - d[bi];
+            if under > lb {
+                lb = under;
+            }
+        }
+        (lb.clamp(0.0, ub), ub)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prox_core::Pair;
+
+    /// Random points in the unit square, scaled so distances fit `[0, 1]`.
+    fn coords(n: usize, seed: u64) -> Vec<(f64, f64)> {
+        let mut rng = TinyRng::new(seed);
+        (0..n).map(|_| (rng.unit_f64(), rng.unit_f64())).collect()
+    }
+
+    fn euclid(c: &[(f64, f64)], a: ObjectId, b: ObjectId) -> f64 {
+        let (ax, ay) = c[a as usize];
+        let (bx, by) = c[b as usize];
+        (((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()) / std::f64::consts::SQRT_2
+    }
+
+    /// Deterministic pseudo-random known graph whose weights come from a
+    /// genuine metric — the wrap-bound relaxation (like I1 itself) is a
+    /// triangle-inequality consequence and only holds over metrics.
+    fn web(n: usize, m: usize, seed: u64) -> PartialGraph {
+        let c = coords(n, seed);
+        let mut rng = TinyRng::new(seed ^ 0xABCD);
+        let mut g = PartialGraph::new(n);
+        let mut seen = std::collections::BTreeSet::new();
+        while seen.len() < m {
+            let a = rng.below(n) as ObjectId;
+            let b = rng.below(n) as ObjectId;
+            if a != b && seen.insert(Pair::new(a, b)) {
+                g.insert(Pair::new(a, b), euclid(&c, a, b));
+            }
+        }
+        g
+    }
+
+    /// Exact SPLUB sandwich computed the slow way, for comparison.
+    fn exact_bounds(g: &PartialGraph, max_d: f64, q: Pair) -> (f64, f64) {
+        let n = g.n();
+        let mut dj = Dijkstra::new(n);
+        let sp_a: Vec<f64> = {
+            let d = dj.run(g, q.lo());
+            (0..n as ObjectId).map(|v| d.get(v)).collect()
+        };
+        let sp_b: Vec<f64> = {
+            let d = dj.run(g, q.hi());
+            (0..n as ObjectId).map(|v| d.get(v)).collect()
+        };
+        let ub = max_d.min(sp_a[q.hi() as usize]);
+        let mut lb = 0.0f64;
+        for &(p, w) in g.edges() {
+            let (k, l) = (p.lo() as usize, p.hi() as usize);
+            let c1 = w - (sp_a[k] + sp_b[l]);
+            let c2 = w - (sp_a[l] + sp_b[k]);
+            lb = lb.max(c1).max(c2);
+        }
+        (lb.min(ub), ub)
+    }
+
+    #[test]
+    fn estimates_relax_the_exact_sandwich() {
+        for seed in 0..8u64 {
+            let g = web(30, 70, 0xAD0 + seed);
+            let ado = Ado::build(&g, 1.0, 0xDECADE);
+            for q in Pair::all(30) {
+                let (le, ue) = exact_bounds(&g, 1.0, q);
+                let (lh, uh) = ado.estimate(q.lo(), q.hi());
+                assert!(
+                    uh >= ue - 1e-12,
+                    "seed {seed} {q:?}: û {uh} undercuts exact ub {ue}"
+                );
+                assert!(
+                    lh <= le + 1e-12,
+                    "seed {seed} {q:?}: l̂ {lh} exceeds exact lb {le}"
+                );
+                assert!(lh >= 0.0 && lh <= uh + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn stale_sketch_stays_sound_under_growth() {
+        let c = coords(24, 0x57A1E);
+        let mut g = PartialGraph::new(24);
+        let mut rng = TinyRng::new(0x57A1E ^ 0xABCD);
+        let mut seen = std::collections::BTreeSet::new();
+        while seen.len() < 30 {
+            let a = rng.below(24) as ObjectId;
+            let b = rng.below(24) as ObjectId;
+            if a != b && seen.insert(Pair::new(a, b)) {
+                g.insert(Pair::new(a, b), euclid(&c, a, b));
+            }
+        }
+        let ado = Ado::build(&g, 1.0, 0xDECADE);
+        // Grow the graph after the sketch was built.
+        while seen.len() < 55 {
+            let a = rng.below(24) as ObjectId;
+            let b = rng.below(24) as ObjectId;
+            if a != b && seen.insert(Pair::new(a, b)) {
+                g.insert(Pair::new(a, b), euclid(&c, a, b));
+            }
+        }
+        for q in Pair::all(24) {
+            let (le, ue) = exact_bounds(&g, 1.0, q);
+            let (lh, uh) = ado.estimate(q.lo(), q.hi());
+            assert!(uh >= ue - 1e-12, "{q:?}: stale û {uh} vs fresh ub {ue}");
+            assert!(lh <= le + 1e-12, "{q:?}: stale l̂ {lh} vs fresh lb {le}");
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let g = web(40, 90, 0xD371);
+        let x = Ado::build(&g, 1.0, 7);
+        let y = Ado::build(&g, 1.0, 7);
+        assert_eq!(x.landmarks, y.landmarks);
+        assert_eq!(x.generation, y.generation);
+        for (dx, dy) in x.dist.iter().zip(&y.dist) {
+            for (a, b) in dx.iter().zip(dy) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        for (a, b) in x.wrap.iter().zip(&y.wrap) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn landmark_count_scales_as_sqrt_n() {
+        let g = web(64, 100, 1);
+        assert_eq!(Ado::build(&g, 1.0, 1).landmarks().len(), 8);
+        let tiny = web(2, 1, 2);
+        assert_eq!(Ado::build(&tiny, 1.0, 2).landmarks().len(), 2);
+    }
+}

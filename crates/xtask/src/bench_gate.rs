@@ -1,0 +1,237 @@
+//! The CI bench-smoke regression gate (`cargo xtask bench-gate`).
+//!
+//! PR 7's cascade rebuild pins SPLUB's per-query latency: with the
+//! per-generation memo and the bounded cascade in place, the committed
+//! `bound_query/splub/256` median must sit within [`MAX_RATIO`] × of the
+//! `bound_query/tri/256` median. Before the cascade the gap was ~1200×
+//! (8.7 ms vs 7.3 µs per 256-query sweep); the gate fails the bench-smoke
+//! job if SPLUB regresses back toward full-sweep-per-query behaviour.
+//!
+//! The input is the `BENCH_schemes.json` the bench harness emits: a JSON
+//! array of flat objects, one per bench cell —
+//!
+//! ```json
+//! [
+//!   {"name": "bound_query/tri/256", "median_ns": 7312.4, "mean_ns": ..., "iters": 768},
+//!   {"name": "bound_query/splub/256", "median_ns": 8747915.0, ...}
+//! ]
+//! ```
+//!
+//! The parser below is deliberately minimal (the workspace is
+//! dependency-free): it only needs each row's `"name"` string and
+//! `"median_ns"` number, and it rejects anything it cannot understand
+//! rather than guessing.
+
+/// The gate: `bound_query/splub/256` must be ≤ `MAX_RATIO` × `tri/256`.
+pub const MAX_RATIO: f64 = 100.0;
+
+/// The numerator / denominator bench cells the gate compares.
+pub const SPLUB_CELL: &str = "bound_query/splub/256";
+pub const TRI_CELL: &str = "bound_query/tri/256";
+
+/// One parsed bench row: the cell name and its median latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    pub name: String,
+    pub median_ns: f64,
+}
+
+/// Parses the bench JSON into rows, or explains what is malformed.
+///
+/// Accepts exactly the shape the harness writes: an array of objects whose
+/// fields are string or number literals (no nesting). Field order inside a
+/// row is free; unknown fields are ignored.
+pub fn parse_rows(json: &str) -> Result<Vec<BenchRow>, String> {
+    let mut rows = Vec::new();
+    let body = json.trim();
+    let body = body
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or("expected a top-level JSON array")?;
+    for (i, obj) in split_objects(body)?.into_iter().enumerate() {
+        let mut name = None;
+        let mut median = None;
+        for (key, val) in split_fields(&obj)? {
+            match key.as_str() {
+                "name" => {
+                    name = Some(
+                        val.strip_prefix('"')
+                            .and_then(|v| v.strip_suffix('"'))
+                            .ok_or_else(|| format!("row {i}: \"name\" is not a string: {val}"))?
+                            .to_string(),
+                    );
+                }
+                "median_ns" => {
+                    median =
+                        Some(val.parse::<f64>().map_err(|_| {
+                            format!("row {i}: \"median_ns\" is not a number: {val}")
+                        })?);
+                }
+                _ => {}
+            }
+        }
+        match (name, median) {
+            (Some(name), Some(median_ns)) => rows.push(BenchRow { name, median_ns }),
+            _ => return Err(format!("row {i}: missing \"name\" or \"median_ns\"")),
+        }
+    }
+    Ok(rows)
+}
+
+/// Splits the inside of a JSON array into the `{...}` object bodies.
+fn split_objects(body: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut start = None;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' if !in_str => in_str = true,
+            '"' if in_str => in_str = false,
+            '{' if !in_str => {
+                if depth == 0 {
+                    start = Some(i + 1);
+                }
+                depth += 1;
+            }
+            '}' if !in_str => {
+                depth = depth.checked_sub(1).ok_or("unbalanced braces")?;
+                if depth == 0 {
+                    let s = start.take().ok_or("unbalanced braces")?;
+                    out.push(body[s..i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_str {
+        return Err("unbalanced braces or unterminated string".to_string());
+    }
+    Ok(out)
+}
+
+/// Splits a flat object body into `(key, raw value)` pairs.
+fn split_fields(obj: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    // Top-level commas only (values are scalars, so a comma inside a string
+    // is the only hazard).
+    let mut fields = Vec::new();
+    let mut in_str = false;
+    let mut start = 0usize;
+    for (i, c) in obj.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                fields.push(&obj[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    fields.push(&obj[start..]);
+    for f in fields {
+        let f = f.trim();
+        if f.is_empty() {
+            continue;
+        }
+        let (k, v) = f
+            .split_once(':')
+            .ok_or_else(|| format!("malformed field: {f}"))?;
+        let key = k
+            .trim()
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| format!("malformed key: {k}"))?;
+        out.push((key.to_string(), v.trim().to_string()));
+    }
+    Ok(out)
+}
+
+/// Runs the gate against parsed rows. `Ok` carries the human-readable
+/// verdict line; `Err` explains the failure (missing cell or regression).
+pub fn check(rows: &[BenchRow]) -> Result<String, String> {
+    let median = |cell: &str| {
+        rows.iter()
+            .find(|r| r.name == cell)
+            .map(|r| r.median_ns)
+            .ok_or_else(|| format!("bench cell `{cell}` not found in the JSON"))
+    };
+    let splub = median(SPLUB_CELL)?;
+    let tri = median(TRI_CELL)?;
+    if !(splub.is_finite() && tri.is_finite()) || tri <= 0.0 {
+        return Err(format!(
+            "degenerate medians: {SPLUB_CELL} = {splub}, {TRI_CELL} = {tri}"
+        ));
+    }
+    let ratio = splub / tri;
+    let verdict = format!(
+        "{SPLUB_CELL} = {splub} ns, {TRI_CELL} = {tri} ns, ratio {ratio:.1}x \
+         (limit {MAX_RATIO:.0}x)"
+    );
+    if ratio <= MAX_RATIO {
+        Ok(verdict)
+    } else {
+        Err(format!(
+            "SPLUB query latency regressed past the cascade gate: {verdict}"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"[
+  {"name": "bound_query/tri/256", "median_ns": 7312.4, "mean_ns": 7310.2, "min_ns": 6198.0, "iters": 768},
+  {"name": "bound_query/splub/256", "median_ns": 70000.0, "mean_ns": 71000.0, "min_ns": 69000.0, "iters": 64}
+]"#;
+
+    #[test]
+    fn parses_rows_and_passes_within_ratio() {
+        let rows = parse_rows(SAMPLE).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "bound_query/tri/256");
+        assert_eq!(rows[0].median_ns, 7312.4);
+        let verdict = check(&rows).unwrap();
+        assert!(verdict.contains("ratio 9.6x"), "{verdict}");
+    }
+
+    #[test]
+    fn fails_past_the_ratio() {
+        let rows = vec![
+            BenchRow {
+                name: TRI_CELL.to_string(),
+                median_ns: 7000.0,
+            },
+            BenchRow {
+                name: SPLUB_CELL.to_string(),
+                median_ns: 8_747_915.0,
+            },
+        ];
+        let err = check(&rows).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn missing_cell_is_an_error() {
+        let rows = parse_rows(r#"[{"name": "bound_query/tri/256", "median_ns": 1.0}]"#).unwrap();
+        let err = check(&rows).unwrap_err();
+        assert!(err.contains("bound_query/splub/256"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(parse_rows("{}").is_err());
+        assert!(parse_rows("[{\"name\": 3, \"median_ns\": 1.0}]").is_err());
+        assert!(parse_rows("[{\"name\": \"x\"}]").is_err());
+        assert!(parse_rows("[{\"name\": \"x\", \"median_ns\": \"nope\"}]").is_err());
+    }
+
+    #[test]
+    fn string_commas_and_field_order_are_tolerated() {
+        let rows =
+            parse_rows(r#"[{"median_ns": 2.0, "note": "a, b", "name": "bound_query/tri/256"}]"#)
+                .unwrap();
+        assert_eq!(rows[0].median_ns, 2.0);
+    }
+}

@@ -9,15 +9,19 @@
 //!    best-effort name-resolved call edges into a whole-workspace
 //!    [`graph::ItemGraph`].
 //! 3. [`rules`] — the lint rules: L1–L8 are lexical (per line of masked
-//!    code), L9–L12 are graph rules over the item graph. [`analyze`] drives
+//!    code), L9–L13 are graph rules over the item graph. [`analyze`] drives
 //!    the graph construction and renders the JSON / DOT dumps and the
 //!    choke-point report behind `cargo xtask analyze`.
+//!
+//! [`bench_gate`] sits alongside the analyses: the CI bench-smoke job's
+//! latency-ratio gate over the committed `BENCH_schemes.json`.
 //!
 //! The crate is a library so the integration tests (and any future tooling)
 //! can run the same analyses `cargo xtask` runs, against fixtures or against
 //! the real workspace.
 
 pub mod analyze;
+pub mod bench_gate;
 pub mod graph;
 pub mod lexer;
 pub mod rules;

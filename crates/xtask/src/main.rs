@@ -1,10 +1,12 @@
 //! `cargo xtask` — repo-specific checks that `rustc`/`clippy` cannot express.
 //!
 //! ```text
-//! cargo xtask lint                      # enforce L1–L12 + stale-escape gate
+//! cargo xtask lint                      # enforce L1–L13 + stale-escape gate
 //! cargo xtask lint --allow-unused-allows  # grace mode: stale escapes warn only
 //! cargo xtask analyze                   # choke-point report on stdout
 //! cargo xtask analyze --json [PATH] --dot [PATH]   # plus graph dumps
+//! cargo xtask bench-gate [PATH]         # splub/tri latency-ratio gate on the
+//!                                       # bench JSON (default BENCH_schemes.json)
 //! ```
 //!
 //! The rules and their rationale live in `docs/INVARIANTS.md`; the
@@ -14,16 +16,18 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use xtask::{analyze, load_workspace_sources, rules, workspace_root};
+use xtask::{analyze, bench_gate, load_workspace_sources, rules, workspace_root};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(args.iter().any(|a| a == "--allow-unused-allows")),
         Some("analyze") => run_analyze(&args[1..]),
+        Some("bench-gate") => run_bench_gate(&args[1..]),
         _ => {
             eprintln!("usage: cargo xtask lint [--allow-unused-allows]");
             eprintln!("       cargo xtask analyze [--json [PATH]] [--dot [PATH]]");
+            eprintln!("       cargo xtask bench-gate [PATH]");
             ExitCode::from(2)
         }
     }
@@ -64,6 +68,30 @@ fn run_lint(allow_unused_allows: bool) -> ExitCode {
             lint.files_linted
         );
         ExitCode::FAILURE
+    }
+}
+
+fn run_bench_gate(args: &[String]) -> ExitCode {
+    let path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_schemes.json".to_string());
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match bench_gate::parse_rows(&json).and_then(|rows| bench_gate::check(&rows)) {
+        Ok(verdict) => {
+            println!("xtask bench-gate: OK — {verdict}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error[bench-gate]: {e} (in {path})");
+            ExitCode::FAILURE
+        }
     }
 }
 

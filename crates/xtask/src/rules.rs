@@ -1,11 +1,11 @@
-//! The lint rules (`L1`–`L12`) enforcing the oracle-call and determinism
+//! The lint rules (`L1`–`L13`) enforcing the oracle-call and determinism
 //! disciplines.
 //!
 //! Rules come in two flavours:
 //!
 //! * **Lexical** (L1–L8, L10, L11) — per line of the masked code produced
 //!   by [`crate::lexer::scan`] (L8 is a cross-file vocabulary check).
-//! * **Graph** (L9, L12) — over the whole-workspace
+//! * **Graph** (L9, L12, L13) — over the whole-workspace
 //!   [`crate::graph::ItemGraph`], so they can see call *chains* that no
 //!   single line reveals.
 //!
@@ -17,7 +17,8 @@
 //! `stale-allow`, see [`lint_workspace`]) so dead annotations cannot
 //! accumulate. L9 additionally carries [`L9_ALLOWLIST`], the audited list
 //! of items that may sit on an oracle path outside the resolver choke
-//! point.
+//! point, and L13 carries [`L13_ALLOWLIST`], the audited list of
+//! `crates/bounds` items that may invoke the unbounded `Dijkstra::run`.
 //!
 //! | rule | scope | it forbids |
 //! |------|-------|------------|
@@ -33,6 +34,7 @@
 //! | L10 | library crates | `HashMap`/`HashSet` (unpinned iteration order; use `BTreeMap`/`BTreeSet` so determinism invariants I5/I8/I9 hold by construction) |
 //! | L11 | everywhere except `crates/bench` | `Instant::now`/`SystemTime` (library code runs on virtual time; wall-clock belongs to the bench harness) |
 //! | L12 | library crates (graph) | an infallible `X` that re-implements its fallible twin `try_X` instead of delegating to it (the copies drift apart) |
+//! | L13 | `crates/bounds` (graph) | reaching the unbounded `Dijkstra::run` from bound-query paths — the query cascade must use the bounded/bidirectional twins; the exact tier funnels through the audited [`L13_ALLOWLIST`] — see [`l13_violations`] |
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -492,6 +494,33 @@ pub const L9_ALLOWLIST: &[&str] = &[
     "bounds::tlaesa::Tlaesa::try_build",
 ];
 
+/// The audited L13 allowlist: `crates/bounds` items that may invoke the
+/// **unbounded** `Dijkstra::run` (the full single-source sweep). Everything
+/// else in the crate's query paths must use the bounded/bidirectional twins
+/// (`run_to`, `run_bidirectional_bounded`) so the cascade's early exits
+/// cannot silently regress into full sweeps. Every entry needs a reason.
+///
+/// * `bounds::splub::Splub::ensure_tree` — the exact tier. SPLUB's certified
+///   bounds *are* full shortest-path trees; this fn is the single funnel that
+///   builds (or incrementally repairs) them, and its output is what the
+///   cascade's decisive answers are checked against. By design it is the one
+///   place a full sweep is allowed to originate.
+/// * `bounds::splub::Splub::spec_bounds` — the speculation snapshot path.
+///   `SpecBounds` computes bounds against a frozen graph snapshot in
+///   worker-local scratch; it needs the same full trees as the exact tier
+///   and cannot share `ensure_tree`'s `&mut self` caches (I5 requires
+///   worker isolation), so it carries its own audited full-run site.
+/// * `bounds::splub::Splub::ado_sketch` — ADO prescreen construction. The
+///   distance-oracle sketch is *built* from `⌈√n⌉` full landmark sweeps
+///   (`Ado::build`), then serves `O(L)` estimates per query; the build is
+///   lazy and amortized over a whole generation window, so its full runs
+///   are a construction cost, not a per-query sweep.
+pub const L13_ALLOWLIST: &[&str] = &[
+    "bounds::splub::Splub::ensure_tree",
+    "bounds::splub::Splub::spec_bounds",
+    "bounds::splub::Splub::ado_sketch",
+];
+
 /// The L9 analysis result: where the expensive calls live, where the choke
 /// points are, and which items can reach a sink *around* them.
 pub struct OracleExposure {
@@ -714,10 +743,101 @@ fn l12_violations(g: &ItemGraph) -> Vec<Violation> {
     out
 }
 
-/// The graph rules (L9 + L12), *before* escape filtering.
-pub fn lint_graph(g: &ItemGraph, l9_allowlist: &[&str]) -> Vec<Violation> {
+/// L13 — `crates/bounds` query paths must not reach the **unbounded**
+/// `Dijkstra::run`. A reverse BFS from that sink (mirroring
+/// [`oracle_exposure`]) flags every non-test `crates/bounds` item that can
+/// reach it through a chain with no allowlisted intermediary. The bounded
+/// twins (`run_to`, `run_bidirectional_bounded`) are not sinks: the cascade
+/// is free to use them anywhere. The exact tier's audited full-run funnels
+/// live in [`L13_ALLOWLIST`]; propagation stops there, so callers *of* an
+/// allowlisted funnel (e.g. `Splub::bounds`) are clean.
+pub fn l13_violations(g: &ItemGraph, allowlist: &[&str]) -> Vec<Violation> {
+    let n = g.items.len();
+    let paths: Vec<String> = g.items.iter().map(Item::path).collect();
+    let sink: Vec<bool> = g
+        .items
+        .iter()
+        .map(|it| {
+            it.krate == "graph" && it.container.as_deref() == Some("Dijkstra") && it.name == "run"
+        })
+        .collect();
+    let allowed: Vec<bool> = paths
+        .iter()
+        .map(|p| allowlist.contains(&p.as_str()))
+        .collect();
+
+    let mut visited = vec![false; n];
+    let mut next: Vec<Option<usize>> = vec![None; n];
+    let mut stack: Vec<usize> = (0..n).filter(|&v| sink[v] && !g.items[v].is_test).collect();
+    for &s in &stack {
+        visited[s] = true;
+    }
+    while let Some(v) = stack.pop() {
+        // The sink propagates to its callers; any other node propagates only
+        // if it is not itself an audited full-run funnel.
+        if !sink[v] && allowed[v] {
+            continue;
+        }
+        for &e in &g.inc[v] {
+            let u = g.edges[e].from;
+            if !visited[u] && !g.items[u].is_test {
+                visited[u] = true;
+                next[u] = Some(v);
+                stack.push(u);
+            }
+        }
+    }
+
+    let chain = |mut v: usize| {
+        let mut s = paths[v].clone();
+        while let Some(nx) = next[v] {
+            s.push_str(" -> ");
+            s.push_str(&paths[nx]);
+            v = nx;
+        }
+        s
+    };
+    let mut out = Vec::new();
+    for v in 0..n {
+        if !visited[v] || sink[v] || allowed[v] || g.items[v].krate != "bounds" {
+            continue;
+        }
+        let it = &g.items[v];
+        out.push(Violation {
+            rule: "L13",
+            file: it.file.clone(),
+            line: it.line,
+            msg: format!(
+                "`{}` reaches the unbounded `Dijkstra::run` from a \
+                 `crates/bounds` query path: {}; use the bounded twins \
+                 (`run_to`, `run_bidirectional_bounded`) or add an audited \
+                 `L13_ALLOWLIST` entry",
+                it.path(),
+                chain(v)
+            ),
+            excerpt: it.path(),
+        });
+    }
+    for e in allowlist.iter().filter(|e| !paths.iter().any(|p| p == *e)) {
+        out.push(Violation {
+            rule: "L13",
+            file: "crates/xtask/src/rules.rs".to_string(),
+            line: 1,
+            msg: format!(
+                "stale `L13_ALLOWLIST` entry `{e}` matches no workspace item; \
+                 remove it or fix the path"
+            ),
+            excerpt: e.to_string(),
+        });
+    }
+    out
+}
+
+/// The graph rules (L9 + L12 + L13), *before* escape filtering.
+pub fn lint_graph(g: &ItemGraph, l9_allowlist: &[&str], l13_allowlist: &[&str]) -> Vec<Violation> {
     let mut out = l9_violations(g, l9_allowlist);
     out.extend(l12_violations(g));
+    out.extend(l13_violations(g, l13_allowlist));
     out
 }
 
@@ -727,7 +847,7 @@ pub fn lint_graph(g: &ItemGraph, l9_allowlist: &[&str]) -> Vec<Violation> {
 
 /// The result of linting a whole workspace snapshot.
 pub struct WorkspaceLint {
-    /// Rule violations (L1–L12) surviving escape filtering, in file order.
+    /// Rule violations (L1–L13) surviving escape filtering, in file order.
     pub violations: Vec<Violation>,
     /// `lint: allow(...)` escapes that suppressed nothing (rule
     /// `stale-allow`) — gated by `--allow-unused-allows` in the CLI.
@@ -743,11 +863,15 @@ pub struct WorkspaceLint {
 /// lexical rules per file, L8 across `crates/obs`, and the graph rules over
 /// the item graph, with escape filtering and stale-escape detection.
 pub fn lint_workspace(files: &[(String, String)]) -> WorkspaceLint {
-    lint_workspace_with(files, L9_ALLOWLIST)
+    lint_workspace_with(files, L9_ALLOWLIST, L13_ALLOWLIST)
 }
 
-/// [`lint_workspace`] with an explicit L9 allowlist (tests use fixtures).
-pub fn lint_workspace_with(files: &[(String, String)], l9_allowlist: &[&str]) -> WorkspaceLint {
+/// [`lint_workspace`] with explicit L9/L13 allowlists (tests use fixtures).
+pub fn lint_workspace_with(
+    files: &[(String, String)],
+    l9_allowlist: &[&str],
+    l13_allowlist: &[&str],
+) -> WorkspaceLint {
     let mut raw = Vec::new();
     let mut escapes = Vec::new();
     let mut files_linted = 0usize;
@@ -766,7 +890,7 @@ pub fn lint_workspace_with(files: &[(String, String)], l9_allowlist: &[&str]) ->
         raw.extend(lint_event_coverage(ev, rep));
     }
     let g = ItemGraph::build(files);
-    raw.extend(lint_graph(&g, l9_allowlist));
+    raw.extend(lint_graph(&g, l9_allowlist, l13_allowlist));
 
     let (violations, used) = apply_escapes(raw, &escapes);
     let stale_escapes = escapes
@@ -1108,7 +1232,7 @@ mod tests {
             ),
         ]);
         let g = ItemGraph::build(&files);
-        let vs = lint_graph(&g, &[]);
+        let vs = lint_graph(&g, &[], &[]);
         let l9: Vec<&Violation> = vs.iter().filter(|v| v.rule == "L9").collect();
         assert_eq!(l9.len(), 1, "{vs:?}");
         assert_eq!(l9[0].file, "crates/algos/src/leak.rs");
@@ -1129,7 +1253,7 @@ mod tests {
             ),
         ]);
         let g = ItemGraph::build(&files);
-        assert!(lint_graph(&g, &[]).iter().all(|v| v.rule != "L9"));
+        assert!(lint_graph(&g, &[], &[]).iter().all(|v| v.rule != "L9"));
     }
 
     #[test]
@@ -1145,17 +1269,21 @@ mod tests {
         let g = ItemGraph::build(&files);
         // Unallowed: both bootstrap fns are exposed.
         assert_eq!(
-            lint_graph(&g, &[])
+            lint_graph(&g, &[], &[])
                 .iter()
                 .filter(|v| v.rule == "L9")
                 .count(),
             2
         );
         // Allowlisting the audited choke fn sanctions everything above it.
-        let vs = lint_graph(&g, &["bounds::bootstrap::try_pick"]);
+        let vs = lint_graph(&g, &["bounds::bootstrap::try_pick"], &[]);
         assert!(vs.iter().all(|v| v.rule != "L9"), "{vs:?}");
         // A stale entry is itself a violation.
-        let vs = lint_graph(&g, &["bounds::bootstrap::try_pick", "bounds::gone::nope"]);
+        let vs = lint_graph(
+            &g,
+            &["bounds::bootstrap::try_pick", "bounds::gone::nope"],
+            &[],
+        );
         assert!(vs.iter().any(|v| v.rule == "L9" && v.msg.contains("stale")));
     }
 
@@ -1169,13 +1297,91 @@ mod tests {
                 "// audited one-off probe; lint: allow(L9)\npub fn leaky(o: &Oracle) { o.call(); }\n",
             ),
         ]);
-        let lint = lint_workspace_with(&files, &[]);
+        let lint = lint_workspace_with(&files, &[], &[]);
         assert!(
             lint.violations.iter().all(|v| v.rule != "L9"),
             "{:?}",
             lint.violations
         );
         assert!(lint.stale_escapes.is_empty());
+    }
+
+    // ------------------------------------------------ graph rules: L13
+
+    /// Dijkstra skeleton shared by the L13 tests: the unbounded sink plus
+    /// its bounded twins.
+    const DIJKSTRA_SRC: &str = "pub struct Dijkstra;\nimpl Dijkstra {\n    pub fn run(&mut self) {}\n    pub fn run_to(&mut self) {}\n    pub fn run_bidirectional_bounded(&mut self) {}\n}\n";
+
+    #[test]
+    fn l13_flags_unbounded_run_from_bounds_with_chain() {
+        let files = fixture(&[
+            ("crates/graph/src/dijkstra.rs", DIJKSTRA_SRC),
+            (
+                "crates/bounds/src/splub.rs",
+                "pub fn bounds(d: &mut Dijkstra) { full(d); }\nfn full(d: &mut Dijkstra) { d.run(); }\n",
+            ),
+        ]);
+        let g = ItemGraph::build(&files);
+        let vs = lint_graph(&g, &[], &[]);
+        let l13: Vec<&Violation> = vs.iter().filter(|v| v.rule == "L13").collect();
+        // Both the private full-run site and the public query path above it.
+        assert_eq!(l13.len(), 2, "{vs:?}");
+        assert!(l13.iter().all(|v| v.file == "crates/bounds/src/splub.rs"));
+        assert!(l13.iter().any(|v| v.msg.contains(
+            "bounds::splub::bounds -> bounds::splub::full -> graph::dijkstra::Dijkstra::run"
+        )));
+    }
+
+    #[test]
+    fn l13_accepts_bounded_twins_and_non_bounds_callers() {
+        let files = fixture(&[
+            ("crates/graph/src/dijkstra.rs", DIJKSTRA_SRC),
+            (
+                "crates/bounds/src/splub.rs",
+                "pub fn cascade(d: &mut Dijkstra) { d.run_to(); d.run_bidirectional_bounded(); }\n",
+            ),
+            (
+                "crates/datasets/src/roadnet.rs",
+                "pub fn ground_truth(d: &mut Dijkstra) { d.run(); }\n",
+            ),
+        ]);
+        let g = ItemGraph::build(&files);
+        let vs = lint_graph(&g, &[], &[]);
+        assert!(vs.iter().all(|v| v.rule != "L13"), "{vs:?}");
+    }
+
+    #[test]
+    fn l13_allowlist_sanctions_the_funnel_and_flags_stale_entries() {
+        let files = fixture(&[
+            ("crates/graph/src/dijkstra.rs", DIJKSTRA_SRC),
+            (
+                "crates/bounds/src/splub.rs",
+                "pub fn bounds(d: &mut Dijkstra) { ensure_tree(d); }\nfn ensure_tree(d: &mut Dijkstra) { d.run(); }\n",
+            ),
+        ]);
+        let g = ItemGraph::build(&files);
+        // Allowlisting the audited funnel sanctions everything above it.
+        let vs = lint_graph(&g, &[], &["bounds::splub::ensure_tree"]);
+        assert!(vs.iter().all(|v| v.rule != "L13"), "{vs:?}");
+        // A stale entry is itself a violation.
+        let vs = lint_graph(
+            &g,
+            &[],
+            &["bounds::splub::ensure_tree", "bounds::gone::nope"],
+        );
+        assert!(vs
+            .iter()
+            .any(|v| v.rule == "L13" && v.msg.contains("stale")));
+    }
+
+    #[test]
+    fn l13_real_allowlist_matches_the_workspace() {
+        // Smoke the shipped const against the real tree: every entry must
+        // resolve, and the workspace must be clean under it.
+        let files = crate::load_workspace_sources(&crate::workspace_root());
+        let g = ItemGraph::build(&files);
+        let vs = l13_violations(&g, L13_ALLOWLIST);
+        assert!(vs.is_empty(), "{vs:?}");
     }
 
     // ------------------------------------------------ graph rules: L12
@@ -1187,7 +1393,7 @@ mod tests {
             "pub fn prim() { body(); }\npub fn try_prim() { body(); }\nfn body() {}\n",
         )]);
         let g = ItemGraph::build(&files);
-        let vs = lint_graph(&g, &[]);
+        let vs = lint_graph(&g, &[], &[]);
         let l12: Vec<&Violation> = vs.iter().filter(|v| v.rule == "L12").collect();
         assert_eq!(l12.len(), 1, "{vs:?}");
         assert_eq!(l12[0].line, 1);
@@ -1201,7 +1407,7 @@ mod tests {
             "pub fn mst() { expect_ok(try_mst()) }\npub fn try_mst() {}\nfn expect_ok(x: u32) -> u32 { x }\n",
         )]);
         let g = ItemGraph::build(&direct);
-        assert!(lint_graph(&g, &[]).iter().all(|v| v.rule != "L12"));
+        assert!(lint_graph(&g, &[], &[]).iter().all(|v| v.rule != "L12"));
         // kruskal-style: mst -> mst_with, try_mst -> try_mst_with, and the
         // `_with` pair delegates — so `mst` counts as delegating too.
         let chained = fixture(&[(
@@ -1209,7 +1415,7 @@ mod tests {
             "pub fn mst() { mst_with() }\npub fn mst_with() { expect_ok(try_mst_with()) }\npub fn try_mst() { try_mst_with() }\npub fn try_mst_with() {}\nfn expect_ok(x: u32) -> u32 { x }\n",
         )]);
         let g = ItemGraph::build(&chained);
-        let vs = lint_graph(&g, &[]);
+        let vs = lint_graph(&g, &[], &[]);
         assert!(vs.iter().all(|v| v.rule != "L12"), "{vs:?}");
     }
 
@@ -1220,12 +1426,12 @@ mod tests {
             "pub fn run() { body(); }\npub fn try_run() { body(); }\nfn body() {}\n",
         )]);
         let g = ItemGraph::build(&in_bench);
-        assert!(lint_graph(&g, &[]).iter().all(|v| v.rule != "L12"));
+        assert!(lint_graph(&g, &[], &[]).iter().all(|v| v.rule != "L12"));
         let escaped = fixture(&[(
             "crates/algos/src/a.rs",
             "// different semantics, not a wrapper; lint: allow(L12)\npub fn go() { body(); }\npub fn try_go() { body(); }\nfn body() {}\n",
         )]);
-        let lint = lint_workspace_with(&escaped, &[]);
+        let lint = lint_workspace_with(&escaped, &[], &[]);
         assert!(lint.violations.iter().all(|v| v.rule != "L12"));
         assert!(lint.stale_escapes.is_empty());
     }
@@ -1238,7 +1444,7 @@ mod tests {
             "crates/core/src/x.rs",
             "fn f() {\n    // lint: allow(L4)\n    x.unwrap();\n    // lint: allow(L7)\n    let y = 1;\n}\n",
         )]);
-        let lint = lint_workspace_with(&files, &[]);
+        let lint = lint_workspace_with(&files, &[], &[]);
         assert!(lint.violations.iter().all(|v| v.rule != "L4"));
         assert_eq!(lint.stale_escapes.len(), 1, "{:?}", lint.stale_escapes);
         assert_eq!(lint.stale_escapes[0].rule, "stale-allow");
@@ -1252,7 +1458,7 @@ mod tests {
             "crates/core/src/x.rs",
             "#[cfg(test)]\nmod tests {\n    // lint: allow(L4)\n    fn f() { x.unwrap(); }\n}\n",
         )]);
-        let lint = lint_workspace_with(&files, &[]);
+        let lint = lint_workspace_with(&files, &[], &[]);
         assert!(lint.violations.is_empty());
         assert!(lint.stale_escapes.is_empty());
     }

@@ -70,7 +70,7 @@ pub mod prelude {
     };
     pub use prox_bounds::{
         laesa_bootstrap, Adm, AdmUpdate, Bootstrap, BoundResolver, BoundScheme, DistanceResolver,
-        Laesa, NoScheme, Splub, Tlaesa, TriBTreeScheme, TriScheme, VanillaResolver,
+        Laesa, NoScheme, Splub, Tlaesa, TriScheme, VanillaResolver,
     };
     pub use prox_core::{FnMetric, MatrixMetric, Metric, ObjectId, Oracle, Pair};
     pub use prox_datasets::{ClusteredPlane, Dataset, RandomVectors, RoadNetwork, StringSet};
