@@ -1,0 +1,94 @@
+//! Degradation-aware driver for the fallible algorithm twins.
+//!
+//! Algorithms themselves stay degradation-oblivious: they call the
+//! fallible resolver API and propagate [`OracleError`]s. When the
+//! resolver is a `prox_bounds::CascadeResolver` with degradation enabled,
+//! those terminal errors never surface — the cascade finishes the run on
+//! weak+bounds alone — and the evidence lives in
+//! [`DistanceResolver::degradation`]. [`run_degraded`] packages that
+//! protocol: run a fallible twin, then staple the resolver's degradation
+//! report (if any) to the output as a [`Degraded`] value, so callers see
+//! at a glance whether the result is certified-exact or carries weak-only
+//! / unresolved decisions.
+
+use prox_core::{Degraded, OracleError};
+
+use crate::DistanceResolver;
+
+/// Runs a fallible algorithm against `resolver` and wraps its output with
+/// the resolver's degradation report.
+///
+/// - Healthy run: `Ok(Degraded { value, degradation: None })` — the value
+///   is byte-identical to a strong-only run (invariant I10).
+/// - Degraded run (cascade with `with_degrade(true)` that lost its strong
+///   tier): `Ok(Degraded { value, degradation: Some(..) })` with the
+///   per-decision confidence counts.
+/// - Unsalvageable failure (no degradation enabled, or a retryable fault
+///   survived its retries): `Err` exactly as the bare twin would.
+pub fn run_degraded<R, T>(
+    resolver: &mut R,
+    algo: impl FnOnce(&mut R) -> Result<T, OracleError>,
+) -> Result<Degraded<T>, OracleError>
+where
+    R: DistanceResolver + ?Sized,
+{
+    let value = algo(resolver)?;
+    Ok(Degraded {
+        value,
+        degradation: resolver.degradation(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::try_prim_mst;
+    use prox_bounds::{BoundResolver, CascadeResolver, TriScheme};
+    use prox_core::{CallBudget, FnMetric, Oracle, WeakOracle};
+
+    fn metric(n: usize) -> FnMetric<impl Fn(u32, u32) -> f64> {
+        FnMetric::new(n, 1.0, |a, b| (f64::from(a) - f64::from(b)).abs() / 32.0)
+    }
+
+    #[test]
+    fn healthy_run_reports_no_degradation() {
+        let m = metric(10);
+        let oracle = Oracle::new(&m);
+        let mut r = CascadeResolver::new(
+            BoundResolver::new(&oracle, TriScheme::new(10, 1.0)),
+            WeakOracle::new(&m, 0.1, 4),
+        )
+        .with_degrade(true);
+        let out = run_degraded(&mut r, try_prim_mst).expect("healthy");
+        assert!(!out.is_degraded());
+        assert_eq!(out.value.edges.len(), 9);
+    }
+
+    #[test]
+    fn budget_exhaustion_yields_a_degraded_result() {
+        let m = metric(10);
+        let oracle = Oracle::new(&m).with_budget(CallBudget::calls(3));
+        let mut r = CascadeResolver::new(
+            BoundResolver::new(&oracle, TriScheme::new(10, 1.0)),
+            WeakOracle::new(&m, 1.0, 4),
+        )
+        .with_degrade(true);
+        let out = run_degraded(&mut r, try_prim_mst).expect("degrades, not aborts");
+        assert!(out.is_degraded());
+        let d = out.degradation.expect("report");
+        assert!(d.report.decisions() > 0);
+        // The tree is still a spanning tree of all 10 objects.
+        assert_eq!(out.value.edges.len(), 9);
+    }
+
+    #[test]
+    fn without_degrade_the_error_still_surfaces() {
+        let m = metric(10);
+        let oracle = Oracle::new(&m).with_budget(CallBudget::calls(3));
+        let mut r = CascadeResolver::new(
+            BoundResolver::new(&oracle, TriScheme::new(10, 1.0)),
+            WeakOracle::new(&m, 1.0, 4),
+        );
+        assert!(run_degraded(&mut r, try_prim_mst).is_err());
+    }
+}

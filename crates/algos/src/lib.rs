@@ -21,6 +21,7 @@ pub mod average_linkage;
 pub mod clarans;
 pub mod common;
 pub mod complete_linkage;
+pub mod degrade;
 pub mod kcenter;
 pub mod knng;
 pub mod kruskal;
@@ -38,6 +39,7 @@ pub use average_linkage::{
 pub use clarans::{clarans, try_clarans, ClaransParams};
 pub use common::{Clustering, Mst, TinyRng};
 pub use complete_linkage::{complete_linkage, try_complete_linkage};
+pub use degrade::run_degraded;
 pub use kcenter::{k_center, try_k_center, KCenter};
 pub use knng::{
     knn_graph, knn_graph_pool, knn_query, try_knn_graph, try_knn_graph_pool, try_knn_query,

@@ -130,3 +130,81 @@ fn killed_run_with_bit_flipped_checkpoint_still_resumes_exactly() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn damage_in_the_first_crc_block_salvages_nothing_and_cold_resume_stays_exact() {
+    use prox_core::checkpoint::CRC_BLOCK_LINES;
+
+    let pts = random_points(&mut TinyRng::new(0xC4406), 40);
+    let n = pts.len();
+
+    // Clean ground truth, its unique-pair bill, and a full checkpoint
+    // spanning several CRC blocks (so a *later*-block flip would have
+    // salvaged plenty — the point here is that a first-block flip must
+    // not salvage anything at all).
+    let clean_log = RefCell::new(Vec::new());
+    let clean_oracle = Oracle::new(recording_metric(pts.clone(), &clean_log));
+    let mut clean_r = BoundResolver::new(&clean_oracle, TriScheme::new(n, 1.0));
+    let clean_mst = prim_mst(&mut clean_r);
+    let clean_pairs: BTreeSet<Pair> = clean_log.borrow().iter().copied().collect();
+    let mut known = Vec::new();
+    clean_r.export_known(&mut known);
+    assert!(
+        known.len() > 2 * CRC_BLOCK_LINES,
+        "need multiple CRC blocks, got {} lines",
+        known.len()
+    );
+
+    let dir = std::env::temp_dir().join(format!("prox-chaos-first-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("run.ckpt");
+    let manifest = vec![("algo".to_string(), "prim".to_string())];
+    write_checkpoint_file(&path, &manifest, known.iter().copied()).expect("write checkpoint");
+
+    // Chaos: flip one bit in the *first data line* — inside the first CRC
+    // block, before any rolling marker has committed a trusted prefix.
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let first_data = text
+        .split_inclusive('\n')
+        .scan(0usize, |off, line| {
+            let at = *off;
+            *off += line.len();
+            Some((at, line))
+        })
+        .find(|(_, line)| !line.trim_start().starts_with('#') && !line.trim().is_empty())
+        .map(|(at, _)| at)
+        .expect("checkpoint has data lines");
+    let mut bytes = text.into_bytes();
+    bytes[first_data] ^= 0x01; // digit stays a digit; the CRC still catches it
+    std::fs::write(&path, &bytes).expect("rewrite damaged");
+
+    // Strict load refuses, and lenient salvage yields the empty prefix:
+    // with no verified rolling marker there is nothing it may trust, so
+    // it refuses rather than inventing knowledge.
+    read_checkpoint_file(&path).expect_err("strict read must refuse the flip");
+    let err = read_checkpoint_file_lenient(&path).expect_err("nothing is salvageable");
+    assert!(
+        err.to_string().contains("no CRC-verifiable prefix"),
+        "got {err}"
+    );
+
+    // Resume is therefore cold — and I7 still holds trivially: the rerun
+    // produces the clean output and re-pays exactly the clean bill.
+    let resume_log = RefCell::new(Vec::new());
+    let resume_oracle = Oracle::new(recording_metric(pts, &resume_log));
+    let mut resume_r = BoundResolver::new(&resume_oracle, TriScheme::new(n, 1.0));
+    let resumed_mst = try_prim_mst(&mut resume_r).expect("cold resume cannot fault");
+    assert_eq!(resumed_mst.edge_keys(), clean_mst.edge_keys());
+    assert_eq!(
+        resumed_mst.total_weight.to_bits(),
+        clean_mst.total_weight.to_bits()
+    );
+    let resumed_pairs: BTreeSet<Pair> = resume_log.borrow().iter().copied().collect();
+    assert_eq!(
+        resumed_pairs, clean_pairs,
+        "cold rerun = clean run, exactly"
+    );
+    assert_eq!(resume_oracle.calls() as usize, clean_pairs.len());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -311,6 +311,55 @@ fn bench_oracle_trust_layer(b: &mut Bench) {
     });
 }
 
+fn bench_oracle_weak_layer(b: &mut Bench) {
+    use prox_bounds::{BoundResolver, CascadeResolver, DistanceResolver};
+    use prox_core::WeakOracle;
+
+    let n = 256;
+    let metric = ClusteredPlane::default().metric(n, SEED);
+    let queries: Vec<Pair> = Pair::all(n).step_by(13).take(1024).collect();
+
+    // Cascade-disabled path: a bare resolver with no weak tier. The
+    // bench-gate holds the wrapped `disabled` cell within 2x of this —
+    // `--weak` off must stay free. Fresh resolver per iteration, as in
+    // the trust-layer cells: a reused one would price cache hits.
+    let oracle = Oracle::new(&*metric);
+    b.bench("oracle_weak_layer", "clean", || {
+        let mut r = BoundResolver::vanilla(&oracle);
+        for &q in &queries {
+            black_box(r.resolve(q));
+        }
+    });
+    b.bench("oracle_weak_layer", "disabled", || {
+        let mut r = BoundResolver::vanilla(&oracle);
+        for &q in &queries {
+            black_box(r.resolve(q));
+        }
+    });
+
+    // Cascade-enabled cells: weak-tier cost per resolution. At rate 0
+    // every fresh pair quorums on the first two probes; at 0.05 a few
+    // pairs pay extra attempts or escalate to the strong tier.
+    b.bench("oracle_weak_layer", "cascade_rate0", || {
+        let mut r = CascadeResolver::new(
+            BoundResolver::vanilla(&oracle),
+            WeakOracle::new(&*metric, 0.0, SEED),
+        );
+        for &q in &queries {
+            black_box(r.resolve(q));
+        }
+    });
+    b.bench("oracle_weak_layer", "cascade_rate05", || {
+        let mut r = CascadeResolver::new(
+            BoundResolver::vanilla(&oracle),
+            WeakOracle::new(&*metric, 0.05, SEED),
+        );
+        for &q in &queries {
+            black_box(r.resolve(q));
+        }
+    });
+}
+
 fn main() {
     let mut b = Bench::named("schemes");
     bench_queries(&mut b);
@@ -320,5 +369,6 @@ fn main() {
     bench_oracle_fault_layer(&mut b);
     bench_oracle_trace_layer(&mut b);
     bench_oracle_trust_layer(&mut b);
+    bench_oracle_weak_layer(&mut b);
     b.finish();
 }

@@ -43,6 +43,20 @@
 //! prox-cli prim --dataset sf --n 300 --plug tri --corrupt 0.05 --vote 3
 //! prox-cli prim --dataset sf --n 300 --plug tri --resume run.ckpt --lenient-load
 //! ```
+//!
+//! Weak/strong cascade (DESIGN.md §14): `--weak RATE[:SEED]` puts a cheap,
+//! deterministic-error weak oracle in front of the strong tier — every
+//! fresh pair is first vote-resolved weakly and sandwich-checked against
+//! the certified bounds, and only unresolvable pairs escalate to the
+//! billed strong oracle. Outputs stay byte-identical (invariant I10);
+//! only the bill moves. `--degrade` additionally lets the run *finish* on
+//! weak+bounds when the strong tier is lost mid-run (budget exhaustion,
+//! permanent fault) instead of aborting:
+//!
+//! ```text
+//! prox-cli prim --dataset sf --n 300 --plug tri --weak 0.05
+//! prox-cli prim --dataset sf --n 300 --plug tri --weak 0.2 --budget 500 --degrade
+//! ```
 
 use std::process::ExitCode;
 use std::rc::Rc;
@@ -87,6 +101,10 @@ struct Args {
     /// `--vote K[:N]` (`K` alone means first-to-K with no extra pool,
     /// i.e. `K:K`).
     vote: Option<(u32, u32)>,
+    /// `--weak RATE[:SEED]` (seed defaults to `--seed`).
+    weak: Option<(f64, Option<u64>)>,
+    /// `--degrade`: finish on weak+bounds when the strong tier is lost.
+    degrade: bool,
     /// `--checkpoint FILE[:EVERY]`.
     checkpoint: Option<(String, u64)>,
     /// `--resume FILE`.
@@ -114,6 +132,7 @@ fn usage() -> ExitCode {
          \x20       [--oracle-cost-ms MS] [--cache FILE] [--threads N]\n\
          \x20       [--faults RATE[:SEED]] [--retry N[:BASE_MS]] [--budget CALLS]\n\
          \x20       [--corrupt RATE[:SEED]] [--vote K[:N]]\n\
+         \x20       [--weak RATE[:SEED]] [--degrade]\n\
          \x20       [--checkpoint FILE[:EVERY]] [--resume FILE] [--lenient-load]\n\
          \x20       [--trace FILE.jsonl] [--metrics]\n\
          \x20  prox-cli trace <algo> [same flags] [--out FILE.jsonl]\n\
@@ -156,6 +175,8 @@ fn parse() -> Option<Args> {
         budget: None,
         corrupt: None,
         vote: None,
+        weak: None,
+        degrade: false,
         checkpoint: None,
         resume: None,
         lenient_load: false,
@@ -231,8 +252,8 @@ fn parse() -> Option<Args> {
                     eprintln!("--corrupt expects RATE[:SEED], got {raw:?}");
                     return None;
                 };
-                if !rate.is_finite() || rate <= 0.0 || rate > 1.0 {
-                    eprintln!("--corrupt rate must be a probability in (0, 1], got {rate}");
+                if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                    eprintln!("--corrupt rate must be a probability in [0, 1], got {rate}");
                     return None;
                 }
                 a.corrupt = Some((rate, seed));
@@ -250,6 +271,19 @@ fn parse() -> Option<Args> {
                 }
                 a.vote = Some((k, n));
             }
+            "--weak" => {
+                let raw = val()?;
+                let Some((rate, seed)) = split_opt::<f64, u64>(&raw) else {
+                    eprintln!("--weak expects RATE[:SEED], got {raw:?}");
+                    return None;
+                };
+                if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                    eprintln!("--weak rate must be a probability in [0, 1], got {rate}");
+                    return None;
+                }
+                a.weak = Some((rate, seed));
+            }
+            "--degrade" => a.degrade = true,
             "--checkpoint" => {
                 let (path, every): (String, Option<u64>) = split_opt(&val()?)?;
                 a.checkpoint = Some((path, every.unwrap_or(256)));
@@ -266,6 +300,10 @@ fn parse() -> Option<Args> {
                 return None;
             }
         }
+    }
+    if a.degrade && a.weak.is_none() {
+        eprintln!("--degrade requires --weak (there is no weak tier to finish on)");
+        return None;
     }
     Some(a)
 }
@@ -334,7 +372,8 @@ fn main() -> ExitCode {
         || args.retry.is_some()
         || args.budget.is_some()
         || args.corrupt.is_some()
-        || args.vote.is_some();
+        || args.vote.is_some()
+        || args.weak.is_some();
     if wants_oracle_config {
         let retry = match args.retry {
             Some((n, base_ms)) => {
@@ -358,6 +397,10 @@ fn main() -> ExitCode {
                 .corrupt
                 .map(|(rate, seed)| CorruptionInjector::new(rate, seed.unwrap_or(args.seed))),
             vote: args.vote,
+            weak: args
+                .weak
+                .map(|(rate, seed)| (rate, seed.unwrap_or(args.seed))),
+            degrade: args.degrade,
         });
     }
 
@@ -733,6 +776,26 @@ fn main() -> ExitCode {
             c.repaired,
             c.retracted,
             c.requeries
+        );
+    }
+    if args.weak.is_some() {
+        let w = result.weak;
+        println!(
+            "weak tier    : {} resolutions ({} probes, {} errors injected); \
+             {} lies caught, {} no-quorum escalations",
+            w.resolutions, w.probes, w.errors_injected, w.lies_detected, w.no_quorum
+        );
+    }
+    if let Some(d) = result.degraded {
+        let r = d.report;
+        println!(
+            "degraded     : strong tier lost after {} calls ({}); finished on weak+bounds \
+             ({} certified, {} weak-only, {} unresolved)",
+            r.strong_calls_at_loss,
+            d.reason.name(),
+            r.certified,
+            r.weak_only,
+            r.unresolved
         );
     }
     println!(

@@ -141,6 +141,12 @@ impl DistanceResolver for CheckpointingResolver<'_> {
     fn prune_stats_mut(&mut self) -> &mut PruneStats {
         self.inner.prune_stats_mut()
     }
+    fn weak_stats(&self) -> prox_bounds::WeakStats {
+        self.inner.weak_stats()
+    }
+    fn degradation(&self) -> Option<prox_core::Degradation> {
+        self.inner.degradation()
+    }
     fn generation(&self) -> u64 {
         self.inner.generation()
     }

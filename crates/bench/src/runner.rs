@@ -6,12 +6,12 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use prox_bounds::{
-    try_laesa_bootstrap, Adm, AdmUpdate, AuditPolicy, BoundResolver, CorruptionStats,
-    DistanceResolver, Laesa, Splub, Tlaesa, TriScheme,
+    try_laesa_bootstrap, Adm, AdmUpdate, AuditPolicy, BoundResolver, CascadeResolver,
+    CorruptionStats, DistanceResolver, Laesa, Splub, Tlaesa, TriScheme, WeakStats,
 };
 use prox_core::{
-    CallBudget, CorruptionInjector, FaultInjector, FaultStats, Metric, Oracle, OracleError,
-    RetryPolicy,
+    CallBudget, CorruptionInjector, Degradation, FaultInjector, FaultStats, Metric, Oracle,
+    OracleError, RetryPolicy, WeakOracle,
 };
 use prox_lp::DftResolver;
 use prox_obs::{Metrics, PhaseGuard, TraceSink};
@@ -77,6 +77,15 @@ pub struct OracleConfig {
     /// runner builds (`None` = trust the oracle; `(1, 1)` = sandwich
     /// detection only; `k >= 2` = vote-confirm every fresh resolution).
     pub vote: Option<(u32, u32)>,
+    /// Weak-tier cascade `(error rate, seed)`: every resolver the runner
+    /// builds is wrapped in a `CascadeResolver` over a
+    /// `prox_core::WeakOracle` with these knobs (`None` = strong-only).
+    pub weak: Option<(f64, u64)>,
+    /// Graceful degradation: with the cascade on, terminal strong-tier
+    /// losses (budget exhaustion, permanent faults) no longer abort the
+    /// algorithm — it finishes on weak+bounds and reports a
+    /// `Degradation`. Meaningless without `weak`.
+    pub degrade: bool,
 }
 
 impl OracleConfig {
@@ -162,6 +171,11 @@ pub struct RunResult {
     pub fault_stats: FaultStats,
     /// Corruption-audit accounting (all zero without `--corrupt`/`--vote`).
     pub corruption: CorruptionStats,
+    /// Weak-tier accounting (all zero without `--weak`).
+    pub weak: WeakStats,
+    /// `Some` when the strong tier was lost and the run finished degraded
+    /// (`--weak` + `--degrade` only).
+    pub degraded: Option<Degradation>,
 }
 
 impl RunResult {
@@ -313,7 +327,7 @@ pub fn try_run_plugged_observed<T>(
     let mut result = RunResult::default();
     let boot_phase = PhaseGuard::enter(observers.trace.clone(), "bootstrap");
 
-    macro_rules! finish {
+    macro_rules! finish_inner {
         ($resolver:expr) => {{
             let mut resolver = $resolver;
             for &(p, d) in preload {
@@ -327,11 +341,32 @@ pub fn try_run_plugged_observed<T>(
             result.algo_calls = oracle.calls() - result.bootstrap_calls;
             result.fault_stats = oracle.fault_stats();
             result.corruption = resolver.corruption_stats();
+            result.weak = resolver.weak_stats();
+            result.degraded = resolver.degradation();
             let mut exported = Vec::new();
             if export {
                 resolver.export_known(&mut exported);
             }
             Ok((out, result, exported))
+        }};
+    }
+
+    // Wraps the plug's resolver in the weak/strong cascade when `--weak`
+    // is configured. A macro (not a function) because the two arms have
+    // different resolver types; exactly one arm expands per call site at
+    // runtime, so moving `algo`/`boot_phase` into both is fine.
+    let weak_cfg = cfg.as_ref().and_then(|c| c.weak);
+    let degrade = cfg.as_ref().is_some_and(|c| c.degrade);
+    macro_rules! finish {
+        ($resolver:expr) => {{
+            match weak_cfg {
+                Some((rate, wseed)) => finish_inner!(CascadeResolver::new(
+                    $resolver,
+                    WeakOracle::new(metric, rate, wseed)
+                )
+                .with_degrade(degrade)),
+                None => finish_inner!($resolver),
+            }
         }};
     }
 
@@ -440,8 +475,7 @@ mod tests {
             algo_calls: 90,
             wall: Duration::from_millis(5),
             bootstrap_wall: Duration::from_millis(1),
-            fault_stats: FaultStats::default(),
-            corruption: CorruptionStats::default(),
+            ..RunResult::default()
         };
         let t = r.completion_time(Duration::from_millis(10));
         assert_eq!(t, Duration::from_millis(5 + 1 + 1000));

@@ -68,14 +68,18 @@ fn retry_and_budget_flags_reject_zero_and_garbage() {
 }
 
 #[test]
-fn corrupt_flag_rejects_zero_nan_and_garbage() {
+fn corrupt_flag_rejects_out_of_range_nan_and_garbage() {
     assert_rejected(
-        &["prim", "--corrupt", "0"],
-        "--corrupt rate must be a probability in (0, 1]",
+        &["prim", "--corrupt", "-0.1"],
+        "--corrupt rate must be a probability in [0, 1]",
+    );
+    assert_rejected(
+        &["prim", "--corrupt", "1.5"],
+        "--corrupt rate must be a probability in [0, 1]",
     );
     assert_rejected(
         &["prim", "--corrupt", "NaN"],
-        "--corrupt rate must be a probability in (0, 1]",
+        "--corrupt rate must be a probability in [0, 1]",
     );
     assert_rejected(
         &["prim", "--corrupt", "0.5:"],
@@ -87,7 +91,56 @@ fn corrupt_flag_rejects_zero_nan_and_garbage() {
 fn vote_flag_rejects_zero_and_inverted_pools() {
     assert_rejected(&["prim", "--vote", "0"], "--vote needs N >= K >= 1");
     assert_rejected(&["prim", "--vote", "3:2"], "--vote needs N >= K >= 1");
+    assert_rejected(&["prim", "--vote", "5:4"], "--vote needs N >= K >= 1");
     assert_rejected(&["prim", "--vote", "two"], "--vote expects K[:N]");
+}
+
+#[test]
+fn weak_flag_rejects_out_of_range_nan_and_garbage() {
+    assert_rejected(
+        &["prim", "--weak", "-0.1"],
+        "--weak rate must be a probability in [0, 1]",
+    );
+    assert_rejected(
+        &["prim", "--weak", "1.5"],
+        "--weak rate must be a probability in [0, 1]",
+    );
+    assert_rejected(
+        &["prim", "--weak", "NaN"],
+        "--weak rate must be a probability in [0, 1]",
+    );
+    assert_rejected(&["prim", "--weak", "0.1:x"], "--weak expects RATE[:SEED]");
+    assert_rejected(&["prim", "--weak", "some"], "--weak expects RATE[:SEED]");
+}
+
+#[test]
+fn degrade_flag_requires_a_weak_tier() {
+    assert_rejected(&["prim", "--degrade"], "--degrade requires --weak");
+}
+
+#[test]
+fn weak_run_reports_tier_accounting_and_stays_exact() {
+    let base = &["prim", "--dataset", "sf", "--n", "40", "--plug", "tri"];
+    let (ok, clean_stdout, stderr) = run(base);
+    assert!(ok, "clean run failed: {stderr}");
+    let clean_mst = clean_stdout
+        .lines()
+        .find(|l| l.contains("MST weight"))
+        .expect("clean MST line")
+        .to_string();
+
+    let mut weak = base.to_vec();
+    weak.extend(["--weak", "0.1:7"]);
+    let (ok, stdout, stderr) = run(&weak);
+    assert!(ok, "weak run must succeed, stderr: {stderr}");
+    assert!(
+        stdout.contains(&clean_mst),
+        "I10: weak-cascade output must match the clean run, got {stdout}"
+    );
+    assert!(
+        stdout.contains("weak tier    :") && stdout.contains("resolutions"),
+        "weak runs must print the tier accounting, got {stdout}"
+    );
 }
 
 #[test]

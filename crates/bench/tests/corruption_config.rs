@@ -23,6 +23,8 @@ fn corrupt_config(rate: f64, seed: u64, vote: Option<(u32, u32)>) -> OracleConfi
         budget: CallBudget::unlimited(),
         corrupt: Some(CorruptionInjector::new(rate, seed)),
         vote,
+        weak: None,
+        degrade: false,
     }
 }
 

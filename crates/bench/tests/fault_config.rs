@@ -28,6 +28,8 @@ fn faulty_run_matches_clean_run_and_bills_the_faults() {
         budget: CallBudget::unlimited(),
         corrupt: None,
         vote: None,
+        weak: None,
+        degrade: false,
     });
     let (faulty_mst, faulty) = run_plugged(Plug::TriBoot, &*metric, 6, 3, |r| {
         try_prim_mst(r).expect("retries absorb every injected fault")
@@ -64,6 +66,8 @@ fn budget_exhaustion_surfaces_as_an_error_not_a_panic() {
         budget: CallBudget::calls(50),
         corrupt: None,
         vote: None,
+        weak: None,
+        degrade: false,
     });
     let (outcome, result) = run_plugged(Plug::Vanilla, &*metric, 0, 3, |r| try_prim_mst(r));
     clear_oracle_config();

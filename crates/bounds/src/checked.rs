@@ -234,6 +234,14 @@ impl<R: DistanceResolver, F: Fn(Pair) -> f64> DistanceResolver for CheckedResolv
         self.inner.corruption_stats()
     }
 
+    fn weak_stats(&self) -> crate::WeakStats {
+        self.inner.weak_stats()
+    }
+
+    fn degradation(&self) -> Option<prox_core::Degradation> {
+        self.inner.degradation()
+    }
+
     fn prune_stats(&self) -> PruneStats {
         self.inner.prune_stats()
     }

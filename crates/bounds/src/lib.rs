@@ -38,6 +38,7 @@
 pub mod adm;
 pub mod audit;
 pub mod bootstrap;
+pub mod cascade;
 #[cfg(feature = "paranoid")]
 pub mod checked;
 pub mod composite;
@@ -55,6 +56,7 @@ pub use audit::{AuditPolicy, CorruptionStats, VOTE_CAP};
 pub use bootstrap::{
     laesa_bootstrap, select_maxmin_pivots, try_laesa_bootstrap, try_select_maxmin_pivots, Bootstrap,
 };
+pub use cascade::{CascadeResolver, WeakStats};
 #[cfg(feature = "paranoid")]
 pub use checked::CheckedResolver;
 pub use composite::Composite;

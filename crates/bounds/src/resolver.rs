@@ -5,12 +5,15 @@ use std::rc::Rc;
 
 use prox_core::invariant;
 use prox_core::invariant::{expect_ok, expect_some};
-use prox_core::{Metric, Oracle, OracleError, Pair, PruneStats, QueryGoal, SpecBounds};
+use prox_core::{
+    Degradation, Metric, Oracle, OracleError, Pair, PruneStats, QueryGoal, SpecBounds,
+};
 use prox_obs::{
     quantize_width, CorruptionAction, Metrics, ProbeKind, ProbeVerdict, TraceEvent, TraceSink,
 };
 
 use crate::audit::{AuditPolicy, AuditState, CorruptionStats, VOTE_CAP};
+use crate::cascade::WeakStats;
 use crate::scheme::{CascadeTier, GoalBounds};
 use crate::{BoundScheme, NoScheme};
 
@@ -156,6 +159,21 @@ pub trait DistanceResolver {
     /// — all zero — is correct for resolvers that trust their oracle.
     fn corruption_stats(&self) -> CorruptionStats {
         CorruptionStats::default()
+    }
+
+    /// Weak-tier counters. Non-zero only for resolvers that carry the
+    /// weak/strong cascade layer (see `crate::cascade`); the default —
+    /// all zero — is correct for resolvers with no weak tier.
+    fn weak_stats(&self) -> WeakStats {
+        WeakStats::default()
+    }
+
+    /// Degradation report: `Some` once a cascade resolver has lost its
+    /// strong tier and switched to weak+bounds-only service (see
+    /// `crate::cascade`). `None` — the default — means fully healthy:
+    /// every resolution served was certified.
+    fn degradation(&self) -> Option<Degradation> {
+        None
     }
 
     /// Pruning counters.

@@ -114,7 +114,7 @@ pub enum FaultKind {
 
 /// splitmix64 finalizer — the same mixer [`crate::TinyRng`] uses, applied
 /// statelessly so a fault decision is a pure function of its inputs.
-fn mix64(seed: u64) -> u64 {
+pub(crate) fn mix64(seed: u64) -> u64 {
     let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -127,7 +127,7 @@ pub(crate) fn unit(h: u64) -> f64 {
 }
 
 /// Stateless hash of `(seed, pair key, attempt)`.
-fn hash3(seed: u64, key: u64, attempt: u64) -> u64 {
+pub(crate) fn hash3(seed: u64, key: u64, attempt: u64) -> u64 {
     mix64(mix64(mix64(seed) ^ key) ^ attempt)
 }
 

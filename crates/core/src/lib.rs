@@ -32,6 +32,7 @@ pub mod persist;
 pub mod rng;
 pub mod spec;
 pub mod stats;
+pub mod weak;
 
 pub use checkpoint::{
     load_checkpoint, load_checkpoint_lenient, read_checkpoint_file, read_checkpoint_file_lenient,
@@ -49,6 +50,9 @@ pub use persist::{load_known, load_known_lenient, save_known, LoadReport};
 pub use rng::TinyRng;
 pub use spec::{QueryGoal, SpecBounds, SpecScratch};
 pub use stats::{OracleStats, PruneStats};
+pub use weak::{
+    Degradation, DegradationReport, DegradeReason, Degraded, WeakErrorKind, WeakOracle,
+};
 
 /// Identifier of an object in a metric space: a dense index in `0..n`.
 pub type ObjectId = u32;

@@ -16,6 +16,14 @@
 //!    sequential path would have produced, and falling back to the normal
 //!    sequential computation otherwise.
 //!
+//! The weak/strong cascade (`prox_bounds::CascadeResolver`) composes with
+//! this protocol without any new machinery: weak-tier votes only happen
+//! inside `resolve`/`resolve_fallible`, which workers never call — they
+//! read snapshots, and every actual resolution (and therefore every weak
+//! probe) is replayed by the sequential committer in canonical commit
+//! order. That is why `weak_probe`/`degraded` trace events are Semantic
+//! class and the I10 byte-identity holds at every thread count.
+//!
 //! This crate provides step 2: a dependency-free scoped-thread pool
 //! ([`ExecPool::map_indexed`]) plus the process-wide thread-count knob the
 //! `--threads` CLI flags set ([`set_global_threads`]). All consumers

@@ -120,6 +120,30 @@ impl CorruptionAction {
     }
 }
 
+/// How one weak-tier vote over a fresh pair ended.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WeakOutcome {
+    /// A bit-exact quorum formed and passed its certified sandwich; the
+    /// pair was resolved without a strong call.
+    Resolved,
+    /// A quorum formed but violated its certified `[TLB, TUB]` sandwich —
+    /// a proven weak lie; the pair is quarantined from the weak tier.
+    Lie,
+    /// The attempt cap ran out before any value gathered a quorum; the
+    /// resolution escalated to the strong tier.
+    NoQuorum,
+}
+
+impl WeakOutcome {
+    fn name(self) -> &'static str {
+        match self {
+            WeakOutcome::Resolved => "resolved",
+            WeakOutcome::Lie => "lie",
+            WeakOutcome::NoQuorum => "no_quorum",
+        }
+    }
+}
+
 /// Determinism class of an event; see the module docs.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum EventClass {
@@ -203,6 +227,27 @@ pub enum TraceEvent {
         /// Upper edge of the evidence interval.
         ub: f64,
     },
+    /// The weak tier voted on a fresh pair. `attempts` counts the weak
+    /// probes spent on the vote. Semantic class — weak votes run on the
+    /// sequential resolution path only (speculation workers read bound
+    /// snapshots and never resolve), so the stream is thread-invariant.
+    WeakProbe {
+        lo: u32,
+        hi: u32,
+        /// Weak probes issued for this vote.
+        attempts: u32,
+        outcome: WeakOutcome,
+    },
+    /// The strong tier was lost mid-run (budget exhaustion or a
+    /// permanent fault) and the cascade switched to weak+bounds-only
+    /// service for the rest of the run.
+    Degraded {
+        /// Strong calls billed at the moment of loss (`0` when the
+        /// failure carried no call counter).
+        strong_calls: u64,
+        /// `"budget_exhausted"` or `"permanent"`.
+        reason: &'static str,
+    },
     /// A checkpoint snapshot was written successfully.
     CheckpointWrite {
         /// Resolutions covered by the snapshot.
@@ -233,6 +278,8 @@ impl TraceEvent {
             TraceEvent::Fault { .. } => "fault",
             TraceEvent::Retry { .. } => "retry",
             TraceEvent::Corruption { .. } => "corruption",
+            TraceEvent::WeakProbe { .. } => "weak_probe",
+            TraceEvent::Degraded { .. } => "degraded",
             TraceEvent::CheckpointWrite { .. } => "checkpoint",
             TraceEvent::PhaseEnter { .. } => "phase_enter",
             TraceEvent::PhaseExit { .. } => "phase_exit",
@@ -318,6 +365,27 @@ impl TraceEvent {
                     out,
                     ",\"lo\":{lo},\"hi\":{hi},\"action\":\"{}\",\"value\":{value},\"lb\":{lb},\"ub\":{ub}",
                     action.name()
+                );
+            }
+            TraceEvent::WeakProbe {
+                lo,
+                hi,
+                attempts,
+                outcome,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"lo\":{lo},\"hi\":{hi},\"attempts\":{attempts},\"outcome\":\"{}\"",
+                    outcome.name()
+                );
+            }
+            TraceEvent::Degraded {
+                strong_calls,
+                reason,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"strong_calls\":{strong_calls},\"reason\":\"{reason}\""
                 );
             }
             TraceEvent::CheckpointWrite { resolved } => {
@@ -441,6 +509,51 @@ mod tests {
         }
         .write_jsonl(0, &mut s);
         assert!(s.contains("\"action\":\"retracted\""));
+    }
+
+    #[test]
+    fn weak_and_degraded_events_encode_and_are_semantic() {
+        let ev = TraceEvent::WeakProbe {
+            lo: 1,
+            hi: 8,
+            attempts: 3,
+            outcome: WeakOutcome::Resolved,
+        };
+        assert_eq!(ev.class(), EventClass::Semantic);
+        let mut s = String::new();
+        ev.write_jsonl(9, &mut s);
+        assert_eq!(
+            s,
+            "{\"seq\":9,\"ev\":\"weak_probe\",\"lo\":1,\"hi\":8,\"attempts\":3,\
+             \"outcome\":\"resolved\"}\n"
+        );
+        for (outcome, tag) in [
+            (WeakOutcome::Lie, "\"outcome\":\"lie\""),
+            (WeakOutcome::NoQuorum, "\"outcome\":\"no_quorum\""),
+        ] {
+            let mut s = String::new();
+            TraceEvent::WeakProbe {
+                lo: 0,
+                hi: 1,
+                attempts: 2,
+                outcome,
+            }
+            .write_jsonl(0, &mut s);
+            assert!(s.contains(tag), "{s}");
+        }
+
+        let ev = TraceEvent::Degraded {
+            strong_calls: 64,
+            reason: "budget_exhausted",
+        };
+        assert_eq!(ev.class(), EventClass::Semantic);
+        let mut s = String::new();
+        ev.write_jsonl(2, &mut s);
+        assert_eq!(
+            s,
+            "{\"seq\":2,\"ev\":\"degraded\",\"strong_calls\":64,\
+             \"reason\":\"budget_exhausted\"}\n"
+        );
     }
 
     #[test]

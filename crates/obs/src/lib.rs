@@ -27,7 +27,9 @@ mod metrics;
 mod report;
 mod sink;
 
-pub use event::{CallOutcome, CorruptionAction, EventClass, ProbeKind, ProbeVerdict, TraceEvent};
+pub use event::{
+    CallOutcome, CorruptionAction, EventClass, ProbeKind, ProbeVerdict, TraceEvent, WeakOutcome,
+};
 pub use metrics::{quantize_width, Metrics, HISTO_BUCKETS};
 pub use report::{summarize, PhaseRow, PruneRow, TraceSummary, TrajPoint};
 pub use sink::{emit_to, JsonlSink, NullSink, PhaseGuard, RingSink, TraceSink};

@@ -115,6 +115,25 @@ pub struct TraceSummary {
     pub corruption_repaired: u64,
     /// Recorded values proven poisoned and withdrawn from the scheme.
     pub corruption_retracted: u64,
+    /// Weak-tier votes over fresh pairs (`weak_probe` events).
+    pub weak_votes: u64,
+    /// Weak probes spent across all votes (sum of `attempts`).
+    pub weak_probe_attempts: u64,
+    /// Votes whose quorum passed the certified sandwich — resolutions
+    /// served without a strong call.
+    pub weak_resolved: u64,
+    /// Votes whose quorum violated its sandwich (proven weak lies).
+    pub weak_lies: u64,
+    /// Votes that hit the attempt cap without a quorum and escalated.
+    pub weak_no_quorum: u64,
+    /// `degraded` events (0 or 1 in a well-formed trace: the strong tier
+    /// is lost at most once per run).
+    pub degraded_events: u64,
+    /// Strong calls billed at the moment the tier was lost (last event).
+    pub degraded_strong_calls: u64,
+    /// Why the strong tier was lost (`"budget_exhausted"`/`"permanent"`;
+    /// empty when the run stayed healthy).
+    pub degraded_reason: String,
     /// Per-phase rows, in first-entered order.
     pub phases: Vec<PhaseRow>,
     /// Prune breakdown per scheme, name-sorted.
@@ -203,6 +222,28 @@ impl TraceSummary {
                 out,
                 "  {} detected, {} repaired, {} retracted",
                 self.corruption_detected, self.corruption_repaired, self.corruption_retracted
+            );
+        }
+
+        if self.weak_votes > 0 {
+            let _ = writeln!(out, "\nweak cascade:");
+            let _ = writeln!(
+                out,
+                "  {} votes ({} weak probes): {} resolved, {} lies caught, {} no-quorum",
+                self.weak_votes,
+                self.weak_probe_attempts,
+                self.weak_resolved,
+                self.weak_lies,
+                self.weak_no_quorum
+            );
+        }
+
+        if self.degraded_events > 0 {
+            let _ = writeln!(out, "\ndegraded:");
+            let _ = writeln!(
+                out,
+                "  strong oracle lost after {} calls ({}); run finished on weak+bounds",
+                self.degraded_strong_calls, self.degraded_reason
             );
         }
 
@@ -335,6 +376,27 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
                         ));
                     }
                 }
+            }
+            "weak_probe" => {
+                s.weak_votes += 1;
+                s.weak_probe_attempts += u64_field(line, "attempts", lineno)?;
+                let outcome = field(line, "outcome")
+                    .ok_or_else(|| format!("line {lineno}: missing field \"outcome\""))?;
+                match outcome {
+                    "resolved" => s.weak_resolved += 1,
+                    "lie" => s.weak_lies += 1,
+                    "no_quorum" => s.weak_no_quorum += 1,
+                    other => {
+                        return Err(format!("line {lineno}: unknown weak outcome {other:?}"));
+                    }
+                }
+            }
+            "degraded" => {
+                s.degraded_events += 1;
+                s.degraded_strong_calls = u64_field(line, "strong_calls", lineno)?;
+                s.degraded_reason = field(line, "reason")
+                    .ok_or_else(|| format!("line {lineno}: missing field \"reason\""))?
+                    .to_string();
             }
             "phase_enter" => {
                 let name = field(line, "name")
@@ -475,6 +537,45 @@ mod tests {
         assert!(summarize(bad)
             .unwrap_err()
             .contains("unknown corruption action"));
+    }
+
+    #[test]
+    fn weak_and_degraded_events_are_summarized() {
+        let text = "\
+{\"seq\":0,\"ev\":\"weak_probe\",\"lo\":0,\"hi\":1,\"attempts\":2,\"outcome\":\"resolved\"}
+{\"seq\":1,\"ev\":\"weak_probe\",\"lo\":0,\"hi\":2,\"attempts\":3,\"outcome\":\"resolved\"}
+{\"seq\":2,\"ev\":\"weak_probe\",\"lo\":1,\"hi\":2,\"attempts\":4,\"outcome\":\"lie\"}
+{\"seq\":3,\"ev\":\"weak_probe\",\"lo\":1,\"hi\":3,\"attempts\":8,\"outcome\":\"no_quorum\"}
+{\"seq\":4,\"ev\":\"degraded\",\"strong_calls\":12,\"reason\":\"budget_exhausted\"}
+";
+        let s = summarize(text).expect("valid");
+        assert_eq!(s.weak_votes, 4);
+        assert_eq!(s.weak_probe_attempts, 17);
+        assert_eq!(s.weak_resolved, 2);
+        assert_eq!(s.weak_lies, 1);
+        assert_eq!(s.weak_no_quorum, 1);
+        assert_eq!(s.degraded_events, 1);
+        assert_eq!(s.degraded_strong_calls, 12);
+        assert_eq!(s.degraded_reason, "budget_exhausted");
+        let r = s.render();
+        assert!(r.contains("weak cascade"), "{r}");
+        assert!(
+            r.contains("4 votes (17 weak probes): 2 resolved, 1 lies caught, 1 no-quorum"),
+            "{r}"
+        );
+        assert!(r.contains("degraded:"), "{r}");
+        assert!(
+            r.contains("strong oracle lost after 12 calls (budget_exhausted)"),
+            "{r}"
+        );
+        // A weak-free trace renders neither section.
+        let clean = summarize(SAMPLE).expect("valid").render();
+        assert!(!clean.contains("weak cascade"), "{clean}");
+        assert!(!clean.contains("degraded"), "{clean}");
+        // Unknown weak outcomes are malformed, like unknown events.
+        let bad =
+            "{\"seq\":0,\"ev\":\"weak_probe\",\"lo\":0,\"hi\":1,\"attempts\":1,\"outcome\":\"wat\"}\n";
+        assert!(summarize(bad).unwrap_err().contains("unknown weak outcome"));
     }
 
     #[test]

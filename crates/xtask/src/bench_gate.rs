@@ -29,6 +29,14 @@ pub const MAX_RATIO: f64 = 100.0;
 pub const SPLUB_CELL: &str = "bound_query/splub/256";
 pub const TRI_CELL: &str = "bound_query/tri/256";
 
+/// The weak-cascade zero-cost gate: with `--weak` off the runner hands
+/// algorithms the bare resolver, so the `disabled` cell must stay within
+/// [`WEAK_MAX_RATIO`] × of `clean` (the two loops are identical today;
+/// the gate fails if cascade machinery ever leaks onto the default path).
+pub const WEAK_MAX_RATIO: f64 = 2.0;
+pub const WEAK_DISABLED_CELL: &str = "oracle_weak_layer/disabled";
+pub const WEAK_CLEAN_CELL: &str = "oracle_weak_layer/clean";
+
 /// One parsed bench row: the cell name and its median latency.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRow {
@@ -168,13 +176,29 @@ pub fn check(rows: &[BenchRow]) -> Result<String, String> {
         "{SPLUB_CELL} = {splub} ns, {TRI_CELL} = {tri} ns, ratio {ratio:.1}x \
          (limit {MAX_RATIO:.0}x)"
     );
-    if ratio <= MAX_RATIO {
-        Ok(verdict)
-    } else {
-        Err(format!(
+    if ratio > MAX_RATIO {
+        return Err(format!(
             "SPLUB query latency regressed past the cascade gate: {verdict}"
-        ))
+        ));
     }
+    let disabled = median(WEAK_DISABLED_CELL)?;
+    let clean = median(WEAK_CLEAN_CELL)?;
+    if !(disabled.is_finite() && clean.is_finite()) || clean <= 0.0 {
+        return Err(format!(
+            "degenerate medians: {WEAK_DISABLED_CELL} = {disabled}, {WEAK_CLEAN_CELL} = {clean}"
+        ));
+    }
+    let weak_ratio = disabled / clean;
+    let weak_verdict = format!(
+        "{WEAK_DISABLED_CELL} = {disabled} ns, {WEAK_CLEAN_CELL} = {clean} ns, \
+         ratio {weak_ratio:.2}x (limit {WEAK_MAX_RATIO:.0}x)"
+    );
+    if weak_ratio > WEAK_MAX_RATIO {
+        return Err(format!(
+            "the cascade-disabled path is no longer free: {weak_verdict}"
+        ));
+    }
+    Ok(format!("{verdict}; {weak_verdict}"))
 }
 
 #[cfg(test)]
@@ -183,33 +207,53 @@ mod tests {
 
     const SAMPLE: &str = r#"[
   {"name": "bound_query/tri/256", "median_ns": 7312.4, "mean_ns": 7310.2, "min_ns": 6198.0, "iters": 768},
-  {"name": "bound_query/splub/256", "median_ns": 70000.0, "mean_ns": 71000.0, "min_ns": 69000.0, "iters": 64}
+  {"name": "bound_query/splub/256", "median_ns": 70000.0, "mean_ns": 71000.0, "min_ns": 69000.0, "iters": 64},
+  {"name": "oracle_weak_layer/clean", "median_ns": 96000.0, "iters": 64},
+  {"name": "oracle_weak_layer/disabled", "median_ns": 99000.0, "iters": 64}
 ]"#;
+
+    fn row(name: &str, median_ns: f64) -> BenchRow {
+        BenchRow {
+            name: name.to_string(),
+            median_ns,
+        }
+    }
+
+    /// All four gated cells at healthy medians; tests perturb from here.
+    fn healthy() -> Vec<BenchRow> {
+        vec![
+            row(TRI_CELL, 7000.0),
+            row(SPLUB_CELL, 70000.0),
+            row(WEAK_CLEAN_CELL, 96000.0),
+            row(WEAK_DISABLED_CELL, 99000.0),
+        ]
+    }
 
     #[test]
     fn parses_rows_and_passes_within_ratio() {
         let rows = parse_rows(SAMPLE).unwrap();
-        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.len(), 4);
         assert_eq!(rows[0].name, "bound_query/tri/256");
         assert_eq!(rows[0].median_ns, 7312.4);
         let verdict = check(&rows).unwrap();
         assert!(verdict.contains("ratio 9.6x"), "{verdict}");
+        assert!(verdict.contains("ratio 1.03x"), "{verdict}");
     }
 
     #[test]
     fn fails_past_the_ratio() {
-        let rows = vec![
-            BenchRow {
-                name: TRI_CELL.to_string(),
-                median_ns: 7000.0,
-            },
-            BenchRow {
-                name: SPLUB_CELL.to_string(),
-                median_ns: 8_747_915.0,
-            },
-        ];
+        let mut rows = healthy();
+        rows[1].median_ns = 8_747_915.0;
         let err = check(&rows).unwrap_err();
         assert!(err.contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn fails_when_the_disabled_weak_path_is_no_longer_free() {
+        let mut rows = healthy();
+        rows[3].median_ns = 96000.0 * 2.5;
+        let err = check(&rows).unwrap_err();
+        assert!(err.contains("no longer free"), "{err}");
     }
 
     #[test]
@@ -217,6 +261,10 @@ mod tests {
         let rows = parse_rows(r#"[{"name": "bound_query/tri/256", "median_ns": 1.0}]"#).unwrap();
         let err = check(&rows).unwrap_err();
         assert!(err.contains("bound_query/splub/256"), "{err}");
+        let mut rows = healthy();
+        rows.retain(|r| r.name != WEAK_DISABLED_CELL);
+        let err = check(&rows).unwrap_err();
+        assert!(err.contains("oracle_weak_layer/disabled"), "{err}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `cargo xtask` — repo-specific checks that `rustc`/`clippy` cannot express.
 //!
 //! ```text
-//! cargo xtask lint                      # enforce L1–L13 + stale-escape gate
+//! cargo xtask lint                      # enforce L1–L14 + stale-escape gate
 //! cargo xtask lint --allow-unused-allows  # grace mode: stale escapes warn only
 //! cargo xtask analyze                   # choke-point report on stdout
 //! cargo xtask analyze --json [PATH] --dot [PATH]   # plus graph dumps
@@ -124,10 +124,18 @@ fn run_analyze(args: &[String]) -> ExitCode {
         println!("wrote {path}");
     }
     println!("xtask analyze: done in {} ms", t0.elapsed().as_millis());
-    if analysis.exposure.stale_allow.is_empty() {
+    let mut ok = true;
+    if !analysis.exposure.stale_allow.is_empty() {
+        eprintln!("error: stale L9_ALLOWLIST entries (see report)");
+        ok = false;
+    }
+    if !analysis.l13_stale.is_empty() {
+        eprintln!("error: stale L13_ALLOWLIST entries (see report)");
+        ok = false;
+    }
+    if ok {
         ExitCode::SUCCESS
     } else {
-        eprintln!("error: stale L9_ALLOWLIST entries (see report)");
         ExitCode::FAILURE
     }
 }

@@ -1,11 +1,11 @@
-//! The lint rules (`L1`–`L13`) enforcing the oracle-call and determinism
+//! The lint rules (`L1`–`L14`) enforcing the oracle-call and determinism
 //! disciplines.
 //!
 //! Rules come in two flavours:
 //!
 //! * **Lexical** (L1–L8, L10, L11) — per line of the masked code produced
 //!   by [`crate::lexer::scan`] (L8 is a cross-file vocabulary check).
-//! * **Graph** (L9, L12, L13) — over the whole-workspace
+//! * **Graph** (L9, L12, L13, L14) — over the whole-workspace
 //!   [`crate::graph::ItemGraph`], so they can see call *chains* that no
 //!   single line reveals.
 //!
@@ -35,6 +35,7 @@
 //! | L11 | everywhere except `crates/bench` | `Instant::now`/`SystemTime` (library code runs on virtual time; wall-clock belongs to the bench harness) |
 //! | L12 | library crates (graph) | an infallible `X` that re-implements its fallible twin `try_X` instead of delegating to it (the copies drift apart) |
 //! | L13 | `crates/bounds` (graph) | reaching the unbounded `Dijkstra::run` from bound-query paths — the query cascade must use the bounded/bidirectional twins; the exact tier funnels through the audited [`L13_ALLOWLIST`] — see [`l13_violations`] |
+//! | L14 | `crates/algos` (graph) | reaching `WeakOracle::probe`/`error_at` through any call chain that does not pass a `CascadeResolver` method — weak answers are untrusted until the cascade's quorum + sandwich audit, so algorithms must never consume them raw — see [`l14_violations`] |
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -833,11 +834,92 @@ pub fn l13_violations(g: &ItemGraph, allowlist: &[&str]) -> Vec<Violation> {
     out
 }
 
-/// The graph rules (L9 + L12 + L13), *before* escape filtering.
+/// L14 — `crates/algos` must not consume the weak oracle raw. A weak
+/// answer is untrusted until the cascade's first-to-k quorum and certified
+/// bound-sandwich audit have vetted it; the only sanctioned route is
+/// therefore a `CascadeResolver` method. A reverse BFS from the weak
+/// sinks (`WeakOracle::probe`/`error_at`, mirroring [`l13_violations`])
+/// flags every non-test `crates/algos` item that can reach one through a
+/// chain with no `CascadeResolver` intermediary.
+pub fn l14_violations(g: &ItemGraph) -> Vec<Violation> {
+    let n = g.items.len();
+    let paths: Vec<String> = g.items.iter().map(Item::path).collect();
+    let sink: Vec<bool> = g
+        .items
+        .iter()
+        .map(|it| {
+            it.krate == "core"
+                && it.container.as_deref() == Some("WeakOracle")
+                && matches!(it.name.as_str(), "probe" | "error_at")
+        })
+        .collect();
+    let choke: Vec<bool> = g
+        .items
+        .iter()
+        .map(|it| it.container.as_deref() == Some("CascadeResolver"))
+        .collect();
+
+    let mut visited = vec![false; n];
+    let mut next: Vec<Option<usize>> = vec![None; n];
+    let mut stack: Vec<usize> = (0..n).filter(|&v| sink[v] && !g.items[v].is_test).collect();
+    for &s in &stack {
+        visited[s] = true;
+    }
+    while let Some(v) = stack.pop() {
+        // The sinks propagate to their callers; any other node propagates
+        // only if it is not itself a cascade method (the audit chokepoint).
+        if !sink[v] && choke[v] {
+            continue;
+        }
+        for &e in &g.inc[v] {
+            let u = g.edges[e].from;
+            if !visited[u] && !g.items[u].is_test {
+                visited[u] = true;
+                next[u] = Some(v);
+                stack.push(u);
+            }
+        }
+    }
+
+    let chain = |mut v: usize| {
+        let mut s = paths[v].clone();
+        while let Some(nx) = next[v] {
+            s.push_str(" -> ");
+            s.push_str(&paths[nx]);
+            v = nx;
+        }
+        s
+    };
+    let mut out = Vec::new();
+    for v in 0..n {
+        if !visited[v] || sink[v] || choke[v] || g.items[v].krate != "algos" {
+            continue;
+        }
+        let it = &g.items[v];
+        out.push(Violation {
+            rule: "L14",
+            file: it.file.clone(),
+            line: it.line,
+            msg: format!(
+                "`{}` reaches the weak oracle without passing a \
+                 `CascadeResolver` method: {}; weak answers are untrusted \
+                 until the cascade's quorum + sandwich audit — route the \
+                 probe through `CascadeResolver`",
+                it.path(),
+                chain(v)
+            ),
+            excerpt: it.path(),
+        });
+    }
+    out
+}
+
+/// The graph rules (L9 + L12 + L13 + L14), *before* escape filtering.
 pub fn lint_graph(g: &ItemGraph, l9_allowlist: &[&str], l13_allowlist: &[&str]) -> Vec<Violation> {
     let mut out = l9_violations(g, l9_allowlist);
     out.extend(l12_violations(g));
     out.extend(l13_violations(g, l13_allowlist));
+    out.extend(l14_violations(g));
     out
 }
 
@@ -1384,6 +1466,70 @@ mod tests {
         assert!(vs.is_empty(), "{vs:?}");
     }
 
+    // ------------------------------------------------ graph rules: L14
+
+    /// Weak-oracle + cascade skeleton shared by the L14 tests.
+    const WEAK_SRC: &str = "pub struct WeakOracle;\nimpl WeakOracle {\n    pub fn probe(&self) {}\n    pub fn error_at(&self) {}\n}\n";
+    const CASCADE_SRC: &str = "pub struct CascadeResolver;\nimpl CascadeResolver {\n    pub fn resolve(&mut self, w: &WeakOracle) { self.weak_vote(w) }\n    fn weak_vote(&mut self, w: &WeakOracle) { w.probe(); }\n}\n";
+
+    #[test]
+    fn l14_flags_an_algo_probing_the_weak_oracle_raw() {
+        let files = fixture(&[
+            ("crates/core/src/weak.rs", WEAK_SRC),
+            ("crates/bounds/src/cascade.rs", CASCADE_SRC),
+            (
+                "crates/algos/src/shortcut.rs",
+                "pub fn shortcut(w: &WeakOracle) { guess(w); }\nfn guess(w: &WeakOracle) { w.probe(); }\n",
+            ),
+        ]);
+        let g = ItemGraph::build(&files);
+        let vs = lint_graph(&g, &[], &[]);
+        let l14: Vec<&Violation> = vs.iter().filter(|v| v.rule == "L14").collect();
+        // Both the private probe site and the public path above it.
+        assert_eq!(l14.len(), 2, "{vs:?}");
+        assert!(l14.iter().all(|v| v.file == "crates/algos/src/shortcut.rs"));
+        assert!(l14.iter().any(|v| v.msg.contains(
+            "algos::shortcut::shortcut -> algos::shortcut::guess -> core::weak::WeakOracle::probe"
+        )));
+    }
+
+    #[test]
+    fn l14_accepts_the_cascade_route_and_non_algos_probes() {
+        let files = fixture(&[
+            ("crates/core/src/weak.rs", WEAK_SRC),
+            ("crates/bounds/src/cascade.rs", CASCADE_SRC),
+            (
+                "crates/algos/src/clean.rs",
+                "pub fn clean(r: &mut CascadeResolver, w: &WeakOracle) { r.resolve(w); }\n",
+            ),
+        ]);
+        let g = ItemGraph::build(&files);
+        let vs = lint_graph(&g, &[], &[]);
+        assert!(vs.iter().all(|v| v.rule != "L14"), "{vs:?}");
+    }
+
+    #[test]
+    fn l14_holds_on_the_real_workspace() {
+        let files = crate::load_workspace_sources(&crate::workspace_root());
+        let g = ItemGraph::build(&files);
+        let vs = l14_violations(&g);
+        assert!(vs.is_empty(), "{vs:?}");
+        // The rule must not be vacuous: the real graph contains both the
+        // weak sinks and the cascade chokepoint it funnels through.
+        assert!(
+            g.items.iter().any(|it| it.krate == "core"
+                && it.container.as_deref() == Some("WeakOracle")
+                && it.name == "probe"),
+            "WeakOracle::probe must exist in the item graph"
+        );
+        assert!(
+            g.items
+                .iter()
+                .any(|it| it.container.as_deref() == Some("CascadeResolver")),
+            "CascadeResolver methods must exist in the item graph"
+        );
+    }
+
     // ------------------------------------------------ graph rules: L12
 
     #[test]
@@ -1434,6 +1580,34 @@ mod tests {
         let lint = lint_workspace_with(&escaped, &[], &[]);
         assert!(lint.violations.iter().all(|v| v.rule != "L12"));
         assert!(lint.stale_escapes.is_empty());
+    }
+
+    // ------------------------------------------------ stale allowlists
+
+    #[test]
+    fn stale_allowlist_entries_survive_to_workspace_violations() {
+        // `cargo xtask lint` exits nonzero iff `lint_workspace` reports a
+        // violation, so a stale L9/L13 allowlist entry must surface there —
+        // not only in the raw `lint_graph` output — and must not be
+        // swallowed by escape filtering.
+        let files = fixture(&[
+            ("crates/core/src/oracle.rs", ORACLE_SRC),
+            ("crates/bounds/src/resolver.rs", RESOLVER_SRC),
+        ]);
+        let lint =
+            lint_workspace_with(&files, &["bounds::gone::nine"], &["bounds::gone::thirteen"]);
+        for (rule, entry) in [
+            ("L9", "bounds::gone::nine"),
+            ("L13", "bounds::gone::thirteen"),
+        ] {
+            assert!(
+                lint.violations
+                    .iter()
+                    .any(|v| v.rule == rule && v.msg.contains("stale") && v.msg.contains(entry)),
+                "stale {rule} entry must fail the workspace lint: {:?}",
+                lint.violations
+            );
+        }
     }
 
     // ------------------------------------------------------ stale escapes
