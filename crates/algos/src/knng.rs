@@ -19,7 +19,7 @@ use prox_bounds::DistanceResolver;
 use prox_core::invariant::{expect_ok, InvariantExt};
 use prox_core::{ObjectId, OracleError, Pair, SpecBounds};
 use prox_exec::ExecPool;
-use prox_obs::{emit_to, PhaseGuard, TraceEvent};
+use prox_obs::{emit_to, SpanGuard, TraceEvent};
 
 use crate::speculate::leq_verdict;
 
@@ -112,9 +112,9 @@ fn sweep<R: DistanceResolver + ?Sized>(
     cands: &[(f64, bool, ObjectId)],
     snap: Option<&SourceSpec>,
 ) -> Result<Vec<(ObjectId, f64)>, OracleError> {
-    // One "query" phase per source sweep, shared by the sequential and
+    // One "query" span per source sweep, shared by the sequential and
     // committed paths so traces agree at any thread count (I8).
-    let _phase = PhaseGuard::enter(resolver.trace_sink(), "query");
+    let _span = SpanGuard::enter(resolver.trace_sink(), "query");
     let mut heap: BinaryHeap<Neighbor> = BinaryHeap::with_capacity(k + 1);
     for &(key, known, v) in cands {
         let worst = heap.peek().copied();
@@ -204,19 +204,24 @@ pub fn try_knn_query<R: DistanceResolver + ?Sized>(
         return Ok(Vec::new());
     }
 
-    // Gather candidates keyed by the best current information.
+    // Gather candidates keyed by the best current information. The "init"
+    // span mirrors the committed path's candidate partition so traces
+    // agree at any thread count (I8).
     let mut cands: Vec<(f64, bool, ObjectId)> = Vec::with_capacity(n - 1);
-    for v in 0..n as ObjectId {
-        if v == u {
-            continue;
+    {
+        let _init = SpanGuard::enter(resolver.trace_sink(), "init");
+        for v in 0..n as ObjectId {
+            if v == u {
+                continue;
+            }
+            let p = Pair::new(u, v);
+            match resolver.known(p) {
+                Some(d) => cands.push((d, true, v)),
+                None => cands.push((resolver.lower_bound_hint(p), false, v)),
+            }
         }
-        let p = Pair::new(u, v);
-        match resolver.known(p) {
-            Some(d) => cands.push((d, true, v)),
-            None => cands.push((resolver.lower_bound_hint(p), false, v)),
-        }
+        cands.sort_unstable_by(cand_cmp);
     }
-    cands.sort_unstable_by(cand_cmp);
 
     sweep(resolver, u, k, &cands, None)
 }
@@ -244,39 +249,46 @@ fn knn_query_committed<R: DistanceResolver + ?Sized>(
         return Ok(Vec::new());
     }
 
-    let mut fresh: Vec<(f64, bool, ObjectId)> = Vec::with_capacity(snap.sorted.len());
-    let mut stale: Vec<(f64, bool, ObjectId)> = Vec::new();
-    for &(key, known, v) in &snap.sorted {
-        let p = Pair::new(u, v);
-        // Snapshot-known pairs never change (recorded distances are final);
-        // for the rest the stamp says whether the snapshot key is current.
-        if known || resolver.pair_stamp(p) <= gen {
-            fresh.push((key, known, v));
-        } else {
-            match resolver.known(p) {
-                Some(d) => stale.push((d, true, v)),
-                None => stale.push((resolver.lower_bound_hint(p), false, v)),
-            }
-        }
-    }
-    let cands = if stale.is_empty() {
-        fresh
-    } else {
-        stale.sort_unstable_by(cand_cmp);
-        let mut merged = Vec::with_capacity(fresh.len() + stale.len());
-        let (mut i, mut j) = (0, 0);
-        while i < fresh.len() && j < stale.len() {
-            if cand_cmp(&fresh[i], &stale[j]) != Ordering::Greater {
-                merged.push(fresh[i]);
-                i += 1;
+    // The "init" span mirrors the sequential path's candidate gather, so
+    // traces agree at any thread count (I8): neither body emits events,
+    // only the span markers themselves.
+    let cands = {
+        let _init = SpanGuard::enter(resolver.trace_sink(), "init");
+        let mut fresh: Vec<(f64, bool, ObjectId)> = Vec::with_capacity(snap.sorted.len());
+        let mut stale: Vec<(f64, bool, ObjectId)> = Vec::new();
+        for &(key, known, v) in &snap.sorted {
+            let p = Pair::new(u, v);
+            // Snapshot-known pairs never change (recorded distances are
+            // final); for the rest the stamp says whether the snapshot key
+            // is current.
+            if known || resolver.pair_stamp(p) <= gen {
+                fresh.push((key, known, v));
             } else {
-                merged.push(stale[j]);
-                j += 1;
+                match resolver.known(p) {
+                    Some(d) => stale.push((d, true, v)),
+                    None => stale.push((resolver.lower_bound_hint(p), false, v)),
+                }
             }
         }
-        merged.extend_from_slice(&fresh[i..]);
-        merged.extend_from_slice(&stale[j..]);
-        merged
+        if stale.is_empty() {
+            fresh
+        } else {
+            stale.sort_unstable_by(cand_cmp);
+            let mut merged = Vec::with_capacity(fresh.len() + stale.len());
+            let (mut i, mut j) = (0, 0);
+            while i < fresh.len() && j < stale.len() {
+                if cand_cmp(&fresh[i], &stale[j]) != Ordering::Greater {
+                    merged.push(fresh[i]);
+                    i += 1;
+                } else {
+                    merged.push(stale[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&fresh[i..]);
+            merged.extend_from_slice(&stale[j..]);
+            merged
+        }
     };
 
     // Under observation the snapshot-verdict short-circuit is skipped: it
@@ -336,10 +348,10 @@ pub fn try_knn_graph_pool<R: DistanceResolver + ?Sized>(
     k: usize,
     pool: &ExecPool,
 ) -> Result<KnnGraph, OracleError> {
-    // Semantic phase marker around the whole construction, shared by the
+    // Semantic span around the whole construction, shared by the
     // sequential-fallback and speculative paths.
     let trace = resolver.trace_sink();
-    let _phase = PhaseGuard::enter(trace.clone(), "build");
+    let _span = SpanGuard::enter(trace.clone(), "build");
 
     let n = resolver.n();
     if pool.threads() <= 1 || n < 2 || resolver.spec().is_none() {

@@ -5,7 +5,7 @@ use prox_core::invariant::{expect_ok, InvariantExt};
 use prox_core::{ObjectId, OracleError};
 use prox_exec::ExecPool;
 
-use prox_obs::{emit_to, PhaseGuard, TraceEvent};
+use prox_obs::{emit_to, SpanGuard, TraceEvent};
 
 use crate::medoid::{swap_delta, try_assign, try_swap_delta};
 use crate::speculate::{commit_delta, SpecDelta, SpecProbe};
@@ -86,18 +86,21 @@ pub fn try_pam_pool<R: DistanceResolver + ?Sized>(
     params: PamParams,
     pool: &ExecPool,
 ) -> Result<Clustering, OracleError> {
-    // Semantic phase marker; the guard closes the phase even on a fault
-    // abort. Observation handles are resolved once, up front.
+    // Semantic span; the guard closes it even on a fault abort.
+    // Observation handles are resolved once, up front.
     let trace = resolver.trace_sink();
     let traced = trace.is_some();
     let metered = resolver.obs_metrics().is_some();
-    let _phase = PhaseGuard::enter(trace.clone(), "build");
+    let _span = SpanGuard::enter(trace.clone(), "build");
 
     let n = resolver.n();
     let l = params.l.clamp(1, n);
     let mut rng = TinyRng::new(params.seed);
     let mut medoids: Vec<ObjectId> = rng.distinct(l, n);
-    let (mut near, mut cost) = try_assign(resolver, &medoids)?;
+    let (mut near, mut cost) = {
+        let _init = SpanGuard::enter(trace.clone(), "init");
+        try_assign(resolver, &medoids)?
+    };
 
     let batch = pool.threads().saturating_mul(8).max(8);
     let mut spec_enabled = pool.threads() > 1 && resolver.spec().is_some();
@@ -122,7 +125,10 @@ pub fn try_pam_pool<R: DistanceResolver + ?Sized>(
         while idx < cands.len() {
             if !spec_enabled {
                 let (i, h) = cands[idx];
-                let delta = try_swap_delta(resolver, &medoids, &near, i, h)?;
+                let delta = {
+                    let _swap = SpanGuard::enter(trace.clone(), "swap");
+                    try_swap_delta(resolver, &medoids, &near, i, h)?
+                };
                 if delta < best_delta {
                     best_delta = delta;
                     best = Some((i, h));
@@ -148,7 +154,10 @@ pub fn try_pam_pool<R: DistanceResolver + ?Sized>(
                 pool.map_indexed(end - idx, |j| {
                     let (i, h) = cs[idx + j];
                     let mut probe = SpecProbe::observed(spec, traced, metered);
-                    let delta = swap_delta(&mut probe, meds, nr, i, h);
+                    // The "swap" span is buffered with the probe's events,
+                    // so a committed delta replays it exactly where the
+                    // sequential path would have opened it.
+                    let delta = probe.span("swap", |p| swap_delta(p, meds, nr, i, h));
                     (!probe.poisoned()).then(|| (delta, probe.into_delta()))
                 })
             };
@@ -169,7 +178,10 @@ pub fn try_pam_pool<R: DistanceResolver + ?Sized>(
                         commit_delta(resolver, &sd);
                         delta
                     }
-                    _ => try_swap_delta(resolver, &medoids, &near, i, h)?,
+                    _ => {
+                        let _swap = SpanGuard::enter(trace.clone(), "swap");
+                        try_swap_delta(resolver, &medoids, &near, i, h)?
+                    }
                 };
                 if delta < best_delta {
                     best_delta = delta;
@@ -197,6 +209,7 @@ pub fn try_pam_pool<R: DistanceResolver + ?Sized>(
         match best {
             Some((i, h)) => {
                 medoids[i] = h;
+                let _refine = SpanGuard::enter(trace.clone(), "refine");
                 let (na, c) = try_assign(resolver, &medoids)?;
                 near = na;
                 cost = c;

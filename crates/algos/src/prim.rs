@@ -3,7 +3,7 @@
 use prox_bounds::DistanceResolver;
 use prox_core::invariant::{expect_ok, InvariantExt};
 use prox_core::{ObjectId, OracleError, Pair};
-use prox_obs::PhaseGuard;
+use prox_obs::SpanGuard;
 
 use crate::Mst;
 
@@ -38,8 +38,11 @@ pub fn prim_mst<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Mst {
 
 /// Fallible [`prim_mst`]: surfaces oracle faults instead of panicking.
 pub fn try_prim_mst<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Result<Mst, OracleError> {
-    // Semantic phase marker; the guard closes the phase even on a fault.
-    let _phase = PhaseGuard::enter(resolver.trace_sink(), "build");
+    // Semantic span; the guard closes it even on a fault. Extract-min and
+    // relaxation get nested child spans so profiles attribute calls to the
+    // stage that paid them.
+    let trace = resolver.trace_sink();
+    let _span = SpanGuard::enter(trace.clone(), "build");
     let n = resolver.n();
     assert!(n >= 1, "empty space has no MST");
     let mut in_tree = vec![false; n];
@@ -52,30 +55,34 @@ pub fn try_prim_mst<R: DistanceResolver + ?Sized>(resolver: &mut R) -> Result<Ms
 
     for _ in 1..n {
         // Extract-min: tournament over the symbolic candidate edges.
-        let mut best: Option<ObjectId> = None;
-        for v in 1..n as ObjectId {
-            if in_tree[v as usize] {
-                continue;
-            }
-            match best {
-                None => best = Some(v),
-                Some(b) => {
-                    let ev = Pair::new(parent[v as usize], v);
-                    let eb = Pair::new(parent[b as usize], b);
-                    // if dist(parent[v], v) < dist(parent[best], best)
-                    if resolver.less_fallible(ev, eb)? {
-                        best = Some(v);
+        let next = {
+            let _scan = SpanGuard::enter(trace.clone(), "scan");
+            let mut best: Option<ObjectId> = None;
+            for v in 1..n as ObjectId {
+                if in_tree[v as usize] {
+                    continue;
+                }
+                match best {
+                    None => best = Some(v),
+                    Some(b) => {
+                        let ev = Pair::new(parent[v as usize], v);
+                        let eb = Pair::new(parent[b as usize], b);
+                        // if dist(parent[v], v) < dist(parent[best], best)
+                        if resolver.less_fallible(ev, eb)? {
+                            best = Some(v);
+                        }
                     }
                 }
             }
-        }
-        let next = best.expect_invariant("n - 1 vertices remain outside the tree");
+            best.expect_invariant("n - 1 vertices remain outside the tree")
+        };
         let w = resolver.resolve_fallible(Pair::new(parent[next as usize], next))?;
         in_tree[next as usize] = true;
         edges.push((Pair::new(parent[next as usize], next), w));
         total += w;
 
         // Relaxation: can `next` offer a cheaper connection?
+        let _refine = SpanGuard::enter(trace.clone(), "refine");
         for v in 1..n as ObjectId {
             if in_tree[v as usize] {
                 continue;

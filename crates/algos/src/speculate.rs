@@ -100,6 +100,21 @@ impl<'a> SpecProbe<'a> {
         self.spec.spec_bounds(x, &mut self.scratch)
     }
 
+    /// Runs `f` inside a buffered span: the `PhaseEnter`/`PhaseExit` pair
+    /// lands in the event buffer around whatever `f` emits, so a committed
+    /// delta replays the span exactly where live evaluation would have
+    /// opened it. Discarded deltas drop the span with everything else.
+    pub(crate) fn span<T>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> T) -> T {
+        if self.traced {
+            self.events.push(TraceEvent::PhaseEnter { name });
+        }
+        let out = f(self);
+        if self.traced {
+            self.events.push(TraceEvent::PhaseExit { name });
+        }
+        out
+    }
+
     /// Mirrors `BoundResolver::note_probe` into the local buffers.
     fn note_probe(&mut self, x: Pair, lb: f64, ub: f64, kind: ProbeKind, verdict: ProbeVerdict) {
         if self.traced {

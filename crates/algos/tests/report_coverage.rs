@@ -1,0 +1,105 @@
+//! `prox-cli report` coverage for cascade traces.
+//!
+//! The report's weak-tier and degraded sections are computed purely from
+//! the JSONL trace; these tests run real `--weak` / `--degrade`-shaped
+//! workloads and cross-check the summarized tier accounting against the
+//! resolver's own `weak_stats()` / `degradation()` counters, so the
+//! offline report can never drift from the live billing.
+
+use std::rc::Rc;
+
+use prox_algos::try_prim_mst;
+use prox_bounds::{BoundResolver, CascadeResolver, DistanceResolver, TriScheme};
+use prox_core::{CallBudget, FnMetric, ObjectId, Oracle, WeakOracle};
+use prox_obs::{summarize, JsonlSink, TraceSink};
+
+const N: usize = 24;
+
+fn ring_metric() -> FnMetric<impl Fn(ObjectId, ObjectId) -> f64> {
+    let scale = 1.0 / (N as f64);
+    FnMetric::new(N, 1.0, move |a, b| {
+        let d = (f64::from(a) - f64::from(b)).abs();
+        d.min(N as f64 - d) * 2.0 * scale
+    })
+}
+
+#[test]
+fn weak_trace_report_matches_weak_stats() {
+    let metric = ring_metric();
+    for rate in [0.0, 0.3, 1.0] {
+        let sink = Rc::new(JsonlSink::in_memory());
+        let oracle =
+            Oracle::new(&metric).with_trace(Rc::<JsonlSink>::clone(&sink) as Rc<dyn TraceSink>);
+        let mut r = CascadeResolver::new(
+            BoundResolver::new(&oracle, TriScheme::new(N, 1.0)),
+            WeakOracle::new(&metric, rate, 11),
+        );
+        try_prim_mst(&mut r).expect("healthy cascade");
+        let ws = r.weak_stats();
+        let billed = oracle.calls();
+        drop(r);
+
+        let trace = sink.contents().expect("in-memory sink");
+        let s = summarize(&trace).expect("well-formed trace");
+
+        // Tier accounting: every weak_probe line in the trace corresponds
+        // to exactly one vote the cascade counted, outcome by outcome.
+        assert_eq!(s.weak_resolved, ws.resolutions, "rate {rate}");
+        assert_eq!(s.weak_lies, ws.lies_detected, "rate {rate}");
+        assert_eq!(s.weak_no_quorum, ws.no_quorum, "rate {rate}");
+        assert_eq!(
+            s.weak_votes,
+            ws.resolutions + ws.lies_detected + ws.no_quorum,
+            "rate {rate}"
+        );
+        assert_eq!(s.weak_probe_attempts, ws.probes, "rate {rate}");
+        assert_eq!(s.billed_calls, billed, "rate {rate}");
+        assert_eq!(s.dropped_events, 0, "rate {rate}");
+
+        let rendered = s.render();
+        assert!(s.weak_votes > 0, "rate {rate}: no weak votes exercised");
+        assert!(
+            rendered.contains("weak cascade"),
+            "rate {rate}:\n{rendered}"
+        );
+        // The healthy runs must not claim degradation.
+        assert_eq!(s.degraded_events, 0, "rate {rate}");
+        assert!(!rendered.contains("degraded:"), "rate {rate}:\n{rendered}");
+    }
+}
+
+#[test]
+fn degrade_trace_report_shows_the_tier_loss() {
+    let metric = ring_metric();
+    let budget = 40;
+    let sink = Rc::new(JsonlSink::in_memory());
+    let oracle = Oracle::new(&metric)
+        .with_trace(Rc::<JsonlSink>::clone(&sink) as Rc<dyn TraceSink>)
+        .with_budget(CallBudget::calls(budget));
+    let mut r = CascadeResolver::new(
+        BoundResolver::new(&oracle, TriScheme::new(N, 1.0)),
+        WeakOracle::new(&metric, 1.0, 3),
+    )
+    .with_degrade(true);
+    try_prim_mst(&mut r).expect("degraded mode absorbs the budget loss");
+    let deg = r.degradation().expect("budget 40 must exhaust");
+    let ws = r.weak_stats();
+    drop(r);
+
+    let trace = sink.contents().expect("in-memory sink");
+    let s = summarize(&trace).expect("well-formed trace");
+
+    assert_eq!(s.degraded_events, 1);
+    assert_eq!(s.degraded_reason, "budget_exhausted");
+    assert_eq!(s.degraded_strong_calls, deg.report.strong_calls_at_loss);
+    assert_eq!(s.degraded_strong_calls, budget);
+    // The rate-1.0 weak tier never quorums: every vote in the trace is a
+    // no-quorum escalation, mirrored in weak_stats.
+    assert_eq!(s.weak_no_quorum, ws.no_quorum);
+    assert_eq!(s.weak_resolved, 0);
+
+    let rendered = s.render();
+    assert!(rendered.contains("degraded:"), "{rendered}");
+    assert!(rendered.contains("budget_exhausted"), "{rendered}");
+    assert!(rendered.contains("weak cascade"), "{rendered}");
+}

@@ -360,6 +360,51 @@ fn bench_oracle_weak_layer(b: &mut Bench) {
     });
 }
 
+fn bench_oracle_span_layer(b: &mut Bench) {
+    use prox_bounds::{BoundResolver, DistanceResolver};
+    use prox_obs::{NullSink, SpanGuard, TraceSink};
+    use std::rc::Rc;
+
+    let n = 256;
+    let metric = ClusteredPlane::default().metric(n, SEED);
+    let queries: Vec<Pair> = Pair::all(n).step_by(13).take(1024).collect();
+
+    // Span-free baseline: the resolve loop with no observability at all.
+    // Fresh resolver per iteration, as in the trust-layer cells: a reused
+    // one would price cache hits.
+    let oracle = Oracle::new(&*metric);
+    b.bench("oracle_span_layer", "clean", || {
+        let mut r = BoundResolver::vanilla(&oracle);
+        for &q in &queries {
+            black_box(r.resolve(q));
+        }
+    });
+
+    // Detached path: spans in the code, no sink attached. Every
+    // `SpanGuard::enter` is one `Option` discriminant test; the bench-gate
+    // holds this cell within 2x of `clean`.
+    b.bench("oracle_span_layer", "disabled", || {
+        let mut r = BoundResolver::vanilla(&oracle);
+        let sink: Option<Rc<dyn TraceSink>> = None;
+        for &q in &queries {
+            let _span = SpanGuard::enter(sink.clone(), "query");
+            black_box(r.resolve(q));
+        }
+    });
+
+    // Attached path: per-query span enter/exit events into a counting
+    // sink. Not gated — this prices what tracing costs when you ask for
+    // it, not a regression gate.
+    b.bench("oracle_span_layer", "enabled", || {
+        let mut r = BoundResolver::vanilla(&oracle);
+        let sink: Option<Rc<dyn TraceSink>> = Some(Rc::new(NullSink::new()));
+        for &q in &queries {
+            let _span = SpanGuard::enter(sink.clone(), "query");
+            black_box(r.resolve(q));
+        }
+    });
+}
+
 fn main() {
     let mut b = Bench::named("schemes");
     bench_queries(&mut b);
@@ -370,5 +415,6 @@ fn main() {
     bench_oracle_trace_layer(&mut b);
     bench_oracle_trust_layer(&mut b);
     bench_oracle_weak_layer(&mut b);
+    bench_oracle_span_layer(&mut b);
     b.finish();
 }

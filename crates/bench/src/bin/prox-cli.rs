@@ -58,6 +58,7 @@
 //! prox-cli prim --dataset sf --n 300 --plug tri --weak 0.2 --budget 500 --degrade
 //! ```
 
+use std::cell::RefCell;
 use std::process::ExitCode;
 use std::rc::Rc;
 use std::time::Duration;
@@ -77,7 +78,9 @@ use prox_core::{
     Pair, RetryPolicy,
 };
 use prox_datasets::by_name;
-use prox_obs::{summarize, JsonlSink, Metrics, TraceSink};
+use prox_obs::{
+    semantic_diff, summarize, JsonlSink, Metrics, ProvenanceLedger, SpanTree, TraceSink,
+};
 
 struct Args {
     algo: String,
@@ -116,11 +119,20 @@ struct Args {
     /// structured JSONL event trace of the run.
     trace: Option<String>,
     /// `--metrics`: attach a metrics registry without a trace sink and
-    /// print it after the run. Unlike `--trace` this leaves the SPLUB
-    /// query cascade enabled, so the per-tier counters
+    /// dump the full registry (counters + histogram p50/p99) on stdout in
+    /// stable sorted order after the run. Unlike `--trace` this leaves
+    /// the SPLUB query cascade enabled, so the per-tier counters
     /// (`splub_ado_decisive`, `splub_bidi_early_exit`,
     /// `splub_full_fallback`) are live.
     metrics: bool,
+    /// `prox-cli profile <algo>`: trace the run, then print the replayed
+    /// span tree (self-vs-total rollups).
+    profile: bool,
+    /// `--out FILE.folded` in profile mode: also write collapsed stacks
+    /// for flamegraph tooling.
+    profile_out: Option<String>,
+    /// `--ledger FILE`: dump the run's provenance ledger as JSONL.
+    ledger: Option<String>,
 }
 
 fn usage() -> ExitCode {
@@ -134,9 +146,12 @@ fn usage() -> ExitCode {
          \x20       [--corrupt RATE[:SEED]] [--vote K[:N]]\n\
          \x20       [--weak RATE[:SEED]] [--degrade]\n\
          \x20       [--checkpoint FILE[:EVERY]] [--resume FILE] [--lenient-load]\n\
-         \x20       [--trace FILE.jsonl] [--metrics]\n\
+         \x20       [--trace FILE.jsonl] [--metrics] [--ledger FILE.jsonl]\n\
          \x20  prox-cli trace <algo> [same flags] [--out FILE.jsonl]\n\
-         \x20  prox-cli report <FILE.jsonl>"
+         \x20  prox-cli profile <algo> [same flags] [--out FILE.folded]\n\
+         \x20  prox-cli report <FILE.jsonl>\n\
+         \x20  prox-cli diff <A.jsonl> <B.jsonl>\n\
+         \x20  prox-cli replay <FILE.jsonl>"
     );
     ExitCode::FAILURE
 }
@@ -154,10 +169,17 @@ fn parse() -> Option<Args> {
     let mut algo = argv.next()?;
     // `prox-cli trace <algo> ...` is `<algo> ... --trace trace.jsonl`
     // with a subcommand spelling; `--out` overrides the default path.
+    // `prox-cli profile <algo> ...` also traces (spans ride the trace),
+    // but its `--out` names the collapsed-stack file instead.
     let mut trace = None;
+    let mut profile = false;
     if algo == "trace" {
         algo = argv.next()?;
         trace = Some("trace.jsonl".to_string());
+    } else if algo == "profile" {
+        algo = argv.next()?;
+        trace = Some("profile.trace.jsonl".to_string());
+        profile = true;
     }
     let mut a = Args {
         algo,
@@ -182,6 +204,9 @@ fn parse() -> Option<Args> {
         lenient_load: false,
         trace,
         metrics: false,
+        profile,
+        profile_out: None,
+        ledger: None,
     };
     while let Some(flag) = argv.next() {
         let mut val = || argv.next();
@@ -290,8 +315,17 @@ fn parse() -> Option<Args> {
             }
             "--resume" => a.resume = Some(val()?),
             "--lenient-load" => a.lenient_load = true,
-            "--trace" | "--out" => a.trace = Some(val()?),
+            "--trace" => a.trace = Some(val()?),
+            "--out" => {
+                let v = val()?;
+                if a.profile {
+                    a.profile_out = Some(v);
+                } else {
+                    a.trace = Some(v);
+                }
+            }
             "--metrics" => a.metrics = true,
+            "--ledger" => a.ledger = Some(val()?),
             // 0 = one per core. Results and oracle-call counts are
             // identical at any thread count (speculate/commit protocol).
             "--threads" => prox_exec::set_global_threads(val()?.parse().ok()?),
@@ -329,12 +363,76 @@ fn report(path: &str) -> ExitCode {
     }
 }
 
+/// `prox-cli diff A B`: semantic divergence between two traces. Exit code
+/// is the verdict (0 = semantically identical), so CI can gate on it.
+fn diff(a: &str, b: &str) -> ExitCode {
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            eprintln!("[diff] read {path}: {e}");
+            None
+        }
+    };
+    let (Some(ta), Some(tb)) = (read(a), read(b)) else {
+        return ExitCode::FAILURE;
+    };
+    let d = semantic_diff(&ta, &tb);
+    println!("A: {a}\nB: {b}");
+    print!("{}", d.render());
+    if d.identical() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `prox-cli replay F`: revalidate a saved trace offline. Exit code is
+/// the verdict (0 = internally consistent).
+fn replay(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("[replay] read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match prox_obs::replay(&text) {
+        Ok(rep) => {
+            print!("{}", rep.render());
+            if rep.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("[replay] {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    if std::env::args().nth(1).as_deref() == Some("report") {
-        return match std::env::args().nth(2) {
-            Some(path) => report(&path),
-            None => usage(),
-        };
+    match std::env::args().nth(1).as_deref() {
+        Some("report") => {
+            return match std::env::args().nth(2) {
+                Some(path) => report(&path),
+                None => usage(),
+            };
+        }
+        Some("diff") => {
+            return match (std::env::args().nth(2), std::env::args().nth(3)) {
+                (Some(a), Some(b)) => diff(&a, &b),
+                _ => usage(),
+            };
+        }
+        Some("replay") => {
+            return match std::env::args().nth(2) {
+                Some(path) => replay(&path),
+                None => usage(),
+            };
+        }
+        _ => {}
     }
     let Some(args) = parse() else {
         return usage();
@@ -535,6 +633,8 @@ fn main() -> ExitCode {
         observers.metrics = Some(Rc::clone(&metrics));
         run_metrics = Some(metrics);
     }
+    let run_ledger = Rc::new(RefCell::new(ProvenanceLedger::default()));
+    observers.ledger = Some(Rc::clone(&run_ledger));
 
     let seed = args.seed;
     let run_out = {
@@ -693,10 +793,21 @@ fn main() -> ExitCode {
             Err(e) => eprintln!("[checkpoint] write {path}: {e}"),
         }
     }
+    if let Some(path) = &args.ledger {
+        let text = run_ledger.borrow().to_jsonl();
+        match std::fs::write(path, text) {
+            Ok(()) => eprintln!("[ledger] saved provenance ledger to {path}"),
+            Err(e) => eprintln!("[ledger] write {path}: {e}"),
+        }
+    }
     if let (Some(path), Some(sink)) = (&args.trace, &trace_sink) {
         sink.flush();
         if sink.io_errors() > 0 {
-            eprintln!("[trace] {path}: {} write error(s)", sink.io_errors());
+            eprintln!(
+                "[trace] WARNING: {path}: {} write error(s) — events may be missing \
+                 (`prox-cli report` flags the seq gaps)",
+                sink.io_errors()
+            );
         }
         // Consistency guarantee: the billed-call total recovered from the
         // trace must equal the oracle's own accounting, exactly.
@@ -717,10 +828,16 @@ fn main() -> ExitCode {
             Err(e) => eprintln!("[trace] verify {path}: {e}"),
         }
     }
-    // Metrics render for both traced and metrics-only runs.
+    // Metrics render: `--metrics` dumps the full registry on stdout in
+    // stable sorted order (counters + histogram p50/p99); a `--trace`-only
+    // run keeps the render on stderr so stdout stays the run summary.
     if let Some(m) = &run_metrics {
         if !m.is_empty() {
-            eprint!("{}", m.render());
+            if args.metrics {
+                print!("{}", m.render());
+            } else {
+                eprint!("{}", m.render());
+            }
         }
     }
 
@@ -814,6 +931,35 @@ fn main() -> ExitCode {
         "without plug : {} calls (all pairs)",
         Pair::count(metric.len())
     );
+    {
+        // Where every resolved pair's value came from (invariant I11:
+        // these rows sum to the billed-call and resolution totals).
+        let l = run_ledger.borrow();
+        if !l.is_empty() {
+            print!("{}", l.render());
+        }
+    }
+    if args.profile {
+        let trace_path = args.trace.as_deref().expect("profile mode always traces");
+        match std::fs::read_to_string(trace_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| SpanTree::from_trace(&text).map_err(|e| e.to_string()))
+        {
+            Ok(tree) => {
+                print!("{}", tree.render());
+                if let Some(out) = &args.profile_out {
+                    match std::fs::write(out, tree.fold()) {
+                        Ok(()) => eprintln!("[profile] collapsed stacks -> {out}"),
+                        Err(e) => eprintln!("[profile] write {out}: {e}"),
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("[profile] {trace_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     ExitCode::SUCCESS
 }

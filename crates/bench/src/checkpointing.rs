@@ -132,6 +132,12 @@ impl DistanceResolver for CheckpointingResolver<'_> {
     fn preload(&mut self, p: Pair, d: f64) {
         self.inner.preload(p, d)
     }
+    fn preload_weak(&mut self, p: Pair, d: f64) {
+        self.inner.preload_weak(p, d)
+    }
+    fn provenance(&self) -> prox_obs::ProvenanceLedger {
+        self.inner.provenance()
+    }
     fn export_known(&self, out: &mut Vec<(Pair, f64)>) {
         self.inner.export_known(out)
     }

@@ -1,6 +1,7 @@
 //! Shared plumbing: build a resolver for any plug-in, run an algorithm,
 //! collect the accounting.
 
+use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -14,7 +15,7 @@ use prox_core::{
     OracleError, RetryPolicy, WeakOracle,
 };
 use prox_lp::DftResolver;
-use prox_obs::{Metrics, PhaseGuard, TraceSink};
+use prox_obs::{Metrics, ProvenanceLedger, SpanGuard, TraceEvent, TraceSink};
 
 /// The plug-in configurations the experiments compare.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -265,6 +266,11 @@ pub struct RunObservers {
     pub trace: Option<Rc<dyn TraceSink>>,
     /// Metrics registry (`oracle.calls`, `probe.width`, ...).
     pub metrics: Option<Rc<Metrics>>,
+    /// Provenance ledger: when present, the resolver's per-source
+    /// resolution accounting is merged into it after the algorithm
+    /// finishes (one `merge` per run, so a shared handle accumulates
+    /// across runs).
+    pub ledger: Option<Rc<RefCell<ProvenanceLedger>>>,
 }
 
 /// [`try_run_plugged_cached`] with observation: the oracle is built with
@@ -325,7 +331,7 @@ pub fn try_run_plugged_observed<T>(
     }
     let oracle = oracle;
     let mut result = RunResult::default();
-    let boot_phase = PhaseGuard::enter(observers.trace.clone(), "bootstrap");
+    let boot_phase = SpanGuard::enter(observers.trace.clone(), "bootstrap");
 
     macro_rules! finish_inner {
         ($resolver:expr) => {{
@@ -343,6 +349,20 @@ pub fn try_run_plugged_observed<T>(
             result.corruption = resolver.corruption_stats();
             result.weak = resolver.weak_stats();
             result.degraded = resolver.degradation();
+            let ledger = resolver.provenance();
+            if let Some(t) = observers.trace.as_ref() {
+                for (kind, scheme, tier, count) in ledger.rows() {
+                    t.emit(TraceEvent::Provenance {
+                        kind,
+                        scheme,
+                        tier,
+                        count,
+                    });
+                }
+            }
+            if let Some(l) = observers.ledger.as_ref() {
+                l.borrow_mut().merge(&ledger);
+            }
             let mut exported = Vec::new();
             if export {
                 resolver.export_known(&mut exported);

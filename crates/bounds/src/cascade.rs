@@ -65,7 +65,7 @@ use prox_core::invariant;
 use prox_core::invariant::expect_ok;
 use prox_core::weak::{Degradation, DegradationReport, DegradeReason, WeakOracle};
 use prox_core::{Metric, OracleError, Pair, PruneStats, SpecBounds};
-use prox_obs::{Metrics, TraceEvent, TraceSink, WeakOutcome};
+use prox_obs::{Metrics, ProvenanceLedger, ResolutionSource, TraceEvent, TraceSink, WeakOutcome};
 
 use crate::audit::{CorruptionStats, VOTE_CAP};
 use crate::resolver::DECISION_EPS;
@@ -124,6 +124,9 @@ pub struct CascadeResolver<R, M> {
     /// Degraded-mode served values (bit-stable memo, keyed by pair key).
     /// Never recorded into the inner scheme: these are uncertified.
     fallback: BTreeMap<u64, u64>,
+    /// Repeat serves out of `fallback` — provenance-billed as degraded
+    /// midpoints alongside the fresh serves counted in the report.
+    fallback_hits: u64,
     resolutions: u64,
     lies: u64,
     no_quorum: u64,
@@ -151,6 +154,7 @@ impl<R: DistanceResolver, M: Metric> CascadeResolver<R, M> {
             degraded: None,
             quarantined: BTreeSet::new(),
             fallback: BTreeMap::new(),
+            fallback_hits: 0,
             resolutions: 0,
             lies: 0,
             no_quorum: 0,
@@ -334,6 +338,7 @@ impl<R: DistanceResolver, M: Metric> DistanceResolver for CascadeResolver<R, M> 
 
     fn resolve_fallible(&mut self, p: Pair) -> Result<f64, OracleError> {
         if let Some(&bits) = self.fallback.get(&p.key()) {
+            self.fallback_hits += 1;
             return Ok(f64::from_bits(bits));
         }
         if self.inner.known(p).is_some() {
@@ -354,8 +359,10 @@ impl<R: DistanceResolver, M: Metric> DistanceResolver for CascadeResolver<R, M> 
                 // Record exactly as a strong resolution would have: the
                 // quorum value is the truth bit-for-bit, so scheme state,
                 // prune counters and exports stay byte-identical (I10).
-                self.inner.preload(p, value);
-                self.inner.prune_stats_mut().resolved += 1;
+                // `preload_weak` bills `resolved` like a strong call but
+                // lets provenance-aware inners attribute the resolution to
+                // the weak-quorum ledger row.
+                self.inner.preload_weak(p, value);
                 if let Some(d) = self.degraded.as_mut() {
                     d.report.certified += 1;
                 }
@@ -418,6 +425,24 @@ impl<R: DistanceResolver, M: Metric> DistanceResolver for CascadeResolver<R, M> 
 
     fn preload(&mut self, p: Pair, d: f64) {
         self.inner.preload(p, d);
+    }
+
+    fn preload_weak(&mut self, p: Pair, d: f64) {
+        self.inner.preload_weak(p, d);
+    }
+
+    fn provenance(&self) -> ProvenanceLedger {
+        let mut l = self.inner.provenance();
+        let fresh = self
+            .degraded
+            .as_ref()
+            .map(|d| d.report.weak_only + d.report.unresolved)
+            .unwrap_or(0);
+        l.add(
+            ResolutionSource::DegradedMidpoint,
+            fresh + self.fallback_hits,
+        );
+        l
     }
 
     fn export_known(&self, out: &mut Vec<(Pair, f64)>) {

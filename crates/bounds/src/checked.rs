@@ -222,6 +222,15 @@ impl<R: DistanceResolver, F: Fn(Pair) -> f64> DistanceResolver for CheckedResolv
         self.inner.preload(p, d);
     }
 
+    fn preload_weak(&mut self, p: Pair, d: f64) {
+        self.audit_exact(p, d, "preload_weak");
+        self.inner.preload_weak(p, d);
+    }
+
+    fn provenance(&self) -> prox_obs::ProvenanceLedger {
+        self.inner.provenance()
+    }
+
     fn export_known(&self, out: &mut Vec<(Pair, f64)>) {
         let from = out.len();
         self.inner.export_known(out);

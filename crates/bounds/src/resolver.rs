@@ -9,7 +9,8 @@ use prox_core::{
     Degradation, Metric, Oracle, OracleError, Pair, PruneStats, QueryGoal, SpecBounds,
 };
 use prox_obs::{
-    quantize_width, CorruptionAction, Metrics, ProbeKind, ProbeVerdict, TraceEvent, TraceSink,
+    quantize_width, CorruptionAction, Metrics, ProbeKind, ProbeVerdict, ProvenanceLedger,
+    TraceEvent, TraceSink,
 };
 
 use crate::audit::{AuditPolicy, AuditState, CorruptionStats, VOTE_CAP};
@@ -149,6 +150,26 @@ pub trait DistanceResolver {
     /// Injects externally-known distances (a persisted cache from an
     /// earlier run — see `prox_core::persist`) without touching the oracle.
     fn preload(&mut self, p: Pair, d: f64);
+
+    /// Installs a value adopted from a weak-replica quorum (see
+    /// `crate::cascade`). Semantically a resolution — the caller observed
+    /// the value through the resolver, so `resolved` is billed — but
+    /// provenance-aware resolvers attribute it to the `weak_quorum` ledger
+    /// row instead of `strong_call`. The default keeps the historical
+    /// accounting for resolvers with no ledger.
+    fn preload_weak(&mut self, p: Pair, d: f64) {
+        self.preload(p, d);
+        self.prune_stats_mut().resolved += 1;
+    }
+
+    /// Provenance ledger: how every resolution this resolver served was
+    /// sourced (strong call, weak quorum, memo, checkpoint preload,
+    /// bound-decisive tier). The default — an empty ledger — is correct
+    /// for resolvers that do not track provenance; ledger-aware callers
+    /// treat it as "no claim", not "zero resolutions".
+    fn provenance(&self) -> ProvenanceLedger {
+        ProvenanceLedger::default()
+    }
 
     /// Appends every pair whose exact distance this resolver can certify —
     /// the payload to persist for the next run.
@@ -402,6 +423,16 @@ pub struct BoundResolver<'o, M: Metric, S: BoundScheme> {
     /// Untrusted-oracle defence (`None` = the oracle is trusted and every
     /// fresh value is accepted as-is). See `crate::audit`.
     audit: Option<AuditState>,
+    /// Resolutions installed via [`DistanceResolver::preload_weak`]:
+    /// billed in `stats.resolved` but attributed to the `weak_quorum`
+    /// provenance row, never `strong_call`.
+    weak_preloads: u64,
+    /// Goal-aware cascade decisions by tier, for provenance attribution.
+    /// Every other bound decision lands in the `direct` tier by
+    /// subtraction (`decided_by_bounds − Σ tiers`).
+    dec_ado: u64,
+    dec_bidi: u64,
+    dec_full: u64,
 }
 
 impl<'o, M: Metric, S: BoundScheme> BoundResolver<'o, M, S> {
@@ -423,6 +454,10 @@ impl<'o, M: Metric, S: BoundScheme> BoundResolver<'o, M, S> {
             bcache: BTreeMap::new(),
             cache_on,
             audit: None,
+            weak_preloads: 0,
+            dec_ado: 0,
+            dec_bidi: 0,
+            dec_full: 0,
         }
     }
 
@@ -669,15 +704,15 @@ impl<'o, M: Metric, S: BoundScheme> BoundResolver<'o, M, S> {
         } else {
             None
         };
-        let (lb, ub, decisive) = match cached {
-            Some((lb, ub)) => (lb, ub, false),
+        let (lb, ub, tier) = match cached {
+            Some((lb, ub)) => (lb, ub, None),
             None => match self.scheme.bounds_for_goal(x, QueryGoal::threshold(v)) {
                 GoalBounds::Exact { lb, ub } => {
                     if self.cache_on {
                         self.bcache
                             .insert(x.key(), (lb, ub, self.scheme.generation()));
                     }
-                    (lb, ub, false)
+                    (lb, ub, None)
                 }
                 GoalBounds::Decisive { lb, ub, tier } => {
                     if let Some(m) = &self.metrics {
@@ -689,10 +724,11 @@ impl<'o, M: Metric, S: BoundScheme> BoundResolver<'o, M, S> {
                             1,
                         );
                     }
-                    (lb, ub, true)
+                    (lb, ub, Some(tier))
                 }
             },
         };
+        let decisive = tier.is_some();
         if !decisive {
             if let Some(m) = &self.metrics {
                 m.inc("splub_full_fallback", 1);
@@ -708,6 +744,7 @@ impl<'o, M: Metric, S: BoundScheme> BoundResolver<'o, M, S> {
             // noise, so this compares as the oracle itself would — the same
             // fast path as the exact probe bodies. lint: allow(L3)
             let out = if leq { lb <= v } else { lb < v };
+            self.dec_full += 1;
             if self.observing() {
                 self.note_probe(x, lb, ub, kind, ProbeVerdict::Known);
             }
@@ -754,6 +791,13 @@ impl<'o, M: Metric, S: BoundScheme> BoundResolver<'o, M, S> {
                 out, exact,
                 "cascade verdict diverged from the exact tier for {x:?} at v={v}"
             );
+        }
+        if out.is_some() {
+            match tier {
+                Some(CascadeTier::Ado) => self.dec_ado += 1,
+                Some(CascadeTier::Bidi) => self.dec_bidi += 1,
+                None => self.dec_full += 1,
+            }
         }
         if self.observing() {
             let verdict = match out {
@@ -961,6 +1005,46 @@ impl<'o, M: Metric, S: BoundScheme> DistanceResolver for BoundResolver<'o, M, S>
 
     fn preload(&mut self, p: Pair, d: f64) {
         self.scheme.record(p, d);
+        self.stats.preloaded += 1;
+    }
+
+    fn preload_weak(&mut self, p: Pair, d: f64) {
+        self.scheme.record(p, d);
+        // Billed as a resolution (the caller observed a fresh value through
+        // the resolver) but attributed to the weak-quorum provenance row.
+        self.stats.resolved += 1;
+        self.weak_preloads += 1;
+    }
+
+    fn provenance(&self) -> ProvenanceLedger {
+        use prox_obs::ResolutionSource as Src;
+        let mut l = ProvenanceLedger::default();
+        l.memo = self.stats.served_known;
+        l.weak_quorum = self.weak_preloads;
+        l.strong_call = self.stats.resolved.saturating_sub(self.weak_preloads);
+        l.checkpoint_preload = self.stats.preloaded;
+        let scheme = self.scheme.name();
+        for (tier, count) in [
+            ("ado", self.dec_ado),
+            ("bidi", self.dec_bidi),
+            ("full", self.dec_full),
+        ] {
+            if count > 0 {
+                l.add(Src::BoundDecisive { scheme, tier }, count);
+            }
+        }
+        let cascade = self.dec_ado + self.dec_bidi + self.dec_full;
+        let direct = self.stats.decided_by_bounds.saturating_sub(cascade);
+        if direct > 0 {
+            l.add(
+                Src::BoundDecisive {
+                    scheme,
+                    tier: "direct",
+                },
+                direct,
+            );
+        }
+        l
     }
 
     fn export_known(&self, out: &mut Vec<(Pair, f64)>) {

@@ -49,6 +49,11 @@ pub struct PruneStats {
     pub served_known: u64,
     /// Actual oracle resolutions triggered through the resolver.
     pub resolved: u64,
+    /// Values installed from outside the oracle path (checkpoint restore,
+    /// weak-quorum adoption) via `preload`. Not a comparison and not an
+    /// oracle call — tracked so provenance ledgers can bill externally
+    /// sourced knowledge to its own row.
+    pub preloaded: u64,
 }
 
 impl PruneStats {
@@ -64,6 +69,7 @@ impl PruneStats {
         self.fell_through += other.fell_through;
         self.served_known += other.served_known;
         self.resolved += other.resolved;
+        self.preloaded += other.preloaded;
     }
 
     /// Fraction of comparisons decided without the oracle, in `[0, 1]`.
@@ -128,6 +134,7 @@ mod tests {
             fell_through: 1,
             served_known: 0,
             resolved: 1,
+            preloaded: 0,
         };
         assert_eq!(p.comparisons(), 4);
         assert_eq!(p.decision_rate(), 0.75);

@@ -257,6 +257,20 @@ pub enum TraceEvent {
     PhaseEnter { name: &'static str },
     /// The matching phase ended.
     PhaseExit { name: &'static str },
+    /// One provenance-ledger row, emitted at end of run so offline reports
+    /// can rebuild the ledger without the resolver. Value rows (e.g.
+    /// `strong_call`) carry empty `scheme`/`tier`; `bound_decisive` rows
+    /// attribute the deciding scheme and cascade tier.
+    Provenance {
+        /// Row kind (a `ResolutionSource::kind()` label).
+        kind: &'static str,
+        /// Deciding scheme (`bound_decisive` rows only).
+        scheme: &'static str,
+        /// Cascade tier (`bound_decisive` rows only).
+        tier: &'static str,
+        /// Occurrences attributed to this row.
+        count: u64,
+    },
 }
 
 impl TraceEvent {
@@ -283,6 +297,7 @@ impl TraceEvent {
             TraceEvent::CheckpointWrite { .. } => "checkpoint",
             TraceEvent::PhaseEnter { .. } => "phase_enter",
             TraceEvent::PhaseExit { .. } => "phase_exit",
+            TraceEvent::Provenance { .. } => "provenance",
         }
     }
 
@@ -394,6 +409,18 @@ impl TraceEvent {
             TraceEvent::PhaseEnter { name } | TraceEvent::PhaseExit { name } => {
                 let _ = write!(out, ",\"name\":\"{name}\"");
             }
+            TraceEvent::Provenance {
+                kind,
+                scheme,
+                tier,
+                count,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"{kind}\",\"scheme\":\"{scheme}\",\"tier\":\"{tier}\",\
+                     \"count\":{count}"
+                );
+            }
         }
         out.push_str("}\n");
     }
@@ -477,6 +504,24 @@ mod tests {
         assert_eq!(
             s,
             "{\"seq\":0,\"ev\":\"phase_enter\",\"name\":\"bootstrap\"}\n"
+        );
+    }
+
+    #[test]
+    fn provenance_event_encodes_and_is_semantic() {
+        let ev = TraceEvent::Provenance {
+            kind: "bound_decisive",
+            scheme: "tri",
+            tier: "direct",
+            count: 41,
+        };
+        assert_eq!(ev.class(), EventClass::Semantic);
+        let mut s = String::new();
+        ev.write_jsonl(9, &mut s);
+        assert_eq!(
+            s,
+            "{\"seq\":9,\"ev\":\"provenance\",\"kind\":\"bound_decisive\",\
+             \"scheme\":\"tri\",\"tier\":\"direct\",\"count\":41}\n"
         );
     }
 

@@ -22,14 +22,23 @@
 //! ids) so every layer — core, bounds, algos, bench — can emit through
 //! the same sinks.
 
+mod diff;
 mod event;
+mod ledger;
 mod metrics;
+pub mod names;
+mod replay;
 mod report;
 mod sink;
+mod span;
 
+pub use diff::{normalize, semantic_diff, Divergence, TraceDiff};
 pub use event::{
     CallOutcome, CorruptionAction, EventClass, ProbeKind, ProbeVerdict, TraceEvent, WeakOutcome,
 };
+pub use ledger::{ProvenanceLedger, ResolutionSource};
 pub use metrics::{quantize_width, Metrics, HISTO_BUCKETS};
-pub use report::{summarize, PhaseRow, PruneRow, TraceSummary, TrajPoint};
+pub use replay::{replay, ReplayReport};
+pub use report::{summarize, PhaseRow, ProvenanceRow, PruneRow, TraceSummary, TrajPoint};
 pub use sink::{emit_to, JsonlSink, NullSink, PhaseGuard, RingSink, TraceSink};
+pub use span::{SpanGuard, SpanNode, SpanTree};

@@ -25,6 +25,38 @@ fn bucket_of(v: u64) -> usize {
     (u64::BITS - v.leading_zeros()) as usize
 }
 
+/// Largest value that lands in bucket `b` (the inclusive upper bound a
+/// quantile estimate reports).
+fn bucket_upper_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// Quantile estimate over log2 buckets: the upper bound of the bucket
+/// holding the `q`-th sample (`q` in `[0, 1]`). `None` on an empty
+/// histogram. Bucketing makes this an over-estimate by at most 2x — fine
+/// for the order-of-magnitude reads metrics dumps are for.
+fn histo_quantile(h: &[u64; HISTO_BUCKETS], q: f64) -> Option<u64> {
+    let total: u64 = h.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for (b, count) in h.iter().enumerate() {
+        cum += count;
+        if cum >= rank {
+            return Some(bucket_upper_bound(b));
+        }
+    }
+    Some(u64::MAX)
+}
+
 /// Quantizes a bound-interval width (distances live in `[0, 1]` after
 /// metric normalization) to integer nano-units for histogramming.
 pub fn quantize_width(w: f64) -> u64 {
@@ -86,6 +118,16 @@ impl Metrics {
         self.histogram(name).map(|h| h.iter().sum()).unwrap_or(0)
     }
 
+    /// Quantile estimate for histogram `name`: the upper bound of the
+    /// log2 bucket holding the `q`-th sample. `None` if the histogram is
+    /// absent or empty.
+    pub fn histogram_quantile(&self, name: &str, q: f64) -> Option<u64> {
+        match self.inner.borrow().get(name) {
+            Some(Metric::Histo(h)) => histo_quantile(h, q),
+            _ => None,
+        }
+    }
+
     /// True if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.inner.borrow().is_empty()
@@ -119,7 +161,8 @@ impl Metrics {
     }
 
     /// Renders the registry as an aligned text table. Histograms print
-    /// their sample count followed by non-empty `2^k` buckets.
+    /// their sample count, p50/p99 bucket-bound estimates, then every
+    /// non-empty `2^k` bucket.
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let m = self.inner.borrow();
@@ -134,6 +177,11 @@ impl Metrics {
                 Metric::Histo(h) => {
                     let total: u64 = h.iter().sum();
                     let _ = write!(out, "{name:width$}  n={total}");
+                    if let (Some(p50), Some(p99)) =
+                        (histo_quantile(h, 0.50), histo_quantile(h, 0.99))
+                    {
+                        let _ = write!(out, " p50<={p50} p99<={p99}");
+                    }
                     for (b, count) in h.iter().enumerate().filter(|(_, c)| **c > 0) {
                         if b == 0 {
                             let _ = write!(out, " [0]={count}");
@@ -220,6 +268,34 @@ mod tests {
         let mh = r.find("m.h").unwrap();
         let z = r.find("z.last").unwrap();
         assert!(a < mh && mh < z, "BTreeMap order: {r}");
-        assert!(r.contains("n=1 [2^1]=1"), "histogram render: {r}");
+        assert!(
+            r.contains("n=1 p50<=3 p99<=3 [2^1]=1"),
+            "histogram render: {r}"
+        );
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let m = Metrics::new();
+        assert_eq!(m.histogram_quantile("missing", 0.5), None);
+        for _ in 0..99 {
+            m.observe("h", 1); // bucket 1, upper bound 1
+        }
+        m.observe("h", 1000); // bucket 10, upper bound 1023
+        assert_eq!(m.histogram_quantile("h", 0.50), Some(1));
+        assert_eq!(m.histogram_quantile("h", 0.99), Some(1));
+        assert_eq!(m.histogram_quantile("h", 1.0), Some(1023));
+        assert_eq!(
+            m.histogram_quantile("h", 0.0),
+            Some(1),
+            "clamped to first sample"
+        );
+
+        let z = Metrics::new();
+        z.observe("zeros", 0);
+        assert_eq!(z.histogram_quantile("zeros", 0.5), Some(0));
+        let big = Metrics::new();
+        big.observe("big", u64::MAX);
+        assert_eq!(big.histogram_quantile("big", 0.5), Some(u64::MAX));
     }
 }

@@ -15,7 +15,7 @@ use std::fmt::Write as _;
 const TRAJECTORY_POINTS: u64 = 10;
 
 /// Extracts the raw text of field `key` from a single JSONL line.
-fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat_len = key.len() + 3; // "key":
     let mut search = 0;
     loop {
@@ -39,7 +39,7 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     }
 }
 
-fn u64_field(line: &str, key: &str, lineno: usize) -> Result<u64, String> {
+pub(crate) fn u64_field(line: &str, key: &str, lineno: usize) -> Result<u64, String> {
     let raw = field(line, key).ok_or_else(|| format!("line {lineno}: missing field \"{key}\""))?;
     raw.parse::<u64>()
         .map_err(|_| format!("line {lineno}: field \"{key}\" is not an integer: {raw:?}"))
@@ -72,6 +72,18 @@ pub struct PruneRow {
     pub lb: u64,
     pub ub: u64,
     pub open: u64,
+}
+
+/// One provenance-ledger row replayed from a `provenance` trace event.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ProvenanceRow {
+    /// Row kind (`strong_call`, `weak_quorum`, `bound_decisive`, ...).
+    pub kind: String,
+    /// Scheme name (`bound_decisive` rows only; empty otherwise).
+    pub scheme: String,
+    /// Cascade tier (`bound_decisive` rows only; empty otherwise).
+    pub tier: String,
+    pub count: u64,
 }
 
 /// One sample of the cumulative calls-vs-comparisons trajectory.
@@ -134,6 +146,13 @@ pub struct TraceSummary {
     /// Why the strong tier was lost (`"budget_exhausted"`/`"permanent"`;
     /// empty when the run stayed healthy).
     pub degraded_reason: String,
+    /// Events missing from the trace, detected as gaps in the `seq`
+    /// numbering. Nonzero means the sink dropped writes (see
+    /// `JsonlSink::io_errors`) — the summary under-counts by this many.
+    pub dropped_events: u64,
+    /// Provenance-ledger rows replayed from `provenance` events, in trace
+    /// order (the writer emits them in the ledger's stable order).
+    pub provenance: Vec<ProvenanceRow>,
     /// Per-phase rows, in first-entered order.
     pub phases: Vec<PhaseRow>,
     /// Prune breakdown per scheme, name-sorted.
@@ -153,6 +172,14 @@ impl TraceSummary {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "trace summary: {} events", self.events);
+        if self.dropped_events > 0 {
+            let _ = writeln!(
+                out,
+                "  [warn] {} event(s) missing (seq gaps — dropped trace writes); \
+                 totals below under-count",
+                self.dropped_events
+            );
+        }
         let _ = writeln!(
             out,
             "  oracle: {} billed calls, {} virtual ns{}",
@@ -247,6 +274,19 @@ impl TraceSummary {
             );
         }
 
+        if !self.provenance.is_empty() {
+            let _ = writeln!(out, "\nprovenance ledger:");
+            let _ = writeln!(out, "  {:<28} {:>10}", "source", "count");
+            for r in &self.provenance {
+                let label = if r.scheme.is_empty() {
+                    r.kind.clone()
+                } else {
+                    format!("{}[{}/{}]", r.kind, r.scheme, r.tier)
+                };
+                let _ = writeln!(out, "  {:<28} {:>10}", label, r.count);
+            }
+        }
+
         if self.trajectory.len() > 1 {
             let _ = writeln!(out, "\ncall trajectory (cumulative):");
             let _ = writeln!(out, "  {:>8} {:>10} {:>10}", "events", "probes", "calls");
@@ -287,11 +327,28 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
         }
     };
 
+    let mut prev_seq: Option<u64> = None;
     for (idx, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         let lineno = idx + 1;
+        // Dropped writes leave holes in the monotone seq numbering; count
+        // them so reports can warn that the totals under-count.
+        if let Some(raw) = field(line, "seq") {
+            let seq = raw
+                .parse::<u64>()
+                .map_err(|_| format!("line {lineno}: field \"seq\" is not an integer: {raw:?}"))?;
+            if let Some(prev) = prev_seq {
+                if seq <= prev {
+                    return Err(format!(
+                        "line {lineno}: seq {seq} is not monotone (previous was {prev})"
+                    ));
+                }
+                s.dropped_events += seq - prev - 1;
+            }
+            prev_seq = Some(seq);
+        }
         let ev = field(line, "ev").ok_or_else(|| format!("line {lineno}: missing field \"ev\""))?;
         match ev {
             "oracle_call" => {
@@ -429,6 +486,16 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
                         ));
                     }
                 }
+            }
+            "provenance" => {
+                let kind = field(line, "kind")
+                    .ok_or_else(|| format!("line {lineno}: missing field \"kind\""))?;
+                s.provenance.push(ProvenanceRow {
+                    kind: kind.to_string(),
+                    scheme: field(line, "scheme").unwrap_or("").to_string(),
+                    tier: field(line, "tier").unwrap_or("").to_string(),
+                    count: u64_field(line, "count", lineno)?,
+                });
             }
             "speculate" | "commit" => {}
             other => {
@@ -605,6 +672,102 @@ mod tests {
         assert!(err.contains("outcome"), "{err}");
         let err = summarize("{\"seq\":0,\"ev\":\"wat\"}\n").unwrap_err();
         assert!(err.contains("unknown event"), "{err}");
+    }
+
+    #[test]
+    fn seq_gaps_are_counted_as_dropped_events() {
+        // seq jumps 1 -> 4: two events were dropped by the sink.
+        let text = "{\"seq\":0,\"ev\":\"phase_enter\",\"name\":\"build\"}\n\
+                    {\"seq\":1,\"ev\":\"checkpoint\",\"resolved\":1}\n\
+                    {\"seq\":4,\"ev\":\"phase_exit\",\"name\":\"build\"}\n";
+        let s = summarize(text).expect("valid");
+        assert_eq!(s.dropped_events, 2);
+        let r = s.render();
+        assert!(r.contains("[warn] 2 event(s) missing"), "{r}");
+        // A gap-free trace neither counts nor warns.
+        let s = summarize(SAMPLE).expect("valid");
+        assert_eq!(s.dropped_events, 0);
+        assert!(!s.render().contains("[warn]"));
+    }
+
+    #[test]
+    fn sink_write_errors_surface_as_dropped_events() {
+        use crate::{CallOutcome, JsonlSink, TraceEvent, TraceSink};
+        use std::cell::RefCell;
+        use std::io::Write;
+        use std::rc::Rc;
+
+        /// Captures successful writes into a shared buffer but fails a
+        /// contiguous run of middle writes — a disk hiccup mid-run.
+        struct Hiccup {
+            buf: Rc<RefCell<Vec<u8>>>,
+            seen: usize,
+        }
+        impl Write for Hiccup {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.seen += 1;
+                if (3..6).contains(&self.seen) {
+                    return Err(std::io::Error::other("disk hiccup"));
+                }
+                self.buf.borrow_mut().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Rc::new(RefCell::new(Vec::new()));
+        let sink = JsonlSink::to_writer(Box::new(Hiccup {
+            buf: Rc::clone(&buf),
+            seen: 0,
+        }));
+        for i in 0..8 {
+            sink.emit(TraceEvent::OracleCall {
+                lo: 0,
+                hi: i + 1,
+                attempt: 0,
+                outcome: CallOutcome::Ok,
+                virtual_ns: 10,
+            });
+        }
+        // The sink knows it dropped writes...
+        assert_eq!(sink.io_errors(), 3);
+        drop(sink);
+
+        // ...and the offline report rediscovers exactly those drops from
+        // the seq gaps alone, warning the reader that totals under-count.
+        let text = String::from_utf8(buf.borrow().clone()).expect("utf8 trace");
+        let s = summarize(&text).expect("valid trace");
+        assert_eq!(s.events, 5);
+        assert_eq!(s.dropped_events, 3);
+        assert!(s.render().contains("[warn] 3 event(s) missing"));
+    }
+
+    #[test]
+    fn non_monotone_seq_is_an_error() {
+        let text = "{\"seq\":3,\"ev\":\"checkpoint\",\"resolved\":1}\n\
+                    {\"seq\":3,\"ev\":\"checkpoint\",\"resolved\":2}\n";
+        let err = summarize(text).unwrap_err();
+        assert!(err.contains("not monotone"), "{err}");
+    }
+
+    #[test]
+    fn provenance_rows_are_replayed_and_rendered() {
+        let text = "{\"seq\":0,\"ev\":\"provenance\",\"kind\":\"strong_call\",\"scheme\":\"\",\
+                    \"tier\":\"\",\"count\":7}\n\
+                    {\"seq\":1,\"ev\":\"provenance\",\"kind\":\"bound_decisive\",\
+                    \"scheme\":\"tri\",\"tier\":\"direct\",\"count\":41}\n";
+        let s = summarize(text).expect("valid");
+        assert_eq!(s.provenance.len(), 2);
+        assert_eq!(s.provenance[0].kind, "strong_call");
+        assert_eq!(s.provenance[0].count, 7);
+        assert_eq!(s.provenance[1].scheme, "tri");
+        assert_eq!(s.provenance[1].tier, "direct");
+        let r = s.render();
+        assert!(r.contains("provenance ledger"), "{r}");
+        assert!(r.contains("bound_decisive[tri/direct]"), "{r}");
+        assert!(!summarize(SAMPLE).unwrap().render().contains("provenance"));
     }
 
     #[test]

@@ -37,6 +37,15 @@ pub const WEAK_MAX_RATIO: f64 = 2.0;
 pub const WEAK_DISABLED_CELL: &str = "oracle_weak_layer/disabled";
 pub const WEAK_CLEAN_CELL: &str = "oracle_weak_layer/clean";
 
+/// The span-profiler zero-cost gate: with no trace sink attached every
+/// `SpanGuard::enter` is a single `Option` discriminant test, so the
+/// `disabled` cell (spans in the code, sink detached) must stay within
+/// [`SPAN_MAX_RATIO`] × of `clean` (no observability at all). The gate
+/// fails if span bookkeeping ever leaks onto the detached path.
+pub const SPAN_MAX_RATIO: f64 = 2.0;
+pub const SPAN_DISABLED_CELL: &str = "oracle_span_layer/disabled";
+pub const SPAN_CLEAN_CELL: &str = "oracle_span_layer/clean";
+
 /// One parsed bench row: the cell name and its median latency.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRow {
@@ -198,7 +207,25 @@ pub fn check(rows: &[BenchRow]) -> Result<String, String> {
             "the cascade-disabled path is no longer free: {weak_verdict}"
         ));
     }
-    Ok(format!("{verdict}; {weak_verdict}"))
+    let span_disabled = median(SPAN_DISABLED_CELL)?;
+    let span_clean = median(SPAN_CLEAN_CELL)?;
+    if !(span_disabled.is_finite() && span_clean.is_finite()) || span_clean <= 0.0 {
+        return Err(format!(
+            "degenerate medians: {SPAN_DISABLED_CELL} = {span_disabled}, \
+             {SPAN_CLEAN_CELL} = {span_clean}"
+        ));
+    }
+    let span_ratio = span_disabled / span_clean;
+    let span_verdict = format!(
+        "{SPAN_DISABLED_CELL} = {span_disabled} ns, {SPAN_CLEAN_CELL} = {span_clean} ns, \
+         ratio {span_ratio:.2}x (limit {SPAN_MAX_RATIO:.0}x)"
+    );
+    if span_ratio > SPAN_MAX_RATIO {
+        return Err(format!(
+            "the detached span path is no longer free: {span_verdict}"
+        ));
+    }
+    Ok(format!("{verdict}; {weak_verdict}; {span_verdict}"))
 }
 
 #[cfg(test)]
@@ -209,7 +236,9 @@ mod tests {
   {"name": "bound_query/tri/256", "median_ns": 7312.4, "mean_ns": 7310.2, "min_ns": 6198.0, "iters": 768},
   {"name": "bound_query/splub/256", "median_ns": 70000.0, "mean_ns": 71000.0, "min_ns": 69000.0, "iters": 64},
   {"name": "oracle_weak_layer/clean", "median_ns": 96000.0, "iters": 64},
-  {"name": "oracle_weak_layer/disabled", "median_ns": 99000.0, "iters": 64}
+  {"name": "oracle_weak_layer/disabled", "median_ns": 99000.0, "iters": 64},
+  {"name": "oracle_span_layer/clean", "median_ns": 88000.0, "iters": 64},
+  {"name": "oracle_span_layer/disabled", "median_ns": 90000.0, "iters": 64}
 ]"#;
 
     fn row(name: &str, median_ns: f64) -> BenchRow {
@@ -219,20 +248,22 @@ mod tests {
         }
     }
 
-    /// All four gated cells at healthy medians; tests perturb from here.
+    /// All six gated cells at healthy medians; tests perturb from here.
     fn healthy() -> Vec<BenchRow> {
         vec![
             row(TRI_CELL, 7000.0),
             row(SPLUB_CELL, 70000.0),
             row(WEAK_CLEAN_CELL, 96000.0),
             row(WEAK_DISABLED_CELL, 99000.0),
+            row(SPAN_CLEAN_CELL, 88000.0),
+            row(SPAN_DISABLED_CELL, 90000.0),
         ]
     }
 
     #[test]
     fn parses_rows_and_passes_within_ratio() {
         let rows = parse_rows(SAMPLE).unwrap();
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 6);
         assert_eq!(rows[0].name, "bound_query/tri/256");
         assert_eq!(rows[0].median_ns, 7312.4);
         let verdict = check(&rows).unwrap();
@@ -253,7 +284,21 @@ mod tests {
         let mut rows = healthy();
         rows[3].median_ns = 96000.0 * 2.5;
         let err = check(&rows).unwrap_err();
-        assert!(err.contains("no longer free"), "{err}");
+        assert!(
+            err.contains("cascade-disabled path is no longer free"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn fails_when_the_detached_span_path_is_no_longer_free() {
+        let mut rows = healthy();
+        rows[5].median_ns = 88000.0 * 2.5;
+        let err = check(&rows).unwrap_err();
+        assert!(
+            err.contains("detached span path is no longer free"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -265,6 +310,10 @@ mod tests {
         rows.retain(|r| r.name != WEAK_DISABLED_CELL);
         let err = check(&rows).unwrap_err();
         assert!(err.contains("oracle_weak_layer/disabled"), "{err}");
+        let mut rows = healthy();
+        rows.retain(|r| r.name != SPAN_DISABLED_CELL);
+        let err = check(&rows).unwrap_err();
+        assert!(err.contains("oracle_span_layer/disabled"), "{err}");
     }
 
     #[test]

@@ -1,10 +1,11 @@
-//! The lint rules (`L1`–`L14`) enforcing the oracle-call and determinism
+//! The lint rules (`L1`–`L15`) enforcing the oracle-call and determinism
 //! disciplines.
 //!
 //! Rules come in two flavours:
 //!
-//! * **Lexical** (L1–L8, L10, L11) — per line of the masked code produced
-//!   by [`crate::lexer::scan`] (L8 is a cross-file vocabulary check).
+//! * **Lexical** (L1–L8, L10, L11, L15) — per line of the masked code
+//!   produced by [`crate::lexer::scan`] (L8 and L15 are cross-file
+//!   vocabulary checks).
 //! * **Graph** (L9, L12, L13, L14) — over the whole-workspace
 //!   [`crate::graph::ItemGraph`], so they can see call *chains* that no
 //!   single line reveals.
@@ -36,6 +37,7 @@
 //! | L12 | library crates (graph) | an infallible `X` that re-implements its fallible twin `try_X` instead of delegating to it (the copies drift apart) |
 //! | L13 | `crates/bounds` (graph) | reaching the unbounded `Dijkstra::run` from bound-query paths — the query cascade must use the bounded/bidirectional twins; the exact tier funnels through the audited [`L13_ALLOWLIST`] — see [`l13_violations`] |
 //! | L14 | `crates/algos` (graph) | reaching `WeakOracle::probe`/`error_at` through any call chain that does not pass a `CascadeResolver` method — weak answers are untrusted until the cascade's quorum + sandwich audit, so algorithms must never consume them raw — see [`l14_violations`] |
+//! | L15 | library crates | a metrics or span name literal (`inc`/`observe`/`counter`/`histogram*`, `SpanGuard::enter`/`PhaseGuard::enter`/`span`) missing from the central `prox_obs::names` registry — a typo'd counter silently splits one series into two — see [`lint_name_registry`] |
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -320,6 +322,169 @@ pub fn lint_event_coverage(event_src: &str, report_src: &str) -> Vec<Violation> 
         }
     }
     out
+}
+
+/// Call-site prefixes whose string-literal arguments are metrics-registry
+/// names (counters and histograms, read *and* write sides).
+const L15_METRIC_SITES: &[&str] = &[
+    ".inc(",
+    ".observe(",
+    ".counter(",
+    ".histogram(",
+    ".histogram_count(",
+    ".histogram_quantile(",
+];
+
+/// Call-site prefixes whose first string-literal argument is a span
+/// (phase) name.
+const L15_SPAN_SITES: &[&str] = &["SpanGuard::enter(", "PhaseGuard::enter(", ".span("];
+
+/// L15 — the observability-vocabulary lint. Every string literal passed to
+/// a metrics call (`inc`/`observe`/`counter`/`histogram*`) or a span entry
+/// (`SpanGuard::enter`/`PhaseGuard::enter`/`SpecProbe::span`) anywhere in
+/// the workspace must appear in the central registry
+/// `crates/obs/src/names.rs` (`METRIC_NAMES` / `SPAN_NAMES`). A typo'd
+/// counter name silently splits one logical series into two and a rogue
+/// span name escapes every dashboard's vocabulary — L15 makes both a lint
+/// failure instead. Dynamic names (no literal at the call site) are out of
+/// scope. Cross-file like L8: runs once per workspace.
+pub fn lint_name_registry(files: &[(String, String)]) -> Vec<Violation> {
+    let names_src = files
+        .iter()
+        .find(|(r, _)| r == "crates/obs/src/names.rs")
+        .map(|(_, s)| s.as_str());
+    let Some(names_src) = names_src else {
+        return Vec::new();
+    };
+    let metric_names = registry_table(names_src, "METRIC_NAMES");
+    let span_names = registry_table(names_src, "SPAN_NAMES");
+    let mut out = Vec::new();
+    for (rel, src) in files {
+        if !linted_path(rel) {
+            continue;
+        }
+        l15_file(rel, src, &metric_names, &span_names, &mut out);
+    }
+    out
+}
+
+/// The string literals of one `&[&str]` table in `names.rs`, located by its
+/// identifier (the registry file is ours, so a plain quote scan suffices).
+fn registry_table(src: &str, table: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let Some(start) = src.find(table) else {
+        return out;
+    };
+    let rest = &src[start..];
+    let Some(end) = rest.find("];") else {
+        return out;
+    };
+    let body = &rest.as_bytes()[..end];
+    let mut i = 0usize;
+    while i < body.len() {
+        if body[i] == b'"' {
+            if let Some(j) = rest[..end][i + 1..].find('"') {
+                out.insert(rest[i + 1..i + 1 + j].to_string());
+                i = i + 1 + j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Scans one file for L15 violations (see [`lint_name_registry`]).
+fn l15_file(
+    rel: &str,
+    src: &str,
+    metric_names: &BTreeSet<String>,
+    span_names: &BTreeSet<String>,
+    out: &mut Vec<Violation>,
+) {
+    let scanned = scan(src);
+    let masked = scanned.masked.as_str();
+    let mb = masked.as_bytes();
+    let test_ranges = test_line_ranges(masked);
+    let starts = line_starts(masked);
+    let src_lines: Vec<&str> = src.lines().collect();
+    let in_test = |line: usize| test_ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi);
+
+    // One pass per site kind: for each pattern occurrence in *code*, walk
+    // the paren-balanced call extent (paren counting is sound on the
+    // masked shadow — literal contents are blanked) and check the string
+    // literals inside it against the registry. Span sites check only the
+    // first literal (later args may be closures carrying unrelated
+    // strings); metric sites check every literal (names can sit in match
+    // arms, as in the cascade's weak-outcome counter).
+    for (sites, names, registry, what) in [
+        (L15_METRIC_SITES, metric_names, "METRIC_NAMES", "metric"),
+        (L15_SPAN_SITES, span_names, "SPAN_NAMES", "span"),
+    ] {
+        for pat in sites {
+            let mut from = 0usize;
+            while let Some(off) = masked[from..].find(pat) {
+                let open = from + off + pat.len() - 1;
+                from = open + 1;
+                let line = crate::lexer::line_of(&starts, open);
+                if in_test(line) {
+                    continue;
+                }
+                // Call extent: from the opening paren to its match.
+                let mut depth = 0usize;
+                let mut close = None;
+                for (k, &c) in mb.iter().enumerate().skip(open) {
+                    match c {
+                        b'(' => depth += 1,
+                        b')' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                close = Some(k);
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                let Some(close) = close else { continue };
+                // Literals inside the extent: delimiters survive masking,
+                // contents read from the raw source.
+                let mut i = open;
+                while i < close {
+                    if mb[i] == b'"' {
+                        let Some(j) = masked[i + 1..close].find('"') else {
+                            break;
+                        };
+                        let name = &src[i + 1..i + 1 + j];
+                        let lit_line = crate::lexer::line_of(&starts, i);
+                        if !names.contains(name) {
+                            out.push(Violation {
+                                rule: "L15",
+                                file: rel.to_string(),
+                                line: lit_line,
+                                msg: format!(
+                                    "{what} name {name:?} is not in the central \
+                                     registry (crates/obs/src/names.rs {registry}); \
+                                     add it there or fix the typo"
+                                ),
+                                excerpt: src_lines
+                                    .get(lit_line - 1)
+                                    .unwrap_or(&"")
+                                    .trim()
+                                    .to_string(),
+                            });
+                        }
+                        i = i + 1 + j + 1;
+                        if what == "span" {
+                            break;
+                        }
+                        continue;
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
 }
 
 /// The `(line, name)` pairs from `TraceEvent::name()`'s match arms:
@@ -942,8 +1107,9 @@ pub struct WorkspaceLint {
 }
 
 /// Lints a workspace snapshot (`(workspace-relative path, source)` pairs):
-/// lexical rules per file, L8 across `crates/obs`, and the graph rules over
-/// the item graph, with escape filtering and stale-escape detection.
+/// lexical rules per file, L8 across `crates/obs`, L15 across the whole
+/// workspace, and the graph rules over the item graph, with escape
+/// filtering and stale-escape detection.
 pub fn lint_workspace(files: &[(String, String)]) -> WorkspaceLint {
     lint_workspace_with(files, L9_ALLOWLIST, L13_ALLOWLIST)
 }
@@ -971,6 +1137,7 @@ pub fn lint_workspace_with(
     ) {
         raw.extend(lint_event_coverage(ev, rep));
     }
+    raw.extend(lint_name_registry(files));
     let g = ItemGraph::build(files);
     raw.extend(lint_graph(&g, l9_allowlist, l13_allowlist));
 
@@ -1222,6 +1389,92 @@ mod tests {
                 (5, "corruption".to_string())
             ]
         );
+    }
+
+    // ---------------------------------------------------------------- L15
+
+    const NAMES_FIXTURE: &str = "pub const METRIC_NAMES: &[&str] = &[\n    \"oracle.calls\",\n    \"probe.width\",\n];\n\npub const SPAN_NAMES: &[&str] = &[\n    \"build\",\n    \"scan\",\n];\n";
+
+    fn l15_files(src: &str) -> Vec<(String, String)> {
+        vec![
+            (
+                "crates/obs/src/names.rs".to_string(),
+                NAMES_FIXTURE.to_string(),
+            ),
+            ("crates/bounds/src/x.rs".to_string(), src.to_string()),
+        ]
+    }
+
+    #[test]
+    fn l15_flags_unregistered_metric_and_span_names() {
+        let src = "fn f(m: &Metrics, t: Option<Rc<dyn TraceSink>>) {\n    m.inc(\"oracle.callz\", 1);\n    m.observe(\"probe.width\", 3);\n    let _g = SpanGuard::enter(t, \"scam\");\n}\n";
+        let vs = lint_name_registry(&l15_files(src));
+        assert_eq!(lines(&vs, "L15"), vec![2, 4]);
+        assert!(vs[0].msg.contains("\"oracle.callz\""));
+        assert!(vs[0].msg.contains("METRIC_NAMES"));
+        assert!(vs[1].msg.contains("\"scam\""));
+        assert!(vs[1].msg.contains("SPAN_NAMES"));
+    }
+
+    #[test]
+    fn l15_checks_every_literal_in_a_metric_call_extent() {
+        // Names can sit in match arms spanning lines (the cascade's
+        // weak-outcome counter); every literal in the extent is checked.
+        let src = "fn f(m: &Metrics, o: O) {\n    m.inc(\n        match o {\n            O::A => \"oracle.calls\",\n            O::B => \"cascade.weak_liez\",\n        },\n        1,\n    );\n}\n";
+        let vs = lint_name_registry(&l15_files(src));
+        assert_eq!(lines(&vs, "L15"), vec![5]);
+    }
+
+    #[test]
+    fn l15_span_sites_check_only_the_first_literal() {
+        // The closure argument may carry unrelated strings.
+        let src =
+            "fn f(p: &mut SpecProbe) {\n    p.span(\"scan\", |q| q.tag(\"not a span name\"));\n}\n";
+        assert!(lint_name_registry(&l15_files(src)).is_empty());
+    }
+
+    #[test]
+    fn l15_skips_tests_dynamic_names_and_unlinted_paths() {
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n    fn f(m: &Metrics) { m.inc(\"nope\", 1); }\n}\n";
+        assert!(lint_name_registry(&l15_files(in_test)).is_empty());
+        let dynamic = "fn f(m: &Metrics, name: &str) { m.inc(name, 1); }\n";
+        assert!(lint_name_registry(&l15_files(dynamic)).is_empty());
+        let files = vec![
+            (
+                "crates/obs/src/names.rs".to_string(),
+                NAMES_FIXTURE.to_string(),
+            ),
+            (
+                "crates/bounds/tests/t.rs".to_string(),
+                "fn f(m: &Metrics) { m.inc(\"nope\", 1); }\n".to_string(),
+            ),
+        ];
+        assert!(lint_name_registry(&files).is_empty());
+    }
+
+    #[test]
+    fn l15_respects_allow_annotation_via_workspace_filtering() {
+        let src = "fn f(m: &Metrics) {\n    // experimental counter, not yet in the registry; lint: allow(L15)\n    m.inc(\"experimental.counter\", 1);\n}\n";
+        let lint = lint_workspace_with(&l15_files(src), &[], &[]);
+        assert!(
+            !lint.violations.iter().any(|v| v.rule == "L15"),
+            "{:?}",
+            lint.violations
+        );
+    }
+
+    #[test]
+    fn l15_registry_table_parses_the_real_registry() {
+        let names_src = include_str!("../../obs/src/names.rs");
+        let metrics = registry_table(names_src, "METRIC_NAMES");
+        let spans = registry_table(names_src, "SPAN_NAMES");
+        assert!(metrics.contains("oracle.calls"));
+        assert!(metrics.contains("probe.width"));
+        assert!(spans.contains("bootstrap"));
+        assert!(spans.contains("swap"));
+        assert!(metrics.len() >= 14, "{metrics:?}");
+        assert!(spans.len() >= 7, "{spans:?}");
     }
 
     #[test]
