@@ -405,6 +405,51 @@ fn bench_oracle_span_layer(b: &mut Bench) {
     });
 }
 
+/// DESIGN.md §16 gate: the serving layer's warm-path overhead. Both
+/// cells resolve the same fully-known query mix — every pair is
+/// pre-certified, so there are no strong calls and no WAL writes — and
+/// the delta prices the serve bookkeeping alone (admission accounting,
+/// snapshot preload, freshness partition). The bench-gate holds
+/// `store_layer/serve` within 2x of `store_layer/direct`.
+fn bench_store_layer(b: &mut Bench) {
+    use prox_bounds::{BoundResolver, DistanceResolver};
+    use prox_serve::{run_group, GroupOutcome, PairGroupQuery, SessionConfig};
+
+    let n = 128;
+    let metric = ClusteredPlane::default().metric(n, SEED);
+    let oracle = Oracle::new(&*metric);
+    let pairs: Vec<Pair> = Pair::all(32).collect();
+    let snapshot: Vec<(Pair, f64)> = pairs.iter().map(|&p| (p, oracle.call_pair(p))).collect();
+    let query = PairGroupQuery::explicit(pairs.clone());
+
+    // Direct resolution: the batch workflow `serve` replaces — expand
+    // the same query, preload the cache, resolve the mix, export the
+    // known set for the next run — on the same resolver shape
+    // `run_group` builds.
+    b.bench("store_layer", "direct", || {
+        let mix = query.pairs();
+        let mut r = BoundResolver::new(&oracle, TriScheme::new(n, 1.0));
+        for &(p, d) in &snapshot {
+            r.preload(p, d);
+        }
+        let mut acc = 0.0;
+        for &q in &mix {
+            acc += r.resolve(q);
+        }
+        let mut known = Vec::new();
+        r.export_known(&mut known);
+        black_box((acc, known.len()));
+    });
+
+    let config = SessionConfig::default();
+    b.bench("store_layer", "serve", || {
+        let out = run_group(&*metric, &snapshot, &[], &query, 0, &config);
+        if let GroupOutcome::Served(s) = out {
+            black_box(s.response.store_hits);
+        }
+    });
+}
+
 fn main() {
     let mut b = Bench::named("schemes");
     bench_queries(&mut b);
@@ -416,5 +461,6 @@ fn main() {
     bench_oracle_trust_layer(&mut b);
     bench_oracle_weak_layer(&mut b);
     bench_oracle_span_layer(&mut b);
+    bench_store_layer(&mut b);
     b.finish();
 }

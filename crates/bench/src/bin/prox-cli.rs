@@ -57,6 +57,19 @@
 //! prox-cli prim --dataset sf --n 300 --plug tri --weak 0.05
 //! prox-cli prim --dataset sf --n 300 --plug tri --weak 0.2 --budget 500 --degrade
 //! ```
+//!
+//! Serving layer (DESIGN.md §16): `prox-cli serve` keeps certified
+//! distances alive *across* runs in a crash-safe WAL-backed store
+//! shared by every client of the same problem instance. Session `i` of
+//! `--sessions S` takes script lines `i, i+S, …`; `--admit CALLS` caps
+//! what one group may cost a client (deterministic
+//! reject-with-retry-hint, never blocking the store), and a second
+//! client over the same `--store` pays strictly fewer strong calls:
+//!
+//! ```text
+//! prox-cli serve --store runs/sf --dataset sf --n 200 --groups 8
+//! prox-cli serve --store runs/sf --dataset sf --n 200 --groups 8   # ~free
+//! ```
 
 use std::cell::RefCell;
 use std::process::ExitCode;
@@ -80,6 +93,10 @@ use prox_core::{
 use prox_datasets::by_name;
 use prox_obs::{
     semantic_diff, summarize, JsonlSink, Metrics, ProvenanceLedger, SpanTree, TraceSink,
+};
+use prox_serve::{
+    default_script, emit_recovery, parse_script, BoundServer, PairGroupQuery, ServeConfig,
+    SessionConfig, SharedStore, WalConfig,
 };
 
 struct Args {
@@ -151,7 +168,11 @@ fn usage() -> ExitCode {
          \x20  prox-cli profile <algo> [same flags] [--out FILE.folded]\n\
          \x20  prox-cli report <FILE.jsonl>\n\
          \x20  prox-cli diff <A.jsonl> <B.jsonl>\n\
-         \x20  prox-cli replay <FILE.jsonl>"
+         \x20  prox-cli replay <FILE.jsonl>\n\
+         \x20  prox-cli serve --store DIR [--dataset D] [--n N] [--seed S]\n\
+         \x20       [--sessions N] [--admit CALLS] [--client-script FILE] [--groups G]\n\
+         \x20       [--weak RATE[:SEED]] [--degrade] [--kill-after-commits K]\n\
+         \x20       [--threads N] [--trace FILE.jsonl]"
     );
     ExitCode::FAILURE
 }
@@ -412,8 +433,332 @@ fn replay(path: &str) -> ExitCode {
     }
 }
 
+/// `prox-cli serve`: flags for the shared-store serving loop.
+struct ServeArgs {
+    /// `--store DIR` (required): the crash-safe WAL directory.
+    store: String,
+    dataset: String,
+    n: usize,
+    seed: u64,
+    /// `--sessions N`: concurrent client sessions (round-robin lines).
+    sessions: u32,
+    /// `--admit CALLS`: per-group admission budget (0 = unlimited).
+    admit: u64,
+    /// The parsed workload (from `--client-script FILE` or generated).
+    script: Vec<PairGroupQuery>,
+    /// Where the workload came from, for the summary line.
+    script_source: String,
+    weak: Option<(f64, Option<u64>)>,
+    degrade: bool,
+    /// `--kill-after-commits K`: the chaos kill switch.
+    kill_after_commits: Option<u64>,
+    trace: Option<String>,
+}
+
+fn parse_serve() -> Option<ServeArgs> {
+    let mut argv = std::env::args().skip(2);
+    let mut store: Option<String> = None;
+    let mut dataset = "sf".to_string();
+    let mut n = 200usize;
+    let mut seed = 42u64;
+    let mut sessions = 1u32;
+    let mut admit = 0u64;
+    let mut client_script: Option<String> = None;
+    let mut groups = 8usize;
+    let mut weak: Option<(f64, Option<u64>)> = None;
+    let mut degrade = false;
+    let mut kill_after_commits: Option<u64> = None;
+    let mut trace: Option<String> = None;
+    while let Some(flag) = argv.next() {
+        let mut val = || argv.next();
+        match flag.as_str() {
+            "--store" => {
+                let raw = val()?;
+                if raw.is_empty() || raw.starts_with('-') || std::path::Path::new(&raw).is_file() {
+                    eprintln!("--store expects a directory path, got {raw:?}");
+                    return None;
+                }
+                store = Some(raw);
+            }
+            "--dataset" => dataset = val()?,
+            "--n" => n = val()?.parse().ok()?,
+            "--seed" => seed = val()?.parse().ok()?,
+            "--sessions" => {
+                let raw = val()?;
+                match raw.parse::<u32>() {
+                    Ok(s) if s >= 1 => sessions = s,
+                    _ => {
+                        eprintln!("--sessions expects a positive session count, got {raw:?}");
+                        return None;
+                    }
+                }
+            }
+            "--admit" => {
+                let raw = val()?;
+                let Ok(calls) = raw.parse::<u64>() else {
+                    eprintln!("--admit expects a call count, got {raw:?}");
+                    return None;
+                };
+                if calls == 0 {
+                    eprintln!("--admit 0 admits nothing; drop the flag for unlimited admission");
+                    return None;
+                }
+                admit = calls;
+            }
+            "--client-script" => client_script = Some(val()?),
+            "--groups" => {
+                let raw = val()?;
+                match raw.parse::<usize>() {
+                    Ok(g) if g >= 1 => groups = g,
+                    _ => {
+                        eprintln!("--groups expects a positive group count, got {raw:?}");
+                        return None;
+                    }
+                }
+            }
+            "--weak" => {
+                let raw = val()?;
+                let Some((rate, wseed)) = split_opt::<f64, u64>(&raw) else {
+                    eprintln!("--weak expects RATE[:SEED], got {raw:?}");
+                    return None;
+                };
+                if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                    eprintln!("--weak rate must be a probability in [0, 1], got {rate}");
+                    return None;
+                }
+                weak = Some((rate, wseed));
+            }
+            "--degrade" => degrade = true,
+            "--kill-after-commits" => {
+                let raw = val()?;
+                match raw.parse::<u64>() {
+                    Ok(k) if k >= 1 => kill_after_commits = Some(k),
+                    _ => {
+                        eprintln!(
+                            "--kill-after-commits expects a positive commit count, got {raw:?}"
+                        );
+                        return None;
+                    }
+                }
+            }
+            "--trace" => trace = Some(val()?),
+            "--threads" => prox_exec::set_global_threads(val()?.parse().ok()?),
+            other => {
+                eprintln!("unknown serve flag {other:?}");
+                return None;
+            }
+        }
+    }
+    let Some(store) = store else {
+        eprintln!("serve requires --store DIR (the WAL-backed store directory shared across runs)");
+        return None;
+    };
+    if degrade && weak.is_none() {
+        eprintln!("--degrade requires --weak (there is no weak tier to finish on)");
+        return None;
+    }
+    if n < 2 {
+        eprintln!("--n must be at least 2");
+        return None;
+    }
+    let (script, script_source) = match &client_script {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("--client-script {path}: {e}");
+                    return None;
+                }
+            };
+            match parse_script(&text, n) {
+                Ok(s) => (s, path.clone()),
+                Err(e) => {
+                    eprintln!("--client-script {path}: {e}");
+                    return None;
+                }
+            }
+        }
+        None => (
+            default_script(n, groups, seed),
+            format!("default workload ({groups} groups)"),
+        ),
+    };
+    Some(ServeArgs {
+        store,
+        dataset,
+        n,
+        seed,
+        sessions,
+        admit,
+        script,
+        script_source,
+        weak,
+        degrade,
+        kill_after_commits,
+        trace,
+    })
+}
+
+/// `prox-cli serve`: open (or recover) the shared store, serve the
+/// script, commit everything certified, and leave the WAL behind for
+/// the next client.
+fn serve(args: &ServeArgs) -> ExitCode {
+    let Some(dataset) = by_name(&args.dataset) else {
+        eprintln!("unknown dataset {:?}", args.dataset);
+        return ExitCode::FAILURE;
+    };
+    let metric = dataset.metric(args.n, args.seed);
+
+    // The manifest binds the store directory to one problem instance;
+    // a WAL recorded for a different dataset/n/seed is refused at open.
+    let manifest: Vec<(String, String)> = [
+        ("dataset", args.dataset.clone()),
+        ("n", args.n.to_string()),
+        ("seed", args.seed.to_string()),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v))
+    .collect();
+
+    let mut trace_sink: Option<Rc<JsonlSink>> = None;
+    let mut sink: Option<Rc<dyn TraceSink>> = None;
+    if let Some(path) = &args.trace {
+        match JsonlSink::create(path) {
+            Ok(s) => {
+                let s = Rc::new(s);
+                sink = Some(Rc::<JsonlSink>::clone(&s) as Rc<dyn TraceSink>);
+                trace_sink = Some(s);
+            }
+            Err(e) => {
+                eprintln!("[trace] create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (store, recovery) = match SharedStore::open(
+        std::path::Path::new(&args.store),
+        &manifest,
+        WalConfig::default(),
+    ) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[store] open {}: {e}", args.store);
+            return ExitCode::FAILURE;
+        }
+    };
+    emit_recovery(sink.as_ref(), &recovery);
+    if recovery.entries > 0 || recovery.salvaged {
+        let salvage = if recovery.salvaged {
+            format!(
+                " (salvaged; {} damaged line(s) dropped)",
+                recovery.dropped_lines
+            )
+        } else {
+            String::new()
+        };
+        eprintln!(
+            "[store] recovered {} certified entries from {} WAL segment(s){salvage}",
+            recovery.entries, recovery.segments
+        );
+    } else {
+        eprintln!("[store] {}: empty store; starting cold", args.store);
+    }
+
+    let config = ServeConfig {
+        sessions: args.sessions,
+        session: SessionConfig {
+            admit: args.admit,
+            weak: args
+                .weak
+                .map(|(rate, wseed)| (rate, wseed.unwrap_or(args.seed))),
+            degrade: args.degrade,
+            ..SessionConfig::default()
+        },
+        kill_after_commits: args.kill_after_commits,
+    };
+    let out = BoundServer::new(&*metric, &store, config).run(&args.script, sink.as_ref());
+
+    if let (Some(path), Some(s)) = (&args.trace, &trace_sink) {
+        s.flush();
+        if s.io_errors() > 0 {
+            eprintln!(
+                "[trace] WARNING: {path}: {} write error(s) — events may be missing",
+                s.io_errors()
+            );
+        } else {
+            eprintln!("[trace] {} events -> {path}", s.emitted());
+        }
+    }
+
+    let admitted: u64 = out.stats.iter().map(|s| s.admitted).sum();
+    let rejected: u64 = out.stats.iter().map(|s| s.rejected).sum();
+    let degraded: u64 = out.stats.iter().map(|s| s.degraded).sum();
+    let strong: u64 = out.stats.iter().map(|s| s.strong_calls).sum();
+    let hits: u64 = out.stats.iter().map(|s| s.store_hits).sum();
+    let commits: u64 = out.stats.iter().map(|s| s.commits).sum();
+    let fenced: u64 = out.stats.iter().map(|s| s.fenced).sum();
+    println!(
+        "serve        : {} of {} groups served over {} session(s), {}",
+        out.responses.len(),
+        args.script.len(),
+        args.sessions,
+        args.script_source
+    );
+    println!("admission    : {admitted} admitted, {rejected} rejected, {degraded} degraded");
+    println!("strong calls : {strong} ({hits} store hits)");
+    println!("commits      : {commits} ({fenced} fenced)");
+    println!(
+        "store        : {} certified entries at generation {} ({} WAL-logged)",
+        out.store_entries,
+        out.generation,
+        store.wal_entries_logged()
+    );
+    if args.sessions > 1 {
+        for (i, s) in out.stats.iter().enumerate() {
+            println!(
+                "  session {i}  : {} admitted, {} rejected, {} degraded; {} strong calls, \
+                 {} store hits; {} commits, {} fenced",
+                s.admitted,
+                s.rejected,
+                s.degraded,
+                s.strong_calls,
+                s.store_hits,
+                s.commits,
+                s.fenced
+            );
+        }
+    }
+    if !out.dropped_lines.is_empty() {
+        eprintln!(
+            "[serve] WARNING: dropped {} group(s) (script line(s) {:?}) — admission can never \
+             pass at --admit {}; raise the budget or split the group",
+            out.dropped_lines.len(),
+            out.dropped_lines,
+            args.admit
+        );
+    }
+    if !out.ledger.is_empty() {
+        print!("{}", out.ledger.render());
+    }
+    if out.crashed {
+        eprintln!(
+            "[serve] server crashed; the WAL holds every acknowledged commit — rerun with the \
+             same --store to recover and pay only the missing calls"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     match std::env::args().nth(1).as_deref() {
+        Some("serve") => {
+            return match parse_serve() {
+                Some(args) => serve(&args),
+                None => usage(),
+            };
+        }
         Some("report") => {
             return match std::env::args().nth(2) {
                 Some(path) => report(&path),

@@ -167,6 +167,203 @@ fn audited_run_reports_corruption_accounting() {
 }
 
 #[test]
+fn serve_requires_a_store_directory() {
+    assert_rejected(&["serve"], "serve requires --store DIR");
+    // A plain file is not a store directory.
+    let file = std::env::temp_dir().join(format!("prox-cli-storefile-{}", std::process::id()));
+    std::fs::write(&file, "not a directory").expect("write file");
+    let file_str = file.to_str().expect("utf8 path");
+    assert_rejected(
+        &["serve", "--store", file_str],
+        "--store expects a directory path",
+    );
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn serve_flags_reject_zero_and_garbage() {
+    let base = &["serve", "--store", "ignored-store"];
+    fn with<'a>(base: &[&'a str], extra: &[&'a str]) -> Vec<&'a str> {
+        let mut v = base.to_vec();
+        v.extend_from_slice(extra);
+        v
+    }
+    assert_rejected(
+        &with(base, &["--sessions", "0"]),
+        "--sessions expects a positive session count",
+    );
+    assert_rejected(
+        &with(base, &["--sessions", "many"]),
+        "--sessions expects a positive session count",
+    );
+    assert_rejected(
+        &with(base, &["--admit", "lots"]),
+        "--admit expects a call count",
+    );
+    assert_rejected(&with(base, &["--admit", "0"]), "--admit 0 admits nothing");
+    assert_rejected(
+        &with(base, &["--groups", "0"]),
+        "--groups expects a positive group count",
+    );
+    assert_rejected(
+        &with(base, &["--kill-after-commits", "0"]),
+        "--kill-after-commits expects a positive commit count",
+    );
+    assert_rejected(
+        &with(base, &["--weak", "1.5"]),
+        "--weak rate must be a probability in [0, 1]",
+    );
+    assert_rejected(&with(base, &["--degrade"]), "--degrade requires --weak");
+}
+
+#[test]
+fn serve_rejects_an_unreadable_or_malformed_client_script() {
+    assert_rejected(
+        &[
+            "serve",
+            "--store",
+            "ignored-store",
+            "--client-script",
+            "/definitely/not/here.script",
+        ],
+        "--client-script /definitely/not/here.script",
+    );
+
+    // A readable script with a bad token is rejected with its line number.
+    let dir = std::env::temp_dir().join(format!("prox-cli-badscript-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let script = dir.join("bad.script");
+    std::fs::write(&script, "0-1\nbogus\n").expect("write script");
+    let script_str = script.to_str().expect("utf8 path");
+    assert_rejected(
+        &[
+            "serve",
+            "--store",
+            "ignored-store",
+            "--client-script",
+            script_str,
+        ],
+        "line 2",
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The "strong calls : N (...)" line of a serve summary.
+fn strong_calls(stdout: &str) -> u64 {
+    stdout
+        .lines()
+        .find(|l| l.starts_with("strong calls"))
+        .and_then(|l| l.split(':').nth(1))
+        .and_then(|t| t.trim().split(' ').next())
+        .and_then(|t| t.parse().ok())
+        .unwrap_or_else(|| panic!("no strong-calls line in {stdout:?}"))
+}
+
+#[test]
+fn serve_reuses_the_shared_store_across_clients() {
+    let dir = std::env::temp_dir().join(format!("prox-cli-serve-reuse-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = dir.join("store");
+    let store_str = store.to_str().expect("utf8 path");
+    let base = &[
+        "serve",
+        "--store",
+        store_str,
+        "--dataset",
+        "sf",
+        "--n",
+        "64",
+        "--groups",
+        "5",
+        "--seed",
+        "9",
+    ];
+
+    // Client A starts cold and pays the full bill.
+    let (ok, a_out, stderr) = run(base);
+    assert!(ok, "first serve failed: {stderr}");
+    assert!(
+        stderr.contains("starting cold"),
+        "first run must start cold, got {stderr}"
+    );
+    let a = strong_calls(&a_out);
+    assert!(a > 0, "cold client must pay strong calls, got {a_out}");
+
+    // Client B replays the WAL and pays strictly less (here: nothing) —
+    // the cross-query reuse the serving layer exists for.
+    let (ok, b_out, stderr) = run(base);
+    assert!(ok, "second serve failed: {stderr}");
+    assert!(
+        stderr.contains("recovered"),
+        "second run must recover the WAL, got {stderr}"
+    );
+    let b = strong_calls(&b_out);
+    assert!(
+        b < a,
+        "second client must pay strictly fewer strong calls ({b} vs {a})"
+    );
+
+    // A store recorded for one problem instance refuses another.
+    let (ok, _, stderr) = run(&[
+        "serve",
+        "--store",
+        store_str,
+        "--dataset",
+        "sf",
+        "--n",
+        "32",
+        "--groups",
+        "5",
+        "--seed",
+        "9",
+    ]);
+    assert!(!ok, "foreign manifest must be refused");
+    assert!(stderr.contains("[store] open"), "stderr: {stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_trace_reports_admission_in_its_own_section() {
+    let dir = std::env::temp_dir().join(format!("prox-cli-serve-trace-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let store = dir.join("store");
+    let trace = dir.join("serve.jsonl");
+    let (ok, stdout, stderr) = run(&[
+        "serve",
+        "--store",
+        store.to_str().expect("utf8 path"),
+        "--dataset",
+        "sf",
+        "--n",
+        "48",
+        "--groups",
+        "4",
+        "--sessions",
+        "2",
+        "--trace",
+        trace.to_str().expect("utf8 path"),
+    ]);
+    assert!(ok, "traced serve failed: {stderr}");
+    assert!(stdout.contains("admission    : 4 admitted"), "{stdout}");
+
+    // `prox-cli report` renders the serve events in their own section,
+    // and its admitted count matches the runner's summary exactly.
+    let (ok, report, stderr) = run(&["report", trace.to_str().expect("utf8 path")]);
+    assert!(ok, "report failed: {stderr}");
+    assert!(
+        report.contains("serving / admission:"),
+        "report must have a serving section, got {report}"
+    );
+    assert!(
+        report.contains("4 groups admitted"),
+        "report admitted count must match the runner summary, got {report}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn lenient_load_salvages_a_damaged_cache() {
     let dir = std::env::temp_dir().join(format!("prox-cli-lenient-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("mkdir");

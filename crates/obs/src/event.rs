@@ -271,6 +271,72 @@ pub enum TraceEvent {
         /// Occurrences attributed to this row.
         count: u64,
     },
+    /// A serve-layer session's group query passed admission control.
+    SessionAdmit {
+        /// Session id.
+        session: u32,
+        /// Pairs in the admitted group.
+        pairs: u32,
+        /// Pairs missing from snapshot + memo (the cost bound admission
+        /// checked against the budget).
+        missing: u32,
+    },
+    /// A serve-layer group query was bounced by admission control.
+    SessionReject {
+        /// Session id.
+        session: u32,
+        /// Pairs missing from snapshot + memo.
+        missing: u64,
+        /// The admission budget the group exceeded.
+        admit: u64,
+        /// Retry hint: store size at which the group could fit.
+        retry_at: u64,
+    },
+    /// A serve-layer session finished a group degraded (strong tier lost
+    /// mid-group; uncertified answers were served, never committed).
+    SessionDegrade {
+        /// Session id.
+        session: u32,
+        /// Uncertified pairs in the response.
+        pairs: u32,
+    },
+    /// A serve-layer session was quarantined after its resolver's audit
+    /// saw poisoned state; the store epoch was fenced.
+    SessionQuarantine {
+        /// Session id.
+        session: u32,
+    },
+    /// A session's batch was durably committed to the shared store.
+    StoreCommit {
+        /// Session id.
+        session: u32,
+        /// Entries new to the store (WAL-logged then applied).
+        fresh: u64,
+        /// Entries the store already held (skipped).
+        duplicates: u64,
+        /// Store generation after the commit.
+        generation: u64,
+    },
+    /// A commit was refused because the session's epoch token was stale.
+    CommitFenced {
+        /// Session id.
+        session: u32,
+        /// Epoch the stale token was issued under.
+        token_epoch: u64,
+        /// The store's epoch at refusal time.
+        store_epoch: u64,
+    },
+    /// The shared store's write-ahead log was replayed at open.
+    WalRecover {
+        /// Segments found on disk.
+        segments: u64,
+        /// Entries recovered.
+        entries: u64,
+        /// Unverifiable tail lines dropped by lenient salvage.
+        dropped_lines: u64,
+        /// True when the tail segment was torn and salvaged.
+        salvaged: bool,
+    },
 }
 
 impl TraceEvent {
@@ -298,6 +364,13 @@ impl TraceEvent {
             TraceEvent::PhaseEnter { .. } => "phase_enter",
             TraceEvent::PhaseExit { .. } => "phase_exit",
             TraceEvent::Provenance { .. } => "provenance",
+            TraceEvent::SessionAdmit { .. } => "session_admit",
+            TraceEvent::SessionReject { .. } => "session_reject",
+            TraceEvent::SessionDegrade { .. } => "session_degrade",
+            TraceEvent::SessionQuarantine { .. } => "session_quarantine",
+            TraceEvent::StoreCommit { .. } => "store_commit",
+            TraceEvent::CommitFenced { .. } => "commit_fenced",
+            TraceEvent::WalRecover { .. } => "wal_recover",
         }
     }
 
@@ -419,6 +492,69 @@ impl TraceEvent {
                     out,
                     ",\"kind\":\"{kind}\",\"scheme\":\"{scheme}\",\"tier\":\"{tier}\",\
                      \"count\":{count}"
+                );
+            }
+            TraceEvent::SessionAdmit {
+                session,
+                pairs,
+                missing,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"pairs\":{pairs},\"missing\":{missing}"
+                );
+            }
+            TraceEvent::SessionReject {
+                session,
+                missing,
+                admit,
+                retry_at,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"missing\":{missing},\"admit\":{admit},\
+                     \"retry_at\":{retry_at}"
+                );
+            }
+            TraceEvent::SessionDegrade { session, pairs } => {
+                let _ = write!(out, ",\"session\":{session},\"pairs\":{pairs}");
+            }
+            TraceEvent::SessionQuarantine { session } => {
+                let _ = write!(out, ",\"session\":{session}");
+            }
+            TraceEvent::StoreCommit {
+                session,
+                fresh,
+                duplicates,
+                generation,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"fresh\":{fresh},\"duplicates\":{duplicates},\
+                     \"gen\":{generation}"
+                );
+            }
+            TraceEvent::CommitFenced {
+                session,
+                token_epoch,
+                store_epoch,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"token_epoch\":{token_epoch},\
+                     \"store_epoch\":{store_epoch}"
+                );
+            }
+            TraceEvent::WalRecover {
+                segments,
+                entries,
+                dropped_lines,
+                salvaged,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"segments\":{segments},\"entries\":{entries},\
+                     \"dropped_lines\":{dropped_lines},\"salvaged\":{salvaged}"
                 );
             }
         }
@@ -599,6 +735,76 @@ mod tests {
             "{\"seq\":2,\"ev\":\"degraded\",\"strong_calls\":64,\
              \"reason\":\"budget_exhausted\"}\n"
         );
+    }
+
+    #[test]
+    fn serve_events_encode_and_are_semantic() {
+        let cases: [(TraceEvent, &str); 7] = [
+            (
+                TraceEvent::SessionAdmit {
+                    session: 2,
+                    pairs: 28,
+                    missing: 5,
+                },
+                "{\"seq\":1,\"ev\":\"session_admit\",\"session\":2,\"pairs\":28,\"missing\":5}\n",
+            ),
+            (
+                TraceEvent::SessionReject {
+                    session: 0,
+                    missing: 15,
+                    admit: 4,
+                    retry_at: 11,
+                },
+                "{\"seq\":1,\"ev\":\"session_reject\",\"session\":0,\"missing\":15,\
+                 \"admit\":4,\"retry_at\":11}\n",
+            ),
+            (
+                TraceEvent::SessionDegrade {
+                    session: 1,
+                    pairs: 9,
+                },
+                "{\"seq\":1,\"ev\":\"session_degrade\",\"session\":1,\"pairs\":9}\n",
+            ),
+            (
+                TraceEvent::SessionQuarantine { session: 3 },
+                "{\"seq\":1,\"ev\":\"session_quarantine\",\"session\":3}\n",
+            ),
+            (
+                TraceEvent::StoreCommit {
+                    session: 1,
+                    fresh: 10,
+                    duplicates: 2,
+                    generation: 4,
+                },
+                "{\"seq\":1,\"ev\":\"store_commit\",\"session\":1,\"fresh\":10,\
+                 \"duplicates\":2,\"gen\":4}\n",
+            ),
+            (
+                TraceEvent::CommitFenced {
+                    session: 2,
+                    token_epoch: 0,
+                    store_epoch: 1,
+                },
+                "{\"seq\":1,\"ev\":\"commit_fenced\",\"session\":2,\"token_epoch\":0,\
+                 \"store_epoch\":1}\n",
+            ),
+            (
+                TraceEvent::WalRecover {
+                    segments: 3,
+                    entries: 130,
+                    dropped_lines: 6,
+                    salvaged: true,
+                },
+                "{\"seq\":1,\"ev\":\"wal_recover\",\"segments\":3,\"entries\":130,\
+                 \"dropped_lines\":6,\"salvaged\":true}\n",
+            ),
+        ];
+        for (ev, want) in cases {
+            assert_eq!(ev.class(), EventClass::Semantic, "{ev:?}");
+            let mut s = String::new();
+            ev.write_jsonl(1, &mut s);
+            assert_eq!(s, want);
+        }
     }
 
     #[test]

@@ -150,6 +150,30 @@ pub struct TraceSummary {
     /// numbering. Nonzero means the sink dropped writes (see
     /// `JsonlSink::io_errors`) — the summary under-counts by this many.
     pub dropped_events: u64,
+    /// Serve-layer group queries that passed admission control.
+    pub serve_admitted: u64,
+    /// Serve-layer group queries bounced by admission control.
+    pub serve_rejected: u64,
+    /// Serve-layer groups that finished degraded (`session_degrade`).
+    pub serve_degraded: u64,
+    /// Sessions quarantined after a poisoned-state detection.
+    pub serve_quarantined: u64,
+    /// Successful store commits (`store_commit` events).
+    pub store_commits: u64,
+    /// Fresh entries those commits made durable, summed.
+    pub store_fresh: u64,
+    /// Already-certified duplicates those commits skipped, summed.
+    pub store_duplicates: u64,
+    /// Commits refused for a stale epoch token (`commit_fenced`).
+    pub commits_fenced: u64,
+    /// WAL replays at store open (`wal_recover` events).
+    pub wal_recoveries: u64,
+    /// Entries recovered across those replays, summed.
+    pub wal_recovered_entries: u64,
+    /// Unverifiable tail lines dropped by lenient salvage, summed.
+    pub wal_dropped_lines: u64,
+    /// Replays whose tail segment was torn and salvaged.
+    pub wal_salvaged: u64,
     /// Provenance-ledger rows replayed from `provenance` events, in trace
     /// order (the writer emits them in the ledger's stable order).
     pub provenance: Vec<ProvenanceRow>,
@@ -272,6 +296,40 @@ impl TraceSummary {
                 "  strong oracle lost after {} calls ({}); run finished on weak+bounds",
                 self.degraded_strong_calls, self.degraded_reason
             );
+        }
+
+        let serve_activity = self.serve_admitted
+            + self.serve_rejected
+            + self.serve_quarantined
+            + self.store_commits
+            + self.commits_fenced
+            + self.wal_recoveries;
+        if serve_activity > 0 {
+            let _ = writeln!(out, "\nserving / admission:");
+            let _ = writeln!(
+                out,
+                "  {} groups admitted, {} rejected, {} degraded, {} sessions quarantined",
+                self.serve_admitted,
+                self.serve_rejected,
+                self.serve_degraded,
+                self.serve_quarantined
+            );
+            let _ = writeln!(
+                out,
+                "  {} commits ({} fresh, {} duplicates), {} fenced",
+                self.store_commits, self.store_fresh, self.store_duplicates, self.commits_fenced
+            );
+            if self.wal_recoveries > 0 {
+                let _ = writeln!(
+                    out,
+                    "  {} WAL replay(s): {} entries recovered, {} torn line(s) dropped, \
+                     {} salvaged tail(s)",
+                    self.wal_recoveries,
+                    self.wal_recovered_entries,
+                    self.wal_dropped_lines,
+                    self.wal_salvaged
+                );
+            }
         }
 
         if !self.provenance.is_empty() {
@@ -497,6 +555,36 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
                     count: u64_field(line, "count", lineno)?,
                 });
             }
+            "session_admit" => {
+                s.serve_admitted += 1;
+            }
+            "session_reject" => {
+                s.serve_rejected += 1;
+            }
+            "session_degrade" => {
+                s.serve_degraded += 1;
+            }
+            "session_quarantine" => {
+                s.serve_quarantined += 1;
+            }
+            "store_commit" => {
+                s.store_commits += 1;
+                s.store_fresh += u64_field(line, "fresh", lineno)?;
+                s.store_duplicates += u64_field(line, "duplicates", lineno)?;
+            }
+            "commit_fenced" => {
+                s.commits_fenced += 1;
+            }
+            "wal_recover" => {
+                s.wal_recoveries += 1;
+                s.wal_recovered_entries += u64_field(line, "entries", lineno)?;
+                s.wal_dropped_lines += u64_field(line, "dropped_lines", lineno)?;
+                let salvaged = field(line, "salvaged")
+                    .ok_or_else(|| format!("line {lineno}: missing field \"salvaged\""))?;
+                if salvaged == "true" {
+                    s.wal_salvaged += 1;
+                }
+            }
             "speculate" | "commit" => {}
             other => {
                 return Err(format!("line {lineno}: unknown event {other:?}"));
@@ -643,6 +731,53 @@ mod tests {
         let bad =
             "{\"seq\":0,\"ev\":\"weak_probe\",\"lo\":0,\"hi\":1,\"attempts\":1,\"outcome\":\"wat\"}\n";
         assert!(summarize(bad).unwrap_err().contains("unknown weak outcome"));
+    }
+
+    #[test]
+    fn serve_events_get_their_own_section() {
+        let text = "\
+{\"seq\":0,\"ev\":\"wal_recover\",\"segments\":2,\"entries\":90,\"dropped_lines\":6,\"salvaged\":true}
+{\"seq\":1,\"ev\":\"session_admit\",\"session\":0,\"pairs\":28,\"missing\":28}
+{\"seq\":2,\"ev\":\"session_reject\",\"session\":1,\"missing\":15,\"admit\":4,\"retry_at\":11}
+{\"seq\":3,\"ev\":\"session_admit\",\"session\":1,\"pairs\":15,\"missing\":2}
+{\"seq\":4,\"ev\":\"session_degrade\",\"session\":1,\"pairs\":9}
+{\"seq\":5,\"ev\":\"store_commit\",\"session\":0,\"fresh\":28,\"duplicates\":0,\"gen\":1}
+{\"seq\":6,\"ev\":\"commit_fenced\",\"session\":1,\"token_epoch\":0,\"store_epoch\":1}
+{\"seq\":7,\"ev\":\"session_quarantine\",\"session\":2}
+{\"seq\":8,\"ev\":\"store_commit\",\"session\":1,\"fresh\":4,\"duplicates\":2,\"gen\":2}
+";
+        let s = summarize(text).expect("valid");
+        assert_eq!(s.serve_admitted, 2);
+        assert_eq!(s.serve_rejected, 1);
+        assert_eq!(s.serve_degraded, 1);
+        assert_eq!(s.serve_quarantined, 1);
+        assert_eq!(s.store_commits, 2);
+        assert_eq!(s.store_fresh, 32);
+        assert_eq!(s.store_duplicates, 2);
+        assert_eq!(s.commits_fenced, 1);
+        assert_eq!(s.wal_recoveries, 1);
+        assert_eq!(s.wal_recovered_entries, 90);
+        assert_eq!(s.wal_dropped_lines, 6);
+        assert_eq!(s.wal_salvaged, 1);
+        let r = s.render();
+        assert!(r.contains("serving / admission"), "{r}");
+        assert!(
+            r.contains("2 groups admitted, 1 rejected, 1 degraded, 1 sessions quarantined"),
+            "{r}"
+        );
+        assert!(
+            r.contains("2 commits (32 fresh, 2 duplicates), 1 fenced"),
+            "{r}"
+        );
+        assert!(
+            r.contains("1 WAL replay(s): 90 entries recovered, 6 torn line(s) dropped"),
+            "{r}"
+        );
+        // A serve-free trace renders no serving section.
+        assert!(!summarize(SAMPLE)
+            .expect("valid")
+            .render()
+            .contains("serving / admission"));
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Client scripts: the replayable workload format `prox-cli serve`
+//! drives sessions with.
+//!
+//! One non-comment line per group. Tokens on a line:
+//!
+//! * `A-B`   — the explicit pair `{A, B}`
+//! * `A..B`  — a block selector over members `A, A+1, …, B-1` (every
+//!   pair in the clique)
+//! * `!A-B`  — add `{A, B}` to the group's skip set
+//!
+//! Blank lines and `#`-comments are ignored. Groups are assigned to
+//! sessions round-robin by line order (session `i` of `S` takes lines
+//! `i, i+S, …`), which keeps the workload assignment a pure function
+//! of the script and the session count — the replay half of I12.
+
+use std::collections::BTreeSet;
+
+use prox_core::{Pair, TinyRng};
+
+use crate::group::{PairGroupQuery, PairSelector};
+
+/// Parses a client script. Errors carry the 1-based line number.
+pub fn parse_script(text: &str, n: usize) -> Result<Vec<PairGroupQuery>, String> {
+    let mut groups = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut pairs: Vec<Pair> = Vec::new();
+        let mut skip: BTreeSet<Pair> = BTreeSet::new();
+        for token in line.split_whitespace() {
+            parse_token(token, n, &mut pairs, &mut skip)
+                .map_err(|e| format!("line {lineno}: {e}"))?;
+        }
+        if pairs.is_empty() {
+            return Err(format!("line {lineno}: group selects no pairs"));
+        }
+        groups.push(PairGroupQuery::explicit(pairs).with_skip(skip));
+    }
+    if groups.is_empty() {
+        return Err("script has no groups".to_string());
+    }
+    Ok(groups)
+}
+
+/// Parses one token into the group being built.
+fn parse_token(
+    token: &str,
+    n: usize,
+    pairs: &mut Vec<Pair>,
+    skip: &mut BTreeSet<Pair>,
+) -> Result<(), String> {
+    if let Some(rest) = token.strip_prefix('!') {
+        skip.insert(parse_pair(rest, n)?);
+        return Ok(());
+    }
+    if let Some((lo, hi)) = token.split_once("..") {
+        let lo: u32 = parse_id(lo, n)?;
+        let hi: u32 = hi
+            .parse()
+            .map_err(|_| format!("bad block bound in {token:?}"))?;
+        if hi as usize > n || lo + 1 >= hi {
+            return Err(format!(
+                "block {token:?} out of range (need lo + 1 < hi <= n = {n})"
+            ));
+        }
+        let members: Vec<u32> = (lo..hi).collect();
+        for q in (PairGroupQuery {
+            selector: PairSelector::Block(members),
+            skip: BTreeSet::new(),
+        })
+        .pairs()
+        {
+            pairs.push(q);
+        }
+        return Ok(());
+    }
+    pairs.push(parse_pair(token, n)?);
+    Ok(())
+}
+
+/// `A-B` with both ids in range and distinct.
+fn parse_pair(s: &str, n: usize) -> Result<Pair, String> {
+    let (a, b) = s
+        .split_once('-')
+        .ok_or_else(|| format!("bad pair token {s:?} (want A-B)"))?;
+    let a = parse_id(a, n)?;
+    let b = parse_id(b, n)?;
+    if a == b {
+        return Err(format!("self pair {s:?}"));
+    }
+    Ok(Pair::new(a, b))
+}
+
+/// An object id in `0..n`.
+fn parse_id(s: &str, n: usize) -> Result<u32, String> {
+    let id: u32 = s.parse().map_err(|_| format!("bad object id {s:?}"))?;
+    if id as usize >= n {
+        return Err(format!("object id {id} out of range (n = {n})"));
+    }
+    Ok(id)
+}
+
+/// A deterministic default workload when no `--client-script` is
+/// given: `groups` overlapping block queries over a universe of `n`
+/// objects. Overlap is deliberate — it is what makes cross-query (and
+/// cross-client) bound reuse visible.
+pub fn default_script(n: usize, groups: usize, seed: u64) -> Vec<PairGroupQuery> {
+    let mut rng = TinyRng::new(seed ^ 0x5e7e);
+    let mut out = Vec::with_capacity(groups);
+    let width = (n / 4).clamp(2, 12);
+    for _ in 0..groups {
+        let lo = rng.below(n.saturating_sub(width).max(1)) as u32;
+        let members: Vec<u32> = (lo..lo + width as u32).collect();
+        out.push(PairGroupQuery {
+            selector: PairSelector::Block(members),
+            skip: BTreeSet::new(),
+        });
+    }
+    out
+}
+
+/// Renders a script back to the line format (used by tests and the
+/// CLI's `--emit-script` round trip).
+pub fn render_script(groups: &[PairGroupQuery]) -> String {
+    let mut out = String::new();
+    for g in groups {
+        let mut tokens: Vec<String> = g
+            .pairs()
+            .iter()
+            .map(|p| format!("{}-{}", p.lo(), p.hi()))
+            .collect();
+        tokens.extend(g.skip.iter().map(|p| format!("!{}-{}", p.lo(), p.hi())));
+        out.push_str(&tokens.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pairs_blocks_and_skips() {
+        let script = "# two groups\n0-1 2-3\n0..4 !1-2\n";
+        let groups = parse_script(script, 8).unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].pairs(), vec![Pair::new(0, 1), Pair::new(2, 3)]);
+        // 0..4 = clique over {0,1,2,3} minus the skipped (1,2).
+        let second = groups[1].pairs();
+        assert_eq!(second.len(), 5);
+        assert!(!second.contains(&Pair::new(1, 2)));
+    }
+
+    #[test]
+    fn rejects_bad_tokens_with_line_numbers() {
+        assert!(parse_script("0-1\nbogus\n", 8)
+            .unwrap_err()
+            .contains("line 2"));
+        assert!(parse_script("0-9\n", 8)
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(parse_script("3-3\n", 8).unwrap_err().contains("self pair"));
+        assert!(parse_script("\n# only comments\n", 8)
+            .unwrap_err()
+            .contains("no groups"));
+    }
+
+    #[test]
+    fn default_script_is_deterministic_and_round_trips() {
+        let a = default_script(32, 6, 42);
+        let b = default_script(32, 6, 42);
+        assert_eq!(a, b);
+        let rendered = render_script(&a);
+        let reparsed = parse_script(&rendered, 32).unwrap();
+        let flat =
+            |gs: &[PairGroupQuery]| -> Vec<Vec<Pair>> { gs.iter().map(|g| g.pairs()).collect() };
+        assert_eq!(flat(&a), flat(&reparsed));
+    }
+}

@@ -1,0 +1,402 @@
+//! Client sessions: admission control, group resolution, quarantine.
+//!
+//! A session is the server-side state for one client: its private
+//! certified memo (resolutions not yet visible in the store), its
+//! cumulative accounting, and its health. The actual resolution work
+//! for one group runs in [`run_group`] — a **pure function** of the
+//! round-start store snapshot, the session's memo, and the query. That
+//! purity is the whole determinism argument: the server can run any
+//! number of these cells concurrently (one per session) and the
+//! outcome is identical to running them in a loop, so responses and
+//! call counts are byte-identical at every `--threads N` (I12/I5).
+//!
+//! Admission is decided *before* any oracle work and never blocks the
+//! store: the group's strong-call cost is bounded above by the number
+//! of its pairs missing from snapshot + memo (each missing pair costs
+//! at most one strong call on the value path), so a group whose bound
+//! exceeds the per-client admission budget is rejected immediately
+//! with a deterministic retry hint.
+
+use std::time::Duration;
+
+use prox_bounds::{BoundResolver, CascadeResolver, DistanceResolver, TriScheme};
+use prox_core::{
+    CallBudget, FaultInjector, Metric, Oracle, OracleError, Pair, RetryPolicy, WeakOracle,
+};
+use prox_obs::ProvenanceLedger;
+
+use crate::group::{GroupResponse, PairGroupQuery};
+
+/// Per-session serving knobs.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct SessionConfig {
+    /// Admission budget: max strong calls one group may cost this
+    /// client (`0` = unlimited, admission always passes). Also
+    /// installed as a hard [`CallBudget`] on the group's oracle, so a
+    /// retry storm cannot bill past it either.
+    pub admit: u64,
+    /// Weak-tier cascade `(error rate, seed)`; the per-session weak
+    /// seed is `seed ^ session_id` so sessions err independently.
+    pub weak: Option<(f64, u64)>,
+    /// Degrade instead of failing when the strong tier is lost
+    /// mid-group (requires `weak`).
+    pub degrade: bool,
+    /// Deterministic transient-fault injection `(rate, seed)` on every
+    /// session oracle.
+    pub faults: Option<(f64, u64)>,
+    /// Retry depth when faults are injected.
+    pub retry: u32,
+    /// Virtual cost charged per strong call (drives the deadline).
+    pub call_cost: Duration,
+    /// Virtual deadline per group — with `call_cost` set this is the
+    /// chaos suite's deterministic mid-batch kill switch.
+    pub deadline: Option<Duration>,
+}
+
+/// Deterministic backpressure: when to come back after a rejection.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RetryHint {
+    /// Retry once the store holds at least this many entries — the
+    /// point at which enough of this group's missing pairs *could*
+    /// have been certified by other sessions to fit the budget. A
+    /// hint, not a guarantee: other sessions may certify unrelated
+    /// pairs.
+    pub store_entries_at_least: u64,
+}
+
+/// What one group execution produced.
+#[derive(Debug)]
+pub enum GroupOutcome {
+    /// Admission refused the group; nothing was resolved or billed.
+    Rejected {
+        /// Pairs missing from snapshot + memo (the cost upper bound).
+        missing: u64,
+        /// The admission budget it exceeded.
+        admit: u64,
+        /// When to retry.
+        retry: RetryHint,
+    },
+    /// The group was served.
+    Served(Box<ServedGroup>),
+    /// The strong tier was lost mid-group with degradation off. The
+    /// group's work is discarded (nothing certified is lost — it was
+    /// never committed) and the server treats the session as crashed.
+    Failed {
+        /// The terminal oracle error.
+        error: OracleError,
+    },
+}
+
+/// A served group: the client-visible response plus what the server
+/// needs for the commit step and the books.
+#[derive(Debug)]
+pub struct ServedGroup {
+    /// The client-visible answer.
+    pub response: GroupResponse,
+    /// Certified entries new to snapshot + memo — the commit batch.
+    pub fresh: Vec<(Pair, f64)>,
+    /// The session resolver's provenance rows for this group.
+    pub ledger: ProvenanceLedger,
+    /// True when the session finished the group degraded.
+    pub degraded: bool,
+    /// True when the resolver's audit saw poisoned state — the server
+    /// must quarantine the session instead of committing.
+    pub quarantine: bool,
+}
+
+/// A session's cumulative accounting, rendered in the serve summary
+/// and cross-checked by the report suite.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Groups admitted (and fully served).
+    pub admitted: u64,
+    /// Groups bounced by admission control.
+    pub rejected: u64,
+    /// Groups that finished degraded.
+    pub degraded: u64,
+    /// Strong-oracle calls billed to this session.
+    pub strong_calls: u64,
+    /// Group pairs served straight from the shared store.
+    pub store_hits: u64,
+    /// Successful commits.
+    pub commits: u64,
+    /// Commits bounced by epoch fencing.
+    pub fenced: u64,
+}
+
+/// Server-side state for one client session.
+#[derive(Clone, Debug)]
+pub struct ClientSession {
+    /// Session id (also the index into the server's session table).
+    pub id: u32,
+    /// Certified entries this session resolved that are not yet in the
+    /// store (commit pending or fenced), ascending by pair key.
+    pub memo: Vec<(Pair, f64)>,
+    /// Cumulative accounting.
+    pub stats: SessionStats,
+    /// Set once the session is quarantined; a quarantined session
+    /// serves nothing until the server re-syncs it.
+    pub quarantined: bool,
+}
+
+impl ClientSession {
+    /// A fresh session.
+    pub fn new(id: u32) -> Self {
+        ClientSession {
+            id,
+            memo: Vec::new(),
+            stats: SessionStats::default(),
+            quarantined: false,
+        }
+    }
+}
+
+/// Resolves one group for one session: admission, snapshot + memo
+/// preload, canonical-order resolution, degradation bookkeeping. Pure
+/// in `(metric, snapshot, memo, query, id, config)` — see module docs.
+pub fn run_group(
+    metric: &(dyn Metric + Send + Sync),
+    snapshot: &[(Pair, f64)],
+    memo: &[(Pair, f64)],
+    query: &PairGroupQuery,
+    id: u32,
+    config: &SessionConfig,
+) -> GroupOutcome {
+    let pairs = query.pairs();
+    // Snapshot + memo merged, key-sorted, deduplicated once: the held
+    // set, the preload list, and the freshness partition all run as
+    // binary searches over this single allocation. The serve warm path
+    // is bench-gated within 2x of direct resolution (`store_layer/*`),
+    // so no per-pair tree bookkeeping is affordable here.
+    let mut held: Vec<(u64, Pair, f64)> = snapshot
+        .iter()
+        .chain(memo.iter())
+        .map(|&(p, d)| (p.key(), p, d))
+        .collect();
+    held.sort_unstable_by_key(|e| e.0);
+    held.dedup_by_key(|e| e.0);
+    // `pairs` and `held` are both key-ascending: one merge walk counts
+    // the missing pairs (the admission bound), and its complement is
+    // the group's store-hit count.
+    let mut missing = 0u64;
+    {
+        let mut i = 0;
+        for p in &pairs {
+            let k = p.key();
+            while i < held.len() && held[i].0 < k {
+                i += 1;
+            }
+            if i >= held.len() || held[i].0 != k {
+                missing += 1;
+            }
+        }
+    }
+    let store_hits = pairs.len() as u64 - missing;
+    if config.admit > 0 && missing > config.admit {
+        return GroupOutcome::Rejected {
+            missing,
+            admit: config.admit,
+            retry: RetryHint {
+                store_entries_at_least: snapshot.len() as u64 + (missing - config.admit),
+            },
+        };
+    }
+
+    let mut budget = if config.admit > 0 {
+        CallBudget::calls(config.admit)
+    } else {
+        CallBudget::unlimited()
+    };
+    if let Some(d) = config.deadline {
+        budget = budget.with_deadline(d);
+    }
+    let mut oracle = Oracle::with_cost(metric, config.call_cost).with_budget(budget);
+    if let Some((rate, seed)) = config.faults {
+        oracle = oracle
+            .with_faults(FaultInjector::new(rate, seed))
+            .with_retry(RetryPolicy::standard(config.retry.max(1)));
+    }
+    let resolver = BoundResolver::new(&oracle, TriScheme::new(metric.len(), 1.0));
+    match config.weak {
+        Some((rate, seed)) => {
+            let weak = WeakOracle::new(metric, rate, seed ^ u64::from(id));
+            let cascade = CascadeResolver::new(resolver, weak).with_degrade(config.degrade);
+            resolve_all(cascade, &oracle, &held, &pairs, store_hits)
+        }
+        None => resolve_all(resolver, &oracle, &held, &pairs, store_hits),
+    }
+}
+
+/// The shared tail of [`run_group`] for both resolver shapes. `held` is
+/// the merged snapshot + memo, key-sorted and deduplicated.
+fn resolve_all<R: DistanceResolver>(
+    mut resolver: R,
+    oracle: &Oracle<&(dyn Metric + Send + Sync)>,
+    held: &[(u64, Pair, f64)],
+    pairs: &[Pair],
+    store_hits: u64,
+) -> GroupOutcome {
+    for &(_, p, d) in held {
+        resolver.preload(p, d);
+    }
+    let mut resolved = Vec::with_capacity(pairs.len());
+    for &p in pairs {
+        match resolver.resolve_fallible(p) {
+            Ok(d) => resolved.push((p, d)),
+            Err(error) => return GroupOutcome::Failed { error },
+        }
+    }
+    let mut certified = Vec::new();
+    resolver.export_known(&mut certified);
+    certified.sort_unstable_by_key(|(p, _)| p.key());
+    // Two more merge walks over key-ascending sequences: the group
+    // pairs the resolver could not certify (degraded answers), and the
+    // certified entries the store does not hold yet (the commit batch).
+    let mut degraded_pairs = Vec::new();
+    {
+        let mut i = 0;
+        for &p in pairs {
+            let k = p.key();
+            while i < certified.len() && certified[i].0.key() < k {
+                i += 1;
+            }
+            if i >= certified.len() || certified[i].0.key() != k {
+                degraded_pairs.push(p);
+            }
+        }
+    }
+    let mut fresh = Vec::new();
+    {
+        let mut i = 0;
+        for &(p, d) in &certified {
+            let k = p.key();
+            while i < held.len() && held[i].0 < k {
+                i += 1;
+            }
+            if i >= held.len() || held[i].0 != k {
+                fresh.push((p, d));
+            }
+        }
+    }
+    let quarantine = resolver.corruption_stats().detected > 0;
+    GroupOutcome::Served(Box::new(ServedGroup {
+        response: GroupResponse {
+            resolved,
+            degraded: degraded_pairs,
+            strong_calls: oracle.calls(),
+            store_hits,
+        },
+        fresh,
+        ledger: resolver.provenance(),
+        degraded: resolver.degradation().is_some(),
+        quarantine,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prox_datasets::{ClusteredPlane, Dataset};
+    use std::collections::BTreeSet;
+
+    fn served(outcome: GroupOutcome) -> ServedGroup {
+        match outcome {
+            GroupOutcome::Served(s) => *s,
+            other => panic!("expected Served, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admission_rejects_with_a_deterministic_hint() {
+        let metric = ClusteredPlane::default().metric(16, 7);
+        let query = PairGroupQuery::explicit(Pair::all(6).collect());
+        let config = SessionConfig {
+            admit: 4,
+            ..SessionConfig::default()
+        };
+        // 15 missing pairs against a budget of 4.
+        match run_group(&*metric, &[], &[], &query, 0, &config) {
+            GroupOutcome::Rejected {
+                missing,
+                admit,
+                retry,
+            } => {
+                assert_eq!((missing, admit), (15, 4));
+                assert_eq!(retry.store_entries_at_least, 11);
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_hits_are_free_and_fresh_is_disjoint() {
+        let metric = ClusteredPlane::default().metric(16, 7);
+        let query = PairGroupQuery::explicit(Pair::all(5).collect());
+        let config = SessionConfig::default();
+        let first = served(run_group(&*metric, &[], &[], &query, 0, &config));
+        assert_eq!(first.response.strong_calls, 10);
+        assert_eq!(first.response.store_hits, 0);
+        assert_eq!(first.fresh.len(), 10);
+        assert!(first.response.degraded.is_empty());
+
+        // Same group with the first run's answers as the snapshot:
+        // everything is a store hit, nothing is billed or fresh.
+        let snap = first.fresh.clone();
+        let second = served(run_group(&*metric, &snap, &[], &query, 1, &config));
+        assert_eq!(second.response.strong_calls, 0);
+        assert_eq!(second.response.store_hits, 10);
+        assert!(second.fresh.is_empty());
+        assert_eq!(second.response.resolved, first.response.resolved);
+        assert_eq!(second.ledger.checkpoint_preload, 10);
+        assert_eq!(second.ledger.strong_call, 0);
+    }
+
+    #[test]
+    fn virtual_deadline_kill_without_degrade_fails_the_group() {
+        let metric = ClusteredPlane::default().metric(32, 7);
+        let query = PairGroupQuery::explicit(Pair::all(20).collect());
+        let config = SessionConfig {
+            call_cost: Duration::from_millis(1),
+            deadline: Some(Duration::from_millis(5)),
+            ..SessionConfig::default()
+        };
+        match run_group(&*metric, &[], &[], &query, 0, &config) {
+            GroupOutcome::Failed { error } => {
+                assert!(
+                    matches!(error, OracleError::BudgetExhausted { calls: 5 }),
+                    "{error:?}"
+                );
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_exhaustion_degrades_when_configured() {
+        let metric = ClusteredPlane::default().metric(16, 7);
+        let query = PairGroupQuery::explicit(Pair::all(8).collect());
+        let config = SessionConfig {
+            weak: Some((1.0, 99)),
+            degrade: true,
+            call_cost: Duration::from_millis(1),
+            deadline: Some(Duration::from_millis(5)),
+            ..SessionConfig::default()
+        };
+        let g = served(run_group(&*metric, &[], &[], &query, 0, &config));
+        assert!(g.degraded);
+        assert_eq!(g.response.resolved.len(), 28);
+        // Degraded pairs are answered but never certified/committed.
+        assert!(!g.response.degraded.is_empty());
+        let fresh_keys: BTreeSet<u64> = g.fresh.iter().map(|(p, _)| p.key()).collect();
+        assert!(g
+            .response
+            .degraded
+            .iter()
+            .all(|p| !fresh_keys.contains(&p.key())));
+        assert_eq!(
+            g.fresh.len() + g.response.degraded.len(),
+            28,
+            "every pair is either certified-fresh or degraded"
+        );
+    }
+}

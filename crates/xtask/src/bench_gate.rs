@@ -46,6 +46,16 @@ pub const SPAN_MAX_RATIO: f64 = 2.0;
 pub const SPAN_DISABLED_CELL: &str = "oracle_span_layer/disabled";
 pub const SPAN_CLEAN_CELL: &str = "oracle_span_layer/clean";
 
+/// The serve-layer overhead gate: a warm single-session group query served
+/// from a store snapshot must stay within [`STORE_MAX_RATIO`] × of the same
+/// mix resolved on a preloaded `BoundResolver` directly. The serving layer
+/// adds a snapshot, admission accounting, and a commit check — but no
+/// strong calls and no WAL fsyncs on the warm path — so a blow-up here
+/// means bookkeeping leaked into the per-pair loop.
+pub const STORE_MAX_RATIO: f64 = 2.0;
+pub const STORE_SERVE_CELL: &str = "store_layer/serve";
+pub const STORE_DIRECT_CELL: &str = "store_layer/direct";
+
 /// One parsed bench row: the cell name and its median latency.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRow {
@@ -225,7 +235,26 @@ pub fn check(rows: &[BenchRow]) -> Result<String, String> {
             "the detached span path is no longer free: {span_verdict}"
         ));
     }
-    Ok(format!("{verdict}; {weak_verdict}; {span_verdict}"))
+    let serve = median(STORE_SERVE_CELL)?;
+    let direct = median(STORE_DIRECT_CELL)?;
+    if !(serve.is_finite() && direct.is_finite()) || direct <= 0.0 {
+        return Err(format!(
+            "degenerate medians: {STORE_SERVE_CELL} = {serve}, {STORE_DIRECT_CELL} = {direct}"
+        ));
+    }
+    let store_ratio = serve / direct;
+    let store_verdict = format!(
+        "{STORE_SERVE_CELL} = {serve} ns, {STORE_DIRECT_CELL} = {direct} ns, \
+         ratio {store_ratio:.2}x (limit {STORE_MAX_RATIO:.0}x)"
+    );
+    if store_ratio > STORE_MAX_RATIO {
+        return Err(format!(
+            "the warm serve path outgrew direct resolution: {store_verdict}"
+        ));
+    }
+    Ok(format!(
+        "{verdict}; {weak_verdict}; {span_verdict}; {store_verdict}"
+    ))
 }
 
 #[cfg(test)]
@@ -238,7 +267,9 @@ mod tests {
   {"name": "oracle_weak_layer/clean", "median_ns": 96000.0, "iters": 64},
   {"name": "oracle_weak_layer/disabled", "median_ns": 99000.0, "iters": 64},
   {"name": "oracle_span_layer/clean", "median_ns": 88000.0, "iters": 64},
-  {"name": "oracle_span_layer/disabled", "median_ns": 90000.0, "iters": 64}
+  {"name": "oracle_span_layer/disabled", "median_ns": 90000.0, "iters": 64},
+  {"name": "store_layer/direct", "median_ns": 40000.0, "iters": 64},
+  {"name": "store_layer/serve", "median_ns": 52000.0, "iters": 64}
 ]"#;
 
     fn row(name: &str, median_ns: f64) -> BenchRow {
@@ -248,7 +279,7 @@ mod tests {
         }
     }
 
-    /// All six gated cells at healthy medians; tests perturb from here.
+    /// All eight gated cells at healthy medians; tests perturb from here.
     fn healthy() -> Vec<BenchRow> {
         vec![
             row(TRI_CELL, 7000.0),
@@ -257,13 +288,15 @@ mod tests {
             row(WEAK_DISABLED_CELL, 99000.0),
             row(SPAN_CLEAN_CELL, 88000.0),
             row(SPAN_DISABLED_CELL, 90000.0),
+            row(STORE_DIRECT_CELL, 40000.0),
+            row(STORE_SERVE_CELL, 52000.0),
         ]
     }
 
     #[test]
     fn parses_rows_and_passes_within_ratio() {
         let rows = parse_rows(SAMPLE).unwrap();
-        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.len(), 8);
         assert_eq!(rows[0].name, "bound_query/tri/256");
         assert_eq!(rows[0].median_ns, 7312.4);
         let verdict = check(&rows).unwrap();
@@ -302,6 +335,14 @@ mod tests {
     }
 
     #[test]
+    fn fails_when_the_warm_serve_path_outgrows_direct() {
+        let mut rows = healthy();
+        rows[7].median_ns = 40000.0 * 2.5;
+        let err = check(&rows).unwrap_err();
+        assert!(err.contains("warm serve path outgrew"), "{err}");
+    }
+
+    #[test]
     fn missing_cell_is_an_error() {
         let rows = parse_rows(r#"[{"name": "bound_query/tri/256", "median_ns": 1.0}]"#).unwrap();
         let err = check(&rows).unwrap_err();
@@ -314,6 +355,10 @@ mod tests {
         rows.retain(|r| r.name != SPAN_DISABLED_CELL);
         let err = check(&rows).unwrap_err();
         assert!(err.contains("oracle_span_layer/disabled"), "{err}");
+        let mut rows = healthy();
+        rows.retain(|r| r.name != STORE_SERVE_CELL);
+        let err = check(&rows).unwrap_err();
+        assert!(err.contains("store_layer/serve"), "{err}");
     }
 
     #[test]

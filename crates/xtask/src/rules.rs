@@ -1,4 +1,4 @@
-//! The lint rules (`L1`–`L15`) enforcing the oracle-call and determinism
+//! The lint rules (`L1`–`L16`) enforcing the oracle-call and determinism
 //! disciplines.
 //!
 //! Rules come in two flavours:
@@ -6,7 +6,7 @@
 //! * **Lexical** (L1–L8, L10, L11, L15) — per line of the masked code
 //!   produced by [`crate::lexer::scan`] (L8 and L15 are cross-file
 //!   vocabulary checks).
-//! * **Graph** (L9, L12, L13, L14) — over the whole-workspace
+//! * **Graph** (L9, L12, L13, L14, L16) — over the whole-workspace
 //!   [`crate::graph::ItemGraph`], so they can see call *chains* that no
 //!   single line reveals.
 //!
@@ -19,7 +19,9 @@
 //! accumulate. L9 additionally carries [`L9_ALLOWLIST`], the audited list
 //! of items that may sit on an oracle path outside the resolver choke
 //! point, and L13 carries [`L13_ALLOWLIST`], the audited list of
-//! `crates/bounds` items that may invoke the unbounded `Dijkstra::run`.
+//! `crates/bounds` items that may invoke the unbounded `Dijkstra::run`,
+//! and L16 carries [`L16_ALLOWLIST`], the audited `crates/serve` funnels
+//! that may touch the shared store's mutators outside the commit path.
 //!
 //! | rule | scope | it forbids |
 //! |------|-------|------------|
@@ -38,6 +40,7 @@
 //! | L13 | `crates/bounds` (graph) | reaching the unbounded `Dijkstra::run` from bound-query paths — the query cascade must use the bounded/bidirectional twins; the exact tier funnels through the audited [`L13_ALLOWLIST`] — see [`l13_violations`] |
 //! | L14 | `crates/algos` (graph) | reaching `WeakOracle::probe`/`error_at` through any call chain that does not pass a `CascadeResolver` method — weak answers are untrusted until the cascade's quorum + sandwich audit, so algorithms must never consume them raw — see [`l14_violations`] |
 //! | L15 | library crates | a metrics or span name literal (`inc`/`observe`/`counter`/`histogram*`, `SpanGuard::enter`/`PhaseGuard::enter`/`span`) missing from the central `prox_obs::names` registry — a typo'd counter silently splits one series into two — see [`lint_name_registry`] |
+//! | L16 | whole workspace (graph) | reaching the shared bound store's mutators (`StoreInner` methods, `WriteAheadLog::append`) through any call chain that does not pass the WAL-logged `SharedStore::commit` — a side-door write breaks the crash-recovery byte-identity of I12; recovery/fencing funnels live in the audited [`L16_ALLOWLIST`] — see [`l16_violations`] |
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -1079,12 +1082,133 @@ pub fn l14_violations(g: &ItemGraph) -> Vec<Violation> {
     out
 }
 
-/// The graph rules (L9 + L12 + L13 + L14), *before* escape filtering.
-pub fn lint_graph(g: &ItemGraph, l9_allowlist: &[&str], l13_allowlist: &[&str]) -> Vec<Violation> {
+/// The audited L16 allowlist: `crates/serve` funnels that may reach the
+/// shared store's mutators without passing `SharedStore::commit`.
+///
+/// * `SharedStore::open` — recovery replay: it rebuilds the in-memory map
+///   from WAL segments it just CRC-verified; nothing new is logged, so the
+///   durable and visible states cannot diverge.
+/// * `SharedStore::advance_epoch` — the quarantine fence: it mutates only
+///   the epoch counter, never the certified map or the WAL.
+pub const L16_ALLOWLIST: &[&str] = &[
+    "serve::store::SharedStore::open",
+    "serve::store::SharedStore::advance_epoch",
+];
+
+/// L16 — the shared bound store is fed **only** through the WAL-logged
+/// commit API. The crash-safety argument (I12) hinges on every visible
+/// mutation being durably logged first; a side door that inserts into the
+/// store's map (or appends to its WAL) without going through
+/// `SharedStore::commit` silently breaks recovery byte-identity. A reverse
+/// BFS from the mutator sinks (`StoreInner`'s methods and
+/// `WriteAheadLog::append`, mirroring [`l13_violations`]) flags every
+/// non-test item — in *any* crate — that can reach one through a chain
+/// that passes neither `SharedStore::commit` nor an audited
+/// [`L16_ALLOWLIST`] funnel.
+pub fn l16_violations(g: &ItemGraph, allowlist: &[&str]) -> Vec<Violation> {
+    let n = g.items.len();
+    let paths: Vec<String> = g.items.iter().map(Item::path).collect();
+    let sink: Vec<bool> = g
+        .items
+        .iter()
+        .map(|it| {
+            it.krate == "serve"
+                && (it.container.as_deref() == Some("StoreInner")
+                    || (it.container.as_deref() == Some("WriteAheadLog") && it.name == "append"))
+        })
+        .collect();
+    let choke: Vec<bool> = g
+        .items
+        .iter()
+        .map(|it| {
+            it.krate == "serve"
+                && it.container.as_deref() == Some("SharedStore")
+                && it.name == "commit"
+        })
+        .collect();
+    let allowed: Vec<bool> = paths
+        .iter()
+        .map(|p| allowlist.contains(&p.as_str()))
+        .collect();
+
+    let mut visited = vec![false; n];
+    let mut next: Vec<Option<usize>> = vec![None; n];
+    let mut stack: Vec<usize> = (0..n).filter(|&v| sink[v] && !g.items[v].is_test).collect();
+    for &s in &stack {
+        visited[s] = true;
+    }
+    while let Some(v) = stack.pop() {
+        // Sinks propagate to their callers; any other node propagates only
+        // if it is neither the commit chokepoint nor an audited funnel.
+        if !sink[v] && (choke[v] || allowed[v]) {
+            continue;
+        }
+        for &e in &g.inc[v] {
+            let u = g.edges[e].from;
+            if !visited[u] && !g.items[u].is_test {
+                visited[u] = true;
+                next[u] = Some(v);
+                stack.push(u);
+            }
+        }
+    }
+
+    let chain = |mut v: usize| {
+        let mut s = paths[v].clone();
+        while let Some(nx) = next[v] {
+            s.push_str(" -> ");
+            s.push_str(&paths[nx]);
+            v = nx;
+        }
+        s
+    };
+    let mut out = Vec::new();
+    for v in 0..n {
+        if !visited[v] || sink[v] || choke[v] || allowed[v] {
+            continue;
+        }
+        let it = &g.items[v];
+        out.push(Violation {
+            rule: "L16",
+            file: it.file.clone(),
+            line: it.line,
+            msg: format!(
+                "`{}` mutates the shared bound store without passing the \
+                 WAL-logged `SharedStore::commit`: {}; route the write \
+                 through `commit` or add an audited `L16_ALLOWLIST` entry",
+                it.path(),
+                chain(v)
+            ),
+            excerpt: it.path(),
+        });
+    }
+    for e in allowlist.iter().filter(|e| !paths.iter().any(|p| p == *e)) {
+        out.push(Violation {
+            rule: "L16",
+            file: "crates/xtask/src/rules.rs".to_string(),
+            line: 1,
+            msg: format!(
+                "stale `L16_ALLOWLIST` entry `{e}` matches no workspace item; \
+                 remove it or fix the path"
+            ),
+            excerpt: e.to_string(),
+        });
+    }
+    out
+}
+
+/// The graph rules (L9 + L12 + L13 + L14 + L16), *before* escape filtering.
+pub fn lint_graph(
+    g: &ItemGraph,
+    l9_allowlist: &[&str],
+    l13_allowlist: &[&str],
+    l16_allowlist: &[&str],
+) -> Vec<Violation> {
     let mut out = l9_violations(g, l9_allowlist);
     out.extend(l12_violations(g));
     out.extend(l13_violations(g, l13_allowlist));
     out.extend(l14_violations(g));
+    out.extend(l16_violations(g, l16_allowlist));
     out
 }
 
@@ -1111,14 +1235,16 @@ pub struct WorkspaceLint {
 /// workspace, and the graph rules over the item graph, with escape
 /// filtering and stale-escape detection.
 pub fn lint_workspace(files: &[(String, String)]) -> WorkspaceLint {
-    lint_workspace_with(files, L9_ALLOWLIST, L13_ALLOWLIST)
+    lint_workspace_with(files, L9_ALLOWLIST, L13_ALLOWLIST, L16_ALLOWLIST)
 }
 
-/// [`lint_workspace`] with explicit L9/L13 allowlists (tests use fixtures).
+/// [`lint_workspace`] with explicit L9/L13/L16 allowlists (tests use
+/// fixtures).
 pub fn lint_workspace_with(
     files: &[(String, String)],
     l9_allowlist: &[&str],
     l13_allowlist: &[&str],
+    l16_allowlist: &[&str],
 ) -> WorkspaceLint {
     let mut raw = Vec::new();
     let mut escapes = Vec::new();
@@ -1139,7 +1265,7 @@ pub fn lint_workspace_with(
     }
     raw.extend(lint_name_registry(files));
     let g = ItemGraph::build(files);
-    raw.extend(lint_graph(&g, l9_allowlist, l13_allowlist));
+    raw.extend(lint_graph(&g, l9_allowlist, l13_allowlist, l16_allowlist));
 
     let (violations, used) = apply_escapes(raw, &escapes);
     let stale_escapes = escapes
@@ -1456,7 +1582,7 @@ mod tests {
     #[test]
     fn l15_respects_allow_annotation_via_workspace_filtering() {
         let src = "fn f(m: &Metrics) {\n    // experimental counter, not yet in the registry; lint: allow(L15)\n    m.inc(\"experimental.counter\", 1);\n}\n";
-        let lint = lint_workspace_with(&l15_files(src), &[], &[]);
+        let lint = lint_workspace_with(&l15_files(src), &[], &[], &[]);
         assert!(
             !lint.violations.iter().any(|v| v.rule == "L15"),
             "{:?}",
@@ -1567,7 +1693,7 @@ mod tests {
             ),
         ]);
         let g = ItemGraph::build(&files);
-        let vs = lint_graph(&g, &[], &[]);
+        let vs = lint_graph(&g, &[], &[], &[]);
         let l9: Vec<&Violation> = vs.iter().filter(|v| v.rule == "L9").collect();
         assert_eq!(l9.len(), 1, "{vs:?}");
         assert_eq!(l9[0].file, "crates/algos/src/leak.rs");
@@ -1588,7 +1714,7 @@ mod tests {
             ),
         ]);
         let g = ItemGraph::build(&files);
-        assert!(lint_graph(&g, &[], &[]).iter().all(|v| v.rule != "L9"));
+        assert!(lint_graph(&g, &[], &[], &[]).iter().all(|v| v.rule != "L9"));
     }
 
     #[test]
@@ -1604,19 +1730,20 @@ mod tests {
         let g = ItemGraph::build(&files);
         // Unallowed: both bootstrap fns are exposed.
         assert_eq!(
-            lint_graph(&g, &[], &[])
+            lint_graph(&g, &[], &[], &[])
                 .iter()
                 .filter(|v| v.rule == "L9")
                 .count(),
             2
         );
         // Allowlisting the audited choke fn sanctions everything above it.
-        let vs = lint_graph(&g, &["bounds::bootstrap::try_pick"], &[]);
+        let vs = lint_graph(&g, &["bounds::bootstrap::try_pick"], &[], &[]);
         assert!(vs.iter().all(|v| v.rule != "L9"), "{vs:?}");
         // A stale entry is itself a violation.
         let vs = lint_graph(
             &g,
             &["bounds::bootstrap::try_pick", "bounds::gone::nope"],
+            &[],
             &[],
         );
         assert!(vs.iter().any(|v| v.rule == "L9" && v.msg.contains("stale")));
@@ -1632,7 +1759,7 @@ mod tests {
                 "// audited one-off probe; lint: allow(L9)\npub fn leaky(o: &Oracle) { o.call(); }\n",
             ),
         ]);
-        let lint = lint_workspace_with(&files, &[], &[]);
+        let lint = lint_workspace_with(&files, &[], &[], &[]);
         assert!(
             lint.violations.iter().all(|v| v.rule != "L9"),
             "{:?}",
@@ -1657,7 +1784,7 @@ mod tests {
             ),
         ]);
         let g = ItemGraph::build(&files);
-        let vs = lint_graph(&g, &[], &[]);
+        let vs = lint_graph(&g, &[], &[], &[]);
         let l13: Vec<&Violation> = vs.iter().filter(|v| v.rule == "L13").collect();
         // Both the private full-run site and the public query path above it.
         assert_eq!(l13.len(), 2, "{vs:?}");
@@ -1681,7 +1808,7 @@ mod tests {
             ),
         ]);
         let g = ItemGraph::build(&files);
-        let vs = lint_graph(&g, &[], &[]);
+        let vs = lint_graph(&g, &[], &[], &[]);
         assert!(vs.iter().all(|v| v.rule != "L13"), "{vs:?}");
     }
 
@@ -1696,13 +1823,14 @@ mod tests {
         ]);
         let g = ItemGraph::build(&files);
         // Allowlisting the audited funnel sanctions everything above it.
-        let vs = lint_graph(&g, &[], &["bounds::splub::ensure_tree"]);
+        let vs = lint_graph(&g, &[], &["bounds::splub::ensure_tree"], &[]);
         assert!(vs.iter().all(|v| v.rule != "L13"), "{vs:?}");
         // A stale entry is itself a violation.
         let vs = lint_graph(
             &g,
             &[],
             &["bounds::splub::ensure_tree", "bounds::gone::nope"],
+            &[],
         );
         assert!(vs
             .iter()
@@ -1736,7 +1864,7 @@ mod tests {
             ),
         ]);
         let g = ItemGraph::build(&files);
-        let vs = lint_graph(&g, &[], &[]);
+        let vs = lint_graph(&g, &[], &[], &[]);
         let l14: Vec<&Violation> = vs.iter().filter(|v| v.rule == "L14").collect();
         // Both the private probe site and the public path above it.
         assert_eq!(l14.len(), 2, "{vs:?}");
@@ -1757,7 +1885,7 @@ mod tests {
             ),
         ]);
         let g = ItemGraph::build(&files);
-        let vs = lint_graph(&g, &[], &[]);
+        let vs = lint_graph(&g, &[], &[], &[]);
         assert!(vs.iter().all(|v| v.rule != "L14"), "{vs:?}");
     }
 
@@ -1783,6 +1911,92 @@ mod tests {
         );
     }
 
+    // ------------------------------------------------ graph rules: L16
+
+    /// Store skeleton shared by the L16 tests: the mutator sinks, the
+    /// commit chokepoint, and the audited fencing funnel.
+    const STORE_SRC: &str = "pub struct StoreInner;\nimpl StoreInner {\n    pub fn absorb(&mut self) { self.wal_append() }\n    pub fn fence(&mut self) {}\n    fn wal_append(&mut self) {}\n}\npub struct SharedStore;\nimpl SharedStore {\n    pub fn commit(&self, i: &mut StoreInner) { i.absorb(); }\n    pub fn advance_epoch(&self, i: &mut StoreInner) { i.fence(); }\n}\n";
+
+    #[test]
+    fn l16_flags_a_side_door_store_write_with_its_chain() {
+        let files = fixture(&[
+            ("crates/serve/src/store.rs", STORE_SRC),
+            (
+                "crates/algos/src/sidedoor.rs",
+                "pub fn inject(i: &mut StoreInner) { poke(i); }\nfn poke(i: &mut StoreInner) { i.absorb(); }\n",
+            ),
+        ]);
+        let g = ItemGraph::build(&files);
+        let vs = lint_graph(&g, &[], &[], &["serve::store::SharedStore::advance_epoch"]);
+        let l16: Vec<&Violation> = vs.iter().filter(|v| v.rule == "L16").collect();
+        // Both the private poke site and the public path above it.
+        assert_eq!(l16.len(), 2, "{vs:?}");
+        assert!(l16.iter().all(|v| v.file == "crates/algos/src/sidedoor.rs"));
+        assert!(l16.iter().any(|v| v.msg.contains(
+            "algos::sidedoor::inject -> algos::sidedoor::poke -> serve::store::StoreInner::absorb"
+        )));
+    }
+
+    #[test]
+    fn l16_accepts_the_commit_choke_and_audited_funnels() {
+        let files = fixture(&[
+            ("crates/serve/src/store.rs", STORE_SRC),
+            (
+                "crates/serve/src/server.rs",
+                "pub fn run(s: &SharedStore, i: &mut StoreInner) { s.commit(i); s.advance_epoch(i); }\n",
+            ),
+        ]);
+        let g = ItemGraph::build(&files);
+        let vs = lint_graph(&g, &[], &[], &["serve::store::SharedStore::advance_epoch"]);
+        assert!(vs.iter().all(|v| v.rule != "L16"), "{vs:?}");
+    }
+
+    #[test]
+    fn l16_without_the_funnel_flags_the_fence_and_stale_entries() {
+        let files = fixture(&[
+            ("crates/serve/src/store.rs", STORE_SRC),
+            (
+                "crates/serve/src/server.rs",
+                "pub fn run(s: &SharedStore, i: &mut StoreInner) { s.advance_epoch(i); }\n",
+            ),
+        ]);
+        let g = ItemGraph::build(&files);
+        // With no allowlist, the fencing funnel and its caller are flagged.
+        let vs = lint_graph(&g, &[], &[], &[]);
+        assert!(
+            vs.iter()
+                .any(|v| v.rule == "L16" && v.excerpt == "serve::store::SharedStore::advance_epoch"),
+            "{vs:?}"
+        );
+        // A stale entry is itself a violation.
+        let vs = lint_graph(&g, &[], &[], &["serve::gone::nope"]);
+        assert!(vs
+            .iter()
+            .any(|v| v.rule == "L16" && v.msg.contains("stale")));
+    }
+
+    #[test]
+    fn l16_real_allowlist_matches_the_workspace() {
+        let files = crate::load_workspace_sources(&crate::workspace_root());
+        let g = ItemGraph::build(&files);
+        let vs = l16_violations(&g, L16_ALLOWLIST);
+        assert!(vs.is_empty(), "{vs:?}");
+        // The rule must not be vacuous: the real graph contains the store
+        // mutator sinks and the commit chokepoint they funnel through.
+        assert!(
+            g.items.iter().any(|it| it.krate == "serve"
+                && it.container.as_deref() == Some("StoreInner")
+                && it.name == "absorb"),
+            "StoreInner::absorb must exist in the item graph"
+        );
+        assert!(
+            g.items.iter().any(|it| it.krate == "serve"
+                && it.container.as_deref() == Some("SharedStore")
+                && it.name == "commit"),
+            "SharedStore::commit must exist in the item graph"
+        );
+    }
+
     // ------------------------------------------------ graph rules: L12
 
     #[test]
@@ -1792,7 +2006,7 @@ mod tests {
             "pub fn prim() { body(); }\npub fn try_prim() { body(); }\nfn body() {}\n",
         )]);
         let g = ItemGraph::build(&files);
-        let vs = lint_graph(&g, &[], &[]);
+        let vs = lint_graph(&g, &[], &[], &[]);
         let l12: Vec<&Violation> = vs.iter().filter(|v| v.rule == "L12").collect();
         assert_eq!(l12.len(), 1, "{vs:?}");
         assert_eq!(l12[0].line, 1);
@@ -1806,7 +2020,9 @@ mod tests {
             "pub fn mst() { expect_ok(try_mst()) }\npub fn try_mst() {}\nfn expect_ok(x: u32) -> u32 { x }\n",
         )]);
         let g = ItemGraph::build(&direct);
-        assert!(lint_graph(&g, &[], &[]).iter().all(|v| v.rule != "L12"));
+        assert!(lint_graph(&g, &[], &[], &[])
+            .iter()
+            .all(|v| v.rule != "L12"));
         // kruskal-style: mst -> mst_with, try_mst -> try_mst_with, and the
         // `_with` pair delegates — so `mst` counts as delegating too.
         let chained = fixture(&[(
@@ -1814,7 +2030,7 @@ mod tests {
             "pub fn mst() { mst_with() }\npub fn mst_with() { expect_ok(try_mst_with()) }\npub fn try_mst() { try_mst_with() }\npub fn try_mst_with() {}\nfn expect_ok(x: u32) -> u32 { x }\n",
         )]);
         let g = ItemGraph::build(&chained);
-        let vs = lint_graph(&g, &[], &[]);
+        let vs = lint_graph(&g, &[], &[], &[]);
         assert!(vs.iter().all(|v| v.rule != "L12"), "{vs:?}");
     }
 
@@ -1825,12 +2041,14 @@ mod tests {
             "pub fn run() { body(); }\npub fn try_run() { body(); }\nfn body() {}\n",
         )]);
         let g = ItemGraph::build(&in_bench);
-        assert!(lint_graph(&g, &[], &[]).iter().all(|v| v.rule != "L12"));
+        assert!(lint_graph(&g, &[], &[], &[])
+            .iter()
+            .all(|v| v.rule != "L12"));
         let escaped = fixture(&[(
             "crates/algos/src/a.rs",
             "// different semantics, not a wrapper; lint: allow(L12)\npub fn go() { body(); }\npub fn try_go() { body(); }\nfn body() {}\n",
         )]);
-        let lint = lint_workspace_with(&escaped, &[], &[]);
+        let lint = lint_workspace_with(&escaped, &[], &[], &[]);
         assert!(lint.violations.iter().all(|v| v.rule != "L12"));
         assert!(lint.stale_escapes.is_empty());
     }
@@ -1847,8 +2065,12 @@ mod tests {
             ("crates/core/src/oracle.rs", ORACLE_SRC),
             ("crates/bounds/src/resolver.rs", RESOLVER_SRC),
         ]);
-        let lint =
-            lint_workspace_with(&files, &["bounds::gone::nine"], &["bounds::gone::thirteen"]);
+        let lint = lint_workspace_with(
+            &files,
+            &["bounds::gone::nine"],
+            &["bounds::gone::thirteen"],
+            &[],
+        );
         for (rule, entry) in [
             ("L9", "bounds::gone::nine"),
             ("L13", "bounds::gone::thirteen"),
@@ -1871,7 +2093,7 @@ mod tests {
             "crates/core/src/x.rs",
             "fn f() {\n    // lint: allow(L4)\n    x.unwrap();\n    // lint: allow(L7)\n    let y = 1;\n}\n",
         )]);
-        let lint = lint_workspace_with(&files, &[], &[]);
+        let lint = lint_workspace_with(&files, &[], &[], &[]);
         assert!(lint.violations.iter().all(|v| v.rule != "L4"));
         assert_eq!(lint.stale_escapes.len(), 1, "{:?}", lint.stale_escapes);
         assert_eq!(lint.stale_escapes[0].rule, "stale-allow");
@@ -1885,7 +2107,7 @@ mod tests {
             "crates/core/src/x.rs",
             "#[cfg(test)]\nmod tests {\n    // lint: allow(L4)\n    fn f() { x.unwrap(); }\n}\n",
         )]);
-        let lint = lint_workspace_with(&files, &[], &[]);
+        let lint = lint_workspace_with(&files, &[], &[], &[]);
         assert!(lint.violations.is_empty());
         assert!(lint.stale_escapes.is_empty());
     }
